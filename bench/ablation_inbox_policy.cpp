@@ -1,0 +1,78 @@
+// E12 — Ablation: the in-box replacement policy ("LRU WLOG").
+//
+// The paper fixes per-box LRU without loss of generality: compartments
+// start empty and are short (s*h ticks), so the replacement policy inside
+// a box can only change costs by a constant factor. This ablation measures
+// that constant: the same DET-GREEN box stream replayed over the same
+// traces with every in-box policy, including clairvoyant in-box Belady as
+// the floor.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "green/policy_box_runner.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ppg;
+  bench::banner(
+      "E12", "Ablation: replacement policy inside compartmentalized boxes",
+      "Per-box LRU is WLOG: any policy differs by O(1) because compartments "
+      "start empty and last only s*h ticks. Measured spread should be a "
+      "small constant, with clairvoyant Belady as the floor.");
+
+  const Time s = 16;
+  const HeightLadder ladder{4, 64};
+  Rng rng(77);
+  const std::vector<std::pair<const char*, Trace>> traces{
+      {"hot-cycle", gen::cyclic(24, 20000)},
+      {"zipf", gen::zipf(128, 20000, 1.0, rng)},
+      {"sawtooth", gen::sawtooth(4, 48, 1000, 20, rng)},
+      {"scan", gen::single_use(20000)},
+  };
+
+  // Replays the trace through the DET-GREEN height stream with boxes of
+  // duration multiplier * s * h, measuring each policy's total time.
+  const auto replay = [&](const Trace& trace, PolicyKind kind,
+                          Time multiplier) {
+    auto pager = make_det_green(ladder);
+    PolicyBoxRunner runner(trace, s, kind, 13);
+    Time total = 0;
+    while (!runner.finished()) {
+      const Height h = pager->next_height();
+      const Time duration = multiplier * s * static_cast<Time>(h);
+      const BoxStepResult step = runner.run_box(h, duration);
+      total += step.finished ? step.busy_time : duration;
+    }
+    return total;
+  };
+
+  for (const Time multiplier : {Time{1}, Time{4}, Time{16}}) {
+    std::vector<std::string> headers{"trace"};
+    for (const PolicyKind kind : all_policy_kinds())
+      headers.emplace_back(policy_kind_name(kind));
+    Table table(headers);
+    for (const auto& [name, trace] : traces) {
+      std::vector<double> times;
+      for (const PolicyKind kind : all_policy_kinds())
+        times.push_back(static_cast<double>(replay(trace, kind, multiplier)));
+      const double base_time = times[0];  // LRU is first in the list
+      table.row().cell(name);
+      for (const double t : times) table.cell(t / base_time);
+    }
+    bench::section("time relative to in-box LRU, box duration = " +
+                   std::to_string(multiplier) + " * s * h");
+    bench::print_table(table);
+  }
+
+  std::cout << "\nKey finding: at canonical duration (1x) every column is "
+               "exactly 1.000 — a height-h box of s*h ticks is consumed by "
+               "filling h pages, so eviction NEVER fires and the in-box "
+               "policy is irrelevant. This is the strongest possible form "
+               "of the paper's 'LRU WLOG'. Stretching boxes past canonical "
+               "(4x, 16x) reintroduces eviction and the familiar policy "
+               "spreads — but bounded by the compartment length, unlike "
+               "the unbounded whole-trace gaps of E9.\n";
+  return 0;
+}

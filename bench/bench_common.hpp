@@ -1,0 +1,32 @@
+// Shared conventions for the experiment binaries: every bench prints a
+// banner naming the experiment (matching DESIGN.md / EXPERIMENTS.md ids),
+// the paper claim it checks, the measurement table, and — where the claim
+// is a scaling shape — a ratio-vs-log2(p) fit table.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace ppg::bench {
+
+inline void banner(const std::string& id, const std::string& title,
+                   const std::string& claim) {
+  std::cout << "\n================================================================\n"
+            << id << ": " << title << "\n"
+            << "Claim: " << claim << "\n"
+            << "================================================================\n";
+}
+
+inline void section(const std::string& name) {
+  std::cout << "\n-- " << name << " --\n";
+}
+
+inline void print_table(const Table& table) {
+  table.print(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace ppg::bench

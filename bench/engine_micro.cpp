@@ -1,0 +1,104 @@
+// E10 — Microbenchmarks of the simulation substrates (google-benchmark).
+//
+// Throughput of the structures every experiment leans on: the LRU set, the
+// box runner, the stack-distance profiler, the green-OPT DP, and the full
+// parallel engine. These keep the harness honest about simulator cost and
+// catch performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "core/parallel_engine.hpp"
+#include "core/scheduler_factory.hpp"
+#include "green/box_runner.hpp"
+#include "green/green_opt.hpp"
+#include "trace/generators.hpp"
+#include "trace/stack_distance.hpp"
+#include "trace/workload.hpp"
+#include "util/lru_set.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ppg;
+
+void BM_LruSetAccess(benchmark::State& state) {
+  const auto capacity = static_cast<Height>(state.range(0));
+  Rng rng(1);
+  const Trace trace = gen::zipf(capacity * 4, 1 << 14, 0.9, rng);
+  LruSet set(capacity);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.access(trace[i]));
+    i = (i + 1) % trace.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LruSetAccess)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_BoxRunnerCanonicalBoxes(benchmark::State& state) {
+  const auto height = static_cast<Height>(state.range(0));
+  const Time s = 8;
+  Rng rng(2);
+  const Trace trace = gen::zipf(512, 1 << 15, 0.9, rng);
+  for (auto _ : state) {
+    BoxRunner runner(trace, s);
+    while (!runner.finished())
+      runner.run_box(height, s * static_cast<Time>(height));
+    benchmark::DoNotOptimize(runner.total_misses());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_BoxRunnerCanonicalBoxes)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_StackDistances(benchmark::State& state) {
+  Rng rng(3);
+  const Trace trace =
+      gen::zipf(1024, static_cast<std::size_t>(state.range(0)), 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack_distances(trace));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_StackDistances)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GreenOptDp(benchmark::State& state) {
+  Rng rng(4);
+  const Trace trace =
+      gen::zipf(128, static_cast<std::size_t>(state.range(0)), 0.9, rng);
+  const HeightLadder ladder{4, 64};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(green_opt_impact(trace, ladder, 8));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_GreenOptDp)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_ParallelEngine(benchmark::State& state) {
+  const auto p = static_cast<ProcId>(state.range(0));
+  WorkloadParams wp;
+  wp.num_procs = p;
+  wp.cache_size = 8 * p;
+  wp.requests_per_proc = 2000;
+  const MultiTrace mt = make_workload(WorkloadKind::kHeterogeneousMix, wp);
+  EngineConfig ec;
+  ec.cache_size = wp.cache_size;
+  ec.miss_cost = 8;
+  ec.track_memory_timeline = false;
+  for (auto _ : state) {
+    auto scheduler = make_scheduler(SchedulerKind::kDetPar);
+    benchmark::DoNotOptimize(run_parallel(mt, *scheduler, ec).makespan);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(mt.total_requests()));
+}
+BENCHMARK(BM_ParallelEngine)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

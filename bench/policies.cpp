@@ -1,0 +1,82 @@
+// E9 — Sequential paging substrate sanity.
+//
+// Fault-rate table of every eviction policy across canonical traces and
+// capacities, plus the resource-augmentation comparison behind the whole
+// competitive-analysis framework (Sleator–Tarjan): LRU with cache 2k stays
+// within a small factor of Belady with cache k, while LRU at equal cache
+// can lose badly (cyclic thrash).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "paging/cache_sim.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ppg;
+  bench::banner(
+      "E9", "Sequential policy comparison and augmentation",
+      "Substrate check: Belady dominates every online policy; LRU(2k) is "
+      "within a constant factor of Belady(k) (Sleator–Tarjan shape).");
+
+  const Time s = 8;
+  Rng rng(17);
+  const std::vector<std::pair<const char*, Trace>> traces{
+      {"cyclic-1.5x", gen::cyclic(24, 20000)},
+      {"zipf-1.0", gen::zipf(256, 20000, 1.0, rng)},
+      {"sawtooth", gen::sawtooth(8, 64, 1000, 20, rng)},
+      {"scan", gen::single_use(20000)},
+      {"uniform", gen::uniform_random(64, 20000, rng)},
+  };
+  const std::vector<PolicyKind> policies = all_policy_kinds();
+
+  bench::section("miss rates by policy (capacity 16)");
+  std::vector<std::string> headers{"trace"};
+  for (const PolicyKind kind : policies)
+    headers.emplace_back(policy_kind_name(kind));
+  Table table(headers);
+  for (const auto& [name, trace] : traces) {
+    table.row().cell(name);
+    for (const PolicyKind kind : policies) {
+      const CacheSimResult r = simulate_policy(kind, trace, 16, s, 13);
+      table.cell(r.miss_rate());
+    }
+  }
+  bench::print_table(table);
+
+  bench::section("augmentation: time(LRU, 2k) / time(BELADY, k)");
+  Table aug({"trace", "k=8", "k=16", "k=32"});
+  for (const auto& [name, trace] : traces) {
+    aug.row().cell(name);
+    for (const Height k : {8u, 16u, 32u}) {
+      const CacheSimResult lru2k =
+          simulate_policy(PolicyKind::kLru, trace, 2 * k, s);
+      const CacheSimResult opt_k =
+          simulate_policy(PolicyKind::kBelady, trace, k, s);
+      aug.cell(static_cast<double>(lru2k.time) /
+               static_cast<double>(opt_k.time));
+    }
+  }
+  bench::print_table(aug);
+
+  bench::section("no augmentation: time(LRU, k) / time(BELADY, k)");
+  Table noaug({"trace", "k=8", "k=16", "k=32"});
+  for (const auto& [name, trace] : traces) {
+    noaug.row().cell(name);
+    for (const Height k : {8u, 16u, 32u}) {
+      const CacheSimResult lru_k =
+          simulate_policy(PolicyKind::kLru, trace, k, s);
+      const CacheSimResult opt_k =
+          simulate_policy(PolicyKind::kBelady, trace, k, s);
+      noaug.cell(static_cast<double>(lru_k.time) /
+                 static_cast<double>(opt_k.time));
+    }
+  }
+  bench::print_table(noaug);
+  std::cout << "\nExpected shape: every LRU(2k)/BELADY(k) entry stays near "
+               "or below ~2; LRU(k)/BELADY(k) spikes on cyclic traces "
+               "(the classic k-competitiveness wall, why augmentation is "
+               "part of the model).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// E11 — Beyond the model: page sharing (the paper's Section 5 open
+// problem).
+//
+// The disjointness assumption is load-bearing: box-model schedulers can
+// only handle sharing by privatizing (duplicating) the shared region into
+// every processor's compartment, while a plain shared LRU pool keeps one
+// copy. Sweeping the sharing fraction exposes the crossover: with little
+// sharing the paper's schedulers keep their worst-case advantages; as the
+// shared region dominates, duplication overflows the cache and GLOBAL-LRU
+// wins outright — quantifying why the open problem is open.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/global_lru.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/scheduler_factory.hpp"
+#include "trace/shared_workload.hpp"
+
+int main() {
+  using namespace ppg;
+  bench::banner(
+      "E11", "Page sharing across processors (open problem, Section 5)",
+      "Box-model schedulers require disjoint page sets; under sharing they "
+      "pay duplication while a shared pool pays once. The crossover "
+      "quantifies the cost of the disjointness assumption.");
+
+  const Time s = 16;
+  Table table({"share_frac", "p", "k", "GLOBAL-LRU", "DET-PAR(priv)",
+               "EQUI(priv)", "detpar_over_global"});
+
+  for (const double sigma : {0.0, 0.25, 0.5, 0.75, 0.95}) {
+    for (ProcId p : {8u, 32u}) {
+      SharedWorkloadParams sp;
+      sp.num_procs = p;
+      sp.cache_size = 8 * p;
+      sp.requests_per_proc = 8000;
+      sp.seed = 91 + p;
+      sp.sharing_fraction = sigma;
+      const MultiTrace shared = make_shared_workload(sp);
+      const MultiTrace priv = privatize(shared);
+
+      GlobalLruConfig gc;
+      gc.cache_size = sp.cache_size;
+      gc.miss_cost = s;
+      const ParallelRunResult g = run_global_lru(shared, gc);
+
+      EngineConfig ec;
+      ec.cache_size = sp.cache_size;
+      ec.miss_cost = s;
+      auto det_par = make_scheduler(SchedulerKind::kDetPar);
+      const ParallelRunResult d = run_parallel(priv, *det_par, ec);
+      auto equi = make_scheduler(SchedulerKind::kEqui);
+      const ParallelRunResult e = run_parallel(priv, *equi, ec);
+
+      table.row()
+          .cell(sigma, 2)
+          .cell(static_cast<std::uint64_t>(p))
+          .cell(static_cast<std::uint64_t>(sp.cache_size))
+          .cell(g.makespan)
+          .cell(d.makespan)
+          .cell(e.makespan)
+          .cell(static_cast<double>(d.makespan) /
+                    static_cast<double>(g.makespan),
+                2);
+    }
+  }
+
+  bench::section("makespan under sharing: shared pool vs privatized box "
+                 "schedulers");
+  bench::print_table(table);
+  std::cout << "\nExpected shape: the detpar_over_global column rises with "
+               "the sharing fraction — duplicated copies of the shared "
+               "region crowd the compartments while the pool keeps one — "
+               "and the gap widens with p (more duplicates).\n";
+  return 0;
+}

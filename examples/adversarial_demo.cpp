@@ -1,0 +1,85 @@
+// Adversarial-instance walkthrough: builds the Theorem 4 construction at a
+// chosen scale, prints its anatomy (families, phases, pollution levels),
+// and runs the black-box-green pager against the paper's explicit OPT
+// schedule so the forced gap is visible on one screen.
+//
+//   $ ./adversarial_demo [ell]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/parallel_engine.hpp"
+#include "core/scheduler_factory.hpp"
+#include "opt/constructed_opt.hpp"
+#include "trace/adversarial.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppg;
+  AdversarialParams params;
+  params.ell = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+  params.a = 1;
+  params.alpha = 0.1;
+  params.suffix_phase_factor = 2.0;
+
+  const AdversarialInstance inst = make_adversarial_instance(params);
+  const Height k = params.cache_size();
+  const Time s = 4 * k;
+
+  std::cout << "Theorem 4 instance anatomy\n";
+  Table anatomy({"quantity", "value"});
+  anatomy.row().cell("ell").cell(static_cast<std::uint64_t>(params.ell));
+  anatomy.row().cell("processors p = 2^(ell+1)-1").cell(
+      static_cast<std::uint64_t>(params.num_procs()));
+  anatomy.row().cell("cache k").cell(static_cast<std::uint64_t>(k));
+  anatomy.row().cell("gamma (cycles per phase)").cell(params.gamma());
+  anatomy.row().cell("phase length (k-1)*gamma").cell(
+      static_cast<std::uint64_t>(params.phase_length()));
+  anatomy.row().cell("prefixed sequences").cell(
+      static_cast<std::uint64_t>(params.num_prefixed()));
+  anatomy.row().cell("families").cell(
+      static_cast<std::uint64_t>(params.num_families()));
+  anatomy.row().cell("suffix phases").cell(
+      static_cast<std::uint64_t>(params.suffix_phases()));
+  anatomy.row().cell("total requests").cell(
+      static_cast<std::uint64_t>(inst.traces.total_requests()));
+  anatomy.print(std::cout);
+
+  std::cout << "\nPer-family structure (F_i: 2^i sequences, pollution "
+               "doubling per phase)\n";
+  Table fam({"family", "sequences", "prefix_phases", "pollute_interval_j0"});
+  for (std::uint32_t i = 0; i < params.num_families(); ++i) {
+    fam.row()
+        .cell(static_cast<std::uint64_t>(i))
+        .cell(static_cast<std::uint64_t>(1u << i))
+        .cell(static_cast<std::uint64_t>(params.num_families() - i))
+        .cell(params.pollute_interval(0));
+  }
+  fam.print(std::cout);
+
+  const ConstructedOptResult opt = run_constructed_opt(inst, s);
+  std::cout << "\nConstructed OPT schedule: prefixes serial @ full cache = "
+            << opt.prefix_stage << ", suffixes parallel = " << opt.suffix_stage
+            << ", makespan = " << opt.makespan << "\n\n";
+
+  Table runs({"scheduler", "makespan", "ratio_vs_optUB"});
+  EngineConfig ec;
+  ec.cache_size = k;
+  ec.miss_cost = s;
+  for (const SchedulerKind kind :
+       {SchedulerKind::kBlackboxGreenDet, SchedulerKind::kDetPar}) {
+    auto scheduler = make_scheduler(kind, 9);
+    const ParallelRunResult r = run_parallel(inst.traces, *scheduler, ec);
+    runs.row()
+        .cell(scheduler_kind_name(kind))
+        .cell(r.makespan)
+        .cell(static_cast<double>(r.makespan) /
+                  static_cast<double>(opt.makespan),
+              2);
+  }
+  runs.print(std::cout);
+  std::cout << "\nThe greedily-green black box must keep prefix boxes "
+               "minimal (pollution makes tall boxes look wasteful), so the "
+               "prefixes drag across ~log p eras; OPT burns impact up front "
+               "and overlaps every suffix.\n";
+  return 0;
+}

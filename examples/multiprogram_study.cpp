@@ -1,0 +1,85 @@
+// Multiprogrammed-cache study: the scenario from the paper's introduction.
+//
+// Several programs with very different locality share one last-level
+// cache. This example compares every scheduler in the library on the same
+// instance and prints a side-by-side table: who finishes when, at what
+// fault rate, with how much memory — the practical question "how should a
+// shared cache be partitioned?" answered by each strategy.
+//
+//   $ ./multiprogram_study [p] [k]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/global_lru.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/scheduler_factory.hpp"
+#include "opt/opt_bounds.hpp"
+#include "trace/workload.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppg;
+  const ProcId p = argc > 1 ? static_cast<ProcId>(std::atoi(argv[1])) : 16;
+  const Height k = argc > 2 ? static_cast<Height>(std::atoi(argv[2])) : 8 * p;
+  const Time s = 16;
+
+  WorkloadParams wp;
+  wp.num_procs = p;
+  wp.cache_size = k;
+  wp.requests_per_proc = 20000;
+  wp.seed = 7;
+  const MultiTrace traces = make_workload(WorkloadKind::kSkewedLengths, wp);
+
+  OptBoundsConfig oc;
+  oc.cache_size = k;
+  oc.miss_cost = s;
+  const OptBounds bounds = compute_opt_bounds(traces, oc);
+
+  std::cout << "p = " << p << ", k = " << k << ", s = " << s
+            << ", total requests = " << traces.total_requests()
+            << "\nOPT lower bound on makespan: " << bounds.lower_bound()
+            << "\n\n";
+
+  Table table({"scheduler", "makespan", "ratio", "mean_ct", "fault_rate",
+               "peak_mem", "boxes"});
+  EngineConfig ec;
+  ec.cache_size = k;
+  ec.miss_cost = s;
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    auto scheduler = make_scheduler(kind, 3);
+    const ParallelRunResult r = run_parallel(traces, *scheduler, ec);
+    table.row()
+        .cell(scheduler_kind_name(kind))
+        .cell(r.makespan)
+        .cell(static_cast<double>(r.makespan) /
+                  static_cast<double>(bounds.lower_bound()),
+              2)
+        .cell(r.mean_completion, 0)
+        .cell(r.fault_rate(), 4)
+        .cell(static_cast<std::uint64_t>(r.peak_concurrent_height))
+        .cell(r.num_boxes);
+  }
+  // The no-partitioning baseline.
+  GlobalLruConfig gc;
+  gc.cache_size = k;
+  gc.miss_cost = s;
+  const ParallelRunResult g = run_global_lru(traces, gc);
+  table.row()
+      .cell("GLOBAL-LRU")
+      .cell(g.makespan)
+      .cell(static_cast<double>(g.makespan) /
+                static_cast<double>(bounds.lower_bound()),
+            2)
+      .cell(g.mean_completion, 0)
+      .cell(g.fault_rate(), 4)
+      .cell(static_cast<std::uint64_t>(g.peak_concurrent_height))
+      .cell(g.num_boxes);
+
+  table.print(std::cout);
+  std::cout << "\nReading guide: DET-PAR/RAND-PAR trade a few extra faults "
+               "(compartmentalized boxes) for worst-case makespan "
+               "guarantees no baseline offers; STATIC wastes the cache of "
+               "finished programs; GLOBAL-LRU lets streaming programs "
+               "pollute everyone's working set.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "bench_support/experiment.hpp"
+
+#include <algorithm>
+
+#include "core/global_lru.hpp"
+#include "core/parallel_engine.hpp"
+#include "util/assert.hpp"
+
+namespace ppg {
+
+InstanceOutcome run_instance(const MultiTrace& traces,
+                             const std::vector<SchedulerKind>& kinds,
+                             const ExperimentConfig& config) {
+  InstanceOutcome out;
+  OptBoundsConfig ob;
+  ob.cache_size = config.cache_size;
+  ob.miss_cost = config.miss_cost;
+  ob.exact_impact_max_requests = config.exact_impact_max_requests;
+  out.bounds = compute_opt_bounds(traces, ob);
+  const double lb = static_cast<double>(
+      std::max<Time>(1, out.bounds.lower_bound()));
+
+  // Mean completion time lower bound: every processor needs at least its
+  // own dedicated-cache busy time, and the cache can serve at most k
+  // page-ticks per tick; we reuse the makespan LB as a conservative
+  // denominator for mean-CT too (mean <= makespan for OPT as well).
+  EngineConfig ec;
+  ec.cache_size = config.cache_size;
+  ec.miss_cost = config.miss_cost;
+
+  for (const SchedulerKind kind : kinds) {
+    auto scheduler = make_scheduler(kind, config.seed);
+    SchedulerOutcome so;
+    so.name = scheduler_kind_name(kind);
+    so.result = run_parallel(traces, *scheduler, ec);
+    so.makespan_ratio = static_cast<double>(so.result.makespan) / lb;
+    so.mean_ct_ratio = so.result.mean_completion / lb;
+    out.outcomes.push_back(std::move(so));
+  }
+
+  if (config.include_global_lru) {
+    GlobalLruConfig gc;
+    gc.cache_size = config.cache_size;
+    gc.miss_cost = config.miss_cost;
+    SchedulerOutcome so;
+    so.name = "GLOBAL-LRU";
+    so.result = run_global_lru(traces, gc);
+    so.makespan_ratio = static_cast<double>(so.result.makespan) / lb;
+    so.mean_ct_ratio = so.result.mean_completion / lb;
+    out.outcomes.push_back(std::move(so));
+  }
+  return out;
+}
+
+Summary makespan_over_seeds(const MultiTrace& traces, SchedulerKind kind,
+                            const ExperimentConfig& config,
+                            std::size_t num_seeds) {
+  PPG_CHECK(num_seeds >= 1);
+  EngineConfig ec;
+  ec.cache_size = config.cache_size;
+  ec.miss_cost = config.miss_cost;
+  ec.track_memory_timeline = false;
+  Summary summary;
+  for (std::size_t trial = 0; trial < num_seeds; ++trial) {
+    auto scheduler = make_scheduler(kind, config.seed + trial * 7919);
+    summary.add(static_cast<double>(
+        run_parallel(traces, *scheduler, ec).makespan));
+  }
+  return summary;
+}
+
+void ScalingCollector::add(const std::string& scheduler, double p,
+                           double ratio) {
+  for (auto& [name, s] : series_) {
+    if (name == scheduler) {
+      s.ps.push_back(p);
+      s.ratios.push_back(ratio);
+      return;
+    }
+  }
+  series_.emplace_back(scheduler, Series{{p}, {ratio}});
+}
+
+Table ScalingCollector::fit_table() const {
+  Table table({"scheduler", "slope_vs_log2p", "intercept", "r2"});
+  for (const auto& [name, s] : series_) {
+    if (s.ps.size() < 2) continue;
+    const LinearFit fit = fit_log2(s.ps, s.ratios);
+    table.row().cell(name).cell(fit.slope).cell(fit.intercept).cell(
+        fit.r_squared);
+  }
+  return table;
+}
+
+}  // namespace ppg

@@ -1,0 +1,67 @@
+// Shared machinery for the benchmark harness: run a set of schedulers on an
+// instance, compute ratio rows against the OPT lower bound, and summarize
+// scaling shapes with log-fits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/scheduler_factory.hpp"
+#include "opt/opt_bounds.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ppg {
+
+struct ExperimentConfig {
+  Height cache_size = 0;
+  Time miss_cost = 2;
+  std::uint64_t seed = 1;
+  bool include_global_lru = true;
+  std::size_t exact_impact_max_requests = 0;  ///< See OptBoundsConfig.
+};
+
+struct SchedulerOutcome {
+  std::string name;
+  ParallelRunResult result;
+  double makespan_ratio = 0.0;   ///< vs. OPT lower bound.
+  double mean_ct_ratio = 0.0;    ///< mean completion vs. LB/... see .cpp.
+};
+
+struct InstanceOutcome {
+  OptBounds bounds;
+  std::vector<SchedulerOutcome> outcomes;
+};
+
+/// Runs every scheduler in `kinds` (plus GLOBAL-LRU if configured) on the
+/// instance and computes ratios against the OPT lower bound.
+InstanceOutcome run_instance(const MultiTrace& traces,
+                             const std::vector<SchedulerKind>& kinds,
+                             const ExperimentConfig& config);
+
+/// Makespan distribution of one scheduler across seeds (randomized
+/// schedulers need aggregation; deterministic ones return a point mass).
+Summary makespan_over_seeds(const MultiTrace& traces, SchedulerKind kind,
+                            const ExperimentConfig& config,
+                            std::size_t num_seeds);
+
+/// Collects (p, ratio) points per scheduler across a sweep and reports the
+/// slope of ratio vs log2(p).
+class ScalingCollector {
+ public:
+  void add(const std::string& scheduler, double p, double ratio);
+
+  /// One row per scheduler: slope, intercept, R^2 of ratio ~ log2(p).
+  Table fit_table() const;
+
+ private:
+  struct Series {
+    std::vector<double> ps;
+    std::vector<double> ratios;
+  };
+  std::vector<std::pair<std::string, Series>> series_;
+};
+
+}  // namespace ppg

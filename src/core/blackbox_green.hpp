@@ -1,0 +1,35 @@
+// BLACKBOX-GREEN: a parallel pager that allocates memory to each processor
+// through a black-box green paging algorithm, packing the emitted boxes
+// fairly and efficiently (the construction of [Agrawal et al., SODA '21]
+// described in the paper's Section 4).
+//
+// This is the O(log^2 p)-makespan comparator: optimal for mean completion
+// time, but on the Theorem-4 adversarial instance its makespan is forced to
+// be a ~log p / log log p factor worse than OPT — which is exactly what
+// experiment E6 demonstrates.
+#pragma once
+
+#include <memory>
+
+#include "core/scheduler.hpp"
+#include "green/green_algorithm.hpp"
+
+namespace ppg {
+
+struct BlackboxGreenConfig {
+  GreenKind green = GreenKind::kDet;  ///< The black-box green pager.
+  std::uint64_t seed = 1;             ///< For GreenKind::kRand.
+  double exponent = 2.0;              ///< RAND-GREEN distribution exponent.
+  /// Fairness: a processor whose cumulative impact exceeds
+  /// fairness_factor * (minimum over active processors) + slack receives
+  /// minimal filler boxes instead of its next green box.
+  double fairness_factor = 2.0;
+  /// Packing: total concurrently allocated height is kept below
+  /// pack_factor * k; boxes that do not fit are deferred with fillers.
+  double pack_factor = 2.0;
+};
+
+std::unique_ptr<BoxScheduler> make_blackbox_green(
+    const BlackboxGreenConfig& config = {});
+
+}  // namespace ppg

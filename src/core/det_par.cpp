@@ -1,0 +1,153 @@
+#include "core/det_par.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "green/box.hpp"
+#include "util/assert.hpp"
+#include "util/math_util.hpp"
+
+namespace ppg {
+
+namespace {
+
+// Lemma 6 construction. Within a phase that starts with r0 active
+// processors, let b = smallest ladder height >= 2k/r0 (so b equals k/p_Q at
+// the phase's end when half have finished) and let the rungs be
+// z = b, 2b, 4b, ..., up to k. For each rung z the scheduler maintains a
+// "z-strip": C_z = max(1, k / (z * L)) concurrent height-z slots (L = number
+// of rungs), each slot lasting s*z ticks; slot q of slot-cycle c serves the
+// processor at position (c*C_z + q + strip offset) mod r0 of the
+// phase-start active list. That gives every processor a height-z box every
+// ~ s*z^2*L/b ticks — the well-rounded property — while the strips use
+// O(k) memory in total. Processors hold base boxes of height b whenever no
+// strip box is assigned to them.
+//
+// The schedule is a pure function of (phase start, phase-start active
+// list), so the demand-driven engine can query it lazily: DET-PAR is fully
+// deterministic and oblivious.
+class DetPar final : public BoxScheduler {
+ public:
+  explicit DetPar(const DetParConfig& config) : config_(config) {}
+
+  void start(const SchedulerContext& ctx, const EngineView& view) override {
+    ctx_ = ctx;
+    start_phase(0, view);
+  }
+
+  BoxAssignment next_box(ProcId proc, Time now,
+                         const EngineView& view) override {
+    if (static_cast<double>(view.active_count()) <=
+        config_.phase_halving * static_cast<double>(phase_r0_)) {
+      start_phase(now, view);
+    }
+
+    const auto idx_it = index_.find(proc);
+    // A processor always appears in the phase-start list (phases start
+    // before any box is issued and processors never re-activate).
+    PPG_CHECK_MSG(idx_it != index_.end(), "processor missing from phase list");
+    const std::size_t idx = idx_it->second;
+
+    // Scan strips for (a) a box window containing `now` assigned to this
+    // processor — take the tallest — and (b) the earliest upcoming window.
+    Height current_height = 0;
+    Time current_end = 0;
+    Time next_start = kTimeInfinity;
+    for (std::uint32_t m = 0; m < strips_.size(); ++m) {
+      const Strip& strip = strips_[m];
+      const Time cycle_len = ctx_.miss_cost * static_cast<Time>(strip.height);
+      const Time c_now = (now - phase_start_) / cycle_len;
+      // Current cycle: does it assign a slot to idx?
+      if (assigned_in_cycle(strip, m, c_now, idx)) {
+        const Time window_end = phase_start_ + (c_now + 1) * cycle_len;
+        if (strip.height > current_height) {
+          current_height = strip.height;
+          current_end = window_end;
+        }
+      }
+      // Earliest future cycle assigning idx.
+      const Time horizon = c_now + ceil_div(phase_r0_, strip.slots) + 2;
+      for (Time c = c_now + 1; c <= horizon; ++c) {
+        if (assigned_in_cycle(strip, m, c, idx)) {
+          next_start = std::min(next_start, phase_start_ + c * cycle_len);
+          break;
+        }
+      }
+    }
+
+    if (current_height > base_height_)
+      return BoxAssignment{current_height, now, current_end};
+
+    // Base box of height b until the next strip window (capped at s*b so
+    // phase transitions are re-examined regularly).
+    const Time base_len = ctx_.miss_cost * static_cast<Time>(base_height_);
+    Time end = now + base_len;
+    if (next_start > now && next_start < end) end = next_start;
+    return BoxAssignment{base_height_, now, end};
+  }
+
+  const char* name() const override { return "DET-PAR"; }
+
+ private:
+  struct Strip {
+    Height height;       // z
+    std::size_t slots;   // C_z
+    std::size_t offset;  // stagger between strips
+  };
+
+  bool assigned_in_cycle(const Strip& strip, std::uint32_t strip_idx,
+                         Time cycle, std::size_t idx) const {
+    (void)strip_idx;
+    // Slot q of cycle c serves order[(c*C + q + offset) mod r0]; idx is
+    // served iff ((idx - offset - c*C) mod r0) < C.
+    const std::size_t r0 = phase_r0_;
+    const auto base = static_cast<std::size_t>(
+        (static_cast<Time>(strip.slots) * cycle + strip.offset) %
+        static_cast<Time>(r0));
+    const std::size_t rel = (idx + r0 - base) % r0;
+    return rel < strip.slots;
+  }
+
+  void start_phase(Time t0, const EngineView& view) {
+    phase_start_ = t0;
+    const std::vector<ProcId> order = view.active_list();
+    phase_r0_ = std::max<std::size_t>(1, order.size());
+    index_.clear();
+    for (std::size_t i = 0; i < order.size(); ++i) index_[order[i]] = i;
+
+    const Height h_max =
+        std::max<Height>(1, static_cast<Height>(pow2_floor(ctx_.cache_size)));
+    base_height_ = static_cast<Height>(std::min<std::uint64_t>(
+        h_max, pow2_ceil(ceil_div(2 * ctx_.cache_size, phase_r0_))));
+    const HeightLadder ladder{base_height_, h_max};
+    PPG_CHECK(ladder.valid());
+    const std::uint32_t rungs = ladder.num_heights();
+
+    strips_.clear();
+    strips_.reserve(rungs);
+    for (std::uint32_t m = 0; m < rungs; ++m) {
+      const Height z = ladder.height(m);
+      const auto slots = std::max<std::size_t>(
+          1, ctx_.cache_size / (static_cast<std::size_t>(z) * rungs));
+      strips_.push_back(Strip{z, slots, m});
+    }
+  }
+
+  DetParConfig config_;
+  SchedulerContext ctx_;
+
+  Time phase_start_ = 0;
+  std::size_t phase_r0_ = 1;
+  Height base_height_ = 1;
+  std::vector<Strip> strips_;
+  std::unordered_map<ProcId, std::size_t> index_;
+};
+
+}  // namespace
+
+std::unique_ptr<BoxScheduler> make_det_par(const DetParConfig& config) {
+  return std::make_unique<DetPar>(config);
+}
+
+}  // namespace ppg

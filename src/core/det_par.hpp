@@ -1,0 +1,19 @@
+// DET-PAR (paper Section 3.3): the deterministic well-rounded
+// O(log p)-competitive parallel-paging scheduler.
+#pragma once
+
+#include <memory>
+
+#include "core/scheduler.hpp"
+
+namespace ppg {
+
+struct DetParConfig {
+  /// Phase transition threshold: a new phase starts when the active count
+  /// drops to (phase-start count) * 1/2 (paper value). Exposed for tests.
+  double phase_halving = 0.5;
+};
+
+std::unique_ptr<BoxScheduler> make_det_par(const DetParConfig& config = {});
+
+}  // namespace ppg

@@ -1,0 +1,26 @@
+// GLOBAL-LRU: the "do nothing special" baseline — all p processors share a
+// single LRU pool of k pages with no explicit partitioning.
+//
+// This is what a plain shared cache does in practice. It lives outside the
+// box model (no compartments, no allocation decisions), so it is simulated
+// directly: each processor issues its next request as soon as the previous
+// one is served; a hit costs 1 tick, a miss costs s; evictions follow the
+// global recency order. Events are processed in deterministic time order
+// (ties by processor id).
+#pragma once
+
+#include "core/metrics.hpp"
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace ppg {
+
+struct GlobalLruConfig {
+  Height cache_size = 0;  ///< k.
+  Time miss_cost = 2;     ///< s.
+};
+
+ParallelRunResult run_global_lru(const MultiTrace& traces,
+                                 const GlobalLruConfig& config);
+
+}  // namespace ppg

@@ -1,0 +1,38 @@
+// Result record of a parallel-paging run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ppg {
+
+struct ParallelRunResult {
+  Time makespan = 0;
+  std::vector<Time> completion;  ///< Per-processor completion times.
+  double mean_completion = 0.0;
+
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t num_boxes = 0;
+  Time total_stall = 0;    ///< Ticks processors spent stalled (box gaps +
+                           ///< unusable box tails).
+  Impact total_impact = 0; ///< Sum of height x active-duration over boxes.
+
+  /// Peak of the sum of concurrently allocated box heights, and its ratio
+  /// to k — the measured resource augmentation xi.
+  Height peak_concurrent_height = 0;
+  double effective_augmentation = 0.0;
+
+  double fault_rate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(misses) / static_cast<double>(total);
+  }
+};
+
+/// Arithmetic mean of completion times.
+double mean_of(const std::vector<Time>& completion);
+
+}  // namespace ppg

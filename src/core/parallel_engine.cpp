@@ -1,0 +1,187 @@
+#include "core/parallel_engine.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "green/box_runner.hpp"
+#include "util/assert.hpp"
+
+namespace ppg {
+
+double mean_of(const std::vector<Time>& completion) {
+  if (completion.empty()) return 0.0;
+  double sum = 0.0;
+  for (Time t : completion) sum += static_cast<double>(t);
+  return sum / static_cast<double>(completion.size());
+}
+
+namespace {
+
+enum class EventKind : std::uint8_t { kFinish = 0, kNeedBox = 1 };
+
+struct Event {
+  Time time;
+  EventKind kind;  // kFinish sorts before kNeedBox at equal times so
+                   // schedulers see up-to-date active counts.
+  ProcId proc;
+  std::uint64_t seq;  // final deterministic tie-break
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    if (kind != other.kind) return kind > other.kind;
+    if (proc != other.proc) return proc > other.proc;
+    return seq > other.seq;
+  }
+};
+
+class EngineState final : public EngineView {
+ public:
+  explicit EngineState(ProcId p) : active_(p, true), active_count_(p) {}
+
+  ProcId num_procs() const override {
+    return static_cast<ProcId>(active_.size());
+  }
+  ProcId active_count() const override { return active_count_; }
+  bool is_active(ProcId proc) const override { return active_[proc]; }
+  std::vector<ProcId> active_list() const override {
+    std::vector<ProcId> out;
+    out.reserve(active_count_);
+    for (ProcId i = 0; i < active_.size(); ++i)
+      if (active_[i]) out.push_back(i);
+    return out;
+  }
+
+  void deactivate(ProcId proc) {
+    PPG_CHECK(active_[proc]);
+    active_[proc] = false;
+    --active_count_;
+  }
+
+ private:
+  std::vector<bool> active_;
+  ProcId active_count_;
+};
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(const MultiTrace& traces,
+                               BoxScheduler& scheduler,
+                               const EngineConfig& config)
+    : traces_(&traces), scheduler_(&scheduler), config_(config) {
+  PPG_CHECK(traces.num_procs() >= 1);
+  PPG_CHECK(config.cache_size >= 1);
+  PPG_CHECK(config.miss_cost >= 1);
+}
+
+ParallelRunResult ParallelEngine::run() {
+  const ProcId p = traces_->num_procs();
+  EngineState state(p);
+  ParallelRunResult result;
+  result.completion.assign(p, 0);
+
+  std::vector<BoxRunner> runners;
+  runners.reserve(p);
+  for (ProcId i = 0; i < p; ++i)
+    runners.emplace_back(traces_->trace(i), config_.miss_cost);
+
+  scheduler_->start(
+      SchedulerContext{p, config_.cache_size, config_.miss_cost}, state);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+  for (ProcId i = 0; i < p; ++i) {
+    // Empty traces complete instantly at t = 0.
+    if (traces_->trace(i).empty())
+      events.push(Event{0, EventKind::kFinish, i, seq++});
+    else
+      events.push(Event{0, EventKind::kNeedBox, i, seq++});
+  }
+
+  std::vector<std::pair<Time, std::int64_t>> mem_timeline;
+  // Ticks of stall already charged per processor for the current box's
+  // unusable tail are implicit: we charge tails when the box is simulated.
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    PPG_CHECK_MSG(ev.time <= config_.max_time, "engine exceeded max_time");
+
+    if (ev.kind == EventKind::kFinish) {
+      state.deactivate(ev.proc);
+      result.completion[ev.proc] = ev.time;
+      scheduler_->notify_finished(ev.proc, ev.time, state);
+      continue;
+    }
+
+    // kNeedBox
+    BoxRunner& runner = runners[ev.proc];
+    PPG_DCHECK(!runner.finished());
+    const BoxAssignment box = scheduler_->next_box(ev.proc, ev.time, state);
+    PPG_CHECK_MSG(box.height >= 1, "scheduler returned zero-height box");
+    PPG_CHECK_MSG(box.start >= ev.time, "box starts in the past");
+    PPG_CHECK_MSG(box.end > box.start, "empty box");
+    result.total_stall += box.start - ev.time;
+    if (config_.on_box) config_.on_box(ev.proc, box);
+
+    const Time duration = box.end - box.start;
+    const BoxStepResult step = runner.run_box(box.height, duration, box.fresh);
+    ++result.num_boxes;
+    result.hits += step.hits;
+    result.misses += step.misses;
+
+    if (step.finished) {
+      const Time finish_time = box.start + step.busy_time;
+      // Impact while the processor was actually running.
+      result.total_impact +=
+          static_cast<Impact>(box.height) * step.busy_time;
+      if (config_.track_memory_timeline) {
+        mem_timeline.emplace_back(box.start, box.height);
+        mem_timeline.emplace_back(finish_time,
+                                  -static_cast<std::int64_t>(box.height));
+      }
+      events.push(Event{finish_time, EventKind::kFinish, ev.proc, seq++});
+    } else {
+      result.total_impact += static_cast<Impact>(box.height) * duration;
+      result.total_stall += step.stall_time;
+      if (config_.track_memory_timeline) {
+        mem_timeline.emplace_back(box.start, box.height);
+        mem_timeline.emplace_back(box.end,
+                                  -static_cast<std::int64_t>(box.height));
+      }
+      events.push(Event{box.end, EventKind::kNeedBox, ev.proc, seq++});
+    }
+  }
+
+  result.makespan =
+      *std::max_element(result.completion.begin(), result.completion.end());
+  result.mean_completion = mean_of(result.completion);
+
+  if (config_.track_memory_timeline && !mem_timeline.empty()) {
+    std::sort(mem_timeline.begin(), mem_timeline.end(),
+              [](const auto& a, const auto& b) {
+                // Process deallocations before allocations at equal times.
+                if (a.first != b.first) return a.first < b.first;
+                return a.second < b.second;
+              });
+    std::int64_t current = 0;
+    std::int64_t peak = 0;
+    for (const auto& [t, delta] : mem_timeline) {
+      current += delta;
+      peak = std::max(peak, current);
+    }
+    PPG_CHECK(current == 0);
+    result.peak_concurrent_height = static_cast<Height>(peak);
+    result.effective_augmentation =
+        static_cast<double>(peak) / static_cast<double>(config_.cache_size);
+  }
+  return result;
+}
+
+ParallelRunResult run_parallel(const MultiTrace& traces,
+                               BoxScheduler& scheduler,
+                               const EngineConfig& config) {
+  ParallelEngine engine(traces, scheduler, config);
+  return engine.run();
+}
+
+}  // namespace ppg

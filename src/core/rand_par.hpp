@@ -1,0 +1,31 @@
+// RAND-PAR (paper Section 3.2): the randomized O(log p)-competitive
+// parallel-paging scheduler.
+#pragma once
+
+#include <memory>
+
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+
+struct RandParConfig {
+  std::uint64_t seed = 1;
+  /// Exponent of the secondary-part height distribution:
+  /// Pr[height = h_min * 2^r] proportional to 2^(-exponent * r). The paper
+  /// uses 2 (probability inversely proportional to box impact); other
+  /// values are exposed for the E7 ablation.
+  double exponent = 2.0;
+  /// Multiplier on the primary-part length (paper: Theta(s*k*log r / r),
+  /// i.e. log r minimal boxes; multiplier 1 = exactly one minimal box per
+  /// ladder rung). For the E8 ablation.
+  std::uint32_t primary_multiplier = 1;
+  /// If true, processors outside the current secondary wave stall (pure
+  /// paper model); if false they receive minimal filler boxes from the
+  /// augmentation budget.
+  bool stall_between_waves = false;
+};
+
+std::unique_ptr<BoxScheduler> make_rand_par(const RandParConfig& config = {});
+
+}  // namespace ppg

@@ -1,0 +1,66 @@
+// Scheduler interface for parallel paging.
+//
+// A BoxScheduler decides, online, the box (height x time interval) each
+// processor runs in next. The engine pulls: whenever a processor's current
+// box ends, it asks the scheduler for the next one. Schedulers in this
+// library are *oblivious* in the paper's sense — the only dynamic
+// information they consult is which processors are still active (exposed
+// through EngineView), never the request sequences themselves.
+#pragma once
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ppg {
+
+struct BoxAssignment {
+  Height height = 0;
+  Time start = 0;  ///< >= the `now` passed to next_box (gap = stall).
+  Time end = 0;    ///< > start.
+  /// Compartmentalized box: reset the processor's cache at `start`. False
+  /// models a continuation at the same height (used by EQUI and ablations).
+  bool fresh = true;
+};
+
+/// Instance geometry handed to the scheduler once at start.
+struct SchedulerContext {
+  ProcId num_procs = 0;   ///< p.
+  Height cache_size = 0;  ///< k (the un-augmented budget OPT is given).
+  Time miss_cost = 0;     ///< s.
+};
+
+/// The scheduler's window into engine state.
+class EngineView {
+ public:
+  virtual ~EngineView() = default;
+  virtual ProcId num_procs() const = 0;
+  virtual ProcId active_count() const = 0;
+  virtual bool is_active(ProcId proc) const = 0;
+  /// Active processors in ascending id order (materialized per call).
+  virtual std::vector<ProcId> active_list() const = 0;
+};
+
+class BoxScheduler {
+ public:
+  virtual ~BoxScheduler() = default;
+
+  virtual void start(const SchedulerContext& ctx, const EngineView& view) = 0;
+
+  /// Next box for `proc`, starting at or after `now`. The engine calls this
+  /// exactly when `proc` holds no box, in global time order.
+  virtual BoxAssignment next_box(ProcId proc, Time now,
+                                 const EngineView& view) = 0;
+
+  /// `proc` completed its sequence at time `now` (called before any
+  /// same-time next_box, so active counts are already updated).
+  virtual void notify_finished(ProcId proc, Time now, const EngineView& view) {
+    (void)proc;
+    (void)now;
+    (void)view;
+  }
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace ppg

@@ -1,0 +1,67 @@
+#include "core/scheduler_factory.hpp"
+
+#include "core/blackbox_green.hpp"
+#include "core/det_par.hpp"
+#include "core/rand_par.hpp"
+#include "core/simple_schedulers.hpp"
+#include "util/assert.hpp"
+
+namespace ppg {
+
+const char* scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kStatic: return "STATIC";
+    case SchedulerKind::kEqui: return "EQUI";
+    case SchedulerKind::kRandPar: return "RAND-PAR";
+    case SchedulerKind::kDetPar: return "DET-PAR";
+    case SchedulerKind::kBlackboxGreenDet: return "BB-GREEN(det)";
+    case SchedulerKind::kBlackboxGreenRand: return "BB-GREEN(rand)";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<BoxScheduler> make_scheduler(SchedulerKind kind,
+                                             std::uint64_t seed) {
+  switch (kind) {
+    case SchedulerKind::kStatic:
+      return make_static_partition();
+    case SchedulerKind::kEqui:
+      return make_equi_partition();
+    case SchedulerKind::kRandPar: {
+      RandParConfig config;
+      config.seed = seed;
+      return make_rand_par(config);
+    }
+    case SchedulerKind::kDetPar:
+      return make_det_par();
+    case SchedulerKind::kBlackboxGreenDet: {
+      BlackboxGreenConfig config;
+      config.green = GreenKind::kDet;
+      config.seed = seed;
+      return make_blackbox_green(config);
+    }
+    case SchedulerKind::kBlackboxGreenRand: {
+      BlackboxGreenConfig config;
+      config.green = GreenKind::kRand;
+      config.seed = seed;
+      return make_blackbox_green(config);
+    }
+  }
+  PPG_CHECK_MSG(false, "unknown scheduler kind");
+  return nullptr;
+}
+
+std::optional<SchedulerKind> parse_scheduler_kind(const std::string& name) {
+  for (const SchedulerKind kind : all_scheduler_kinds())
+    if (name == scheduler_kind_name(kind)) return kind;
+  return std::nullopt;
+}
+
+std::vector<SchedulerKind> all_scheduler_kinds() {
+  return {SchedulerKind::kStatic,        SchedulerKind::kEqui,
+          SchedulerKind::kRandPar,       SchedulerKind::kDetPar,
+          SchedulerKind::kBlackboxGreenDet,
+          SchedulerKind::kBlackboxGreenRand};
+}
+
+}  // namespace ppg

@@ -1,0 +1,36 @@
+// Uniform construction of every scheduler in the library, for sweep loops
+// in benches, tests and examples.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace ppg {
+
+enum class SchedulerKind {
+  kStatic,
+  kEqui,
+  kRandPar,
+  kDetPar,
+  kBlackboxGreenDet,
+  kBlackboxGreenRand,
+};
+
+const char* scheduler_kind_name(SchedulerKind kind);
+
+std::unique_ptr<BoxScheduler> make_scheduler(SchedulerKind kind,
+                                             std::uint64_t seed = 1);
+
+/// Every box-model scheduler (GLOBAL-LRU is not box-based; see
+/// global_lru.hpp).
+std::vector<SchedulerKind> all_scheduler_kinds();
+
+/// Case-sensitive lookup by display name ("DET-PAR", "EQUI", ...);
+/// std::nullopt when unknown. Inverse of scheduler_kind_name.
+std::optional<SchedulerKind> parse_scheduler_kind(const std::string& name);
+
+}  // namespace ppg

@@ -1,0 +1,75 @@
+#include "core/simple_schedulers.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/math_util.hpp"
+
+namespace ppg {
+
+namespace {
+
+class StaticPartition final : public BoxScheduler {
+ public:
+  void start(const SchedulerContext& ctx, const EngineView&) override {
+    ctx_ = ctx;
+    slice_ = std::max<Height>(1, ctx.cache_size / ctx.num_procs);
+  }
+
+  BoxAssignment next_box(ProcId, Time now, const EngineView&) override {
+    // Chained continuations emulate one endless box: never compartmentalize
+    // after the first chunk. Chunk length is arbitrary; s*slice keeps event
+    // counts proportional to the run length.
+    const Time chunk = std::max<Time>(1, ctx_.miss_cost * slice_);
+    return BoxAssignment{slice_, now, now + chunk, /*fresh=*/now == 0};
+  }
+
+  const char* name() const override { return "STATIC"; }
+
+ private:
+  SchedulerContext ctx_;
+  Height slice_ = 1;
+};
+
+class EquiPartition final : public BoxScheduler {
+ public:
+  explicit EquiPartition(std::uint32_t quantum_heights)
+      : quantum_heights_(std::max(1u, quantum_heights)) {}
+
+  void start(const SchedulerContext& ctx, const EngineView&) override {
+    ctx_ = ctx;
+    last_height_.assign(ctx.num_procs, 0);
+  }
+
+  BoxAssignment next_box(ProcId proc, Time now,
+                         const EngineView& view) override {
+    const ProcId active = std::max<ProcId>(1, view.active_count());
+    const auto height =
+        std::max<Height>(1, ctx_.cache_size / active);
+    const Time quantum =
+        ctx_.miss_cost * static_cast<Time>(height) * quantum_heights_;
+    const bool fresh = height != last_height_[proc];
+    last_height_[proc] = height;
+    return BoxAssignment{height, now, now + quantum, fresh};
+  }
+
+  const char* name() const override { return "EQUI"; }
+
+ private:
+  SchedulerContext ctx_;
+  std::uint32_t quantum_heights_;
+  std::vector<Height> last_height_;
+};
+
+}  // namespace
+
+std::unique_ptr<BoxScheduler> make_static_partition() {
+  return std::make_unique<StaticPartition>();
+}
+
+std::unique_ptr<BoxScheduler> make_equi_partition(
+    std::uint32_t quantum_heights) {
+  return std::make_unique<EquiPartition>(quantum_heights);
+}
+
+}  // namespace ppg

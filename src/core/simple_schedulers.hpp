@@ -1,0 +1,27 @@
+// Baseline schedulers: static and adaptive equal partitioning.
+//
+// These are the strategies a practitioner would try first, and the foils
+// the paper's schedulers are measured against. Both can be badly
+// non-competitive when processors need very different cache heights.
+#pragma once
+
+#include <memory>
+
+#include "core/scheduler.hpp"
+
+namespace ppg {
+
+/// STATIC: every processor gets a fixed k/p slice for the entire run; the
+/// per-processor cache is never reset (one unbounded box per processor,
+/// realized as chained continuations).
+std::unique_ptr<BoxScheduler> make_static_partition();
+
+/// EQUI: every *active* processor gets k/(active count), re-evaluated on a
+/// quantum boundary; the cache is preserved across quanta while the height
+/// is unchanged and reset (compartmentalized) when it grows or shrinks.
+/// `quantum_heights` scales the quantum length: quantum = s * height *
+/// quantum_heights.
+std::unique_ptr<BoxScheduler> make_equi_partition(
+    std::uint32_t quantum_heights = 1);
+
+}  // namespace ppg

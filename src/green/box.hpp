@@ -1,0 +1,118 @@
+// Boxes: the paper's unit of memory allocation.
+//
+// A box of height h gives a processor h cache slots for a duration; the
+// canonical box of the paper lasts s*h ticks and costs memory impact
+// h * (s*h) = s*h^2. Boxes are compartmentalized: the processor's per-box
+// LRU starts empty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/math_util.hpp"
+#include "util/types.hpp"
+
+namespace ppg {
+
+struct Box {
+  Height height = 0;
+  Time duration = 0;
+
+  Impact impact() const {
+    return static_cast<Impact>(height) * static_cast<Impact>(duration);
+  }
+
+  bool operator==(const Box&) const = default;
+};
+
+/// Canonical box of the paper: duration = s * height.
+inline Box canonical_box(Height height, Time s) {
+  PPG_DCHECK(height >= 1);
+  return Box{height, s * static_cast<Time>(height)};
+}
+
+/// Geometry of a green-paging instance: heights are the powers of two
+/// h_min, 2*h_min, ..., h_max (the paper's k/p * 2^j for j in [log p]).
+struct HeightLadder {
+  Height h_min = 1;
+  Height h_max = 1;
+
+  /// Number of rungs = log2(h_max/h_min) + 1.
+  std::uint32_t num_heights() const {
+    PPG_DCHECK(valid());
+    return ilog2_floor(h_max / h_min) + 1;
+  }
+
+  Height height(std::uint32_t rung) const {
+    PPG_DCHECK(rung < num_heights());
+    return h_min << rung;
+  }
+
+  /// Smallest rung whose height is >= h (clamped to the top rung).
+  std::uint32_t rung_for(Height h) const {
+    if (h <= h_min) return 0;
+    const std::uint32_t r = ilog2_ceil(ceil_div(h, h_min));
+    return r >= num_heights() ? num_heights() - 1 : r;
+  }
+
+  bool contains(Height h) const {
+    return h >= h_min && h <= h_max && (h % h_min) == 0 && is_pow2(h / h_min);
+  }
+
+  bool valid() const {
+    return h_min >= 1 && h_max >= h_min && is_pow2(h_max / h_min);
+  }
+
+  /// The ladder for cache size k shared by p processors: [k/p, k].
+  static HeightLadder for_cache(Height k, std::uint32_t p) {
+    PPG_CHECK(k >= 1 && p >= 1 && p <= k);
+    const auto h_min = static_cast<Height>(k / pow2_floor(p));
+    return HeightLadder{std::max<Height>(1, static_cast<Height>(
+                            pow2_floor(h_min))),
+                        static_cast<Height>(pow2_floor(k))};
+  }
+};
+
+/// A box profile: the sequence of boxes a green-paging algorithm allocates.
+class BoxProfile {
+ public:
+  BoxProfile() = default;
+  explicit BoxProfile(std::vector<Box> boxes) : boxes_(std::move(boxes)) {}
+
+  void push_back(Box box) { boxes_.push_back(box); }
+  std::size_t size() const { return boxes_.size(); }
+  bool empty() const { return boxes_.empty(); }
+  const Box& operator[](std::size_t i) const {
+    PPG_DCHECK(i < boxes_.size());
+    return boxes_[i];
+  }
+  const std::vector<Box>& boxes() const { return boxes_; }
+
+  Impact total_impact() const {
+    Impact sum = 0;
+    for (const Box& b : boxes_) sum += b.impact();
+    return sum;
+  }
+
+  Time total_duration() const {
+    Time sum = 0;
+    for (const Box& b : boxes_) sum += b.duration;
+    return sum;
+  }
+
+  /// True when every box height lies on the ladder.
+  bool conforms_to(const HeightLadder& ladder) const {
+    for (const Box& b : boxes_)
+      if (!ladder.contains(b.height)) return false;
+    return true;
+  }
+
+  auto begin() const { return boxes_.begin(); }
+  auto end() const { return boxes_.end(); }
+
+ private:
+  std::vector<Box> boxes_;
+};
+
+}  // namespace ppg

@@ -1,0 +1,77 @@
+#include "green/box_runner.hpp"
+
+#include "util/assert.hpp"
+
+namespace ppg {
+
+BoxRunner::BoxRunner(const Trace& trace, Time miss_cost)
+    : trace_(&trace), miss_cost_(miss_cost), cache_(1) {
+  PPG_CHECK(miss_cost >= 1);
+}
+
+BoxStepResult BoxRunner::run_box(Height height, Time duration, bool fresh) {
+  PPG_CHECK(height >= 1);
+  BoxStepResult step;
+  if (fresh || height != cache_height_) {
+    // A height change is always a fresh compartment: the model has no
+    // notion of carrying LRU state across differently-sized boxes.
+    cache_.clear();
+    if (height != cache_height_) {
+      cache_ = LruSet(height);
+      cache_height_ = height;
+    }
+  }
+  Time remaining = duration;
+  while (remaining > 0 && position_ < trace_->size()) {
+    const PageId page = (*trace_)[position_];
+    const bool hit = cache_.contains(page);
+    const Time cost = hit ? 1 : miss_cost_;
+    if (cost > remaining) break;  // stall to box end
+    cache_.access(page);
+    remaining -= cost;
+    step.busy_time += cost;
+    ++position_;
+    ++step.requests_completed;
+    if (hit)
+      ++step.hits;
+    else
+      ++step.misses;
+  }
+  step.stall_time = remaining;
+  step.finished = position_ >= trace_->size();
+  total_hits_ += step.hits;
+  total_misses_ += step.misses;
+  return step;
+}
+
+void BoxRunner::reset() {
+  position_ = 0;
+  total_hits_ = 0;
+  total_misses_ = 0;
+  cache_.clear();
+}
+
+ProfileRunResult run_profile(const Trace& trace, const BoxProfile& profile,
+                             Time miss_cost) {
+  BoxRunner runner(trace, miss_cost);
+  ProfileRunResult result;
+  for (const Box& box : profile) {
+    if (runner.finished()) break;
+    const BoxStepResult step = runner.run_box(box.height, box.duration);
+    result.impact += box.impact();
+    result.time += box.duration;
+    result.hits += step.hits;
+    result.misses += step.misses;
+    ++result.boxes_used;
+    if (step.finished) {
+      // Don't charge the unused tail of the final box.
+      result.time -= step.stall_time;
+      result.impact -= static_cast<Impact>(box.height) * step.stall_time;
+      break;
+    }
+  }
+  PPG_CHECK_MSG(runner.finished(), "profile too short to finish trace");
+  return result;
+}
+
+}  // namespace ppg

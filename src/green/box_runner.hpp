@@ -1,0 +1,70 @@
+// BoxRunner: executes one processor's request sequence through a sequence
+// of compartmentalized boxes.
+//
+// Semantics (paper Section 2): inside a box of height h the processor runs
+// LRU on h slots starting empty; a hit costs 1 tick, a miss costs s ticks.
+// If the next request's cost exceeds the time remaining in the box the
+// processor stalls to the box boundary and retries in the next box (a
+// height-z canonical box therefore always completes at least z requests).
+#pragma once
+
+#include <cstdint>
+
+#include "green/box.hpp"
+#include "trace/trace.hpp"
+#include "util/lru_set.hpp"
+#include "util/types.hpp"
+
+namespace ppg {
+
+/// Outcome of running a single box.
+struct BoxStepResult {
+  std::size_t requests_completed = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  Time busy_time = 0;   ///< Ticks spent serving requests.
+  Time stall_time = 0;  ///< Ticks wasted at the end of the box.
+  bool finished = false;  ///< Sequence completed within this box.
+};
+
+class BoxRunner {
+ public:
+  BoxRunner(const Trace& trace, Time miss_cost);
+
+  /// Runs one box of the given height and duration from the current
+  /// position. `fresh` resets the cache first (compartmentalized box); pass
+  /// false to model a continuation at the same height.
+  BoxStepResult run_box(Height height, Time duration, bool fresh = true);
+
+  bool finished() const { return position_ >= trace_->size(); }
+  std::size_t position() const { return position_; }
+  std::uint64_t total_hits() const { return total_hits_; }
+  std::uint64_t total_misses() const { return total_misses_; }
+
+  void reset();
+
+ private:
+  const Trace* trace_;
+  Time miss_cost_;
+  std::size_t position_ = 0;
+  std::uint64_t total_hits_ = 0;
+  std::uint64_t total_misses_ = 0;
+  LruSet cache_;
+  Height cache_height_ = 0;  ///< Logical capacity of the current box.
+};
+
+/// Runs the whole trace through a fixed profile; PPG_CHECKs that the
+/// profile is long enough to finish the trace. Returns total time and
+/// aggregate counters.
+struct ProfileRunResult {
+  Time time = 0;
+  Impact impact = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t boxes_used = 0;
+};
+
+ProfileRunResult run_profile(const Trace& trace, const BoxProfile& profile,
+                             Time miss_cost);
+
+}  // namespace ppg

@@ -1,0 +1,149 @@
+#include "green/dynamic_green.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/lru_set.hpp"
+#include "util/math_util.hpp"
+
+namespace ppg {
+
+EpochSchedule::EpochSchedule(std::vector<Epoch> epochs)
+    : epochs_(std::move(epochs)) {
+  PPG_CHECK_MSG(!epochs_.empty(), "schedule needs at least one epoch");
+  PPG_CHECK_MSG(epochs_.front().start_position == 0,
+                "first epoch must start at position 0");
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    PPG_CHECK(epochs_[i].ladder.valid());
+    if (i > 0)
+      PPG_CHECK_MSG(
+          epochs_[i].start_position > epochs_[i - 1].start_position,
+          "epoch starts must be strictly increasing");
+  }
+}
+
+const HeightLadder& EpochSchedule::ladder_at(std::size_t position) const {
+  return epochs_[epoch_at(position)].ladder;
+}
+
+std::size_t EpochSchedule::epoch_at(std::size_t position) const {
+  std::size_t lo = 0;
+  std::size_t hi = epochs_.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (epochs_[mid].start_position <= position)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+const EpochSchedule::Epoch& EpochSchedule::epoch(std::size_t i) const {
+  PPG_CHECK(i < epochs_.size());
+  return epochs_[i];
+}
+
+EpochSchedule EpochSchedule::constant(const HeightLadder& ladder) {
+  return EpochSchedule({Epoch{0, ladder}});
+}
+
+EpochSchedule EpochSchedule::doubling_min(
+    Height h_min, Height h_max, const std::vector<std::size_t>& steps) {
+  std::vector<Epoch> epochs;
+  Height current = h_min;
+  epochs.push_back(Epoch{0, HeightLadder{current, h_max}});
+  for (const std::size_t step : steps) {
+    current = std::min<Height>(h_max, current * 2);
+    epochs.push_back(Epoch{step, HeightLadder{current, h_max}});
+  }
+  return EpochSchedule(std::move(epochs));
+}
+
+DynamicGreenResult run_green_paging_dynamic(const Trace& trace,
+                                            GreenPager& pager,
+                                            const EpochSchedule& schedule,
+                                            Time miss_cost) {
+  DynamicGreenResult result;
+  BoxRunner runner(trace, miss_cost);
+  std::size_t current_epoch = 0;
+  pager.reboot(schedule.epoch(0).ladder);
+  while (!runner.finished()) {
+    const std::size_t epoch = schedule.epoch_at(runner.position());
+    if (epoch != current_epoch) {
+      current_epoch = epoch;
+      pager.reboot(schedule.epoch(epoch).ladder);
+      ++result.reboots;
+    }
+    const Height h = pager.next_height();
+    PPG_CHECK_MSG(schedule.epoch(current_epoch).ladder.contains(h),
+                  "pager left the epoch's ladder");
+    const Box box = canonical_box(h, miss_cost);
+    const BoxStepResult step = runner.run_box(box.height, box.duration);
+    Impact impact = box.impact();
+    Time time = box.duration;
+    if (step.finished) {
+      impact -= static_cast<Impact>(box.height) * step.stall_time;
+      time -= step.stall_time;
+    }
+    result.run.impact += impact;
+    result.run.time += time;
+    result.run.hits += step.hits;
+    result.run.misses += step.misses;
+    ++result.run.boxes_used;
+  }
+  return result;
+}
+
+Impact green_opt_impact_dynamic(const Trace& trace,
+                                const EpochSchedule& schedule,
+                                Time miss_cost) {
+  PPG_CHECK(miss_cost >= 1);
+  if (trace.empty()) return 0;
+  constexpr Impact kInf = std::numeric_limits<Impact>::max();
+  const std::size_t n = trace.size();
+  std::vector<Impact> dist(n + 1, kInf);
+  dist[0] = 0;
+
+  // Reusable caches keyed by rung height (heights repeat across epochs).
+  std::vector<LruSet> caches;
+  std::vector<Height> cache_heights;
+  auto cache_for = [&](Height h) -> LruSet& {
+    for (std::size_t i = 0; i < cache_heights.size(); ++i)
+      if (cache_heights[i] == h) return caches[i];
+    caches.emplace_back(h);
+    cache_heights.push_back(h);
+    return caches.back();
+  };
+
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    if (dist[pos] == kInf) continue;
+    const HeightLadder& ladder = schedule.ladder_at(pos);
+    for (std::uint32_t r = 0; r < ladder.num_heights(); ++r) {
+      const Height h = ladder.height(r);
+      LruSet& cache = cache_for(h);
+      cache.clear();
+      Time remaining = static_cast<Time>(h) * miss_cost;
+      Time busy = 0;
+      std::size_t next = pos;
+      while (next < n) {
+        const Time cost = cache.contains(trace[next]) ? 1 : miss_cost;
+        if (cost > remaining) break;
+        cache.access(trace[next]);
+        remaining -= cost;
+        busy += cost;
+        ++next;
+      }
+      PPG_CHECK(next > pos);
+      const Time charged =
+          next == n ? busy : static_cast<Time>(h) * miss_cost;
+      const Impact cand = dist[pos] + static_cast<Impact>(h) * charged;
+      if (cand < dist[next]) dist[next] = cand;
+    }
+  }
+  PPG_CHECK_MSG(dist[n] != kInf, "dynamic DP failed to reach end");
+  return dist[n];
+}
+
+}  // namespace ppg

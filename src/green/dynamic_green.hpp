@@ -1,0 +1,78 @@
+// Green paging with evolving memory thresholds (paper Section 4).
+//
+// When green paging is used inside a parallel pager, the minimum memory
+// threshold grows over time: with v sequences still alive each one may
+// claim k/v, so the ladder's bottom rises as processors finish, and the
+// paper handles this by "rebooting" the green pager whenever the minimum
+// threshold doubles. This module models that regime directly: an epoch
+// schedule maps progress (completed requests) to a HeightLadder, the
+// runner reboots the pager at epoch boundaries, and a dynamic variant of
+// the offline DP gives the exact optimum to compare against.
+//
+// Convention: a box's allowed heights are determined by the ladder in
+// force at the box's STARTING position; a box may finish in a later epoch
+// (boxes are short, so this matches the paper's constant-factor slack).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "green/box.hpp"
+#include "green/box_runner.hpp"
+#include "green/green_algorithm.hpp"
+#include "trace/trace.hpp"
+
+namespace ppg {
+
+/// Piecewise-constant ladder over request positions.
+class EpochSchedule {
+ public:
+  struct Epoch {
+    std::size_t start_position;
+    HeightLadder ladder;
+  };
+
+  /// Epochs must start at position 0 and be strictly increasing; every
+  /// ladder must be valid.
+  explicit EpochSchedule(std::vector<Epoch> epochs);
+
+  const HeightLadder& ladder_at(std::size_t position) const;
+  /// Index of the epoch in force at `position`.
+  std::size_t epoch_at(std::size_t position) const;
+  std::size_t num_epochs() const { return epochs_.size(); }
+  const Epoch& epoch(std::size_t i) const;
+
+  /// Single-epoch schedule equivalent to classic green paging.
+  static EpochSchedule constant(const HeightLadder& ladder);
+
+  /// The parallel-paging shape: the minimum threshold doubles at each
+  /// given position while the top stays at h_max (the "reboot whenever
+  /// the minimum threshold doubles" regime of Section 4).
+  static EpochSchedule doubling_min(Height h_min, Height h_max,
+                                    const std::vector<std::size_t>& steps);
+
+ private:
+  std::vector<Epoch> epochs_;
+};
+
+/// Services `trace` with canonical boxes from `pager`, rebooting it with
+/// the new ladder whenever a box starts in a new epoch.
+/// Returns totals plus the number of reboots performed.
+struct DynamicGreenResult {
+  ProfileRunResult run;
+  std::size_t reboots = 0;
+};
+
+DynamicGreenResult run_green_paging_dynamic(const Trace& trace,
+                                            GreenPager& pager,
+                                            const EpochSchedule& schedule,
+                                            Time miss_cost);
+
+/// Exact minimum impact over box profiles whose every box height lies on
+/// the ladder of its starting position (same DP as green_opt with a
+/// position-dependent rung set; final box clipped).
+Impact green_opt_impact_dynamic(const Trace& trace,
+                                const EpochSchedule& schedule,
+                                Time miss_cost);
+
+}  // namespace ppg

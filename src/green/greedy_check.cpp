@@ -1,0 +1,66 @@
+#include "green/greedy_check.hpp"
+
+#include <algorithm>
+
+#include "green/box_runner.hpp"
+#include "green/green_opt.hpp"
+#include "util/assert.hpp"
+
+namespace ppg {
+
+bool GreedyCheckResult::is_greedily_competitive(double g,
+                                                Impact slack) const {
+  for (const GreedyCheckpoint& cp : checkpoints) {
+    const double allowed =
+        g * static_cast<double>(cp.opt_impact) + static_cast<double>(slack);
+    if (static_cast<double>(cp.pager_impact) > allowed) return false;
+  }
+  return true;
+}
+
+GreedyCheckResult check_greedily_green(const Trace& trace, GreenPager& pager,
+                                       const HeightLadder& ladder,
+                                       Time miss_cost,
+                                       std::size_t num_checkpoints) {
+  PPG_CHECK(num_checkpoints >= 1);
+  GreedyCheckResult result;
+  if (trace.empty()) return result;
+
+  // Target prefix boundaries (the pager's box granularity means we record
+  // the first box end at or past each target).
+  std::vector<std::size_t> targets;
+  for (std::size_t c = 1; c <= num_checkpoints; ++c)
+    targets.push_back(trace.size() * c / num_checkpoints);
+
+  BoxRunner runner(trace, miss_cost);
+  Impact spent = 0;
+  std::size_t next_target = 0;
+  while (!runner.finished()) {
+    const Height h = pager.next_height();
+    PPG_CHECK_MSG(ladder.contains(h), "pager left the ladder");
+    const Box box = canonical_box(h, miss_cost);
+    const BoxStepResult step = runner.run_box(box.height, box.duration);
+    spent += step.finished
+                 ? static_cast<Impact>(box.height) * step.busy_time
+                 : box.impact();
+    while (next_target < targets.size() &&
+           runner.position() >= targets[next_target]) {
+      GreedyCheckpoint cp;
+      cp.prefix_requests = runner.position();
+      cp.pager_impact = spent;
+      const Trace prefix(std::vector<PageId>(
+          trace.requests().begin(),
+          trace.requests().begin() +
+              static_cast<std::ptrdiff_t>(cp.prefix_requests)));
+      cp.opt_impact = green_opt_impact(prefix, ladder, miss_cost);
+      cp.ratio = static_cast<double>(cp.pager_impact) /
+                 static_cast<double>(std::max<Impact>(1, cp.opt_impact));
+      result.max_ratio = std::max(result.max_ratio, cp.ratio);
+      result.checkpoints.push_back(std::move(cp));
+      ++next_target;
+    }
+  }
+  return result;
+}
+
+}  // namespace ppg

@@ -1,0 +1,47 @@
+// Offline optimal green paging (within the normalized box model).
+//
+// The paper compares green pagers against an OPT that, WLOG (with O(1)
+// resource augmentation), allocates compartmentalized canonical boxes with
+// power-of-two heights on the ladder. Under that normalization the optimal
+// profile is computable exactly by a forward dynamic program over request
+// positions: from position i, a box of height h advances the sequence to a
+// fixed position next(i, h) at impact cost s*h^2, so minimum-impact
+// completion is a shortest path on a DAG with n+1 nodes and L = O(log p)
+// outgoing edges per node.
+//
+// The DP is exact but costs O(n * L * s * h_max) in the worst case (each
+// edge is simulated); keep traces passed here to laptop scale (~1e5
+// requests). Both the value and the argmin profile are recoverable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "green/box.hpp"
+#include "trace/trace.hpp"
+
+namespace ppg {
+
+struct GreenOptResult {
+  Impact impact = 0;     ///< Minimum memory impact to finish the trace.
+  Time time = 0;         ///< Duration of the optimal profile.
+  BoxProfile profile;    ///< One optimal box sequence (final box clipped).
+};
+
+/// Exact minimum-impact profile over ladder heights with canonical boxes.
+/// The final box is charged only for the ticks actually used (matching the
+/// accounting of run_green_paging / run_profile, so ratios are >= 1).
+GreenOptResult green_opt(const Trace& trace, const HeightLadder& ladder,
+                         Time miss_cost);
+
+/// Value-only variant, skipping profile reconstruction (same cost).
+Impact green_opt_impact(const Trace& trace, const HeightLadder& ladder,
+                        Time miss_cost);
+
+/// Brute-force reference: enumerates all box sequences up to a depth bound
+/// (exponential; for unit tests on tiny traces only).
+Impact green_opt_impact_bruteforce(const Trace& trace,
+                                   const HeightLadder& ladder, Time miss_cost,
+                                   std::uint32_t max_boxes);
+
+}  // namespace ppg

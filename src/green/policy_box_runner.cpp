@@ -1,0 +1,95 @@
+#include "green/policy_box_runner.hpp"
+
+#include "util/assert.hpp"
+
+namespace ppg {
+
+PolicyBoxRunner::PolicyBoxRunner(const Trace& trace, Time miss_cost,
+                                 PolicyKind kind, std::uint64_t seed)
+    : trace_(&trace), miss_cost_(miss_cost), kind_(kind), seed_(seed) {
+  PPG_CHECK(miss_cost >= 1);
+  if (kind_ == PolicyKind::kBelady) {
+    // Belady ignores capacity and must keep its next-use table across
+    // compartments; build it once.
+    policy_ = make_policy(kind_, 1, seed_);
+    policy_->prepare(trace);
+  }
+}
+
+void PolicyBoxRunner::reset_compartment(Height height) {
+  resident_.clear();
+  if (kind_ == PolicyKind::kBelady) {
+    policy_->clear();
+  } else if (height != capacity_ || policy_ == nullptr) {
+    // Capacity-aware policies (LRU/MRU/CLOCK/SLRU/ARC) size internal
+    // structures by capacity; rebuild when the box height changes.
+    policy_ = make_policy(kind_, height, seed_);
+  } else {
+    policy_->clear();
+  }
+  capacity_ = height;
+}
+
+BoxStepResult PolicyBoxRunner::run_box(Height height, Time duration,
+                                       bool fresh) {
+  PPG_CHECK(height >= 1);
+  if (fresh || height != capacity_ || policy_ == nullptr)
+    reset_compartment(height);
+
+  BoxStepResult step;
+  Time remaining = duration;
+  while (remaining > 0 && position_ < trace_->size()) {
+    const PageId page = (*trace_)[position_];
+    const bool hit = resident_.contains(page);
+    const Time cost = hit ? 1 : miss_cost_;
+    if (cost > remaining) break;
+    policy_->advance(position_);
+    if (hit) {
+      policy_->touch(page);
+      ++step.hits;
+    } else {
+      if (resident_.size() == capacity_) {
+        const PageId victim = policy_->evict();
+        const auto erased = resident_.erase(victim);
+        PPG_CHECK_MSG(erased == 1, "policy evicted non-resident page");
+      }
+      resident_.insert(page);
+      policy_->insert(page);
+      ++step.misses;
+    }
+    remaining -= cost;
+    step.busy_time += cost;
+    ++position_;
+    ++step.requests_completed;
+  }
+  step.stall_time = remaining;
+  step.finished = position_ >= trace_->size();
+  return step;
+}
+
+ProfileRunResult run_green_paging_with_policy(const Trace& trace,
+                                              GreenPager& pager,
+                                              Time miss_cost, PolicyKind kind,
+                                              std::uint64_t seed) {
+  PolicyBoxRunner runner(trace, miss_cost, kind, seed);
+  ProfileRunResult result;
+  while (!runner.finished()) {
+    const Height h = pager.next_height();
+    const Box box = canonical_box(h, miss_cost);
+    const BoxStepResult step = runner.run_box(box.height, box.duration);
+    Impact impact = box.impact();
+    Time time = box.duration;
+    if (step.finished) {
+      impact -= static_cast<Impact>(box.height) * step.stall_time;
+      time -= step.stall_time;
+    }
+    result.impact += impact;
+    result.time += time;
+    result.hits += step.hits;
+    result.misses += step.misses;
+    ++result.boxes_used;
+  }
+  return result;
+}
+
+}  // namespace ppg

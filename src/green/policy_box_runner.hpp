@@ -1,0 +1,56 @@
+// PolicyBoxRunner: BoxRunner with a pluggable in-box eviction policy.
+//
+// The paper fixes per-box LRU "without loss of generality" — the claim
+// being that any replacement policy inside compartmentalized boxes changes
+// costs by at most a constant factor (boxes start empty and are short, so
+// policy differences cannot compound). This runner exists to measure that
+// constant (ablation E12) and to let users experiment with in-box Belady /
+// CLOCK / ARC. The hot path stays in BoxRunner (specialized LRU); this
+// class trades ~2x speed for generality.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+
+#include "green/box.hpp"
+#include "green/green_algorithm.hpp"
+#include "paging/eviction_policy.hpp"
+#include "trace/trace.hpp"
+
+namespace ppg {
+
+class PolicyBoxRunner {
+ public:
+  /// `kind` selects the in-box policy; kBelady uses global next-use times
+  /// (clairvoyant within and across boxes — a lower-bound reference).
+  PolicyBoxRunner(const Trace& trace, Time miss_cost, PolicyKind kind,
+                  std::uint64_t seed = 1);
+
+  /// Same semantics as BoxRunner::run_box: serve requests while they fit,
+  /// stall the remainder, reset the compartment when `fresh`.
+  BoxStepResult run_box(Height height, Time duration, bool fresh = true);
+
+  bool finished() const { return position_ >= trace_->size(); }
+  std::size_t position() const { return position_; }
+
+ private:
+  void reset_compartment(Height height);
+
+  const Trace* trace_;
+  Time miss_cost_;
+  PolicyKind kind_;
+  std::uint64_t seed_;
+  std::size_t position_ = 0;
+  Height capacity_ = 0;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::unordered_set<PageId> resident_;
+};
+
+/// Replays `trace` through canonical boxes emitted by `pager` with the
+/// given in-box policy; returns totals (mirrors run_green_paging).
+ProfileRunResult run_green_paging_with_policy(const Trace& trace,
+                                              GreenPager& pager,
+                                              Time miss_cost, PolicyKind kind,
+                                              std::uint64_t seed = 1);
+
+}  // namespace ppg

@@ -1,0 +1,59 @@
+// Offline box packing: an achievable schedule that upper-bounds T_OPT.
+//
+// Pipeline: compute each processor's exact minimum-impact box profile
+// (green_opt over the full ladder 1..k), then pack those boxes into the
+// shared cache — preserving each processor's box order — with a greedy
+// earliest-fit strip-packing pass over the height timeline. The result is
+// a legal schedule (total height <= k at every tick; every processor's
+// requests complete inside its boxes, which compartmentalization makes
+// insensitive to when the boxes run), so its makespan is a TRUE upper
+// bound on the offline optimum. Together with opt_bounds' certified lower
+// bound this brackets the unknowable T_OPT from both sides:
+//
+//     T_LB  <=  T_OPT  <=  T_pack
+//
+// and every experiment can report how tight its denominator is.
+//
+// Cost: one green-OPT DP per processor (O(n * s * k) each) plus an
+// O(B^2)-ish packing pass over B boxes — intended for analysis-time use,
+// not inner loops.
+#pragma once
+
+#include <vector>
+
+#include "green/box.hpp"
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace ppg {
+
+struct PackedBox {
+  ProcId proc = 0;
+  Box box;
+  Time start = 0;
+};
+
+struct OfflinePackResult {
+  Time makespan = 0;
+  std::vector<Time> completion;     ///< Per-processor last box end.
+  double mean_completion = 0.0;
+  Impact total_impact = 0;          ///< Sum of packed box impacts.
+  Height peak_height = 0;           ///< Max concurrent height (<= k).
+  std::vector<PackedBox> schedule;  ///< The witness schedule.
+};
+
+struct OfflinePackConfig {
+  Height cache_size = 0;  ///< k: the packing budget AND the profile ladder top.
+  Time miss_cost = 2;     ///< s.
+  /// Cap on requests per processor for the exact DP; longer traces fall
+  /// back to a canonical LRU profile at the best fixed height (still a
+  /// legal schedule, just a looser upper bound). 0 = no cap.
+  std::size_t exact_profile_max_requests = 0;
+};
+
+/// Packs per-processor optimal green profiles; returns the witness
+/// schedule and its (achievable) makespan.
+OfflinePackResult pack_offline(const MultiTrace& traces,
+                               const OfflinePackConfig& config);
+
+}  // namespace ppg

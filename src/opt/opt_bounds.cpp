@@ -1,0 +1,75 @@
+#include "opt/opt_bounds.hpp"
+
+#include <algorithm>
+
+#include "green/green_opt.hpp"
+#include "paging/cache_sim.hpp"
+#include "trace/stack_distance.hpp"
+#include "util/assert.hpp"
+#include "util/math_util.hpp"
+
+namespace ppg {
+
+Time busy_min_single(const Trace& trace, Height cache, Time miss_cost) {
+  if (trace.empty()) return 0;
+  const CacheSimResult r =
+      simulate_policy(PolicyKind::kBelady, trace, cache, miss_cost);
+  return r.time;
+}
+
+Impact impact_lb_stack(const Trace& trace, Time miss_cost) {
+  Impact total = 0;
+  for (const std::uint64_t d : stack_distances(trace)) {
+    if (d == kInfiniteDistance)
+      total += miss_cost;  // cold: must miss in any profile
+    else
+      total += std::min<Impact>(miss_cost, d + 1);
+  }
+  return total;
+}
+
+Time OptBounds::lower_bound() const {
+  return std::max({lb_max_length, lb_max_single, lb_impact});
+}
+
+std::vector<double> per_proc_stretch(const MultiTrace& traces,
+                                     const std::vector<Time>& completion,
+                                     Height cache_size, Time miss_cost) {
+  PPG_CHECK(completion.size() == traces.num_procs());
+  std::vector<double> stretch(traces.num_procs(), 1.0);
+  for (ProcId i = 0; i < traces.num_procs(); ++i) {
+    const Time busy =
+        busy_min_single(traces.trace(i), cache_size, miss_cost);
+    if (busy == 0) continue;
+    stretch[i] =
+        static_cast<double>(completion[i]) / static_cast<double>(busy);
+  }
+  return stretch;
+}
+
+OptBounds compute_opt_bounds(const MultiTrace& traces,
+                             const OptBoundsConfig& config) {
+  PPG_CHECK(config.cache_size >= 1);
+  OptBounds bounds;
+  Impact impact_sum = 0;
+  const Height h_max = std::max<Height>(
+      1, static_cast<Height>(pow2_floor(config.cache_size)));
+  const HeightLadder full_ladder{1, h_max};
+
+  for (ProcId i = 0; i < traces.num_procs(); ++i) {
+    const Trace& t = traces.trace(i);
+    bounds.lb_max_length =
+        std::max<Time>(bounds.lb_max_length, t.size());
+    bounds.lb_max_single =
+        std::max(bounds.lb_max_single,
+                 busy_min_single(t, config.cache_size, config.miss_cost));
+    if (t.size() <= config.exact_impact_max_requests)
+      impact_sum += green_opt_impact(t, full_ladder, config.miss_cost);
+    else
+      impact_sum += impact_lb_stack(t, config.miss_cost);
+  }
+  bounds.lb_impact = impact_sum / config.cache_size;
+  return bounds;
+}
+
+}  // namespace ppg

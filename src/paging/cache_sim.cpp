@@ -1,0 +1,58 @@
+#include "paging/cache_sim.hpp"
+
+#include "util/assert.hpp"
+
+namespace ppg {
+
+CacheSim::CacheSim(Height capacity, std::unique_ptr<EvictionPolicy> policy,
+                   Time miss_cost)
+    : capacity_(capacity), miss_cost_(miss_cost), policy_(std::move(policy)) {
+  PPG_CHECK(capacity >= 1);
+  PPG_CHECK(miss_cost >= 1);
+  PPG_CHECK(policy_ != nullptr);
+  resident_.reserve(capacity * 2);
+}
+
+bool CacheSim::access(PageId page) {
+  if (resident_.contains(page)) {
+    policy_->touch(page);
+    ++result_.hits;
+    result_.time += 1;
+    return true;
+  }
+  if (resident_.size() == capacity_) {
+    const PageId victim = policy_->evict();
+    const auto erased = resident_.erase(victim);
+    PPG_CHECK_MSG(erased == 1, "policy evicted a non-resident page");
+  }
+  resident_.insert(page);
+  policy_->insert(page);
+  ++result_.misses;
+  result_.time += miss_cost_;
+  return false;
+}
+
+void CacheSim::reset() {
+  resident_.clear();
+  policy_->clear();
+  result_ = CacheSimResult{};
+}
+
+CacheSimResult CacheSim::run(const Trace& trace) {
+  reset();
+  policy_->prepare(trace);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    policy_->advance(i);
+    access(trace[i]);
+  }
+  return result_;
+}
+
+CacheSimResult simulate_policy(PolicyKind kind, const Trace& trace,
+                               Height capacity, Time miss_cost,
+                               std::uint64_t seed) {
+  CacheSim sim(capacity, make_policy(kind, capacity, seed), miss_cost);
+  return sim.run(trace);
+}
+
+}  // namespace ppg

@@ -1,0 +1,61 @@
+// Fixed-capacity sequential cache simulator with the paper's timing model:
+// a hit costs 1 tick, a miss costs `s` ticks. This is the single-processor
+// substrate — it provides Belady baselines for OPT lower bounds and the
+// policy-comparison experiment (E9).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "paging/eviction_policy.hpp"
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace ppg {
+
+struct CacheSimResult {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  Time time = 0;  ///< hits + s * misses.
+
+  std::uint64_t accesses() const { return hits + misses; }
+  double miss_rate() const {
+    return accesses() == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(accesses());
+  }
+};
+
+class CacheSim {
+ public:
+  /// `miss_cost` is the paper's s (> 1 in the model; >= 1 accepted).
+  CacheSim(Height capacity, std::unique_ptr<EvictionPolicy> policy,
+           Time miss_cost);
+
+  /// Runs the whole trace from a cold cache and returns the totals.
+  CacheSimResult run(const Trace& trace);
+
+  /// Single-access interface for incremental use. Returns true on hit.
+  bool access(PageId page);
+  void reset();
+
+  Height capacity() const { return capacity_; }
+  Time miss_cost() const { return miss_cost_; }
+  const CacheSimResult& result() const { return result_; }
+  const EvictionPolicy& policy() const { return *policy_; }
+
+ private:
+  Height capacity_;
+  Time miss_cost_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::unordered_set<PageId> resident_;
+  CacheSimResult result_;
+};
+
+/// Convenience: fault count of the given policy on `trace` at `capacity`.
+CacheSimResult simulate_policy(PolicyKind kind, const Trace& trace,
+                               Height capacity, Time miss_cost,
+                               std::uint64_t seed = 1);
+
+}  // namespace ppg

@@ -1,0 +1,65 @@
+// Pluggable eviction policies for the sequential cache simulator.
+//
+// CacheSim owns residency; a policy only ranks resident pages for eviction.
+// The contract: insert() is called when a page becomes resident, touch()
+// when a resident page is re-accessed, evict() must return some currently
+// resident page and forget it. prepare()/advance() give offline policies
+// (Belady) access to the future.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ppg {
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// Called once before simulation with the full trace. Online policies
+  /// ignore it; Belady precomputes next-use times.
+  virtual void prepare(const Trace& trace) { (void)trace; }
+
+  /// Called before each request with its index in the trace.
+  virtual void advance(std::size_t request_index) { (void)request_index; }
+
+  virtual void insert(PageId page) = 0;
+  virtual void touch(PageId page) = 0;
+  virtual PageId evict() = 0;
+  virtual void clear() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+enum class PolicyKind {
+  kLru,
+  kFifo,
+  kClock,
+  kRandom,
+  kLfu,
+  kMru,     ///< Evict most-recently-used — optimal for cyclic scans.
+  kSlru,    ///< Segmented LRU: probationary + protected segments.
+  kArc,     ///< Adaptive Replacement Cache (ghost-list adaptive).
+  kBelady,  ///< Offline optimum (farthest next use).
+};
+
+/// All online policies plus Belady, for sweep loops.
+std::vector<PolicyKind> all_policy_kinds();
+
+const char* policy_kind_name(PolicyKind kind);
+
+/// Factory. `capacity` sizes internal structures; `seed` feeds kRandom.
+std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind, Height capacity,
+                                            std::uint64_t seed = 1);
+
+/// Direct constructors (policies_extra.cpp).
+std::unique_ptr<EvictionPolicy> make_mru_policy(Height capacity);
+std::unique_ptr<EvictionPolicy> make_slru_policy(Height capacity);
+std::unique_ptr<EvictionPolicy> make_arc_policy(Height capacity);
+
+}  // namespace ppg

@@ -1,0 +1,227 @@
+// Additional eviction policies: MRU, SLRU, ARC.
+//
+// These round out the sequential substrate beyond the textbook set: MRU is
+// the classic antidote to cyclic scans (exactly the pattern the paper's
+// repeater phases use), SLRU and ARC are the scan-resistant policies real
+// storage systems deploy. None changes the parallel-paging theory — the
+// box model fixes per-box LRU WLOG — but they make the policy-comparison
+// experiment (E9) and the in-box-policy ablation meaningful.
+#include <list>
+#include <unordered_map>
+
+#include "paging/eviction_policy.hpp"
+#include "util/assert.hpp"
+#include "util/lru_set.hpp"
+
+namespace ppg {
+
+namespace {
+
+/// Evicts the most-recently-used page. On a cyclic scan one page longer
+/// than the cache, MRU keeps the rest of the cycle resident and achieves
+/// near-optimal hit rates where LRU achieves zero.
+class MruPolicy final : public EvictionPolicy {
+ public:
+  explicit MruPolicy(Height capacity) : set_(capacity) {}
+
+  void insert(PageId page) override { set_.access(page); }
+  void touch(PageId page) override { set_.access(page); }
+  PageId evict() override {
+    const auto order = set_.pages_mru_order();
+    PPG_CHECK_MSG(!order.empty(), "evict from empty MRU");
+    const PageId victim = order.front();
+    set_.erase(victim);
+    return victim;
+  }
+  void clear() override { set_.clear(); }
+  const char* name() const override { return "MRU"; }
+
+ private:
+  LruSet set_;
+};
+
+/// Segmented LRU: new pages enter a probationary segment; a re-reference
+/// promotes to the protected segment (capped at ~80% of capacity,
+/// demotions fall back to probationary-MRU). Evictions take the
+/// probationary LRU first. One-touch scan pages never displace the
+/// protected working set.
+class SlruPolicy final : public EvictionPolicy {
+ public:
+  explicit SlruPolicy(Height capacity)
+      : protected_cap_(std::max<Height>(1, capacity * 4 / 5)) {}
+
+  void insert(PageId page) override {
+    probation_.push_front(page);
+    where_[page] = Where{Segment::kProbation, probation_.begin()};
+  }
+
+  void touch(PageId page) override {
+    auto it = where_.find(page);
+    PPG_DCHECK(it != where_.end());
+    if (it->second.segment == Segment::kProtected) {
+      protected_.splice(protected_.begin(), protected_, it->second.pos);
+      it->second.pos = protected_.begin();
+      return;
+    }
+    probation_.erase(it->second.pos);
+    protected_.push_front(page);
+    it->second = Where{Segment::kProtected, protected_.begin()};
+    if (protected_.size() > protected_cap_) {
+      const PageId demoted = protected_.back();
+      protected_.pop_back();
+      probation_.push_front(demoted);
+      where_[demoted] = Where{Segment::kProbation, probation_.begin()};
+    }
+  }
+
+  PageId evict() override {
+    if (!probation_.empty()) {
+      const PageId victim = probation_.back();
+      probation_.pop_back();
+      where_.erase(victim);
+      return victim;
+    }
+    PPG_CHECK_MSG(!protected_.empty(), "evict from empty SLRU");
+    const PageId victim = protected_.back();
+    protected_.pop_back();
+    where_.erase(victim);
+    return victim;
+  }
+
+  void clear() override {
+    probation_.clear();
+    protected_.clear();
+    where_.clear();
+  }
+
+  const char* name() const override { return "SLRU"; }
+
+ private:
+  enum class Segment { kProbation, kProtected };
+  struct Where {
+    Segment segment;
+    std::list<PageId>::iterator pos;
+  };
+
+  std::size_t protected_cap_;
+  std::list<PageId> probation_;  // MRU at front
+  std::list<PageId> protected_;  // MRU at front
+  std::unordered_map<PageId, Where> where_;
+};
+
+/// Adaptive Replacement Cache (Megiddo & Modha). Two resident lists — T1
+/// (seen once recently) and T2 (seen at least twice) — plus ghost lists
+/// B1/B2 remembering recently evicted pages. A hit in a ghost list shifts
+/// the adaptive target `target_t1_` toward the list that would have hit,
+/// so the policy continuously rebalances recency vs. frequency.
+class ArcPolicy final : public EvictionPolicy {
+ public:
+  explicit ArcPolicy(Height capacity) : capacity_(capacity) {}
+
+  void insert(PageId page) override {
+    if (erase_from(b1_, page)) {
+      // Ghost hit in B1: recency was undervalued.
+      const std::size_t delta =
+          std::max<std::size_t>(1, b2_.size() / std::max<std::size_t>(
+                                                    1, b1_.size() + 1));
+      target_t1_ = std::min<std::size_t>(capacity_, target_t1_ + delta);
+      push_front(t2_, page, Segment::kT2);
+      return;
+    }
+    if (erase_from(b2_, page)) {
+      // Ghost hit in B2: frequency was undervalued.
+      const std::size_t delta =
+          std::max<std::size_t>(1, b1_.size() / std::max<std::size_t>(
+                                                    1, b2_.size() + 1));
+      target_t1_ = target_t1_ > delta ? target_t1_ - delta : 0;
+      push_front(t2_, page, Segment::kT2);
+      return;
+    }
+    push_front(t1_, page, Segment::kT1);
+    trim_ghosts();
+  }
+
+  void touch(PageId page) override {
+    auto it = where_.find(page);
+    PPG_DCHECK(it != where_.end());
+    if (it->second.segment == Segment::kT1) {
+      t1_.erase(it->second.pos);
+      push_front(t2_, page, Segment::kT2);
+    } else {
+      t2_.splice(t2_.begin(), t2_, it->second.pos);
+      it->second.pos = t2_.begin();
+    }
+  }
+
+  PageId evict() override {
+    const bool from_t1 =
+        !t1_.empty() && (t1_.size() > target_t1_ || t2_.empty());
+    std::list<PageId>& source = from_t1 ? t1_ : t2_;
+    std::list<PageId>& ghost = from_t1 ? b1_ : b2_;
+    PPG_CHECK_MSG(!source.empty(), "evict from empty ARC");
+    const PageId victim = source.back();
+    source.pop_back();
+    where_.erase(victim);
+    ghost.push_front(victim);
+    trim_ghosts();
+    return victim;
+  }
+
+  void clear() override {
+    t1_.clear();
+    t2_.clear();
+    b1_.clear();
+    b2_.clear();
+    where_.clear();
+    target_t1_ = 0;
+  }
+
+  const char* name() const override { return "ARC"; }
+
+ private:
+  enum class Segment { kT1, kT2 };
+  struct Where {
+    Segment segment;
+    std::list<PageId>::iterator pos;
+  };
+
+  void push_front(std::list<PageId>& list, PageId page, Segment segment) {
+    list.push_front(page);
+    where_[page] = Where{segment, list.begin()};
+  }
+
+  static bool erase_from(std::list<PageId>& ghost, PageId page) {
+    for (auto it = ghost.begin(); it != ghost.end(); ++it) {
+      if (*it == page) {
+        ghost.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void trim_ghosts() {
+    while (b1_.size() > capacity_) b1_.pop_back();
+    while (b2_.size() > capacity_) b2_.pop_back();
+  }
+
+  Height capacity_;
+  std::size_t target_t1_ = 0;
+  std::list<PageId> t1_, t2_;  // resident; MRU at front
+  std::list<PageId> b1_, b2_;  // ghosts; MRU at front
+  std::unordered_map<PageId, Where> where_;
+};
+
+}  // namespace
+
+std::unique_ptr<EvictionPolicy> make_mru_policy(Height capacity) {
+  return std::make_unique<MruPolicy>(capacity);
+}
+std::unique_ptr<EvictionPolicy> make_slru_policy(Height capacity) {
+  return std::make_unique<SlruPolicy>(capacity);
+}
+std::unique_ptr<EvictionPolicy> make_arc_policy(Height capacity) {
+  return std::make_unique<ArcPolicy>(capacity);
+}
+
+}  // namespace ppg

@@ -1,0 +1,121 @@
+#include "trace/adversarial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/generators.hpp"
+#include "util/assert.hpp"
+#include "util/math_util.hpp"
+
+namespace ppg {
+
+std::uint64_t AdversarialParams::gamma() const {
+  const double g = 2.0 * static_cast<double>(cache_size()) * alpha;
+  return std::max<std::uint64_t>(4, static_cast<std::uint64_t>(std::llround(g)));
+}
+
+std::uint32_t AdversarialParams::num_families() const {
+  const std::uint32_t log_ell = ilog2_floor(std::max(2u, ell));
+  PPG_CHECK_MSG(ell >= log_ell, "ell too small for construction");
+  return ell - log_ell + 1;
+}
+
+std::uint32_t AdversarialParams::num_prefixed() const {
+  // Families F_0..F_{l-log l}, family i holds 2^i sequences.
+  return (1u << num_families()) - 1;
+}
+
+std::uint32_t AdversarialParams::suffix_phases() const {
+  const double lg = std::log2(static_cast<double>(std::max(2u, ell)));
+  return std::max(1u, static_cast<std::uint32_t>(
+                          std::llround(suffix_phase_factor * lg)));
+}
+
+std::size_t AdversarialParams::phase_length() const {
+  return static_cast<std::size_t>(cache_size() - 1) * gamma();
+}
+
+std::uint64_t AdversarialParams::pollute_interval(std::uint32_t j) const {
+  return std::max<std::uint64_t>(1, num_procs() >> j);
+}
+
+namespace {
+
+// Builds one prefixed sequence of family `family`: prefix phases
+// sigma^0..sigma^{last_phase} over a shared set of k-1 repeaters, then the
+// standard suffix. Local page layout: repeaters in [0, k-1), polluters and
+// suffix pages allocated upward from k.
+Trace build_prefixed_sequence(const AdversarialParams& params,
+                              std::uint32_t last_phase,
+                              AdversarialSeqInfo& info) {
+  const std::uint64_t repeaters = params.cache_size() - 1;
+  const std::uint64_t gamma = params.gamma();
+  const std::size_t phase_len = params.phase_length();
+  std::uint64_t fresh = repeaters;  // next unused local page id
+
+  Trace out;
+  out.reserve(phase_len * (last_phase + 1 + params.suffix_phases()));
+  for (std::uint32_t j = 0; j <= last_phase; ++j) {
+    const std::uint64_t n_j = params.pollute_interval(j);
+    Trace phase = gen::polluted_cycle(repeaters, phase_len, n_j,
+                                      /*repeater_base=*/0,
+                                      /*polluter_base=*/fresh);
+    // polluted_cycle consumed at most phase_len/n_j + 1 polluter ids.
+    fresh += phase_len / n_j + 1;
+    out.append(phase);
+  }
+  info.prefixed = true;
+  info.prefix_phases = last_phase + 1;
+  info.prefix_requests = out.size();
+
+  const std::size_t suffix_len =
+      static_cast<std::size_t>(params.suffix_phases()) * phase_len;
+  out.append(gen::single_use(suffix_len, fresh));
+  (void)gamma;
+  return out;
+}
+
+Trace build_suffix_only_sequence(const AdversarialParams& params,
+                                 AdversarialSeqInfo& info) {
+  info.prefixed = false;
+  info.prefix_phases = 0;
+  info.prefix_requests = 0;
+  const std::size_t suffix_len =
+      static_cast<std::size_t>(params.suffix_phases()) * params.phase_length();
+  return gen::single_use(suffix_len, 0);
+}
+
+}  // namespace
+
+AdversarialInstance make_adversarial_instance(const AdversarialParams& params) {
+  PPG_CHECK(params.ell >= 2);
+  PPG_CHECK(params.a >= 1);
+  const std::uint32_t p = params.num_procs();
+  PPG_CHECK_MSG(params.num_prefixed() <= p,
+                "more prefixed sequences than processors");
+
+  AdversarialInstance inst;
+  inst.params = params;
+  inst.info.resize(p);
+
+  const std::uint32_t families = params.num_families();
+  ProcId proc = 0;
+  // Families F_i, longest prefixes first (F_0 has the most phases).
+  for (std::uint32_t i = 0; i < families; ++i) {
+    const std::uint32_t count = 1u << i;
+    const std::uint32_t last_phase = families - 1 - i;  // l - log l - i
+    for (std::uint32_t c = 0; c < count; ++c, ++proc) {
+      Trace t = build_prefixed_sequence(params, last_phase, inst.info[proc]);
+      inst.traces.add(gen::rebase_to_proc(t, proc));
+      inst.info[proc].family = i;
+    }
+  }
+  for (; proc < p; ++proc) {
+    Trace t = build_suffix_only_sequence(params, inst.info[proc]);
+    inst.traces.add(gen::rebase_to_proc(t, proc));
+  }
+  PPG_CHECK(inst.traces.num_procs() == p);
+  return inst;
+}
+
+}  // namespace ppg

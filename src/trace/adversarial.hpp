@@ -1,0 +1,69 @@
+// The Theorem 4 lower-bound instance (paper appendix).
+//
+// The construction exhibits request sequences on which ANY parallel pager
+// that allocates memory through a greedily-green black box is a factor
+// ~log p / log log p slower than OPT. Structure (paper notation):
+//
+//   * p = 2^(l+1) - 1 processors, cache k = p * 2^(a-1), gamma = 2*k*alpha.
+//   * Each sequence = prefix + suffix.
+//   * Suffixes: 4*log2(l) phases, each (k-1)*gamma requests, every page
+//     fresh (single-use) — they progress at the same rate under any cache
+//     size, and dominate total impact.
+//   * Prefixes: only ~p/log p sequences are "prefixed". They form families
+//     F_0 .. F_{l - log l}; family F_i holds 2^i isomorphic sequences, each
+//     with l - log l - i + 1 prefix phases sigma^0..sigma^{l-log l-i}.
+//   * Phase sigma^j: gamma cycles over the same k-1 repeater pages, with
+//     every n_j = p/2^j-th request replaced by a fresh polluter. Pollution
+//     doubles phase over phase, which is exactly what forces a greedily
+//     green allocator to keep choosing minimal boxes.
+//
+// `alpha` scales gamma (and hence every phase length) so the instance can be
+// generated at laptop scale; the *shape* of the lower bound is preserved for
+// any alpha with gamma >= a few cache fills.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace ppg {
+
+struct AdversarialParams {
+  std::uint32_t ell = 4;   ///< l: p = 2^(l+1) - 1 processors.
+  std::uint32_t a = 1;     ///< k = p * 2^(a-1).
+  double alpha = 1.0;      ///< gamma = max(4, round(2*k*alpha)).
+  /// Suffix phase-count multiplier; the paper uses 4*log2(l). Lowering it
+  /// shrinks runs while keeping suffixes impact-dominant.
+  double suffix_phase_factor = 4.0;
+
+  std::uint32_t num_procs() const { return (1u << (ell + 1)) - 1; }
+  std::uint32_t cache_size() const { return num_procs() << (a - 1); }
+  std::uint64_t gamma() const;
+  std::uint32_t num_families() const;        ///< l - log2(l) + 1 families.
+  std::uint32_t num_prefixed() const;        ///< Total prefixed sequences.
+  std::uint32_t suffix_phases() const;       ///< ~ suffix_phase_factor*log2(l).
+  std::size_t phase_length() const;          ///< (k-1)*gamma requests.
+  /// Pollution interval n_j = max(1, p / 2^j) for prefix phase j.
+  std::uint64_t pollute_interval(std::uint32_t j) const;
+};
+
+/// Metadata describing one generated sequence, for tests and for the
+/// constructed-OPT scheduler which needs to know the structure it exploits.
+struct AdversarialSeqInfo {
+  bool prefixed = false;
+  std::uint32_t family = 0;        ///< i, valid when prefixed.
+  std::uint32_t prefix_phases = 0; ///< Number of sigma^j phases.
+  std::size_t prefix_requests = 0; ///< Total requests before the suffix.
+};
+
+struct AdversarialInstance {
+  AdversarialParams params;
+  MultiTrace traces;
+  std::vector<AdversarialSeqInfo> info;  ///< One entry per processor.
+};
+
+/// Builds the full instance. Page ids are already processor-disjoint.
+AdversarialInstance make_adversarial_instance(const AdversarialParams& params);
+
+}  // namespace ppg

@@ -1,0 +1,131 @@
+#include "trace/generators.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace ppg::gen {
+
+Trace cyclic(std::uint64_t num_pages, std::size_t num_requests) {
+  PPG_CHECK(num_pages >= 1);
+  std::vector<PageId> reqs;
+  reqs.reserve(num_requests);
+  std::uint64_t next = 0;
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    reqs.push_back(next);
+    next = (next + 1) % num_pages;
+  }
+  return Trace(std::move(reqs));
+}
+
+Trace polluted_cycle(std::uint64_t num_repeaters, std::size_t num_requests,
+                     std::uint64_t pollute_every, std::uint64_t repeater_base,
+                     std::uint64_t polluter_base) {
+  PPG_CHECK(num_repeaters >= 1);
+  PPG_CHECK_MSG(repeater_base + num_repeaters <= polluter_base ||
+                    polluter_base + num_requests <= repeater_base,
+                "repeater and polluter id ranges overlap");
+  std::vector<PageId> reqs;
+  reqs.reserve(num_requests);
+  std::uint64_t cycle_pos = 0;
+  std::uint64_t polluter = polluter_base;
+  for (std::size_t i = 1; i <= num_requests; ++i) {
+    if (pollute_every != 0 && i % pollute_every == 0) {
+      reqs.push_back(polluter++);
+    } else {
+      reqs.push_back(repeater_base + cycle_pos);
+      cycle_pos = (cycle_pos + 1) % num_repeaters;
+    }
+  }
+  return Trace(std::move(reqs));
+}
+
+Trace single_use(std::size_t num_requests, std::uint64_t first_page) {
+  std::vector<PageId> reqs;
+  reqs.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i)
+    reqs.push_back(first_page + i);
+  return Trace(std::move(reqs));
+}
+
+Trace uniform_random(std::uint64_t num_pages, std::size_t num_requests,
+                     Rng& rng) {
+  PPG_CHECK(num_pages >= 1);
+  std::vector<PageId> reqs;
+  reqs.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i)
+    reqs.push_back(rng.next_below(num_pages));
+  return Trace(std::move(reqs));
+}
+
+Trace zipf(std::uint64_t num_pages, std::size_t num_requests, double theta,
+           Rng& rng) {
+  PPG_CHECK(num_pages >= 1);
+  PPG_CHECK(theta >= 0.0);
+  // Inverse-transform sampling over the precomputed CDF. O(m) setup,
+  // O(log m) per draw.
+  std::vector<double> cdf(num_pages);
+  double acc = 0.0;
+  for (std::uint64_t r = 0; r < num_pages; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf[r] = acc;
+  }
+  for (auto& v : cdf) v /= acc;
+  std::vector<PageId> reqs;
+  reqs.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    reqs.push_back(static_cast<PageId>(it - cdf.begin()));
+  }
+  return Trace(std::move(reqs));
+}
+
+Trace phased_working_set(const std::vector<WorkingSetPhase>& phases,
+                         Rng& rng) {
+  std::vector<PageId> reqs;
+  std::size_t total = 0;
+  for (const auto& ph : phases) total += ph.length;
+  reqs.reserve(total);
+  std::uint64_t base = 0;
+  for (const auto& ph : phases) {
+    PPG_CHECK(ph.working_set_size >= 1);
+    for (std::size_t i = 0; i < ph.length; ++i) {
+      const std::uint64_t offset =
+          ph.random_order ? rng.next_below(ph.working_set_size)
+                          : i % ph.working_set_size;
+      reqs.push_back(base + offset);
+    }
+    base += ph.working_set_size;  // fresh set each phase
+  }
+  return Trace(std::move(reqs));
+}
+
+Trace sawtooth(std::uint64_t hot, std::uint64_t cold, std::size_t burst_len,
+               std::size_t num_bursts, Rng& rng) {
+  std::vector<WorkingSetPhase> phases;
+  phases.reserve(num_bursts);
+  for (std::size_t b = 0; b < num_bursts; ++b) {
+    const bool is_hot = (b % 2 == 0);
+    phases.push_back(WorkingSetPhase{is_hot ? hot : cold, burst_len,
+                                     /*random_order=*/is_hot});
+  }
+  return phased_working_set(phases, rng);
+}
+
+Trace rebase_to_proc(const Trace& t, ProcId proc) {
+  // Compact local ids first so the 48-bit local space is never an issue
+  // even for traces built from sparse id ranges.
+  std::unordered_map<PageId, std::uint64_t> remap;
+  remap.reserve(t.size());
+  std::vector<PageId> reqs;
+  reqs.reserve(t.size());
+  for (PageId page : t) {
+    auto [it, inserted] = remap.emplace(page, remap.size());
+    reqs.push_back(make_page(proc, it->second));
+  }
+  return Trace(std::move(reqs));
+}
+
+}  // namespace ppg::gen

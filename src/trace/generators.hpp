@@ -1,0 +1,70 @@
+// Synthetic workload generators.
+//
+// These realize the access patterns the paper's analysis is built around —
+// cyclic "repeater" reuse, single-use "polluter" streams, and their mixes —
+// plus standard locality models (Zipf, phased working sets, uniform) used to
+// exercise the schedulers on non-adversarial inputs. Every generator is
+// deterministic given its Rng, and emits processor-local page numbers; use
+// Workload (workload.hpp) or rebase_to_proc() to build disjoint MultiTraces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ppg::gen {
+
+/// Round-robin cycle over `num_pages` pages: 0,1,...,m-1,0,1,...
+/// The canonical LRU-worst-case / large-working-set pattern.
+Trace cyclic(std::uint64_t num_pages, std::size_t num_requests);
+
+/// Cycle over `num_repeaters` pages where every `pollute_every`-th request
+/// (1-indexed within the emitted stream) is replaced by a fresh never-reused
+/// "polluter" page. This is the paper's prefix phase sigma^j with
+/// pollute_every = p / 2^j. Polluter local ids start at `polluter_base`
+/// and count up, so callers can concatenate phases without collisions.
+/// pollute_every == 0 means no pollution.
+Trace polluted_cycle(std::uint64_t num_repeaters, std::size_t num_requests,
+                     std::uint64_t pollute_every,
+                     std::uint64_t repeater_base = 0,
+                     std::uint64_t polluter_base = std::uint64_t{1} << 32);
+
+/// Every request is a fresh page (the paper's suffix pattern): no reuse at
+/// all, so any cache size makes the same progress.
+Trace single_use(std::size_t num_requests, std::uint64_t first_page = 0);
+
+/// Independent uniform draws over [0, num_pages).
+Trace uniform_random(std::uint64_t num_pages, std::size_t num_requests,
+                     Rng& rng);
+
+/// Independent Zipf(theta) draws over [0, num_pages): page r+1 has
+/// probability proportional to 1/(r+1)^theta. theta = 0 is uniform; theta
+/// around 0.8-1.2 models typical skewed reuse.
+Trace zipf(std::uint64_t num_pages, std::size_t num_requests, double theta,
+           Rng& rng);
+
+/// One phase of a phased-working-set workload.
+struct WorkingSetPhase {
+  std::uint64_t working_set_size;  ///< Distinct pages touched in the phase.
+  std::size_t length;              ///< Requests in the phase.
+  bool random_order = true;        ///< Uniform within the set vs. cyclic.
+};
+
+/// Sawtooth locality: each phase touches a fresh working set of the given
+/// size. This produces the non-monotonic marginal-benefit behaviour the
+/// paper's introduction describes (a processor's useful cache size jumps
+/// between phases).
+Trace phased_working_set(const std::vector<WorkingSetPhase>& phases, Rng& rng);
+
+/// Sequence of `num_bursts` phases alternating between a small hot set of
+/// size `hot` and a large scan set of size `cold`, each lasting
+/// `burst_len` requests. A compact standard mix for scheduler stress.
+Trace sawtooth(std::uint64_t hot, std::uint64_t cold, std::size_t burst_len,
+               std::size_t num_bursts, Rng& rng);
+
+/// Rewrites every page id in `t` into processor `proc`'s disjoint id space.
+Trace rebase_to_proc(const Trace& t, ProcId proc);
+
+}  // namespace ppg::gen

@@ -1,0 +1,51 @@
+// Page sharing across processors — the paper's first open problem
+// (Section 5: "consider scenarios where the p sequences ... can share
+// pages").
+//
+// The paper's model (and all box-model schedulers) requires disjoint page
+// sets. This module builds workloads that deliberately violate that
+// assumption — every processor mixes accesses to a common shared region
+// (library code, shared data) with its private working set — plus the two
+// transformations that bracket how a disjoint-only scheduler can cope:
+//
+//   * privatize(): rewrite each processor's shared references to private
+//     copies. Box schedulers then apply verbatim, paying duplication: the
+//     shared region occupies one compartment per processor instead of one.
+//   * GLOBAL-LRU needs no transformation — a shared pool keeps one copy —
+//     which is exactly why sharing is where the box model's guarantees
+//     stop (experiment E11 shows the crossover).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+
+struct SharedWorkloadParams {
+  ProcId num_procs = 8;
+  Height cache_size = 64;           ///< k.
+  std::size_t requests_per_proc = 10000;
+  std::uint64_t seed = 1;
+  /// Probability that a request targets the shared region.
+  double sharing_fraction = 0.5;
+  /// Shared region size; 0 = default k/2.
+  std::uint64_t shared_pages = 0;
+  /// Per-processor private working-set size; 0 = default max(2, k/p).
+  std::uint64_t private_pages = 0;
+};
+
+/// Builds the sharing workload. NOT processor-disjoint (by design): shared
+/// pages live in a reserved id space (owner tag 0xFFFF) so they are
+/// recognizable; private pages use the usual per-processor tags.
+MultiTrace make_shared_workload(const SharedWorkloadParams& params);
+
+/// Rewrites every shared page into a per-processor private copy, restoring
+/// disjointness (the duplication strategy a box scheduler is forced into).
+MultiTrace privatize(const MultiTrace& traces);
+
+/// Fraction of requests that target pages appearing in 2+ traces.
+double measured_sharing_fraction(const MultiTrace& traces);
+
+}  // namespace ppg

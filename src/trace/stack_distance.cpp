@@ -1,0 +1,102 @@
+#include "trace/stack_distance.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace ppg {
+
+namespace {
+
+/// Fenwick (binary indexed) tree over [0, n) with point update and suffix
+/// count queries.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t pos, int delta) {
+    for (std::size_t i = pos + 1; i < tree_.size(); i += i & (~i + 1))
+      tree_[i] = static_cast<std::uint64_t>(static_cast<std::int64_t>(tree_[i]) + delta);
+  }
+
+  /// Sum of entries in [0, pos].
+  std::uint64_t prefix(std::size_t pos) const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+  std::uint64_t total() const { return prefix(tree_.size() - 2); }
+
+ private:
+  std::vector<std::uint64_t> tree_;
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> stack_distances(const Trace& trace) {
+  const std::size_t n = trace.size();
+  std::vector<std::uint64_t> out(n, kInfiniteDistance);
+  if (n == 0) return out;
+
+  Fenwick live(n);
+  std::unordered_map<PageId, std::size_t> last_access;
+  last_access.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const PageId page = trace[i];
+    if (auto it = last_access.find(page); it != last_access.end()) {
+      const std::size_t prev = it->second;
+      // Distinct pages accessed strictly between prev and i = live markers
+      // in (prev, i).
+      out[i] = live.total() - live.prefix(prev);
+      live.add(prev, -1);
+      it->second = i;
+    } else {
+      last_access.emplace(page, i);
+    }
+    live.add(i, +1);
+  }
+  return out;
+}
+
+StackDistanceProfile stack_distance_profile(const Trace& trace,
+                                            std::uint64_t max_tracked) {
+  PPG_CHECK(max_tracked >= 1);
+  StackDistanceProfile profile;
+  profile.counts.assign(max_tracked, 0);
+  for (std::uint64_t d : stack_distances(trace)) {
+    if (d == kInfiniteDistance)
+      ++profile.cold_misses;
+    else if (d < max_tracked)
+      ++profile.counts[d];
+    else
+      ++profile.far;
+  }
+  return profile;
+}
+
+std::uint64_t StackDistanceProfile::lru_faults(std::uint64_t capacity) const {
+  PPG_CHECK(capacity <= counts.size());
+  std::uint64_t faults = cold_misses + far;
+  for (std::size_t d = capacity; d < counts.size(); ++d) faults += counts[d];
+  return faults;
+}
+
+std::vector<std::uint64_t> stack_distances_naive(const Trace& trace) {
+  std::vector<std::uint64_t> out(trace.size(), kInfiniteDistance);
+  std::vector<PageId> stack;  // MRU at back
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const PageId page = trace[i];
+    const auto it = std::find(stack.rbegin(), stack.rend(), page);
+    if (it != stack.rend()) {
+      out[i] = static_cast<std::uint64_t>(it - stack.rbegin());
+      stack.erase(std::next(it).base());
+    }
+    stack.push_back(page);
+  }
+  return out;
+}
+
+}  // namespace ppg

@@ -1,0 +1,49 @@
+// Mattson stack-distance (reuse-distance) analysis.
+//
+// The stack distance of a request is the number of DISTINCT pages accessed
+// since the previous access to the same page (infinity for first accesses).
+// Under LRU with capacity c, a request hits iff its stack distance < c, so
+// one profile yields the fault count for every cache size at once — the
+// classic tool for reasoning about how much cache a processor "wants",
+// which is exactly the marginal-benefit structure the paper's scheduler
+// must cope with.
+//
+// Implementation: Fenwick tree over request positions holding a 1 at the
+// previous-access position of each currently "live" page; the distance of a
+// request is the count of live positions after its page's previous access.
+// O(n log n) total.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace ppg {
+
+inline constexpr std::uint64_t kInfiniteDistance = UINT64_MAX;
+
+/// Per-request stack distances; entry i is kInfiniteDistance when request i
+/// is the first access to its page.
+std::vector<std::uint64_t> stack_distances(const Trace& trace);
+
+/// Aggregated profile: counts[d] = number of requests with stack distance
+/// exactly d (d < max_tracked); cold_misses counts first accesses;
+/// far counts distances >= max_tracked.
+struct StackDistanceProfile {
+  std::vector<std::uint64_t> counts;
+  std::uint64_t cold_misses = 0;
+  std::uint64_t far = 0;
+
+  /// LRU faults with capacity c: cold misses + requests with distance >= c.
+  /// Requires c <= counts.size().
+  std::uint64_t lru_faults(std::uint64_t capacity) const;
+};
+
+StackDistanceProfile stack_distance_profile(const Trace& trace,
+                                            std::uint64_t max_tracked);
+
+/// Reference O(n * m) implementation (explicit LRU stack) for testing.
+std::vector<std::uint64_t> stack_distances_naive(const Trace& trace);
+
+}  // namespace ppg

@@ -1,0 +1,40 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ppg {
+
+std::size_t Trace::distinct_pages() const {
+  std::unordered_set<PageId> seen;
+  seen.reserve(requests_.size());
+  for (PageId p : requests_) seen.insert(p);
+  return seen.size();
+}
+
+std::size_t MultiTrace::total_requests() const {
+  std::size_t total = 0;
+  for (const auto& t : traces_) total += t.size();
+  return total;
+}
+
+std::size_t MultiTrace::max_length() const {
+  std::size_t m = 0;
+  for (const auto& t : traces_) m = std::max(m, t.size());
+  return m;
+}
+
+bool MultiTrace::validate_disjoint() const {
+  std::unordered_map<PageId, ProcId> owner;
+  owner.reserve(total_requests());
+  for (ProcId i = 0; i < num_procs(); ++i) {
+    for (PageId page : traces_[i]) {
+      auto [it, inserted] = owner.emplace(page, i);
+      if (!inserted && it->second != i) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ppg

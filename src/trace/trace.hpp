@@ -1,0 +1,91 @@
+// Request traces: the input language of every simulator in the library.
+//
+// A Trace is one processor's ordered page-request sequence R^i. A
+// MultiTrace bundles the p per-processor sequences of a parallel-paging
+// instance; the paper's model requires the per-processor page sets to be
+// disjoint, which generators guarantee by tagging pages with the processor
+// index (see make_page) and which MultiTrace::validate_disjoint verifies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace ppg {
+
+/// Builds a globally unique page id from a processor-local page number.
+/// The top 16 bits carry the processor, leaving 48 bits of local id space.
+constexpr PageId make_page(ProcId proc, std::uint64_t local) {
+  PPG_DCHECK(local < (std::uint64_t{1} << 48));
+  return (static_cast<PageId>(proc) << 48) | local;
+}
+
+constexpr ProcId page_owner(PageId page) {
+  return static_cast<ProcId>(page >> 48);
+}
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<PageId> requests)
+      : requests_(std::move(requests)) {}
+
+  std::size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+  PageId operator[](std::size_t i) const {
+    PPG_DCHECK(i < requests_.size());
+    return requests_[i];
+  }
+
+  const std::vector<PageId>& requests() const { return requests_; }
+  std::vector<PageId>& mutable_requests() { return requests_; }
+
+  void push_back(PageId page) { requests_.push_back(page); }
+  void append(const Trace& other) {
+    requests_.insert(requests_.end(), other.requests_.begin(),
+                     other.requests_.end());
+  }
+  void reserve(std::size_t n) { requests_.reserve(n); }
+
+  /// Number of distinct pages referenced (O(n) with a hash set).
+  std::size_t distinct_pages() const;
+
+  auto begin() const { return requests_.begin(); }
+  auto end() const { return requests_.end(); }
+
+  bool operator==(const Trace&) const = default;
+
+ private:
+  std::vector<PageId> requests_;
+};
+
+/// A parallel-paging instance: one trace per processor.
+class MultiTrace {
+ public:
+  MultiTrace() = default;
+  explicit MultiTrace(std::vector<Trace> traces) : traces_(std::move(traces)) {}
+
+  ProcId num_procs() const { return static_cast<ProcId>(traces_.size()); }
+  const Trace& trace(ProcId i) const {
+    PPG_DCHECK(i < traces_.size());
+    return traces_[i];
+  }
+  const std::vector<Trace>& traces() const { return traces_; }
+
+  void add(Trace trace) { traces_.push_back(std::move(trace)); }
+
+  std::size_t total_requests() const;
+  std::size_t max_length() const;
+
+  /// Verifies the paper's disjointness assumption: no page appears in two
+  /// different processors' traces. O(total) with a hash map.
+  bool validate_disjoint() const;
+
+ private:
+  std::vector<Trace> traces_;
+};
+
+}  // namespace ppg

@@ -1,0 +1,130 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace ppg {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'P', 'G', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("ppg: truncated trace stream");
+  return value;
+}
+
+}  // namespace
+
+void write_multitrace(std::ostream& os, const MultiTrace& mt) {
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint32_t>(mt.num_procs()));
+  for (ProcId i = 0; i < mt.num_procs(); ++i) {
+    const auto& reqs = mt.trace(i).requests();
+    write_pod(os, static_cast<std::uint64_t>(reqs.size()));
+    os.write(reinterpret_cast<const char*>(reqs.data()),
+             static_cast<std::streamsize>(reqs.size() * sizeof(PageId)));
+  }
+  if (!os) throw std::runtime_error("ppg: trace write failed");
+}
+
+MultiTrace read_multitrace(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("ppg: bad trace magic");
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion)
+    throw std::runtime_error("ppg: unsupported trace version");
+  const auto num = read_pod<std::uint32_t>(is);
+  MultiTrace mt;
+  for (std::uint32_t i = 0; i < num; ++i) {
+    const auto len = read_pod<std::uint64_t>(is);
+    std::vector<PageId> reqs(len);
+    is.read(reinterpret_cast<char*>(reqs.data()),
+            static_cast<std::streamsize>(len * sizeof(PageId)));
+    if (!is) throw std::runtime_error("ppg: truncated trace stream");
+    mt.add(Trace(std::move(reqs)));
+  }
+  return mt;
+}
+
+void save_multitrace(const std::string& path, const MultiTrace& mt) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("ppg: cannot open " + path);
+  write_multitrace(os, mt);
+}
+
+MultiTrace load_multitrace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("ppg: cannot open " + path);
+  return read_multitrace(is);
+}
+
+void write_multitrace_text(std::ostream& os, const MultiTrace& mt) {
+  os << "# ppg multitrace text v1: <proc> <page>\n";
+  for (ProcId i = 0; i < mt.num_procs(); ++i)
+    for (PageId page : mt.trace(i)) os << i << ' ' << page << '\n';
+  if (!os) throw std::runtime_error("ppg: text trace write failed");
+}
+
+MultiTrace read_multitrace_text(std::istream& is) {
+  std::vector<std::vector<PageId>> per_proc;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Skip blank / whitespace-only lines.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream fields(line);
+    std::uint64_t proc = 0;
+    PageId page = 0;
+    if (!(fields >> proc >> page))
+      throw std::runtime_error("ppg: bad text trace line " +
+                               std::to_string(line_no));
+    std::string extra;
+    if (fields >> extra)
+      throw std::runtime_error("ppg: trailing tokens on text trace line " +
+                               std::to_string(line_no));
+    if (proc >= kInvalidProc)
+      throw std::runtime_error("ppg: processor id out of range on line " +
+                               std::to_string(line_no));
+    if (per_proc.size() <= proc) per_proc.resize(proc + 1);
+    per_proc[proc].push_back(page);
+  }
+  MultiTrace mt;
+  for (auto& reqs : per_proc) mt.add(Trace(std::move(reqs)));
+  return mt;
+}
+
+void save_multitrace_text(const std::string& path, const MultiTrace& mt) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("ppg: cannot open " + path);
+  write_multitrace_text(os, mt);
+}
+
+MultiTrace load_multitrace_text(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("ppg: cannot open " + path);
+  return read_multitrace_text(is);
+}
+
+}  // namespace ppg

@@ -1,0 +1,31 @@
+// Binary serialization of traces and multi-traces.
+//
+// Format (little-endian): magic "PPGTRACE", u32 version, u32 num_traces,
+// then per trace a u64 length followed by raw u64 page ids. Round-trips
+// exactly; used to snapshot generated workloads for external analysis and
+// to feed recorded traces back into the simulators.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace ppg {
+
+void write_multitrace(std::ostream& os, const MultiTrace& mt);
+MultiTrace read_multitrace(std::istream& is);
+
+void save_multitrace(const std::string& path, const MultiTrace& mt);
+MultiTrace load_multitrace(const std::string& path);
+
+/// Text format for interchange with external tools: one request per line
+/// as "<proc> <page>" in decimal; '#' starts a comment; processors may
+/// interleave arbitrarily (per-processor order is preserved). Processors
+/// with no requests still appear if a lower-numbered processor exists.
+void write_multitrace_text(std::ostream& os, const MultiTrace& mt);
+MultiTrace read_multitrace_text(std::istream& is);
+void save_multitrace_text(const std::string& path, const MultiTrace& mt);
+MultiTrace load_multitrace_text(const std::string& path);
+
+}  // namespace ppg

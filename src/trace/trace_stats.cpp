@@ -1,0 +1,77 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "trace/stack_distance.hpp"
+#include "util/assert.hpp"
+
+namespace ppg {
+
+TraceStats compute_trace_stats(const Trace& trace,
+                               std::uint32_t max_capacity_log2) {
+  TraceStats stats;
+  stats.num_requests = trace.size();
+  stats.distinct_pages = trace.distinct_pages();
+  if (trace.empty()) return stats;
+  stats.reuse_fraction = 1.0 - static_cast<double>(stats.distinct_pages) /
+                                   static_cast<double>(stats.num_requests);
+
+  const std::uint64_t max_tracked = std::uint64_t{1} << max_capacity_log2;
+  const auto distances = stack_distances(trace);
+  std::vector<double> finite;
+  std::uint64_t cold = 0;
+  for (std::uint64_t d : distances) {
+    if (d == kInfiniteDistance)
+      ++cold;
+    else
+      finite.push_back(static_cast<double>(d));
+  }
+  stats.cold_miss_fraction =
+      static_cast<double>(cold) / static_cast<double>(trace.size());
+  if (!finite.empty()) {
+    auto mid = finite.begin() + static_cast<std::ptrdiff_t>(finite.size() / 2);
+    std::nth_element(finite.begin(), mid, finite.end());
+    stats.median_stack_distance = static_cast<std::uint64_t>(*mid);
+  }
+
+  // Fault curve from the distance multiset: fault at capacity c iff
+  // distance >= c (or cold).
+  stats.lru_fault_curve.reserve(max_capacity_log2 + 1);
+  for (std::uint32_t lg = 0; lg <= max_capacity_log2; ++lg) {
+    const std::uint64_t c = std::uint64_t{1} << lg;
+    std::uint64_t faults = cold;
+    for (std::uint64_t d : distances)
+      if (d != kInfiniteDistance && d >= c) ++faults;
+    stats.lru_fault_curve.push_back(faults);
+    if (c >= max_tracked) break;
+  }
+  return stats;
+}
+
+std::vector<std::size_t> working_set_profile(const Trace& trace,
+                                             std::size_t window) {
+  PPG_CHECK(window >= 1);
+  std::vector<std::size_t> out;
+  std::unordered_set<PageId> seen;
+  for (std::size_t start = 0; start < trace.size(); start += window) {
+    seen.clear();
+    const std::size_t end = std::min(trace.size(), start + window);
+    for (std::size_t i = start; i < end; ++i) seen.insert(trace[i]);
+    out.push_back(seen.size());
+  }
+  return out;
+}
+
+std::string format_trace_stats(const TraceStats& stats) {
+  std::ostringstream os;
+  os << "requests=" << stats.num_requests
+     << " distinct=" << stats.distinct_pages
+     << " reuse=" << stats.reuse_fraction
+     << " median_sd=" << stats.median_stack_distance
+     << " cold_frac=" << stats.cold_miss_fraction;
+  return os.str();
+}
+
+}  // namespace ppg

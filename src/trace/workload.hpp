@@ -1,0 +1,49 @@
+// Multi-processor workload builders: assemble disjoint MultiTraces from the
+// single-processor generators. These are the standard instances the
+// benchmark harness sweeps over.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+
+/// Knobs shared by the mixed-workload builders.
+struct WorkloadParams {
+  ProcId num_procs = 8;
+  Height cache_size = 64;        ///< k; generators size working sets vs k.
+  std::size_t requests_per_proc = 20000;
+  std::uint64_t seed = 1;
+  Time miss_cost = 8;  ///< s; used to normalize streaming-phase lengths so
+                       ///< a height-insensitive processor does not trivially
+                       ///< dominate the makespan.
+};
+
+enum class WorkloadKind {
+  kHomogeneousCyclic,   ///< Every processor cycles a working set ~2k/p.
+  kHeterogeneousMix,    ///< Rotates cyclic / zipf / sawtooth / stream.
+  kCacheHungry,         ///< Cyclic sets spread across ladder rungs — the
+                        ///< height-sensitive regime where allocation policy
+                        ///< decides the makespan.
+  kPollutedCycles,      ///< Rung-spread cycles with polluter streams mixed in.
+  kZipf,                ///< Zipf over per-processor page sets.
+  kSkewedLengths,       ///< Mix with geometric length spread (mean-ct stress).
+};
+
+const char* workload_kind_name(WorkloadKind kind);
+
+/// Lookup by display name ("hetero-mix", ...); nullopt when unknown.
+std::optional<WorkloadKind> parse_workload_kind(const std::string& name);
+
+/// Builds the requested workload. Page sets are processor-disjoint.
+MultiTrace make_workload(WorkloadKind kind, const WorkloadParams& params);
+
+/// All kinds, for sweep loops.
+std::vector<WorkloadKind> all_workload_kinds();
+
+}  // namespace ppg

@@ -1,0 +1,92 @@
+#include "util/arg_parse.hpp"
+
+#include <stdexcept>
+
+namespace ppg {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) throw std::invalid_argument("bare '--' argument");
+    if (const auto eq = body.find('='); eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // --key value, unless the next token is another option or missing:
+    // then it is a boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "true";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  queried_[key] = true;
+  return options_.contains(key);
+}
+
+std::string ArgParser::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  queried_[key] = true;
+  const auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& key,
+                                std::int64_t fallback) const {
+  queried_[key] = true;
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  queried_[key] = true;
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool ArgParser::get_bool(const std::string& key, bool fallback) const {
+  queried_[key] = true;
+  const auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  if (it->second == "true" || it->second == "1" || it->second == "yes")
+    return true;
+  if (it->second == "false" || it->second == "0" || it->second == "no")
+    return false;
+  throw std::invalid_argument("--" + key + " expects a boolean, got '" +
+                              it->second + "'");
+}
+
+std::vector<std::string> ArgParser::unused_keys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : options_)
+    if (!queried_.contains(key)) unused.push_back(key);
+  return unused;
+}
+
+}  // namespace ppg

@@ -1,0 +1,41 @@
+// Minimal command-line option parsing for the example/driver binaries.
+//
+// Supports --key=value, --key value, and boolean --flag forms. Unknown
+// options are an error (fail fast beats silently ignored typos in
+// experiment scripts). No dependencies, fully testable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ppg {
+
+class ArgParser {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  /// Non-option positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were provided but never queried — typo detection for
+  /// drivers; call at the end of argument handling.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ppg

@@ -1,0 +1,40 @@
+// Invariant checking that stays on in release builds.
+//
+// Simulator correctness depends on internal invariants (conservation of
+// requests, memory-cap accounting); silently continuing after a violation
+// would corrupt experiment results, so PPG_CHECK aborts with context even in
+// optimized builds. PPG_DCHECK compiles out in NDEBUG builds and is meant
+// for hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppg::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "PPG_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace ppg::detail
+
+#define PPG_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]]                                             \
+      ::ppg::detail::check_failed(#expr, __FILE__, __LINE__, nullptr);    \
+  } while (false)
+
+#define PPG_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]]                                             \
+      ::ppg::detail::check_failed(#expr, __FILE__, __LINE__, (msg));      \
+  } while (false)
+
+#ifdef NDEBUG
+#define PPG_DCHECK(expr) ((void)0)
+#else
+#define PPG_DCHECK(expr) PPG_CHECK(expr)
+#endif

@@ -1,0 +1,55 @@
+// Sampling from a small fixed discrete distribution by inverse transform
+// over cumulative weights. RAND-GREEN's box-height distribution has
+// O(log p) outcomes, so linear scan of the CDF beats alias-table setup cost
+// and is branch-predictable (mass concentrates on the first entries).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+
+class DiscreteDistribution {
+ public:
+  /// Weights must be non-negative with a positive sum; they are normalized
+  /// internally.
+  explicit DiscreteDistribution(std::vector<double> weights)
+      : cdf_(weights.size()) {
+    PPG_CHECK(!weights.empty());
+    double sum = 0.0;
+    for (double w : weights) {
+      PPG_CHECK_MSG(w >= 0.0, "negative weight");
+      sum += w;
+    }
+    PPG_CHECK_MSG(sum > 0.0, "all weights zero");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i] / sum;
+      cdf_[i] = acc;
+    }
+    cdf_.back() = 1.0;  // guard against float drift
+  }
+
+  std::size_t num_outcomes() const { return cdf_.size(); }
+
+  /// Probability mass of outcome i.
+  double probability(std::size_t i) const {
+    PPG_CHECK(i < cdf_.size());
+    return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+  }
+
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    for (std::size_t i = 0; i + 1 < cdf_.size(); ++i)
+      if (u < cdf_[i]) return i;
+    return cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ppg

@@ -1,0 +1,62 @@
+#include "util/histogram.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/math_util.hpp"
+
+namespace ppg {
+
+Histogram::Histogram(std::size_t num_bins) : bins_(num_bins, 0) {
+  PPG_CHECK(num_bins >= 1);
+}
+
+void Histogram::add(std::uint64_t value, std::uint64_t weight) {
+  if (value < bins_.size())
+    bins_[value] += weight;
+  else
+    overflow_ += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::bin(std::size_t i) const {
+  PPG_CHECK(i < bins_.size());
+  return bins_[i];
+}
+
+double Histogram::frequency(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(bin(i)) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bins_.size(); ++i)
+    os << i << ": " << bins_[i] << "\n";
+  if (overflow_ > 0) os << ">=" << bins_.size() << ": " << overflow_ << "\n";
+  return os.str();
+}
+
+void Log2Histogram::add(std::uint64_t value, std::uint64_t weight) {
+  const std::size_t bucket = ilog2_floor(value + 1);
+  if (bucket >= bins_.size()) bins_.resize(bucket + 1, 0);
+  bins_[bucket] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Log2Histogram::bucket(std::size_t i) const {
+  PPG_CHECK(i < bins_.size());
+  return bins_[i];
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const std::uint64_t lo = (std::uint64_t{1} << i) - 1;
+    const std::uint64_t hi = (std::uint64_t{1} << (i + 1)) - 2;
+    os << "[" << lo << "," << hi << "]: " << bins_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ppg

@@ -1,0 +1,54 @@
+// Integer-valued histograms: linear-bucket and power-of-two-bucket variants.
+// Used for fault-count distributions, box-height frequencies (RAND-GREEN
+// distribution tests) and stack-distance profiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppg {
+
+/// Histogram over the exact integer domain [0, num_bins); values >= num_bins
+/// land in an overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_bins);
+
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  std::size_t num_bins() const { return bins_.size(); }
+  std::uint64_t bin(std::size_t i) const;
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Fraction of mass in bin i (0 when the histogram is empty).
+  double frequency(std::size_t i) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram with buckets [2^i, 2^{i+1}) (bucket 0 holds value 0 and 1...
+/// precisely: value v lands in bucket floor(log2(v+1))). Good for
+/// long-tailed quantities such as stack distances.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  std::size_t num_buckets() const { return bins_.size(); }
+  std::uint64_t bucket(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ppg

@@ -1,0 +1,151 @@
+// LruSet: a fixed-capacity set of pages with least-recently-used eviction.
+//
+// This is the hot data structure of every simulator in the library: each
+// compartmentalized box runs one LruSet, and the box runner touches it once
+// per request. It combines an intrusive doubly-linked list over a slot
+// vector (recency order) with an unordered_map from page to slot, so all
+// operations are O(1) expected and the recency links are cache-friendly
+// array indices rather than pointers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace ppg {
+
+class LruSet {
+ public:
+  /// Creates an empty set holding at most `capacity` pages (capacity >= 1).
+  explicit LruSet(Height capacity) : capacity_(capacity) {
+    PPG_CHECK(capacity >= 1);
+    slots_.reserve(capacity);
+    index_.reserve(capacity * 2);
+  }
+
+  Height capacity() const { return capacity_; }
+  Height size() const { return static_cast<Height>(slots_.size() - free_.size()); }
+  bool full() const { return size() == capacity_; }
+  bool empty() const { return size() == 0; }
+
+  bool contains(PageId page) const { return index_.find(page) != index_.end(); }
+
+  /// Records an access to `page`.
+  /// Returns true on a hit (page was present; it is moved to MRU position).
+  /// On a miss the page is inserted; if the set was full, the LRU page is
+  /// evicted and reported through `evicted` (set to kInvalidPage otherwise).
+  bool access(PageId page, PageId& evicted) {
+    evicted = kInvalidPage;
+    if (auto it = index_.find(page); it != index_.end()) {
+      touch(it->second);
+      return true;
+    }
+    if (full()) {
+      const std::uint32_t victim = lru_;
+      evicted = slots_[victim].page;
+      index_.erase(evicted);
+      unlink(victim);
+      slots_[victim].page = page;
+      link_front(victim);
+      index_.emplace(page, victim);
+    } else {
+      std::uint32_t slot;
+      if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+        slots_[slot].page = page;
+      } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(Slot{page, kNil, kNil});
+      }
+      link_front(slot);
+      index_.emplace(page, slot);
+    }
+    return false;
+  }
+
+  /// Convenience overload when the caller does not care about the victim.
+  bool access(PageId page) {
+    PageId dummy;
+    return access(page, dummy);
+  }
+
+  /// Removes a specific page; returns false if it was not present.
+  bool erase(PageId page) {
+    auto it = index_.find(page);
+    if (it == index_.end()) return false;
+    const std::uint32_t slot = it->second;
+    index_.erase(it);
+    unlink(slot);
+    free_.push_back(slot);
+    return true;
+  }
+
+  /// Removes every page (compartmentalized box reset).
+  void clear() {
+    index_.clear();
+    slots_.clear();
+    free_.clear();
+    mru_ = kNil;
+    lru_ = kNil;
+  }
+
+  /// Page that would be evicted next, or kInvalidPage when empty.
+  PageId lru_page() const { return lru_ == kNil ? kInvalidPage : slots_[lru_].page; }
+
+  /// Pages in most-recent-first order (for tests and diagnostics).
+  std::vector<PageId> pages_mru_order() const {
+    std::vector<PageId> out;
+    out.reserve(size());
+    for (std::uint32_t cur = mru_; cur != kNil; cur = slots_[cur].next)
+      out.push_back(slots_[cur].page);
+    return out;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = UINT32_MAX;
+
+  struct Slot {
+    PageId page;
+    std::uint32_t prev;  // toward MRU
+    std::uint32_t next;  // toward LRU
+  };
+
+  void link_front(std::uint32_t slot) {
+    slots_[slot].prev = kNil;
+    slots_[slot].next = mru_;
+    if (mru_ != kNil) slots_[mru_].prev = slot;
+    mru_ = slot;
+    if (lru_ == kNil) lru_ = slot;
+  }
+
+  void unlink(std::uint32_t slot) {
+    const Slot& s = slots_[slot];
+    if (s.prev != kNil)
+      slots_[s.prev].next = s.next;
+    else
+      mru_ = s.next;
+    if (s.next != kNil)
+      slots_[s.next].prev = s.prev;
+    else
+      lru_ = s.prev;
+  }
+
+  void touch(std::uint32_t slot) {
+    if (mru_ == slot) return;
+    unlink(slot);
+    link_front(slot);
+  }
+
+  Height capacity_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::unordered_map<PageId, std::uint32_t> index_;
+  std::uint32_t mru_ = kNil;
+  std::uint32_t lru_ = kNil;
+};
+
+}  // namespace ppg

@@ -1,0 +1,50 @@
+// Integer math helpers used throughout the box machinery: the paper's
+// box heights are powers of two in [k/p, k], so power-of-two rounding and
+// integer log2 are pervasive.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace ppg {
+
+/// floor(log2(x)); requires x >= 1.
+constexpr std::uint32_t ilog2_floor(std::uint64_t x) {
+  PPG_DCHECK(x >= 1);
+  return static_cast<std::uint32_t>(63 - std::countl_zero(x));
+}
+
+/// ceil(log2(x)); requires x >= 1.
+constexpr std::uint32_t ilog2_ceil(std::uint64_t x) {
+  PPG_DCHECK(x >= 1);
+  return x == 1 ? 0u : ilog2_floor(x - 1) + 1u;
+}
+
+/// Largest power of two <= x; requires x >= 1.
+constexpr std::uint64_t pow2_floor(std::uint64_t x) {
+  return std::uint64_t{1} << ilog2_floor(x);
+}
+
+/// Smallest power of two >= x; requires x >= 1.
+constexpr std::uint64_t pow2_ceil(std::uint64_t x) {
+  return std::uint64_t{1} << ilog2_ceil(x);
+}
+
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  PPG_DCHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Saturating doubling sequence helper: value of h * 2^i clamped to hi.
+constexpr std::uint64_t shl_clamped(std::uint64_t h, std::uint32_t i,
+                                    std::uint64_t hi) {
+  if (i >= 64 || h > (hi >> i)) return hi;
+  return h << i;
+}
+
+}  // namespace ppg

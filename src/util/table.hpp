@@ -1,0 +1,43 @@
+// Aligned ASCII table and CSV emission for benchmark output.
+//
+// Every bench binary prints its experiment as one of these tables; the same
+// object can also be serialized as CSV for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppg {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+  Table& cell(unsigned value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+  const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Renders with padded columns and a header rule.
+  void print(std::ostream& os) const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a CSV field per RFC 4180 (quotes fields containing , " or \n).
+std::string csv_escape(const std::string& field);
+
+}  // namespace ppg

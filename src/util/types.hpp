@@ -1,0 +1,31 @@
+// Core scalar types shared across the parallel-paging library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ppg {
+
+/// Identifier of a (virtual-memory) page. Pages are opaque: only equality
+/// matters to the simulators. Disjointness across processors is guaranteed
+/// by the trace generators via per-processor id spaces.
+using PageId = std::uint64_t;
+
+/// Discrete simulation time, in ticks. A cache hit costs 1 tick; a miss
+/// costs `s` ticks (the fault service time).
+using Time = std::uint64_t;
+
+/// Cache capacity / box height, in pages.
+using Height = std::uint32_t;
+
+/// Index of a processor in [0, p).
+using ProcId = std::uint32_t;
+
+/// Memory impact: integral of allocated cache size over time (pages·ticks).
+using Impact = std::uint64_t;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+inline constexpr ProcId kInvalidProc = std::numeric_limits<ProcId>::max();
+
+}  // namespace ppg

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "trace/adversarial.hpp"
+#include "util/math_util.hpp"
+
+namespace ppg {
+namespace {
+
+AdversarialParams small_params() {
+  AdversarialParams p;
+  p.ell = 4;
+  p.a = 1;
+  p.alpha = 0.05;  // keep the instance tiny for unit tests
+  p.suffix_phase_factor = 1.0;
+  return p;
+}
+
+TEST(AdversarialParams, DerivedQuantities) {
+  const AdversarialParams p = small_params();
+  EXPECT_EQ(p.num_procs(), 31u);          // 2^5 - 1
+  EXPECT_EQ(p.cache_size(), 31u);         // p * 2^0
+  EXPECT_EQ(p.num_families(), 3u);        // ell - log2(ell) + 1 = 4 - 2 + 1
+  EXPECT_EQ(p.num_prefixed(), 7u);        // 2^3 - 1
+  EXPECT_EQ(p.phase_length(), 30u * p.gamma());
+}
+
+TEST(AdversarialParams, PollutionIntervalHalvesPerPhase) {
+  const AdversarialParams p = small_params();
+  EXPECT_EQ(p.pollute_interval(0), 31u);
+  EXPECT_EQ(p.pollute_interval(1), 15u);
+  EXPECT_EQ(p.pollute_interval(2), 7u);
+  EXPECT_EQ(p.pollute_interval(10), 1u);  // floors at 1
+}
+
+TEST(AdversarialInstance, HasOneTracePerProcessor) {
+  const AdversarialInstance inst = make_adversarial_instance(small_params());
+  EXPECT_EQ(inst.traces.num_procs(), inst.params.num_procs());
+  EXPECT_EQ(inst.info.size(), inst.params.num_procs());
+}
+
+TEST(AdversarialInstance, FamilySizesAreGeometric) {
+  const AdversarialInstance inst = make_adversarial_instance(small_params());
+  std::vector<int> family_count(inst.params.num_families(), 0);
+  int prefixed = 0;
+  for (const auto& info : inst.info) {
+    if (!info.prefixed) continue;
+    ++prefixed;
+    ASSERT_LT(info.family, family_count.size());
+    ++family_count[info.family];
+  }
+  EXPECT_EQ(prefixed, static_cast<int>(inst.params.num_prefixed()));
+  for (std::uint32_t i = 0; i < family_count.size(); ++i)
+    EXPECT_EQ(family_count[i], 1 << i) << "family " << i;
+}
+
+TEST(AdversarialInstance, PhaseCountDecreasesWithFamily) {
+  const AdversarialInstance inst = make_adversarial_instance(small_params());
+  const std::uint32_t families = inst.params.num_families();
+  for (const auto& info : inst.info) {
+    if (!info.prefixed) continue;
+    // Family i has families - i prefix phases (sigma^0..sigma^{f-1-i}).
+    EXPECT_EQ(info.prefix_phases, families - info.family);
+  }
+}
+
+TEST(AdversarialInstance, SuffixLengthsAllEqual) {
+  const AdversarialInstance inst = make_adversarial_instance(small_params());
+  const std::size_t expect = static_cast<std::size_t>(
+      inst.params.suffix_phases()) * inst.params.phase_length();
+  for (ProcId i = 0; i < inst.traces.num_procs(); ++i) {
+    const std::size_t suffix =
+        inst.traces.trace(i).size() - inst.info[i].prefix_requests;
+    EXPECT_EQ(suffix, expect) << "proc " << i;
+  }
+}
+
+TEST(AdversarialInstance, SuffixPagesAreSingleUse) {
+  const AdversarialInstance inst = make_adversarial_instance(small_params());
+  for (ProcId i = 0; i < inst.traces.num_procs(); ++i) {
+    const Trace& t = inst.traces.trace(i);
+    std::unordered_set<PageId> seen;
+    for (std::size_t r = inst.info[i].prefix_requests; r < t.size(); ++r)
+      EXPECT_TRUE(seen.insert(t[r]).second) << "proc " << i << " pos " << r;
+  }
+}
+
+TEST(AdversarialInstance, TracesAreDisjoint) {
+  const AdversarialInstance inst = make_adversarial_instance(small_params());
+  EXPECT_TRUE(inst.traces.validate_disjoint());
+}
+
+TEST(AdversarialInstance, PrefixHasExpectedPollutionRate) {
+  const AdversarialInstance inst = make_adversarial_instance(small_params());
+  // Find a family-0 sequence: its first phase is sigma^0 with interval p.
+  for (ProcId i = 0; i < inst.traces.num_procs(); ++i) {
+    if (!inst.info[i].prefixed || inst.info[i].family != 0) continue;
+    const Trace& t = inst.traces.trace(i);
+    const std::size_t phase_len = inst.params.phase_length();
+    // Repeaters dominate: the number of distinct pages in phase 0 is about
+    // (k-1) repeaters + phase_len/p polluters.
+    std::unordered_set<PageId> distinct;
+    for (std::size_t r = 0; r < phase_len; ++r) distinct.insert(t[r]);
+    const std::size_t k = inst.params.cache_size();
+    const std::size_t expected_polluters =
+        phase_len / inst.params.pollute_interval(0);
+    EXPECT_NEAR(static_cast<double>(distinct.size()),
+                static_cast<double>(k - 1 + expected_polluters),
+                2.0);
+    return;
+  }
+  FAIL() << "no family-0 sequence found";
+}
+
+TEST(AdversarialInstance, GammaScalesWithAlpha) {
+  AdversarialParams p = small_params();
+  p.alpha = 1.0;
+  EXPECT_EQ(p.gamma(), 2 * p.cache_size());
+  p.alpha = 0.5;
+  EXPECT_EQ(p.gamma(), p.cache_size());
+}
+
+}  // namespace
+}  // namespace ppg

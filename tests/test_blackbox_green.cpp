@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/blackbox_green.hpp"
+#include "core/parallel_engine.hpp"
+#include "trace/generators.hpp"
+#include "trace/workload.hpp"
+
+namespace ppg {
+namespace {
+
+MultiTrace mixed_workload(ProcId p, Height k, std::size_t len) {
+  WorkloadParams params;
+  params.num_procs = p;
+  params.cache_size = k;
+  params.requests_per_proc = len;
+  params.seed = 5;
+  return make_workload(WorkloadKind::kHeterogeneousMix, params);
+}
+
+EngineConfig config_for(Height k, Time s) {
+  EngineConfig c;
+  c.cache_size = k;
+  c.miss_cost = s;
+  return c;
+}
+
+TEST(BlackboxGreen, CompletesWithDetGreen) {
+  const MultiTrace mt = mixed_workload(8, 32, 2000);
+  auto scheduler = make_blackbox_green();
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(32, 4));
+  EXPECT_EQ(r.hits + r.misses, mt.total_requests());
+}
+
+TEST(BlackboxGreen, CompletesWithRandGreen) {
+  BlackboxGreenConfig config;
+  config.green = GreenKind::kRand;
+  config.seed = 11;
+  const MultiTrace mt = mixed_workload(8, 32, 2000);
+  auto scheduler = make_blackbox_green(config);
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(32, 4));
+  EXPECT_EQ(r.hits + r.misses, mt.total_requests());
+}
+
+TEST(BlackboxGreen, PackingRespectsBudget) {
+  BlackboxGreenConfig config;
+  config.pack_factor = 2.0;
+  const MultiTrace mt = mixed_workload(16, 64, 2000);
+  auto scheduler = make_blackbox_green(config);
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(64, 4));
+  // pack_factor * k plus one in-flight box of height <= k.
+  EXPECT_LE(r.peak_concurrent_height, 3 * 64u);
+}
+
+TEST(BlackboxGreen, FairnessKeepsImpactsBalanced) {
+  // Equal-length single-use traces: every processor has identical work, so
+  // fair packing must complete them at similar times.
+  MultiTrace mt;
+  const ProcId p = 8;
+  for (ProcId i = 0; i < p; ++i)
+    mt.add(gen::rebase_to_proc(gen::single_use(5000), i));
+  auto scheduler = make_blackbox_green();
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(32, 4));
+  Time min_c = std::numeric_limits<Time>::max();
+  Time max_c = 0;
+  for (Time c : r.completion) {
+    min_c = std::min(min_c, c);
+    max_c = std::max(max_c, c);
+  }
+  EXPECT_LT(static_cast<double>(max_c),
+            2.5 * static_cast<double>(min_c));
+}
+
+TEST(BlackboxGreen, RebootsShrinkLadderAsProcessorsFinish) {
+  // With one long and several short sequences, after the short ones finish
+  // the minimum box height for the survivor must grow (ladder reboot).
+  MultiTrace mt;
+  mt.add(gen::rebase_to_proc(gen::single_use(20000), 0));
+  for (ProcId i = 1; i < 8; ++i)
+    mt.add(gen::rebase_to_proc(gen::single_use(500), i));
+  auto scheduler = make_blackbox_green();
+  EngineConfig c = config_for(64, 4);
+  Height min_late_height = 64;
+  Time watermark = 0;
+  std::vector<std::pair<Time, Height>> boxes;
+  c.on_box = [&](ProcId proc, const BoxAssignment& box) {
+    if (proc == 0) boxes.emplace_back(box.start, box.height);
+  };
+  const ParallelRunResult r = run_parallel(mt, *scheduler, c);
+  // After 80% of the run, proc 0 is alone: min height should be the full
+  // ladder minimum k/1 = 64 (pow2) rather than k/8 = 8.
+  watermark = r.makespan * 8 / 10;
+  for (const auto& [start, height] : boxes)
+    if (start >= watermark) min_late_height = std::min(min_late_height, height);
+  EXPECT_GE(min_late_height, 32u);
+}
+
+TEST(BlackboxGreen, DeterministicWithDetGreen) {
+  const MultiTrace mt = mixed_workload(8, 32, 1000);
+  auto s1 = make_blackbox_green();
+  auto s2 = make_blackbox_green();
+  const ParallelRunResult a = run_parallel(mt, *s1, config_for(32, 4));
+  const ParallelRunResult b = run_parallel(mt, *s2, config_for(32, 4));
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.completion, b.completion);
+}
+
+}  // namespace
+}  // namespace ppg

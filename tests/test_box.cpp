@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "green/box.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(BoxTest, ImpactIsHeightTimesDuration) {
+  const Box b{4, 10};
+  EXPECT_EQ(b.impact(), 40u);
+}
+
+TEST(BoxTest, CanonicalBoxDuration) {
+  const Box b = canonical_box(8, 5);
+  EXPECT_EQ(b.height, 8u);
+  EXPECT_EQ(b.duration, 40u);
+  EXPECT_EQ(b.impact(), 320u);
+}
+
+TEST(HeightLadderTest, NumHeights) {
+  const HeightLadder ladder{4, 64};
+  EXPECT_TRUE(ladder.valid());
+  EXPECT_EQ(ladder.num_heights(), 5u);  // 4 8 16 32 64
+  EXPECT_EQ(ladder.height(0), 4u);
+  EXPECT_EQ(ladder.height(4), 64u);
+}
+
+TEST(HeightLadderTest, SingleRung) {
+  const HeightLadder ladder{8, 8};
+  EXPECT_TRUE(ladder.valid());
+  EXPECT_EQ(ladder.num_heights(), 1u);
+}
+
+TEST(HeightLadderTest, InvalidWhenNotPow2Ratio) {
+  const HeightLadder ladder{3, 12};  // ratio 4 but h_min=3 is fine; ratio
+  EXPECT_TRUE(ladder.valid());       // must be a power of two: 12/3 = 4. OK.
+  const HeightLadder bad{4, 12};     // 12/4 = 3: invalid
+  EXPECT_FALSE(bad.valid());
+}
+
+TEST(HeightLadderTest, RungForClampsAndRounds) {
+  const HeightLadder ladder{4, 64};
+  EXPECT_EQ(ladder.rung_for(1), 0u);
+  EXPECT_EQ(ladder.rung_for(4), 0u);
+  EXPECT_EQ(ladder.rung_for(5), 1u);   // rounds up to 8
+  EXPECT_EQ(ladder.rung_for(8), 1u);
+  EXPECT_EQ(ladder.rung_for(33), 4u);  // rounds up to 64
+  EXPECT_EQ(ladder.rung_for(1000), 4u);  // clamps to top
+}
+
+TEST(HeightLadderTest, Contains) {
+  const HeightLadder ladder{4, 64};
+  EXPECT_TRUE(ladder.contains(4));
+  EXPECT_TRUE(ladder.contains(32));
+  EXPECT_FALSE(ladder.contains(2));
+  EXPECT_FALSE(ladder.contains(12));
+  EXPECT_FALSE(ladder.contains(128));
+}
+
+TEST(HeightLadderTest, ForCacheGeometry) {
+  const HeightLadder ladder = HeightLadder::for_cache(64, 8);
+  EXPECT_EQ(ladder.h_min, 8u);
+  EXPECT_EQ(ladder.h_max, 64u);
+  EXPECT_EQ(ladder.num_heights(), 4u);
+}
+
+TEST(BoxProfileTest, Totals) {
+  BoxProfile profile({Box{2, 10}, Box{4, 20}});
+  EXPECT_EQ(profile.total_impact(), 2u * 10 + 4u * 20);
+  EXPECT_EQ(profile.total_duration(), 30u);
+  EXPECT_EQ(profile.size(), 2u);
+}
+
+TEST(BoxProfileTest, Conformance) {
+  const HeightLadder ladder{2, 8};
+  BoxProfile good({Box{2, 4}, Box{8, 16}});
+  EXPECT_TRUE(good.conforms_to(ladder));
+  BoxProfile bad({Box{3, 4}});
+  EXPECT_FALSE(bad.conforms_to(ladder));
+}
+
+}  // namespace
+}  // namespace ppg

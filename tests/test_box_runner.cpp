@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "green/box_runner.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(BoxRunner, ServesWithinBudget) {
+  // s = 4. Box of height 2, duration 8: two cold misses consume the
+  // entire budget.
+  const Trace t = test::make_trace({1, 2, 3, 4});
+  BoxRunner runner(t, 4);
+  const BoxStepResult step = runner.run_box(2, 8);
+  EXPECT_EQ(step.requests_completed, 2u);
+  EXPECT_EQ(step.misses, 2u);
+  EXPECT_EQ(step.busy_time, 8u);
+  EXPECT_EQ(step.stall_time, 0u);
+  EXPECT_FALSE(step.finished);
+  EXPECT_EQ(runner.position(), 2u);
+}
+
+TEST(BoxRunner, StallsWhenRequestDoesNotFit) {
+  // s = 4, duration 6: one miss (4 ticks) then the next miss doesn't fit;
+  // 2 ticks stall.
+  const Trace t = test::make_trace({1, 2});
+  BoxRunner runner(t, 4);
+  const BoxStepResult step = runner.run_box(2, 6);
+  EXPECT_EQ(step.requests_completed, 1u);
+  EXPECT_EQ(step.stall_time, 2u);
+}
+
+TEST(BoxRunner, HitsCostOne) {
+  // Height 1, page repeats: 1 miss (s=4) + 4 hits in a duration-8 box.
+  const Trace t = test::make_trace({1, 1, 1, 1, 1});
+  BoxRunner runner(t, 4);
+  const BoxStepResult step = runner.run_box(1, 8);
+  EXPECT_EQ(step.misses, 1u);
+  EXPECT_EQ(step.hits, 4u);
+  EXPECT_TRUE(step.finished);
+}
+
+TEST(BoxRunner, CompartmentalizationResetsCache) {
+  // Page 1 is resident after box 1; a fresh box must miss on it again.
+  const Trace t = test::make_trace({1, 1});
+  BoxRunner runner(t, 4);
+  const BoxStepResult first = runner.run_box(2, 4);
+  EXPECT_EQ(first.requests_completed, 1u);
+  const BoxStepResult second = runner.run_box(2, 4, /*fresh=*/true);
+  EXPECT_EQ(second.misses, 1u);  // NOT a hit: compartment starts empty
+  EXPECT_EQ(second.hits, 0u);
+}
+
+TEST(BoxRunner, ContinuationKeepsCache) {
+  const Trace t = test::make_trace({1, 1});
+  BoxRunner runner(t, 4);
+  runner.run_box(2, 4);
+  const BoxStepResult second = runner.run_box(2, 4, /*fresh=*/false);
+  EXPECT_EQ(second.hits, 1u);  // survived the box boundary
+  EXPECT_EQ(second.misses, 0u);
+}
+
+TEST(BoxRunner, HeightChangeAlwaysResets) {
+  const Trace t = test::make_trace({1, 1});
+  BoxRunner runner(t, 4);
+  runner.run_box(2, 4);
+  // fresh=false but height changed: still a reset.
+  const BoxStepResult second = runner.run_box(4, 16, /*fresh=*/false);
+  EXPECT_EQ(second.misses, 1u);
+}
+
+TEST(BoxRunner, LruEvictionWithinBox) {
+  // Height 2, cycle of 3 pages: every access misses.
+  const Trace t = gen::cyclic(3, 6);
+  BoxRunner runner(t, 2);
+  const BoxStepResult step = runner.run_box(2, 100);
+  EXPECT_EQ(step.misses, 6u);
+  EXPECT_EQ(step.hits, 0u);
+}
+
+TEST(BoxRunner, CanonicalBoxCompletesAtLeastHeightRequests) {
+  // The paper's accounting relies on a height-z canonical box finishing
+  // >= z requests: duration s*z covers z misses.
+  const Trace t = gen::single_use(100);
+  for (Height z : {1u, 2u, 4u, 8u}) {
+    BoxRunner runner(t, 7);
+    const BoxStepResult step = runner.run_box(z, 7 * z);
+    EXPECT_GE(step.requests_completed, z) << "height " << z;
+  }
+}
+
+TEST(BoxRunner, ResetRestartsFromBeginning) {
+  const Trace t = test::make_trace({1, 2, 3});
+  BoxRunner runner(t, 2);
+  runner.run_box(4, 100);
+  EXPECT_TRUE(runner.finished());
+  runner.reset();
+  EXPECT_FALSE(runner.finished());
+  EXPECT_EQ(runner.position(), 0u);
+}
+
+TEST(RunProfile, AccountsImpactExactly) {
+  const Trace t = gen::cyclic(2, 10);
+  // s = 3. Box 1 (height 4, duration 12): misses pages 0,1 (6 ticks) then 6
+  // hits -> 8 requests, fully consumed. Box 2: fresh compartment re-misses
+  // both pages (6 busy ticks) and finishes; its tail is clipped.
+  const BoxProfile profile({canonical_box(4, 3), canonical_box(4, 3)});
+  const ProfileRunResult r = run_profile(t, profile, 3);
+  EXPECT_EQ(r.boxes_used, 2u);
+  EXPECT_EQ(r.misses, 4u);
+  EXPECT_EQ(r.hits, 6u);
+  EXPECT_EQ(r.time, 12u + 6u);
+  EXPECT_EQ(r.impact, 4u * 12u + 4u * 6u);
+}
+
+TEST(RunProfile, ChecksCompletion) {
+  const Trace t = gen::single_use(100);
+  const BoxProfile profile({canonical_box(1, 2)});  // serves ~1 request
+  EXPECT_DEATH(run_profile(t, profile, 2), "profile too short");
+}
+
+TEST(RunProfile, FinalBoxClipped) {
+  const Trace t = test::make_trace({1});
+  const BoxProfile profile({canonical_box(4, 5)});  // duration 20
+  const ProfileRunResult r = run_profile(t, profile, 5);
+  EXPECT_EQ(r.time, 5u);          // one miss: 5 ticks, tail not charged
+  EXPECT_EQ(r.impact, 4u * 5u);   // height * busy
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "paging/cache_sim.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(CacheSimTest, TimingModel) {
+  // 2 misses + 1 hit at s = 5: time = 2*5 + 1 = 11.
+  const Trace t = test::make_trace({1, 2, 1});
+  const CacheSimResult r = simulate_policy(PolicyKind::kLru, t, 2, 5);
+  EXPECT_EQ(r.misses, 2u);
+  EXPECT_EQ(r.hits, 1u);
+  EXPECT_EQ(r.time, 11u);
+}
+
+TEST(CacheSimTest, MissRate) {
+  const Trace t = test::make_trace({1, 1, 1, 2});
+  const CacheSimResult r = simulate_policy(PolicyKind::kLru, t, 2, 2);
+  EXPECT_DOUBLE_EQ(r.miss_rate(), 0.5);
+}
+
+TEST(CacheSimTest, EmptyTraceZeroes) {
+  const CacheSimResult r = simulate_policy(PolicyKind::kLru, Trace{}, 2, 2);
+  EXPECT_EQ(r.accesses(), 0u);
+  EXPECT_EQ(r.time, 0u);
+  EXPECT_EQ(r.miss_rate(), 0.0);
+}
+
+TEST(CacheSimTest, RunResetsBetweenCalls) {
+  const Trace t = test::make_trace({1, 2, 3});
+  CacheSim sim(2, make_policy(PolicyKind::kLru, 2), 2);
+  const CacheSimResult first = sim.run(t);
+  const CacheSimResult second = sim.run(t);
+  EXPECT_EQ(first.misses, second.misses);
+  EXPECT_EQ(first.time, second.time);
+}
+
+TEST(CacheSimTest, IncrementalAccessMatchesRun) {
+  const Trace t = test::make_trace({1, 2, 1, 3, 2, 1});
+  CacheSim batch(2, make_policy(PolicyKind::kLru, 2), 3);
+  const CacheSimResult batched = batch.run(t);
+
+  CacheSim inc(2, make_policy(PolicyKind::kLru, 2), 3);
+  for (PageId p : t) inc.access(p);
+  EXPECT_EQ(inc.result().hits, batched.hits);
+  EXPECT_EQ(inc.result().misses, batched.misses);
+}
+
+TEST(CacheSimTest, CapacityBoundsResidency) {
+  // A working set larger than capacity must produce repeat misses.
+  const Trace t = gen::cyclic(10, 100);
+  const CacheSimResult r = simulate_policy(PolicyKind::kLru, t, 5, 2);
+  EXPECT_EQ(r.misses, 100u);  // LRU thrashes on a cycle bigger than cache
+}
+
+}  // namespace
+}  // namespace ppg

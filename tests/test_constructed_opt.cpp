@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "opt/constructed_opt.hpp"
+#include "opt/opt_bounds.hpp"
+#include "trace/adversarial.hpp"
+
+namespace ppg {
+namespace {
+
+AdversarialParams tiny_params() {
+  AdversarialParams p;
+  p.ell = 3;
+  p.a = 1;
+  p.alpha = 0.05;
+  p.suffix_phase_factor = 1.0;
+  return p;
+}
+
+TEST(ConstructedOpt, StagesArePositive) {
+  const AdversarialInstance inst = make_adversarial_instance(tiny_params());
+  const ConstructedOptResult r = run_constructed_opt(inst, 8);
+  EXPECT_GT(r.prefix_stage, 0u);
+  EXPECT_GT(r.suffix_stage, 0u);
+  EXPECT_EQ(r.makespan, r.prefix_stage + r.suffix_stage);
+}
+
+TEST(ConstructedOpt, SuffixStageIsMissBound) {
+  const AdversarialInstance inst = make_adversarial_instance(tiny_params());
+  const Time s = 8;
+  const ConstructedOptResult r = run_constructed_opt(inst, s);
+  const Time suffix_len = static_cast<Time>(inst.params.suffix_phases()) *
+                          inst.params.phase_length();
+  EXPECT_EQ(r.suffix_stage, s * suffix_len);
+}
+
+TEST(ConstructedOpt, AboveCertifiedLowerBound) {
+  // The constructed schedule is achievable, so it must sit at or above the
+  // certified lower bound for the same instance (T_LB <= T_OPT <= T_constructed).
+  const AdversarialInstance inst = make_adversarial_instance(tiny_params());
+  const Time s = 8;
+  const ConstructedOptResult opt = run_constructed_opt(inst, s);
+  OptBoundsConfig oc;
+  oc.cache_size = inst.params.cache_size();
+  oc.miss_cost = s;
+  const OptBounds bounds = compute_opt_bounds(inst.traces, oc);
+  EXPECT_GE(opt.makespan, bounds.lower_bound());
+}
+
+TEST(ConstructedOpt, PrefixStageBenefitsFromFullCache) {
+  // With the full cache, prefix misses are only polluters + one cold fill
+  // per sequence: the prefix busy time must be far below the all-miss
+  // worst case.
+  const AdversarialInstance inst = make_adversarial_instance(tiny_params());
+  const Time s = 16;
+  const ConstructedOptResult r = run_constructed_opt(inst, s);
+  std::size_t prefix_requests = 0;
+  for (const auto& info : inst.info) prefix_requests += info.prefix_requests;
+  const Time all_miss = s * static_cast<Time>(prefix_requests);
+  EXPECT_LT(r.prefix_stage, all_miss / 2);
+}
+
+}  // namespace
+}  // namespace ppg

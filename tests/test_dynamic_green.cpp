@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "green/dynamic_green.hpp"
+#include "green/green_opt.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+constexpr Time kS = 8;
+
+TEST(EpochSchedule, LookupByPosition) {
+  const EpochSchedule schedule({{0, HeightLadder{2, 16}},
+                                {100, HeightLadder{4, 16}},
+                                {250, HeightLadder{8, 16}}});
+  EXPECT_EQ(schedule.num_epochs(), 3u);
+  EXPECT_EQ(schedule.ladder_at(0).h_min, 2u);
+  EXPECT_EQ(schedule.ladder_at(99).h_min, 2u);
+  EXPECT_EQ(schedule.ladder_at(100).h_min, 4u);
+  EXPECT_EQ(schedule.ladder_at(249).h_min, 4u);
+  EXPECT_EQ(schedule.ladder_at(1000000).h_min, 8u);
+}
+
+TEST(EpochSchedule, DoublingMinBuilder) {
+  const EpochSchedule schedule =
+      EpochSchedule::doubling_min(2, 32, {100, 200, 300, 400});
+  EXPECT_EQ(schedule.num_epochs(), 5u);
+  EXPECT_EQ(schedule.ladder_at(0).h_min, 2u);
+  EXPECT_EQ(schedule.ladder_at(150).h_min, 4u);
+  EXPECT_EQ(schedule.ladder_at(450).h_min, 32u);  // clamped at h_max
+  EXPECT_EQ(schedule.ladder_at(450).h_max, 32u);
+}
+
+TEST(EpochSchedule, RejectsBadSchedules) {
+  EXPECT_DEATH(EpochSchedule({}), "at least one epoch");
+  EXPECT_DEATH(EpochSchedule({{5, HeightLadder{2, 8}}}), "position 0");
+  EXPECT_DEATH(EpochSchedule({{0, HeightLadder{2, 8}},
+                              {10, HeightLadder{2, 8}},
+                              {10, HeightLadder{4, 8}}}),
+               "strictly increasing");
+}
+
+TEST(DynamicGreen, SingleEpochMatchesStaticRunner) {
+  Rng rng(1);
+  const Trace t = gen::zipf(20, 1500, 0.9, rng);
+  const HeightLadder ladder{2, 16};
+  auto pager_a = make_det_green(ladder);
+  auto pager_b = make_det_green(ladder);
+  const ProfileRunResult stat = run_green_paging(t, *pager_a, kS);
+  const DynamicGreenResult dyn = run_green_paging_dynamic(
+      t, *pager_b, EpochSchedule::constant(ladder), kS);
+  EXPECT_EQ(dyn.run.impact, stat.impact);
+  EXPECT_EQ(dyn.run.time, stat.time);
+  EXPECT_EQ(dyn.reboots, 0u);
+}
+
+TEST(DynamicGreen, RebootsFireAtEpochBoundaries) {
+  const Trace t = gen::single_use(600);
+  const EpochSchedule schedule =
+      EpochSchedule::doubling_min(2, 16, {200, 400});
+  auto pager = make_det_green(HeightLadder{2, 16});
+  const DynamicGreenResult r =
+      run_green_paging_dynamic(t, *pager, schedule, kS);
+  EXPECT_EQ(r.reboots, 2u);
+  EXPECT_EQ(r.run.hits + r.run.misses, t.size());
+}
+
+TEST(DynamicGreen, RisingMinimumRaisesCost) {
+  // On a pure stream, the optimal is always the minimum height; raising
+  // the minimum threshold mid-run must strictly raise the optimal cost.
+  const Trace t = gen::single_use(1000);
+  const Impact flat = green_opt_impact_dynamic(
+      t, EpochSchedule::constant(HeightLadder{2, 16}), kS);
+  const Impact rising = green_opt_impact_dynamic(
+      t, EpochSchedule::doubling_min(2, 16, {200, 400, 600}), kS);
+  EXPECT_GT(rising, flat);
+  // And the flat dynamic DP agrees with the classic one.
+  EXPECT_EQ(flat, green_opt_impact(t, HeightLadder{2, 16}, kS));
+}
+
+class DynamicOptIsLowerBound : public ::testing::TestWithParam<GreenKind> {};
+
+TEST_P(DynamicOptIsLowerBound, PagersNeverBeatDynamicDp) {
+  Rng rng(3);
+  const std::vector<Trace> traces{
+      gen::cyclic(10, 900),
+      gen::single_use(800),
+      gen::zipf(24, 900, 1.0, rng),
+  };
+  const EpochSchedule schedule =
+      EpochSchedule::doubling_min(2, 16, {300, 600});
+  for (const Trace& t : traces) {
+    const Impact opt = green_opt_impact_dynamic(t, schedule, kS);
+    auto pager =
+        make_green_pager(GetParam(), schedule.epoch(0).ladder, Rng(9));
+    const DynamicGreenResult r =
+        run_green_paging_dynamic(t, *pager, schedule, kS);
+    EXPECT_GE(r.run.impact, opt) << green_kind_name(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pagers, DynamicOptIsLowerBound,
+                         ::testing::Values(GreenKind::kRand, GreenKind::kDet,
+                                           GreenKind::kFixedMin));
+
+TEST(DynamicGreen, PagerHeightsConformPerEpoch) {
+  // After a reboot the pager must emit heights on the NEW ladder — the
+  // runner enforces it; this exercises the enforcement across epochs.
+  const Trace t = gen::single_use(500);
+  const EpochSchedule schedule =
+      EpochSchedule::doubling_min(4, 32, {100, 200, 300});
+  auto pager = make_rand_green(HeightLadder{4, 32}, Rng(11));
+  const DynamicGreenResult r =
+      run_green_paging_dynamic(t, *pager, schedule, kS);
+  EXPECT_EQ(r.run.hits + r.run.misses, t.size());
+  EXPECT_GE(r.reboots, 3u);
+}
+
+}  // namespace
+}  // namespace ppg

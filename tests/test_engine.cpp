@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/parallel_engine.hpp"
+#include "core/simple_schedulers.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+MultiTrace small_workload(ProcId p, std::size_t len) {
+  MultiTrace mt;
+  for (ProcId i = 0; i < p; ++i)
+    mt.add(gen::rebase_to_proc(gen::cyclic(4 + i, len), i));
+  return mt;
+}
+
+EngineConfig config_for(Height k, Time s) {
+  EngineConfig c;
+  c.cache_size = k;
+  c.miss_cost = s;
+  return c;
+}
+
+TEST(Engine, ServesEveryRequestExactlyOnce) {
+  const MultiTrace mt = small_workload(4, 500);
+  auto scheduler = make_static_partition();
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(16, 4));
+  EXPECT_EQ(r.hits + r.misses, mt.total_requests());
+}
+
+TEST(Engine, MakespanIsMaxCompletion) {
+  const MultiTrace mt = small_workload(3, 300);
+  auto scheduler = make_equi_partition();
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(16, 4));
+  Time max_c = 0;
+  for (Time c : r.completion) max_c = std::max(max_c, c);
+  EXPECT_EQ(r.makespan, max_c);
+  EXPECT_LE(r.mean_completion, static_cast<double>(r.makespan));
+}
+
+TEST(Engine, MakespanAtLeastTrivialLowerBound) {
+  const MultiTrace mt = small_workload(4, 400);
+  auto scheduler = make_equi_partition();
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(32, 4));
+  EXPECT_GE(r.makespan, mt.max_length());
+}
+
+TEST(Engine, EmptyTracesCompleteAtZero) {
+  MultiTrace mt;
+  mt.add(Trace{});
+  mt.add(gen::rebase_to_proc(gen::cyclic(4, 100), 1));
+  auto scheduler = make_equi_partition();
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(8, 2));
+  EXPECT_EQ(r.completion[0], 0u);
+  EXPECT_GT(r.completion[1], 0u);
+}
+
+TEST(Engine, SingleProcessorMatchesDedicatedCache) {
+  // One processor under STATIC gets k/1 = k forever with no resets: its
+  // time must equal plain LRU(k) time.
+  const Trace base = gen::cyclic(6, 300);
+  MultiTrace mt;
+  mt.add(base);
+  auto scheduler = make_static_partition();
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(8, 5));
+  // 6 cold misses + 294 hits.
+  EXPECT_EQ(r.misses, 6u);
+  EXPECT_EQ(r.makespan, 6u * 5u + 294u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const MultiTrace mt = small_workload(5, 400);
+  for (int trial = 0; trial < 2; ++trial) {
+    auto s1 = make_equi_partition();
+    auto s2 = make_equi_partition();
+    const ParallelRunResult a = run_parallel(mt, *s1, config_for(16, 3));
+    const ParallelRunResult b = run_parallel(mt, *s2, config_for(16, 3));
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.completion, b.completion);
+    EXPECT_EQ(a.total_impact, b.total_impact);
+  }
+}
+
+TEST(Engine, OnBoxObserverSeesEveryBox) {
+  const MultiTrace mt = small_workload(3, 200);
+  auto scheduler = make_equi_partition();
+  EngineConfig c = config_for(8, 3);
+  std::uint64_t observed = 0;
+  c.on_box = [&](ProcId, const BoxAssignment&) { ++observed; };
+  const ParallelRunResult r = run_parallel(mt, *scheduler, c);
+  EXPECT_EQ(observed, r.num_boxes);
+  EXPECT_GT(observed, 0u);
+}
+
+TEST(Engine, MemoryTimelineTracksPeak) {
+  const MultiTrace mt = small_workload(4, 200);
+  auto scheduler = make_static_partition();
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(16, 3));
+  // STATIC allocates 4 slices of height 4 concurrently.
+  EXPECT_GT(r.peak_concurrent_height, 0u);
+  EXPECT_LE(r.peak_concurrent_height, 16u);
+  EXPECT_GT(r.effective_augmentation, 0.0);
+  EXPECT_LE(r.effective_augmentation, 1.0);
+}
+
+TEST(Engine, RejectsMisbehavingScheduler) {
+  // A scheduler that emits boxes in the past must trip the validation.
+  class BadScheduler final : public BoxScheduler {
+   public:
+    void start(const SchedulerContext&, const EngineView&) override {}
+    BoxAssignment next_box(ProcId, Time now, const EngineView&) override {
+      return BoxAssignment{1, now == 0 ? 0 : now - 1, now + 1};
+    }
+    const char* name() const override { return "BAD"; }
+  };
+  MultiTrace mt;
+  mt.add(gen::single_use(10));
+  BadScheduler bad;
+  EXPECT_DEATH(run_parallel(mt, bad, config_for(4, 2)), "");
+}
+
+TEST(Engine, StallAccounting) {
+  // A scheduler that always defers by 5 ticks accumulates stall.
+  class Deferring final : public BoxScheduler {
+   public:
+    void start(const SchedulerContext& ctx, const EngineView&) override {
+      s_ = ctx.miss_cost;
+    }
+    BoxAssignment next_box(ProcId, Time now, const EngineView&) override {
+      return BoxAssignment{4, now + 5, now + 5 + 8 * s_};
+    }
+    const char* name() const override { return "DEFER"; }
+
+   private:
+    Time s_ = 1;
+  };
+  MultiTrace mt;
+  mt.add(gen::single_use(16));
+  Deferring scheduler;
+  const ParallelRunResult r = run_parallel(mt, scheduler, config_for(8, 2));
+  EXPECT_GE(r.total_stall, 5u);  // at least the first deferral
+  EXPECT_EQ(r.misses, 16u);
+}
+
+}  // namespace
+}  // namespace ppg

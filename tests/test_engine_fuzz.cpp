@@ -1,0 +1,121 @@
+// Fuzzing the engine contract: ANY scheduler that emits structurally valid
+// boxes must produce a run satisfying the conservation invariants,
+// regardless of how pathological its allocation choices are.
+#include <gtest/gtest.h>
+
+#include "core/parallel_engine.hpp"
+#include "opt/opt_bounds.hpp"
+#include "trace/workload.hpp"
+#include "util/math_util.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+// Emits uniformly random power-of-two heights, random durations (possibly
+// far from canonical), random deferred starts and random compartment
+// continuation flags.
+class ChaosScheduler final : public BoxScheduler {
+ public:
+  explicit ChaosScheduler(std::uint64_t seed) : rng_(seed) {}
+
+  void start(const SchedulerContext& ctx, const EngineView&) override {
+    ctx_ = ctx;
+  }
+
+  BoxAssignment next_box(ProcId, Time now, const EngineView&) override {
+    const Height h_max =
+        std::max<Height>(1, static_cast<Height>(pow2_floor(ctx_.cache_size)));
+    const std::uint32_t rungs = ilog2_floor(h_max) + 1;
+    const auto height = static_cast<Height>(
+        std::uint64_t{1} << rng_.next_below(rungs));
+    const Time defer = rng_.next_below(4) == 0 ? rng_.next_in(1, 17) : 0;
+    const Time duration = rng_.next_in(1, ctx_.miss_cost * 8);
+    const bool fresh = rng_.next_bool(0.5);
+    return BoxAssignment{height, now + defer, now + defer + duration, fresh};
+  }
+
+  const char* name() const override { return "CHAOS"; }
+
+ private:
+  Rng rng_;
+  SchedulerContext ctx_;
+};
+
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, ChaosSchedulerPreservesInvariants) {
+  const std::uint64_t seed = GetParam();
+  WorkloadParams wp;
+  wp.num_procs = 6;
+  wp.cache_size = 32;
+  wp.requests_per_proc = 400;
+  wp.seed = seed;
+  for (const WorkloadKind kind :
+       {WorkloadKind::kHeterogeneousMix, WorkloadKind::kZipf}) {
+    const MultiTrace mt = make_workload(kind, wp);
+    ChaosScheduler chaos(seed * 31 + 7);
+    EngineConfig ec;
+    ec.cache_size = 32;
+    ec.miss_cost = 5;
+    const ParallelRunResult r = run_parallel(mt, chaos, ec);
+
+    EXPECT_EQ(r.hits + r.misses, mt.total_requests());
+    Time max_c = 0;
+    for (ProcId i = 0; i < mt.num_procs(); ++i) {
+      EXPECT_GE(r.completion[i], mt.trace(i).size());
+      max_c = std::max(max_c, r.completion[i]);
+    }
+    EXPECT_EQ(r.makespan, max_c);
+    // Even chaos cannot beat the certified lower bound.
+    OptBoundsConfig oc;
+    oc.cache_size = 32;
+    oc.miss_cost = 5;
+    EXPECT_GE(r.makespan, compute_opt_bounds(mt, oc).lower_bound());
+    // Impact accounting is consistent: impact <= peak * makespan and
+    // every tick of busy time was inside some box.
+    EXPECT_LE(r.total_impact,
+              static_cast<Impact>(r.peak_concurrent_height) * r.makespan);
+    EXPECT_GE(r.total_impact, r.hits + ec.miss_cost * r.misses);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Degenerate scheduler: always the minimum box (height 1, duration exactly
+// one miss). Worst-case event count; everything must still terminate and
+// conserve.
+class DripScheduler final : public BoxScheduler {
+ public:
+  void start(const SchedulerContext& ctx, const EngineView&) override {
+    s_ = ctx.miss_cost;
+  }
+  BoxAssignment next_box(ProcId, Time now, const EngineView&) override {
+    return BoxAssignment{1, now, now + s_};
+  }
+  const char* name() const override { return "DRIP"; }
+
+ private:
+  Time s_ = 1;
+};
+
+TEST(EngineFuzz, DripSchedulerTerminates) {
+  WorkloadParams wp;
+  wp.num_procs = 4;
+  wp.cache_size = 16;
+  wp.requests_per_proc = 300;
+  const MultiTrace mt = make_workload(WorkloadKind::kZipf, wp);
+  DripScheduler drip;
+  EngineConfig ec;
+  ec.cache_size = 16;
+  ec.miss_cost = 3;
+  const ParallelRunResult r = run_parallel(mt, drip, ec);
+  EXPECT_EQ(r.hits + r.misses, mt.total_requests());
+  // Height-1 compartments of one service each: every request misses.
+  EXPECT_EQ(r.misses, mt.total_requests());
+  EXPECT_EQ(r.peak_concurrent_height, 4u);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_support/experiment.hpp"
+#include "trace/workload.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(RunInstance, ProducesRatiosForAllSchedulers) {
+  WorkloadParams wp;
+  wp.num_procs = 4;
+  wp.cache_size = 16;
+  wp.requests_per_proc = 600;
+  const MultiTrace mt = make_workload(WorkloadKind::kHeterogeneousMix, wp);
+
+  ExperimentConfig config;
+  config.cache_size = 16;
+  config.miss_cost = 4;
+  const InstanceOutcome outcome =
+      run_instance(mt, all_scheduler_kinds(), config);
+
+  EXPECT_EQ(outcome.outcomes.size(), all_scheduler_kinds().size() + 1);
+  for (const SchedulerOutcome& so : outcome.outcomes) {
+    EXPECT_GE(so.makespan_ratio, 1.0) << so.name;
+    EXPECT_GT(so.result.makespan, 0u) << so.name;
+    EXPECT_LE(so.mean_ct_ratio, so.makespan_ratio + 1e-9) << so.name;
+  }
+}
+
+TEST(RunInstance, GlobalLruCanBeExcluded) {
+  WorkloadParams wp;
+  wp.num_procs = 2;
+  wp.cache_size = 8;
+  wp.requests_per_proc = 200;
+  const MultiTrace mt = make_workload(WorkloadKind::kZipf, wp);
+  ExperimentConfig config;
+  config.cache_size = 8;
+  config.miss_cost = 2;
+  config.include_global_lru = false;
+  const InstanceOutcome outcome =
+      run_instance(mt, {SchedulerKind::kDetPar}, config);
+  EXPECT_EQ(outcome.outcomes.size(), 1u);
+  EXPECT_EQ(outcome.outcomes[0].name, "DET-PAR");
+}
+
+TEST(ScalingCollector, FitsPerScheduler) {
+  ScalingCollector collector;
+  for (double p : {2.0, 4.0, 8.0, 16.0}) {
+    collector.add("A", p, 1.0 * std::log2(p) + 2.0);
+    collector.add("B", p, 3.0);
+  }
+  const Table table = collector.fit_table();
+  ASSERT_EQ(table.num_rows(), 2u);
+  // Scheduler A grows logarithmically with unit slope; B is flat.
+  EXPECT_EQ(table.at(0, 0), "A");
+  EXPECT_NEAR(std::stod(table.at(0, 1)), 1.0, 0.01);
+  EXPECT_NEAR(std::stod(table.at(1, 1)), 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/global_lru.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+
+namespace ppg {
+namespace {
+
+GlobalLruConfig config_for(Height k, Time s) {
+  GlobalLruConfig c;
+  c.cache_size = k;
+  c.miss_cost = s;
+  return c;
+}
+
+TEST(GlobalLru, SingleProcessorMatchesCacheSim) {
+  MultiTrace mt;
+  mt.add(gen::cyclic(6, 100));
+  const ParallelRunResult r = run_global_lru(mt, config_for(8, 5));
+  EXPECT_EQ(r.misses, 6u);
+  EXPECT_EQ(r.makespan, 6u * 5 + 94u);
+}
+
+TEST(GlobalLru, HandComputedTwoProcs) {
+  // k = 2, s = 3. Proc 0: a a. Proc 1: b b. Both pages fit: each proc
+  // misses once then hits: completion = 3 + 1 = 4 for both.
+  MultiTrace mt;
+  mt.add(test::make_trace({1, 1}));
+  MultiTrace tmp;
+  Trace t2(std::vector<PageId>{make_page(1, 0), make_page(1, 0)});
+  mt.add(t2);
+  const ParallelRunResult r = run_global_lru(mt, config_for(2, 3));
+  EXPECT_EQ(r.completion[0], 4u);
+  EXPECT_EQ(r.completion[1], 4u);
+  EXPECT_EQ(r.hits, 2u);
+  EXPECT_EQ(r.misses, 2u);
+}
+
+TEST(GlobalLru, InterferenceEvictsOtherProcessorsPages) {
+  // k = 2: proc 1 streams fresh pages, evicting proc 0's working set.
+  // Proc 0 cycles two pages and would hit forever alone; with the
+  // polluting neighbor it keeps missing.
+  MultiTrace mt;
+  mt.add(gen::rebase_to_proc(gen::cyclic(2, 50), 0));
+  mt.add(gen::rebase_to_proc(gen::single_use(50), 1));
+  const ParallelRunResult shared = run_global_lru(mt, config_for(2, 4));
+
+  MultiTrace alone;
+  alone.add(mt.trace(0));
+  const ParallelRunResult solo = run_global_lru(alone, config_for(2, 4));
+  EXPECT_GT(shared.misses, solo.misses + 25);
+}
+
+TEST(GlobalLru, CompletesEverything) {
+  MultiTrace mt;
+  for (ProcId i = 0; i < 6; ++i)
+    mt.add(gen::rebase_to_proc(gen::cyclic(8, 500), i));
+  const ParallelRunResult r = run_global_lru(mt, config_for(16, 4));
+  EXPECT_EQ(r.hits + r.misses, mt.total_requests());
+  EXPECT_LE(r.mean_completion, static_cast<double>(r.makespan));
+}
+
+TEST(GlobalLru, Deterministic) {
+  MultiTrace mt;
+  for (ProcId i = 0; i < 4; ++i)
+    mt.add(gen::rebase_to_proc(gen::cyclic(10, 300), i));
+  const ParallelRunResult a = run_global_lru(mt, config_for(8, 3));
+  const ParallelRunResult b = run_global_lru(mt, config_for(8, 3));
+  EXPECT_EQ(a.completion, b.completion);
+}
+
+TEST(GlobalLru, EmptyTraceCompletesImmediately) {
+  MultiTrace mt;
+  mt.add(Trace{});
+  mt.add(test::make_trace({1}));
+  const ParallelRunResult r = run_global_lru(mt, config_for(4, 2));
+  EXPECT_EQ(r.completion[0], 0u);
+  EXPECT_EQ(r.completion[1], 2u);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "green/green_algorithm.hpp"
+#include "green/green_opt.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(GreenOpt, EmptyTraceIsFree) {
+  const GreenOptResult r = green_opt(Trace{}, HeightLadder{2, 8}, 4);
+  EXPECT_EQ(r.impact, 0u);
+  EXPECT_TRUE(r.profile.empty());
+}
+
+TEST(GreenOpt, SingleRequestUsesMinHeight) {
+  const GreenOptResult r =
+      green_opt(test::make_trace({1}), HeightLadder{2, 8}, 4);
+  // One miss at height 2: busy 4 ticks, impact 8 (final box clipped).
+  EXPECT_EQ(r.impact, 8u);
+  ASSERT_EQ(r.profile.size(), 1u);
+  EXPECT_EQ(r.profile[0].height, 2u);
+}
+
+TEST(GreenOpt, ProfileConformsAndReplays) {
+  Rng rng(1);
+  const Trace t = gen::zipf(24, 800, 0.9, rng);
+  const HeightLadder ladder{2, 32};
+  const GreenOptResult r = green_opt(t, ladder, 6);
+  EXPECT_TRUE(r.profile.conforms_to(ladder));
+  // Replaying the reconstructed profile must finish the trace with exactly
+  // the DP's impact.
+  const ProfileRunResult replay = run_profile(t, r.profile, 6);
+  EXPECT_EQ(replay.impact, r.impact);
+}
+
+TEST(GreenOpt, ValueOnlyVariantAgrees) {
+  Rng rng(2);
+  const Trace t = gen::uniform_random(16, 500, rng);
+  const HeightLadder ladder{2, 16};
+  EXPECT_EQ(green_opt(t, ladder, 4).impact,
+            green_opt_impact(t, ladder, 4));
+}
+
+class GreenOptVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GreenOptVsBruteForce, DpMatchesExhaustiveSearch) {
+  Rng rng(GetParam());
+  const Trace t = gen::zipf(6, 12, 0.8, rng);
+  const HeightLadder ladder{1, 4};
+  const Impact dp = green_opt_impact(t, ladder, 3);
+  // max_boxes = 12 suffices: every box serves at least one request.
+  const Impact brute = green_opt_impact_bruteforce(t, ladder, 3,
+                                                   /*max_boxes=*/12);
+  EXPECT_EQ(dp, brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreenOptVsBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// The defining property: no green pager can beat the DP.
+class GreenOptIsLowerBound : public ::testing::TestWithParam<GreenKind> {};
+
+TEST_P(GreenOptIsLowerBound, PagerImpactAtLeastOpt) {
+  Rng rng(42);
+  const HeightLadder ladder{2, 32};
+  const std::vector<Trace> traces = {
+      gen::cyclic(20, 600),
+      gen::single_use(300),
+      gen::zipf(40, 600, 1.0, rng),
+      gen::sawtooth(3, 24, 100, 6, rng),
+  };
+  for (const Trace& t : traces) {
+    const Impact opt = green_opt_impact(t, ladder, 5);
+    auto pager = make_green_pager(GetParam(), ladder, Rng(7));
+    const ProfileRunResult r = run_green_paging(t, *pager, 5);
+    EXPECT_GE(r.impact, opt) << green_kind_name(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPagers, GreenOptIsLowerBound,
+                         ::testing::Values(GreenKind::kRand, GreenKind::kDet,
+                                           GreenKind::kFixedMin,
+                                           GreenKind::kFixedMax));
+
+TEST(GreenOpt, PrefersSmallBoxesForSingleUseStream) {
+  // Single-use stream: the minimal height is optimal.
+  const Trace t = gen::single_use(64);
+  const HeightLadder ladder{2, 16};
+  const GreenOptResult r = green_opt(t, ladder, 4);
+  for (const Box& b : r.profile) EXPECT_EQ(b.height, 2u);
+}
+
+TEST(GreenOpt, PrefersBigBoxForSmallHotCycle) {
+  // Cycle over 4 pages with s large: a height-8 canonical box fills in
+  // 4*s ticks and then hits for the remaining 4*s ticks (~16 impact per
+  // request), while the minimal height 2 thrashes at 2*s = 100 impact per
+  // request. OPT must spend most impact in boxes of height >= 8.
+  const Trace t = gen::cyclic(4, 400);
+  const HeightLadder ladder{2, 16};
+  const GreenOptResult r = green_opt(t, ladder, 50);
+  Impact tall_impact = 0;
+  for (const Box& b : r.profile)
+    if (b.height >= 8) tall_impact += b.impact();
+  EXPECT_GT(tall_impact, r.impact / 2);
+  // And it clearly beats the always-minimal strategy.
+  auto min_pager = make_fixed_green(ladder, 2);
+  const ProfileRunResult min_run = run_green_paging(t, *min_pager, 50);
+  EXPECT_LT(r.impact, min_run.impact / 2);
+}
+
+TEST(GreenOpt, MonotoneInTracePrefix) {
+  // Greedy greenness (paper Definition 1): OPT impact of a prefix is at
+  // most the OPT impact of the full sequence.
+  Rng rng(5);
+  const Trace full = gen::zipf(20, 400, 0.9, rng);
+  Trace prefix(std::vector<PageId>(full.requests().begin(),
+                                   full.requests().begin() + 200));
+  const HeightLadder ladder{2, 16};
+  EXPECT_LE(green_opt_impact(prefix, ladder, 4),
+            green_opt_impact(full, ladder, 4));
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,48 @@
+// Shared fixtures and fakes for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "trace/trace.hpp"
+
+namespace ppg::test {
+
+/// An EngineView with a directly settable active set, for driving
+/// schedulers without an engine.
+class FakeView final : public EngineView {
+ public:
+  explicit FakeView(ProcId p) : active_(p, true), count_(p) {}
+
+  ProcId num_procs() const override {
+    return static_cast<ProcId>(active_.size());
+  }
+  ProcId active_count() const override { return count_; }
+  bool is_active(ProcId proc) const override { return active_[proc]; }
+  std::vector<ProcId> active_list() const override {
+    std::vector<ProcId> out;
+    for (ProcId i = 0; i < active_.size(); ++i)
+      if (active_[i]) out.push_back(i);
+    return out;
+  }
+
+  void finish(ProcId proc) {
+    if (active_[proc]) {
+      active_[proc] = false;
+      --count_;
+    }
+  }
+
+ private:
+  std::vector<bool> active_;
+  ProcId count_;
+};
+
+/// Builds a Trace from an initializer-list of small ints (test shorthand).
+inline Trace make_trace(std::initializer_list<int> pages) {
+  std::vector<PageId> reqs;
+  for (int p : pages) reqs.push_back(static_cast<PageId>(p));
+  return Trace(std::move(reqs));
+}
+
+}  // namespace ppg::test

@@ -1,0 +1,112 @@
+// End-to-end integration: every scheduler x every workload kind at small
+// scale, checking the cross-cutting invariants that individual unit tests
+// cannot see together.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/global_lru.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/scheduler_factory.hpp"
+#include "opt/opt_bounds.hpp"
+#include "trace/workload.hpp"
+
+namespace ppg {
+namespace {
+
+using Combo = std::tuple<SchedulerKind, WorkloadKind>;
+
+class SchedulerWorkloadMatrix : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(SchedulerWorkloadMatrix, InvariantsHold) {
+  const auto [skind, wkind] = GetParam();
+  WorkloadParams wp;
+  wp.num_procs = 8;
+  wp.cache_size = 32;
+  wp.requests_per_proc = 800;
+  wp.seed = 17;
+  const MultiTrace mt = make_workload(wkind, wp);
+
+  EngineConfig ec;
+  ec.cache_size = 32;
+  ec.miss_cost = 4;
+  auto scheduler = make_scheduler(skind, 23);
+  const ParallelRunResult r = run_parallel(mt, *scheduler, ec);
+
+  // Conservation: every request served exactly once.
+  EXPECT_EQ(r.hits + r.misses, mt.total_requests());
+  // Completion structure.
+  ASSERT_EQ(r.completion.size(), mt.num_procs());
+  Time max_c = 0;
+  for (ProcId i = 0; i < mt.num_procs(); ++i) {
+    EXPECT_GE(r.completion[i], mt.trace(i).size()) << "proc " << i;
+    max_c = std::max(max_c, r.completion[i]);
+  }
+  EXPECT_EQ(r.makespan, max_c);
+  EXPECT_LE(r.mean_completion, static_cast<double>(r.makespan));
+  EXPECT_GE(r.mean_completion, 1.0);
+  // Constant augmentation (generous common cap across schedulers).
+  EXPECT_LE(r.effective_augmentation, 8.0) << scheduler->name();
+  // Lower-bound sandwich.
+  OptBoundsConfig oc;
+  oc.cache_size = 32;
+  oc.miss_cost = 4;
+  const OptBounds bounds = compute_opt_bounds(mt, oc);
+  EXPECT_GE(r.makespan, bounds.lower_bound());
+  // Impact accounting is consistent with peak memory and makespan.
+  EXPECT_LE(r.total_impact,
+            static_cast<Impact>(r.peak_concurrent_height) * r.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SchedulerWorkloadMatrix,
+    ::testing::Combine(::testing::ValuesIn(all_scheduler_kinds()),
+                       ::testing::ValuesIn(all_workload_kinds())),
+    [](const ::testing::TestParamInfo<Combo>& param_info) {
+      std::string name =
+          std::string(scheduler_kind_name(std::get<0>(param_info.param))) + "_" +
+          workload_kind_name(std::get<1>(param_info.param));
+      for (char& ch : name)
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      return name;
+    });
+
+TEST(Integration, PaperSchedulersBeatStaticOnSkewedWorkload) {
+  // The qualitative claim behind the whole line of work: adaptive
+  // schedulers finish skewed multiprogrammed workloads sooner than a
+  // static equal split.
+  WorkloadParams wp;
+  wp.num_procs = 16;
+  wp.cache_size = 64;
+  wp.requests_per_proc = 3000;
+  wp.seed = 29;
+  const MultiTrace mt = make_workload(WorkloadKind::kSkewedLengths, wp);
+
+  EngineConfig ec;
+  ec.cache_size = 64;
+  ec.miss_cost = 8;
+  auto static_s = make_scheduler(SchedulerKind::kStatic);
+  auto det_par = make_scheduler(SchedulerKind::kDetPar);
+  const Time t_static = run_parallel(mt, *static_s, ec).makespan;
+  const Time t_det = run_parallel(mt, *det_par, ec).makespan;
+  EXPECT_LT(t_det, 2 * t_static);  // sanity: same order of magnitude
+}
+
+TEST(Integration, MeanCompletionFavorsShortJobsUnderDetPar) {
+  // DET-PAR is balanced: short sequences should not be starved behind long
+  // ones — mean completion stays well below makespan on skewed lengths.
+  WorkloadParams wp;
+  wp.num_procs = 8;
+  wp.cache_size = 32;
+  wp.requests_per_proc = 4000;
+  const MultiTrace mt = make_workload(WorkloadKind::kSkewedLengths, wp);
+  EngineConfig ec;
+  ec.cache_size = 32;
+  ec.miss_cost = 4;
+  auto det_par = make_scheduler(SchedulerKind::kDetPar);
+  const ParallelRunResult r = run_parallel(mt, *det_par, ec);
+  EXPECT_LT(r.mean_completion, 0.9 * static_cast<double>(r.makespan));
+}
+
+}  // namespace
+}  // namespace ppg

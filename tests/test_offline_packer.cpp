@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/parallel_engine.hpp"
+#include "core/scheduler_factory.hpp"
+#include "opt/offline_packer.hpp"
+#include "opt/opt_bounds.hpp"
+#include "trace/generators.hpp"
+#include "trace/workload.hpp"
+
+namespace ppg {
+namespace {
+
+OfflinePackConfig config_for(Height k, Time s) {
+  OfflinePackConfig c;
+  c.cache_size = k;
+  c.miss_cost = s;
+  return c;
+}
+
+TEST(OfflinePacker, SingleProcessorMatchesGreenOptTime) {
+  // With one processor there is nothing to pack: the makespan is the
+  // optimal profile's own duration.
+  MultiTrace mt;
+  mt.add(gen::cyclic(6, 500));
+  const OfflinePackResult r = pack_offline(mt, config_for(8, 5));
+  EXPECT_EQ(r.completion.size(), 1u);
+  EXPECT_EQ(r.makespan, r.completion[0]);
+  EXPECT_GT(r.makespan, 0u);
+  EXPECT_LE(r.peak_height, 8u);
+}
+
+TEST(OfflinePacker, RespectsCacheBudgetExactly) {
+  WorkloadParams wp;
+  wp.num_procs = 6;
+  wp.cache_size = 16;
+  wp.requests_per_proc = 600;
+  const MultiTrace mt = make_workload(WorkloadKind::kHeterogeneousMix, wp);
+  const OfflinePackResult r = pack_offline(mt, config_for(16, 4));
+  EXPECT_LE(r.peak_height, 16u);
+  // Sanity on the witness: recompute concurrent height from the schedule.
+  std::map<Time, std::int64_t> deltas;
+  for (const PackedBox& pb : r.schedule) {
+    deltas[pb.start] += pb.box.height;
+    deltas[pb.start + pb.box.duration] -= pb.box.height;
+  }
+  std::int64_t level = 0;
+  for (const auto& [t, d] : deltas) {
+    level += d;
+    EXPECT_LE(level, 16);
+    EXPECT_GE(level, 0);
+  }
+}
+
+TEST(OfflinePacker, PreservesPerProcessorBoxOrder) {
+  WorkloadParams wp;
+  wp.num_procs = 4;
+  wp.cache_size = 16;
+  wp.requests_per_proc = 400;
+  const MultiTrace mt = make_workload(WorkloadKind::kZipf, wp);
+  const OfflinePackResult r = pack_offline(mt, config_for(16, 4));
+  std::map<ProcId, Time> last_end;
+  for (const PackedBox& pb : r.schedule) {
+    const auto it = last_end.find(pb.proc);
+    if (it != last_end.end()) {
+      EXPECT_GE(pb.start, it->second);
+    }
+    last_end[pb.proc] = pb.start + pb.box.duration;
+  }
+}
+
+TEST(OfflinePacker, BracketsTheLowerBound) {
+  // T_LB <= T_pack on every workload — the whole point of the bracket.
+  WorkloadParams wp;
+  wp.num_procs = 8;
+  wp.cache_size = 32;
+  wp.requests_per_proc = 800;
+  wp.seed = 5;
+  for (const WorkloadKind kind : all_workload_kinds()) {
+    const MultiTrace mt = make_workload(kind, wp);
+    OptBoundsConfig oc;
+    oc.cache_size = 32;
+    oc.miss_cost = 4;
+    const OptBounds lb = compute_opt_bounds(mt, oc);
+    const OfflinePackResult ub = pack_offline(mt, config_for(32, 4));
+    EXPECT_GE(ub.makespan, lb.lower_bound()) << workload_kind_name(kind);
+  }
+}
+
+TEST(OfflinePacker, FallbackProfileAlsoLegal) {
+  MultiTrace mt;
+  mt.add(gen::rebase_to_proc(gen::cyclic(10, 3000), 0));
+  mt.add(gen::rebase_to_proc(gen::single_use(2000), 1));
+  OfflinePackConfig c = config_for(16, 4);
+  c.exact_profile_max_requests = 100;  // force the fixed-height fallback
+  const OfflinePackResult r = pack_offline(mt, c);
+  EXPECT_LE(r.peak_height, 16u);
+  EXPECT_GT(r.makespan, 0u);
+  // The fallback bound dominates the exact one.
+  const OfflinePackResult exact = pack_offline(mt, config_for(16, 4));
+  EXPECT_GE(r.total_impact, exact.total_impact);
+}
+
+TEST(OfflinePacker, EmptyTracesCompleteAtZero) {
+  MultiTrace mt;
+  mt.add(Trace{});
+  mt.add(gen::rebase_to_proc(gen::cyclic(3, 50), 1));
+  const OfflinePackResult r = pack_offline(mt, config_for(8, 3));
+  EXPECT_EQ(r.completion[0], 0u);
+  EXPECT_GT(r.completion[1], 0u);
+}
+
+TEST(OfflinePacker, ParallelismBeatsSerialization) {
+  // Two light processors must overlap: makespan well under the sum of
+  // their individual profile durations.
+  MultiTrace mt;
+  mt.add(gen::rebase_to_proc(gen::cyclic(3, 400), 0));
+  mt.add(gen::rebase_to_proc(gen::cyclic(3, 400), 1));
+  const OfflinePackResult r = pack_offline(mt, config_for(16, 4));
+  Time serial = 0;
+  for (const PackedBox& pb : r.schedule) serial += pb.box.duration;
+  EXPECT_LT(r.makespan, serial * 3 / 4);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "paging/cache_sim.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(MruPolicyTest, EvictsMostRecent) {
+  // Capacity 2: after 1, 2, inserting 3 evicts 2 (the MRU).
+  const Trace t = test::make_trace({1, 2, 3, 1});
+  const CacheSimResult r = simulate_policy(PolicyKind::kMru, t, 2, 2);
+  // 1 M, 2 M, 3 M (evicts 2), 1 H.
+  EXPECT_EQ(r.misses, 3u);
+  EXPECT_EQ(r.hits, 1u);
+}
+
+TEST(MruPolicyTest, NearOptimalOnCyclicScan) {
+  // The classic: cycle of c+1 pages with cache c. LRU misses everything;
+  // MRU stabilizes most of the cycle.
+  const Trace t = gen::cyclic(9, 900);
+  const CacheSimResult lru = simulate_policy(PolicyKind::kLru, t, 8, 2);
+  const CacheSimResult mru = simulate_policy(PolicyKind::kMru, t, 8, 2);
+  EXPECT_EQ(lru.misses, 900u);
+  EXPECT_LT(mru.misses, 300u);
+}
+
+TEST(SlruPolicyTest, ScanDoesNotFlushHotSet) {
+  // Build a hot set via repeated touches, then stream a scan through, then
+  // return to the hot set: SLRU must retain (most of) it, plain LRU loses
+  // it all.
+  std::vector<PageId> reqs;
+  for (int round = 0; round < 10; ++round)
+    for (PageId hot = 0; hot < 4; ++hot) reqs.push_back(hot);
+  for (PageId scan = 100; scan < 140; ++scan) reqs.push_back(scan);
+  for (PageId hot = 0; hot < 4; ++hot) reqs.push_back(hot);
+  const Trace t{std::vector<PageId>(reqs)};
+
+  const CacheSimResult slru = simulate_policy(PolicyKind::kSlru, t, 8, 2);
+  const CacheSimResult lru = simulate_policy(PolicyKind::kLru, t, 8, 2);
+  // Final 4 hot accesses: all miss under LRU, mostly hit under SLRU.
+  EXPECT_LT(slru.misses, lru.misses);
+}
+
+TEST(SlruPolicyTest, PromotionRequiresReReference) {
+  // Single-touch pages stay probationary and are evicted first.
+  const Trace t = test::make_trace({1, 1, 2, 3, 4, 1});
+  // Capacity 3: 1 promoted (touched); 2, 3 probationary; 4 evicts
+  // probationary LRU (2); final 1 hits.
+  const CacheSimResult r = simulate_policy(PolicyKind::kSlru, t, 3, 2);
+  EXPECT_EQ(r.hits, 2u);  // second 1 and final 1
+  EXPECT_EQ(r.misses, 4u);
+}
+
+TEST(ArcPolicyTest, BasicHitsAndMisses) {
+  const Trace t = test::make_trace({1, 2, 1, 3, 1, 2});
+  const CacheSimResult r = simulate_policy(PolicyKind::kArc, t, 2, 2);
+  EXPECT_EQ(r.hits + r.misses, t.size());
+  EXPECT_GE(r.hits, 2u);  // the repeated 1s mostly hit
+}
+
+TEST(ArcPolicyTest, ScanResistant) {
+  // Hot set + long scan mixed: ARC should beat LRU.
+  Rng rng(3);
+  std::vector<PageId> reqs;
+  std::uint64_t scan_page = 1000;
+  for (int i = 0; i < 4000; ++i) {
+    if (i % 2 == 0)
+      reqs.push_back(rng.next_below(6));  // hot set of 6
+    else
+      reqs.push_back(scan_page++);  // endless scan
+  }
+  const Trace t{std::vector<PageId>(reqs)};
+  const CacheSimResult arc = simulate_policy(PolicyKind::kArc, t, 8, 2);
+  const CacheSimResult lru = simulate_policy(PolicyKind::kLru, t, 8, 2);
+  EXPECT_LT(arc.misses, lru.misses);
+}
+
+TEST(ArcPolicyTest, GhostHitAdaptsWithoutCrashing) {
+  // Force B1 ghost hits: fill, evict, re-reference evicted pages.
+  std::vector<PageId> reqs;
+  for (PageId p = 0; p < 16; ++p) reqs.push_back(p);
+  for (PageId p = 0; p < 16; ++p) reqs.push_back(p);
+  const Trace t{std::vector<PageId>(reqs)};
+  const CacheSimResult r = simulate_policy(PolicyKind::kArc, t, 4, 2);
+  EXPECT_EQ(r.hits + r.misses, t.size());
+}
+
+// Extend the cross-cutting properties to the new policies.
+class ExtraPolicyConservation : public ::testing::TestWithParam<PolicyKind> {
+};
+
+TEST_P(ExtraPolicyConservation, ServesEverythingOnce) {
+  Rng rng(11);
+  const Trace t = gen::zipf(64, 5000, 0.9, rng);
+  for (const Height capacity : {1u, 3u, 8u, 32u}) {
+    const CacheSimResult r = simulate_policy(GetParam(), t, capacity, 3);
+    EXPECT_EQ(r.hits + r.misses, t.size()) << "capacity " << capacity;
+    EXPECT_EQ(r.time, r.hits + 3 * r.misses);
+  }
+}
+
+TEST_P(ExtraPolicyConservation, BeladyStillDominates) {
+  Rng rng(13);
+  const Trace t = gen::sawtooth(4, 24, 300, 8, rng);
+  for (const Height capacity : {2u, 8u, 16u}) {
+    const auto belady = simulate_policy(PolicyKind::kBelady, t, capacity, 2);
+    const auto other = simulate_policy(GetParam(), t, capacity, 2);
+    EXPECT_LE(belady.misses, other.misses) << "capacity " << capacity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NewPolicies, ExtraPolicyConservation,
+                         ::testing::Values(PolicyKind::kMru, PolicyKind::kSlru,
+                                           PolicyKind::kArc));
+
+TEST(PolicyKindList, ContainsAllNineAndUniqueNames) {
+  const auto kinds = all_policy_kinds();
+  EXPECT_EQ(kinds.size(), 9u);
+  std::set<std::string> names;
+  for (const PolicyKind kind : kinds) {
+    names.insert(policy_kind_name(kind));
+    EXPECT_NE(make_policy(kind, 4), nullptr);
+  }
+  EXPECT_EQ(names.size(), kinds.size());
+}
+
+}  // namespace
+}  // namespace ppg

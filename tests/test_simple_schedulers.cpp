@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/parallel_engine.hpp"
+#include "core/simple_schedulers.hpp"
+#include "trace/generators.hpp"
+
+namespace ppg {
+namespace {
+
+EngineConfig config_for(Height k, Time s) {
+  EngineConfig c;
+  c.cache_size = k;
+  c.miss_cost = s;
+  return c;
+}
+
+TEST(StaticPartition, SlicesNeverGrow) {
+  MultiTrace mt;
+  mt.add(gen::rebase_to_proc(gen::single_use(100), 0));
+  mt.add(gen::rebase_to_proc(gen::single_use(4000), 1));
+  auto scheduler = make_static_partition();
+  EngineConfig c = config_for(16, 4);
+  Height max_height = 0;
+  c.on_box = [&](ProcId, const BoxAssignment& box) {
+    max_height = std::max(max_height, box.height);
+  };
+  run_parallel(mt, *scheduler, c);
+  EXPECT_EQ(max_height, 8u);  // k/p forever, even after proc 0 finishes
+}
+
+TEST(EquiPartition, SlicesGrowAsProcessorsFinish) {
+  MultiTrace mt;
+  mt.add(gen::rebase_to_proc(gen::single_use(100), 0));
+  mt.add(gen::rebase_to_proc(gen::single_use(4000), 1));
+  auto scheduler = make_equi_partition();
+  EngineConfig c = config_for(16, 4);
+  Height max_height = 0;
+  c.on_box = [&](ProcId, const BoxAssignment& box) {
+    max_height = std::max(max_height, box.height);
+  };
+  run_parallel(mt, *scheduler, c);
+  EXPECT_EQ(max_height, 16u);  // survivor inherits the whole cache
+}
+
+TEST(EquiPartition, PreservesCacheWhileHeightUnchanged) {
+  // A 2-processor equal split on a cyclic working set that fits the slice:
+  // faults should be (close to) cold misses only, because quanta with the
+  // same height are continuations, not fresh compartments.
+  MultiTrace mt;
+  mt.add(gen::rebase_to_proc(gen::cyclic(8, 2000), 0));
+  mt.add(gen::rebase_to_proc(gen::cyclic(8, 2000), 1));
+  auto scheduler = make_equi_partition();
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(16, 4));
+  EXPECT_EQ(r.misses, 16u);
+}
+
+TEST(EquiPartition, CompartmentalizesOnResize) {
+  // When the slice grows (a processor finished), the survivor's cache is
+  // reset once — a handful of extra faults, no more.
+  MultiTrace mt;
+  mt.add(gen::rebase_to_proc(gen::single_use(50), 0));
+  mt.add(gen::rebase_to_proc(gen::cyclic(8, 4000), 1));
+  auto scheduler = make_equi_partition();
+  const ParallelRunResult r = run_parallel(mt, *scheduler, config_for(16, 4));
+  // 50 single-use misses + 8 cold + 8 refill after resize (bounded).
+  EXPECT_LE(r.misses, 50u + 8u + 16u);
+}
+
+TEST(SimpleSchedulers, BothUseBoundedMemory) {
+  MultiTrace mt;
+  for (ProcId i = 0; i < 4; ++i)
+    mt.add(gen::rebase_to_proc(gen::cyclic(6, 500), i));
+  std::vector<std::unique_ptr<BoxScheduler>> schedulers;
+  schedulers.push_back(make_static_partition());
+  schedulers.push_back(make_equi_partition());
+  for (const auto& scheduler : schedulers) {
+    const ParallelRunResult r =
+        run_parallel(mt, *scheduler, config_for(16, 4));
+    EXPECT_LE(r.peak_concurrent_height, 16u) << scheduler->name();
+  }
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "trace/trace.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(TraceTest, BasicAccessors) {
+  const Trace t = test::make_trace({1, 2, 1, 3});
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t[0], 1u);
+  EXPECT_EQ(t[3], 3u);
+  EXPECT_EQ(t.distinct_pages(), 3u);
+}
+
+TEST(TraceTest, AppendConcatenates) {
+  Trace a = test::make_trace({1, 2});
+  const Trace b = test::make_trace({3});
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[2], 3u);
+}
+
+TEST(TraceTest, EmptyTrace) {
+  const Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.distinct_pages(), 0u);
+}
+
+TEST(MakePageTest, EncodesOwner) {
+  const PageId p = make_page(5, 123);
+  EXPECT_EQ(page_owner(p), 5u);
+  EXPECT_EQ(p & ((PageId{1} << 48) - 1), 123u);
+}
+
+TEST(MakePageTest, DistinctProcsDistinctPages) {
+  EXPECT_NE(make_page(0, 7), make_page(1, 7));
+  EXPECT_NE(make_page(2, 0), make_page(3, 0));
+}
+
+TEST(MultiTraceTest, TotalsAndMax) {
+  MultiTrace mt;
+  mt.add(test::make_trace({1, 2, 3}));
+  mt.add(test::make_trace({4}));
+  EXPECT_EQ(mt.num_procs(), 2u);
+  EXPECT_EQ(mt.total_requests(), 4u);
+  EXPECT_EQ(mt.max_length(), 3u);
+}
+
+TEST(MultiTraceTest, DisjointValidation) {
+  MultiTrace good;
+  good.add(test::make_trace({1, 2}));
+  good.add(test::make_trace({3, 4}));
+  EXPECT_TRUE(good.validate_disjoint());
+
+  MultiTrace bad;
+  bad.add(test::make_trace({1, 2}));
+  bad.add(test::make_trace({2, 3}));  // shares page 2
+  EXPECT_FALSE(bad.validate_disjoint());
+}
+
+TEST(MultiTraceTest, SameProcRepeatsAreFine) {
+  MultiTrace mt;
+  mt.add(test::make_trace({1, 1, 1}));
+  EXPECT_TRUE(mt.validate_disjoint());
+}
+
+}  // namespace
+}  // namespace ppg

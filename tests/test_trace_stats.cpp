@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "paging/cache_sim.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(TraceStats, CyclicBasics) {
+  const Trace t = gen::cyclic(8, 80);
+  const TraceStats s = compute_trace_stats(t, 8);
+  EXPECT_EQ(s.num_requests, 80u);
+  EXPECT_EQ(s.distinct_pages, 8u);
+  EXPECT_DOUBLE_EQ(s.reuse_fraction, 0.9);
+  EXPECT_EQ(s.median_stack_distance, 7u);
+  EXPECT_DOUBLE_EQ(s.cold_miss_fraction, 0.1);
+}
+
+TEST(TraceStats, SingleUseHasNoReuse) {
+  const Trace t = gen::single_use(50);
+  const TraceStats s = compute_trace_stats(t, 4);
+  EXPECT_DOUBLE_EQ(s.reuse_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.cold_miss_fraction, 1.0);
+}
+
+TEST(TraceStats, FaultCurveMatchesLruSimulation) {
+  Rng rng(3);
+  const Trace t = gen::zipf(32, 2000, 0.9, rng);
+  const TraceStats s = compute_trace_stats(t, 6);
+  for (std::uint32_t lg = 0; lg <= 6; ++lg) {
+    const Height c = Height{1} << lg;
+    const CacheSimResult sim = simulate_policy(PolicyKind::kLru, t, c, 2);
+    EXPECT_EQ(s.lru_fault_curve[lg], sim.misses) << "capacity " << c;
+  }
+}
+
+TEST(TraceStats, FaultCurveIsMonotone) {
+  Rng rng(4);
+  const Trace t = gen::uniform_random(64, 3000, rng);
+  const TraceStats s = compute_trace_stats(t, 8);
+  for (std::size_t i = 1; i < s.lru_fault_curve.size(); ++i)
+    EXPECT_LE(s.lru_fault_curve[i], s.lru_fault_curve[i - 1]);
+}
+
+TEST(WorkingSetProfile, WindowsCountDistinct) {
+  const Trace t = gen::cyclic(4, 20);
+  const auto profile = working_set_profile(t, 10);
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_EQ(profile[0], 4u);
+  EXPECT_EQ(profile[1], 4u);
+}
+
+TEST(WorkingSetProfile, PartialTailWindow) {
+  const Trace t = gen::single_use(25);
+  const auto profile = working_set_profile(t, 10);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[0], 10u);
+  EXPECT_EQ(profile[2], 5u);
+}
+
+TEST(TraceStats, FormatMentionsKeyFields) {
+  const TraceStats s = compute_trace_stats(gen::cyclic(4, 40), 4);
+  const std::string text = format_trace_stats(s);
+  EXPECT_NE(text.find("requests=40"), std::string::npos);
+  EXPECT_NE(text.find("distinct=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/discrete_distribution.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(DiscreteDistribution, NormalizesWeights) {
+  DiscreteDistribution d({1.0, 1.0, 2.0});
+  EXPECT_EQ(d.num_outcomes(), 3u);
+  EXPECT_NEAR(d.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(d.probability(1), 0.25, 1e-12);
+  EXPECT_NEAR(d.probability(2), 0.50, 1e-12);
+}
+
+TEST(DiscreteDistribution, SingleOutcome) {
+  DiscreteDistribution d({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 0u);
+}
+
+TEST(DiscreteDistribution, ZeroWeightNeverSampled) {
+  DiscreteDistribution d({1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) EXPECT_NE(d.sample(rng), 1u);
+}
+
+TEST(DiscreteDistribution, EmpiricalFrequenciesMatch) {
+  // The paper's 1/j^2 shape over 4 rungs.
+  std::vector<double> weights{1.0, 0.25, 0.0625, 0.015625};
+  DiscreteDistribution d(weights);
+  Rng rng(3);
+  const int n = 200000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < n; ++i) ++counts[d.sample(rng)];
+  for (std::size_t j = 0; j < 4; ++j) {
+    const double expected = d.probability(j);
+    const double observed = static_cast<double>(counts[j]) / n;
+    EXPECT_NEAR(observed, expected, 0.01) << "outcome " << j;
+  }
+}
+
+TEST(DiscreteDistribution, ProbabilitiesSumToOne) {
+  DiscreteDistribution d({0.3, 0.1, 0.7, 0.9});
+  double sum = 0;
+  for (std::size_t i = 0; i < d.num_outcomes(); ++i) sum += d.probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ppg

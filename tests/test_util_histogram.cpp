@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(4);
+  h.add(0);
+  h.add(1);
+  h.add(1);
+  h.add(3);
+  h.add(9);  // overflow
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(2), 0u);
+  EXPECT_EQ(h.bin(3), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h(2);
+  h.add(0, 10);
+  h.add(1, 5);
+  EXPECT_EQ(h.bin(0), 10u);
+  EXPECT_EQ(h.bin(1), 5u);
+  EXPECT_EQ(h.total(), 15u);
+}
+
+TEST(Histogram, FrequencyNormalizes) {
+  Histogram h(2);
+  EXPECT_EQ(h.frequency(0), 0.0);  // empty histogram
+  h.add(0, 3);
+  h.add(1, 1);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.frequency(1), 0.25);
+}
+
+TEST(Histogram, ToStringMentionsOverflow) {
+  Histogram h(1);
+  h.add(5);
+  EXPECT_NE(h.to_string().find(">=1"), std::string::npos);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+  Log2Histogram h;
+  h.add(0);  // bucket 0: values {0}
+  h.add(1);  // bucket 1: values {1, 2}
+  h.add(2);
+  h.add(3);  // bucket 2: values {3..6}
+  h.add(6);
+  h.add(7);  // bucket 3: values {7..14}
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Log2Histogram, GrowsOnDemand) {
+  Log2Histogram h;
+  h.add(1'000'000);
+  EXPECT_GE(h.num_buckets(), 20u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/lru_set.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(LruSet, StartsEmpty) {
+  LruSet set(4);
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.full());
+  EXPECT_EQ(set.lru_page(), kInvalidPage);
+}
+
+TEST(LruSet, MissThenHit) {
+  LruSet set(2);
+  PageId evicted;
+  EXPECT_FALSE(set.access(1, evicted));
+  EXPECT_EQ(evicted, kInvalidPage);
+  EXPECT_TRUE(set.access(1, evicted));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(LruSet, EvictsLeastRecentlyUsed) {
+  LruSet set(2);
+  set.access(1);
+  set.access(2);
+  PageId evicted;
+  EXPECT_FALSE(set.access(3, evicted));
+  EXPECT_EQ(evicted, 1u);  // 1 is LRU
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(1));
+}
+
+TEST(LruSet, TouchRefreshesRecency) {
+  LruSet set(2);
+  set.access(1);
+  set.access(2);
+  set.access(1);  // 1 becomes MRU; 2 is now LRU
+  PageId evicted;
+  set.access(3, evicted);
+  EXPECT_EQ(evicted, 2u);
+}
+
+TEST(LruSet, MruOrderIsMaintained) {
+  LruSet set(3);
+  set.access(1);
+  set.access(2);
+  set.access(3);
+  set.access(2);
+  const std::vector<PageId> order = set.pages_mru_order();
+  EXPECT_EQ(order, (std::vector<PageId>{2, 3, 1}));
+  EXPECT_EQ(set.lru_page(), 1u);
+}
+
+TEST(LruSet, EraseRemovesPage) {
+  LruSet set(3);
+  set.access(1);
+  set.access(2);
+  EXPECT_TRUE(set.erase(1));
+  EXPECT_FALSE(set.erase(1));
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_EQ(set.size(), 1u);
+  // Slot reuse after erase.
+  set.access(3);
+  set.access(4);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(LruSet, EraseLruUpdatesVictim) {
+  LruSet set(3);
+  set.access(1);
+  set.access(2);
+  set.access(3);
+  set.erase(1);
+  EXPECT_EQ(set.lru_page(), 2u);
+}
+
+TEST(LruSet, ClearEmptiesEverything) {
+  LruSet set(3);
+  set.access(1);
+  set.access(2);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(1));
+  set.access(5);
+  EXPECT_TRUE(set.contains(5));
+}
+
+TEST(LruSet, CapacityOneAlwaysReplaces) {
+  LruSet set(1);
+  PageId evicted;
+  set.access(1, evicted);
+  set.access(2, evicted);
+  EXPECT_EQ(evicted, 1u);
+  set.access(3, evicted);
+  EXPECT_EQ(evicted, 2u);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+// Cross-check against a straightforward reference implementation on random
+// access streams, for a sweep of capacities.
+class LruSetReference : public ::testing::TestWithParam<Height> {};
+
+TEST_P(LruSetReference, MatchesNaiveModel) {
+  const Height capacity = GetParam();
+  LruSet set(capacity);
+  std::vector<PageId> model;  // MRU at front
+  Rng rng(1234 + capacity);
+
+  for (int i = 0; i < 5000; ++i) {
+    const PageId page = rng.next_below(capacity * 3 + 1);
+    // Model step.
+    const auto it = std::find(model.begin(), model.end(), page);
+    const bool model_hit = it != model.end();
+    PageId model_evicted = kInvalidPage;
+    if (model_hit) {
+      model.erase(it);
+    } else if (model.size() == capacity) {
+      model_evicted = model.back();
+      model.pop_back();
+    }
+    model.insert(model.begin(), page);
+    // DUT step.
+    PageId evicted;
+    const bool hit = set.access(page, evicted);
+    ASSERT_EQ(hit, model_hit) << "iteration " << i;
+    ASSERT_EQ(evicted, model_evicted) << "iteration " << i;
+    ASSERT_EQ(set.size(), model.size());
+    ASSERT_EQ(set.pages_mru_order(), model);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LruSetReference,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 33));
+
+}  // namespace
+}  // namespace ppg

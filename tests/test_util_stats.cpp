@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(Summary, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, NumericallyStableForShiftedData) {
+  Summary s;
+  const double base = 1e12;
+  for (double x : {base + 1, base + 2, base + 3}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(LinearFitTest, PerfectLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, ConstantYGivesZeroSlope) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{4, 4, 4};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineRecoversSlope) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(LogFitTest, LogarithmicGrowthHasUnitSlope) {
+  // ratio = 2*log2(p) + 1 should fit with slope 2.
+  std::vector<double> ps;
+  std::vector<double> ratios;
+  for (double p : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    ps.push_back(p);
+    ratios.push_back(2.0 * std::log2(p) + 1.0);
+  }
+  const LinearFit fit = fit_log2(ps, ratios);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenValues) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(TableTest, StoresCells) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell(std::uint64_t{42});
+  t.row().cell(1.5, 2).cell("y");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(0, 1), "42");
+  EXPECT_EQ(t.at(1, 0), "1.50");
+}
+
+TEST(TableTest, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.row().cell("long-name-here").cell(1);
+  t.row().cell("x").cell(22);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("long-name-here"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundtripSimple) {
+  Table t({"a", "b"});
+  t.row().cell("1").cell("2");
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, CsvEscaping) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv_escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(csv_escape("has\nnewline"), "\"has\nnewline\"");
+}
+
+TEST(TableTest, DoublePrecisionControl) {
+  Table t({"v"});
+  t.row().cell(3.14159, 4);
+  EXPECT_EQ(t.at(0, 0), "3.1416");
+}
+
+}  // namespace
+}  // namespace ppg

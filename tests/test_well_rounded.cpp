@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler_factory.hpp"
+#include "core/well_rounded.hpp"
+#include "trace/generators.hpp"
+
+namespace ppg {
+namespace {
+
+MultiTrace equal_streams(ProcId p, std::size_t len) {
+  // Equal-length single-use traces: nobody finishes early, so the phase
+  // structure stays put for the whole measurement.
+  MultiTrace mt;
+  for (ProcId i = 0; i < p; ++i)
+    mt.add(gen::rebase_to_proc(gen::single_use(len), i));
+  return mt;
+}
+
+EngineConfig config_for(Height k, Time s) {
+  EngineConfig c;
+  c.cache_size = k;
+  c.miss_cost = s;
+  return c;
+}
+
+TEST(WellRounded, DetParSatisfiesBothProperties) {
+  const MultiTrace mt = equal_streams(8, 20000);
+  auto scheduler = make_scheduler(SchedulerKind::kDetPar);
+  const WellRoundedReport report =
+      check_well_rounded(mt, *scheduler, config_for(64, 4));
+  EXPECT_TRUE(report.gap_free);
+  // The construction's constant: every normalized gap stays below a
+  // modest bound (the proof's constant is larger; 16 is empirical).
+  EXPECT_LT(report.worst_normalized(), 16.0);
+  // Every rung was actually delivered to every processor.
+  for (const auto& per_proc : report.deliveries)
+    for (std::uint64_t count : per_proc) EXPECT_GT(count, 0u);
+}
+
+TEST(WellRounded, ReportGeometry) {
+  const MultiTrace mt = equal_streams(8, 4000);
+  auto scheduler = make_scheduler(SchedulerKind::kDetPar);
+  const WellRoundedReport report =
+      check_well_rounded(mt, *scheduler, config_for(64, 4));
+  EXPECT_EQ(report.base_height, 16u);  // 2k/p = 16
+  ASSERT_EQ(report.rungs.size(), 3u);  // 16, 32, 64
+  EXPECT_EQ(report.rungs.back(), 64u);
+  EXPECT_EQ(report.worst_gap.size(), 8u);
+}
+
+TEST(WellRounded, StaticPartitionIsNotWellRounded) {
+  // STATIC never allocates boxes taller than k/p, so tall rungs are never
+  // delivered: their worst gap stays 0 but the normalized check exposes it
+  // via the companion "was it ever delivered" signal used above. Here we
+  // assert the discriminating direction: DET-PAR delivers the top rung,
+  // STATIC does not.
+  const MultiTrace mt = equal_streams(8, 8000);
+  auto det = make_scheduler(SchedulerKind::kDetPar);
+  auto stat = make_scheduler(SchedulerKind::kStatic);
+  const EngineConfig c = config_for(64, 4);
+  const WellRoundedReport det_report = check_well_rounded(mt, *det, c);
+  const WellRoundedReport stat_report = check_well_rounded(mt, *stat, c);
+  // DET-PAR delivered the top rung to processor 0; STATIC never did.
+  EXPECT_GT(det_report.deliveries[0].back(), 0u);
+  EXPECT_EQ(stat_report.deliveries[0].back(), 0u);
+}
+
+TEST(WellRounded, EquiDeliversOnlyBaseUntilFinishes) {
+  // With equal lengths, EQUI's slices never grow: like STATIC it fails
+  // property 2 for every rung above the base.
+  const MultiTrace mt = equal_streams(8, 8000);
+  auto equi = make_scheduler(SchedulerKind::kEqui);
+  const WellRoundedReport report =
+      check_well_rounded(mt, *equi, config_for(64, 4));
+  for (std::size_t r = 1; r < report.rungs.size(); ++r)
+    EXPECT_EQ(report.deliveries[0][r], 0u) << "rung " << r;
+}
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "trace/workload.hpp"
+
+namespace ppg {
+namespace {
+
+WorkloadParams small() {
+  WorkloadParams p;
+  p.num_procs = 8;
+  p.cache_size = 32;
+  p.requests_per_proc = 1000;
+  p.seed = 7;
+  return p;
+}
+
+class AllWorkloads : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(AllWorkloads, ShapeAndDisjointness) {
+  const MultiTrace mt = make_workload(GetParam(), small());
+  EXPECT_EQ(mt.num_procs(), 8u);
+  EXPECT_TRUE(mt.validate_disjoint());
+  for (ProcId i = 0; i < mt.num_procs(); ++i)
+    EXPECT_FALSE(mt.trace(i).empty()) << "proc " << i;
+}
+
+TEST_P(AllWorkloads, DeterministicGivenSeed) {
+  const MultiTrace a = make_workload(GetParam(), small());
+  const MultiTrace b = make_workload(GetParam(), small());
+  for (ProcId i = 0; i < a.num_procs(); ++i)
+    EXPECT_EQ(a.trace(i).requests(), b.trace(i).requests());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllWorkloads,
+                         ::testing::ValuesIn(all_workload_kinds()));
+
+TEST(Workload, SkewedLengthsVary) {
+  const MultiTrace mt = make_workload(WorkloadKind::kSkewedLengths, small());
+  std::size_t min_len = SIZE_MAX;
+  std::size_t max_len = 0;
+  for (ProcId i = 0; i < mt.num_procs(); ++i) {
+    min_len = std::min(min_len, mt.trace(i).size());
+    max_len = std::max(max_len, mt.trace(i).size());
+  }
+  EXPECT_GE(max_len, 4 * min_len);
+}
+
+TEST(Workload, UniformLengthsOtherwise) {
+  const MultiTrace mt =
+      make_workload(WorkloadKind::kHomogeneousCyclic, small());
+  for (ProcId i = 0; i < mt.num_procs(); ++i)
+    EXPECT_EQ(mt.trace(i).size(), 1000u);
+}
+
+TEST(Workload, KindNamesAreUnique) {
+  std::vector<std::string> names;
+  for (WorkloadKind kind : all_workload_kinds())
+    names.emplace_back(workload_kind_name(kind));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace ppg

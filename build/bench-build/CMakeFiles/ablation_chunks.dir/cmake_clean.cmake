@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_chunks"
+  "../bench/ablation_chunks.pdb"
+  "CMakeFiles/ablation_chunks.dir/ablation_chunks.cpp.o"
+  "CMakeFiles/ablation_chunks.dir/ablation_chunks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

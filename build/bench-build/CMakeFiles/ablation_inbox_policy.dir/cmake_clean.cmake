@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_inbox_policy"
+  "../bench/ablation_inbox_policy.pdb"
+  "CMakeFiles/ablation_inbox_policy.dir/ablation_inbox_policy.cpp.o"
+  "CMakeFiles/ablation_inbox_policy.dir/ablation_inbox_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inbox_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/engine_micro"
+  "../bench/engine_micro.pdb"
+  "CMakeFiles/engine_micro.dir/engine_micro.cpp.o"
+  "CMakeFiles/engine_micro.dir/engine_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

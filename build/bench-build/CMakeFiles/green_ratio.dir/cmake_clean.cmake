@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/green_ratio"
+  "../bench/green_ratio.pdb"
+  "CMakeFiles/green_ratio.dir/green_ratio.cpp.o"
+  "CMakeFiles/green_ratio.dir/green_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lower_bound"
+  "../bench/lower_bound.pdb"
+  "CMakeFiles/lower_bound.dir/lower_bound.cpp.o"
+  "CMakeFiles/lower_bound.dir/lower_bound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/makespan_scaling"
+  "../bench/makespan_scaling.pdb"
+  "CMakeFiles/makespan_scaling.dir/makespan_scaling.cpp.o"
+  "CMakeFiles/makespan_scaling.dir/makespan_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makespan_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

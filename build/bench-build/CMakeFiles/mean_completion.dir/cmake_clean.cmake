@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/mean_completion"
+  "../bench/mean_completion.pdb"
+  "CMakeFiles/mean_completion.dir/mean_completion.cpp.o"
+  "CMakeFiles/mean_completion.dir/mean_completion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mean_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/policies"
+  "../bench/policies.pdb"
+  "CMakeFiles/policies.dir/policies.cpp.o"
+  "CMakeFiles/policies.dir/policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

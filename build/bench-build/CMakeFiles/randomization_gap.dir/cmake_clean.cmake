@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/randomization_gap"
+  "../bench/randomization_gap.pdb"
+  "CMakeFiles/randomization_gap.dir/randomization_gap.cpp.o"
+  "CMakeFiles/randomization_gap.dir/randomization_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomization_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/shared_pages"
+  "../bench/shared_pages.pdb"
+  "CMakeFiles/shared_pages.dir/shared_pages.cpp.o"
+  "CMakeFiles/shared_pages.dir/shared_pages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/adversarial_demo"
+  "../examples-bin/adversarial_demo.pdb"
+  "CMakeFiles/adversarial_demo.dir/adversarial_demo.cpp.o"
+  "CMakeFiles/adversarial_demo.dir/adversarial_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/green_energy"
+  "../examples-bin/green_energy.pdb"
+  "CMakeFiles/green_energy.dir/green_energy.cpp.o"
+  "CMakeFiles/green_energy.dir/green_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

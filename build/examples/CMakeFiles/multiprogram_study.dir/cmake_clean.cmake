@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/multiprogram_study"
+  "../examples-bin/multiprogram_study.pdb"
+  "CMakeFiles/multiprogram_study.dir/multiprogram_study.cpp.o"
+  "CMakeFiles/multiprogram_study.dir/multiprogram_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogram_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

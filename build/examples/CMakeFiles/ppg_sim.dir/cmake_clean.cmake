@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/ppg_sim"
+  "../examples-bin/ppg_sim.pdb"
+  "CMakeFiles/ppg_sim.dir/ppg_sim.cpp.o"
+  "CMakeFiles/ppg_sim.dir/ppg_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

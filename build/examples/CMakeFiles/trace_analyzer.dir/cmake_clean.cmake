@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples-bin/trace_analyzer"
+  "../examples-bin/trace_analyzer.pdb"
+  "CMakeFiles/trace_analyzer.dir/trace_analyzer.cpp.o"
+  "CMakeFiles/trace_analyzer.dir/trace_analyzer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples-bin/quickstart" "4" "32" "4")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_analyzer "/root/repo/build/examples-bin/trace_analyzer" "--demo" "--p" "4" "--n" "1000")
+set_tests_properties(example_trace_analyzer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multiprogram "/root/repo/build/examples-bin/multiprogram_study" "4" "32")
+set_tests_properties(example_multiprogram PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adversarial "/root/repo/build/examples-bin/adversarial_demo" "3")
+set_tests_properties(example_adversarial PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_green_energy "/root/repo/build/examples-bin/green_energy" "16" "64")
+set_tests_properties(example_green_energy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ppg_sim_all "/root/repo/build/examples-bin/ppg_sim" "--scheduler" "all" "--workload" "zipf" "--p" "4" "--k" "32" "--n" "500" "--s" "8")
+set_tests_properties(example_ppg_sim_all PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ppg_sim_csv "/root/repo/build/examples-bin/ppg_sim" "--scheduler" "DET-PAR" "--workload" "cache-hungry" "--p" "4" "--k" "32" "--n" "500" "--csv")
+set_tests_properties(example_ppg_sim_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ppg_sim_adversarial "/root/repo/build/examples-bin/ppg_sim" "--workload" "adversarial" "--ell" "3" "--scheduler" "BB-GREEN(det)")
+set_tests_properties(example_ppg_sim_adversarial PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ppg_sim_rejects_bad_scheduler "/root/repo/build/examples-bin/ppg_sim" "--scheduler" "NOPE" "--p" "2" "--n" "100")
+set_tests_properties(example_ppg_sim_rejects_bad_scheduler PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_bench_support.dir/experiment.cpp.o"
+  "CMakeFiles/ppg_bench_support.dir/experiment.cpp.o.d"
+  "libppg_bench_support.a"
+  "libppg_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/blackbox_green.cpp" "src/core/CMakeFiles/ppg_core.dir/blackbox_green.cpp.o" "gcc" "src/core/CMakeFiles/ppg_core.dir/blackbox_green.cpp.o.d"
+  "/root/repo/src/core/det_par.cpp" "src/core/CMakeFiles/ppg_core.dir/det_par.cpp.o" "gcc" "src/core/CMakeFiles/ppg_core.dir/det_par.cpp.o.d"
+  "/root/repo/src/core/global_lru.cpp" "src/core/CMakeFiles/ppg_core.dir/global_lru.cpp.o" "gcc" "src/core/CMakeFiles/ppg_core.dir/global_lru.cpp.o.d"
+  "/root/repo/src/core/parallel_engine.cpp" "src/core/CMakeFiles/ppg_core.dir/parallel_engine.cpp.o" "gcc" "src/core/CMakeFiles/ppg_core.dir/parallel_engine.cpp.o.d"
+  "/root/repo/src/core/rand_par.cpp" "src/core/CMakeFiles/ppg_core.dir/rand_par.cpp.o" "gcc" "src/core/CMakeFiles/ppg_core.dir/rand_par.cpp.o.d"
+  "/root/repo/src/core/scheduler_factory.cpp" "src/core/CMakeFiles/ppg_core.dir/scheduler_factory.cpp.o" "gcc" "src/core/CMakeFiles/ppg_core.dir/scheduler_factory.cpp.o.d"
+  "/root/repo/src/core/simple_schedulers.cpp" "src/core/CMakeFiles/ppg_core.dir/simple_schedulers.cpp.o" "gcc" "src/core/CMakeFiles/ppg_core.dir/simple_schedulers.cpp.o.d"
+  "/root/repo/src/core/well_rounded.cpp" "src/core/CMakeFiles/ppg_core.dir/well_rounded.cpp.o" "gcc" "src/core/CMakeFiles/ppg_core.dir/well_rounded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ppg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ppg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/green/CMakeFiles/ppg_green.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/ppg_paging.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

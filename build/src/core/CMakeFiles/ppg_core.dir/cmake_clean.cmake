@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_core.dir/blackbox_green.cpp.o"
+  "CMakeFiles/ppg_core.dir/blackbox_green.cpp.o.d"
+  "CMakeFiles/ppg_core.dir/det_par.cpp.o"
+  "CMakeFiles/ppg_core.dir/det_par.cpp.o.d"
+  "CMakeFiles/ppg_core.dir/global_lru.cpp.o"
+  "CMakeFiles/ppg_core.dir/global_lru.cpp.o.d"
+  "CMakeFiles/ppg_core.dir/parallel_engine.cpp.o"
+  "CMakeFiles/ppg_core.dir/parallel_engine.cpp.o.d"
+  "CMakeFiles/ppg_core.dir/rand_par.cpp.o"
+  "CMakeFiles/ppg_core.dir/rand_par.cpp.o.d"
+  "CMakeFiles/ppg_core.dir/scheduler_factory.cpp.o"
+  "CMakeFiles/ppg_core.dir/scheduler_factory.cpp.o.d"
+  "CMakeFiles/ppg_core.dir/simple_schedulers.cpp.o"
+  "CMakeFiles/ppg_core.dir/simple_schedulers.cpp.o.d"
+  "CMakeFiles/ppg_core.dir/well_rounded.cpp.o"
+  "CMakeFiles/ppg_core.dir/well_rounded.cpp.o.d"
+  "libppg_core.a"
+  "libppg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/green/box_runner.cpp" "src/green/CMakeFiles/ppg_green.dir/box_runner.cpp.o" "gcc" "src/green/CMakeFiles/ppg_green.dir/box_runner.cpp.o.d"
+  "/root/repo/src/green/dynamic_green.cpp" "src/green/CMakeFiles/ppg_green.dir/dynamic_green.cpp.o" "gcc" "src/green/CMakeFiles/ppg_green.dir/dynamic_green.cpp.o.d"
+  "/root/repo/src/green/greedy_check.cpp" "src/green/CMakeFiles/ppg_green.dir/greedy_check.cpp.o" "gcc" "src/green/CMakeFiles/ppg_green.dir/greedy_check.cpp.o.d"
+  "/root/repo/src/green/green_algorithms.cpp" "src/green/CMakeFiles/ppg_green.dir/green_algorithms.cpp.o" "gcc" "src/green/CMakeFiles/ppg_green.dir/green_algorithms.cpp.o.d"
+  "/root/repo/src/green/green_opt.cpp" "src/green/CMakeFiles/ppg_green.dir/green_opt.cpp.o" "gcc" "src/green/CMakeFiles/ppg_green.dir/green_opt.cpp.o.d"
+  "/root/repo/src/green/policy_box_runner.cpp" "src/green/CMakeFiles/ppg_green.dir/policy_box_runner.cpp.o" "gcc" "src/green/CMakeFiles/ppg_green.dir/policy_box_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ppg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ppg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/ppg_paging.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

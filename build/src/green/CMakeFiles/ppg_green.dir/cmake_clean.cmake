@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_green.dir/box_runner.cpp.o"
+  "CMakeFiles/ppg_green.dir/box_runner.cpp.o.d"
+  "CMakeFiles/ppg_green.dir/dynamic_green.cpp.o"
+  "CMakeFiles/ppg_green.dir/dynamic_green.cpp.o.d"
+  "CMakeFiles/ppg_green.dir/greedy_check.cpp.o"
+  "CMakeFiles/ppg_green.dir/greedy_check.cpp.o.d"
+  "CMakeFiles/ppg_green.dir/green_algorithms.cpp.o"
+  "CMakeFiles/ppg_green.dir/green_algorithms.cpp.o.d"
+  "CMakeFiles/ppg_green.dir/green_opt.cpp.o"
+  "CMakeFiles/ppg_green.dir/green_opt.cpp.o.d"
+  "CMakeFiles/ppg_green.dir/policy_box_runner.cpp.o"
+  "CMakeFiles/ppg_green.dir/policy_box_runner.cpp.o.d"
+  "libppg_green.a"
+  "libppg_green.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_green.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/constructed_opt.cpp" "src/opt/CMakeFiles/ppg_opt.dir/constructed_opt.cpp.o" "gcc" "src/opt/CMakeFiles/ppg_opt.dir/constructed_opt.cpp.o.d"
+  "/root/repo/src/opt/offline_packer.cpp" "src/opt/CMakeFiles/ppg_opt.dir/offline_packer.cpp.o" "gcc" "src/opt/CMakeFiles/ppg_opt.dir/offline_packer.cpp.o.d"
+  "/root/repo/src/opt/opt_bounds.cpp" "src/opt/CMakeFiles/ppg_opt.dir/opt_bounds.cpp.o" "gcc" "src/opt/CMakeFiles/ppg_opt.dir/opt_bounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ppg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ppg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/ppg_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/green/CMakeFiles/ppg_green.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ppg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

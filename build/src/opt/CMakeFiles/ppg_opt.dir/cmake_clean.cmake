@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_opt.dir/constructed_opt.cpp.o"
+  "CMakeFiles/ppg_opt.dir/constructed_opt.cpp.o.d"
+  "CMakeFiles/ppg_opt.dir/offline_packer.cpp.o"
+  "CMakeFiles/ppg_opt.dir/offline_packer.cpp.o.d"
+  "CMakeFiles/ppg_opt.dir/opt_bounds.cpp.o"
+  "CMakeFiles/ppg_opt.dir/opt_bounds.cpp.o.d"
+  "libppg_opt.a"
+  "libppg_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paging/cache_sim.cpp" "src/paging/CMakeFiles/ppg_paging.dir/cache_sim.cpp.o" "gcc" "src/paging/CMakeFiles/ppg_paging.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/paging/policies.cpp" "src/paging/CMakeFiles/ppg_paging.dir/policies.cpp.o" "gcc" "src/paging/CMakeFiles/ppg_paging.dir/policies.cpp.o.d"
+  "/root/repo/src/paging/policies_extra.cpp" "src/paging/CMakeFiles/ppg_paging.dir/policies_extra.cpp.o" "gcc" "src/paging/CMakeFiles/ppg_paging.dir/policies_extra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ppg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ppg_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_paging.dir/cache_sim.cpp.o"
+  "CMakeFiles/ppg_paging.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/ppg_paging.dir/policies.cpp.o"
+  "CMakeFiles/ppg_paging.dir/policies.cpp.o.d"
+  "CMakeFiles/ppg_paging.dir/policies_extra.cpp.o"
+  "CMakeFiles/ppg_paging.dir/policies_extra.cpp.o.d"
+  "libppg_paging.a"
+  "libppg_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppg_paging.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_trace.dir/adversarial.cpp.o"
+  "CMakeFiles/ppg_trace.dir/adversarial.cpp.o.d"
+  "CMakeFiles/ppg_trace.dir/generators.cpp.o"
+  "CMakeFiles/ppg_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/ppg_trace.dir/shared_workload.cpp.o"
+  "CMakeFiles/ppg_trace.dir/shared_workload.cpp.o.d"
+  "CMakeFiles/ppg_trace.dir/stack_distance.cpp.o"
+  "CMakeFiles/ppg_trace.dir/stack_distance.cpp.o.d"
+  "CMakeFiles/ppg_trace.dir/trace.cpp.o"
+  "CMakeFiles/ppg_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/ppg_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/ppg_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/ppg_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/ppg_trace.dir/trace_stats.cpp.o.d"
+  "CMakeFiles/ppg_trace.dir/workload.cpp.o"
+  "CMakeFiles/ppg_trace.dir/workload.cpp.o.d"
+  "libppg_trace.a"
+  "libppg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppg_util.dir/arg_parse.cpp.o"
+  "CMakeFiles/ppg_util.dir/arg_parse.cpp.o.d"
+  "CMakeFiles/ppg_util.dir/histogram.cpp.o"
+  "CMakeFiles/ppg_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/ppg_util.dir/stats.cpp.o"
+  "CMakeFiles/ppg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ppg_util.dir/table.cpp.o"
+  "CMakeFiles/ppg_util.dir/table.cpp.o.d"
+  "libppg_util.a"
+  "libppg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

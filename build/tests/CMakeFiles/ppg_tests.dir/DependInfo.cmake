@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adversarial.cpp" "tests/CMakeFiles/ppg_tests.dir/test_adversarial.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_adversarial.cpp.o.d"
+  "/root/repo/tests/test_arg_parse.cpp" "tests/CMakeFiles/ppg_tests.dir/test_arg_parse.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_arg_parse.cpp.o.d"
+  "/root/repo/tests/test_blackbox_green.cpp" "tests/CMakeFiles/ppg_tests.dir/test_blackbox_green.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_blackbox_green.cpp.o.d"
+  "/root/repo/tests/test_box.cpp" "tests/CMakeFiles/ppg_tests.dir/test_box.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_box.cpp.o.d"
+  "/root/repo/tests/test_box_runner.cpp" "tests/CMakeFiles/ppg_tests.dir/test_box_runner.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_box_runner.cpp.o.d"
+  "/root/repo/tests/test_cache_sim.cpp" "tests/CMakeFiles/ppg_tests.dir/test_cache_sim.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_cache_sim.cpp.o.d"
+  "/root/repo/tests/test_constructed_opt.cpp" "tests/CMakeFiles/ppg_tests.dir/test_constructed_opt.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_constructed_opt.cpp.o.d"
+  "/root/repo/tests/test_det_par.cpp" "tests/CMakeFiles/ppg_tests.dir/test_det_par.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_det_par.cpp.o.d"
+  "/root/repo/tests/test_dynamic_green.cpp" "tests/CMakeFiles/ppg_tests.dir/test_dynamic_green.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_dynamic_green.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/ppg_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_engine_config.cpp" "tests/CMakeFiles/ppg_tests.dir/test_engine_config.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_engine_config.cpp.o.d"
+  "/root/repo/tests/test_engine_fuzz.cpp" "tests/CMakeFiles/ppg_tests.dir/test_engine_fuzz.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_engine_fuzz.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/ppg_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/ppg_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_global_lru.cpp" "tests/CMakeFiles/ppg_tests.dir/test_global_lru.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_global_lru.cpp.o.d"
+  "/root/repo/tests/test_greedy_check.cpp" "tests/CMakeFiles/ppg_tests.dir/test_greedy_check.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_greedy_check.cpp.o.d"
+  "/root/repo/tests/test_green_algorithms.cpp" "tests/CMakeFiles/ppg_tests.dir/test_green_algorithms.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_green_algorithms.cpp.o.d"
+  "/root/repo/tests/test_green_opt.cpp" "tests/CMakeFiles/ppg_tests.dir/test_green_opt.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_green_opt.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/ppg_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lower_bound_experiment.cpp" "tests/CMakeFiles/ppg_tests.dir/test_lower_bound_experiment.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_lower_bound_experiment.cpp.o.d"
+  "/root/repo/tests/test_offline_packer.cpp" "tests/CMakeFiles/ppg_tests.dir/test_offline_packer.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_offline_packer.cpp.o.d"
+  "/root/repo/tests/test_opt_bounds.cpp" "tests/CMakeFiles/ppg_tests.dir/test_opt_bounds.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_opt_bounds.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/ppg_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_policies_extra.cpp" "tests/CMakeFiles/ppg_tests.dir/test_policies_extra.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_policies_extra.cpp.o.d"
+  "/root/repo/tests/test_policy_box_runner.cpp" "tests/CMakeFiles/ppg_tests.dir/test_policy_box_runner.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_policy_box_runner.cpp.o.d"
+  "/root/repo/tests/test_rand_par.cpp" "tests/CMakeFiles/ppg_tests.dir/test_rand_par.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_rand_par.cpp.o.d"
+  "/root/repo/tests/test_shared_workload.cpp" "tests/CMakeFiles/ppg_tests.dir/test_shared_workload.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_shared_workload.cpp.o.d"
+  "/root/repo/tests/test_simple_schedulers.cpp" "tests/CMakeFiles/ppg_tests.dir/test_simple_schedulers.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_simple_schedulers.cpp.o.d"
+  "/root/repo/tests/test_stack_distance.cpp" "tests/CMakeFiles/ppg_tests.dir/test_stack_distance.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_stack_distance.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/ppg_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/ppg_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_trace_stats.cpp" "tests/CMakeFiles/ppg_tests.dir/test_trace_stats.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_trace_stats.cpp.o.d"
+  "/root/repo/tests/test_util_distribution.cpp" "tests/CMakeFiles/ppg_tests.dir/test_util_distribution.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_util_distribution.cpp.o.d"
+  "/root/repo/tests/test_util_histogram.cpp" "tests/CMakeFiles/ppg_tests.dir/test_util_histogram.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_util_histogram.cpp.o.d"
+  "/root/repo/tests/test_util_lru_set.cpp" "tests/CMakeFiles/ppg_tests.dir/test_util_lru_set.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_util_lru_set.cpp.o.d"
+  "/root/repo/tests/test_util_math.cpp" "tests/CMakeFiles/ppg_tests.dir/test_util_math.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_util_math.cpp.o.d"
+  "/root/repo/tests/test_util_rng.cpp" "tests/CMakeFiles/ppg_tests.dir/test_util_rng.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_util_rng.cpp.o.d"
+  "/root/repo/tests/test_util_stats.cpp" "tests/CMakeFiles/ppg_tests.dir/test_util_stats.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_util_stats.cpp.o.d"
+  "/root/repo/tests/test_util_table.cpp" "tests/CMakeFiles/ppg_tests.dir/test_util_table.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_util_table.cpp.o.d"
+  "/root/repo/tests/test_well_rounded.cpp" "tests/CMakeFiles/ppg_tests.dir/test_well_rounded.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_well_rounded.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/ppg_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/ppg_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ppg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ppg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/paging/CMakeFiles/ppg_paging.dir/DependInfo.cmake"
+  "/root/repo/build/src/green/CMakeFiles/ppg_green.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ppg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ppg_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_support/CMakeFiles/ppg_bench_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,127 @@
+// replay_dump: load a failure replay dump and re-execute it.
+//
+// When a checked run fails (scheduler contract violation, watchdog
+// timeout), the engine serializes the multitrace, engine geometry,
+// scheduler spec and seed to a .ppgreplay file. This tool re-executes the
+// dump under a fresh ValidatingScheduler and reports whether the recorded
+// failure reproduces.
+//
+// Usage:
+//   replay_dump <file.ppgreplay> [--pow2] [--max-augmentation X]
+//   replay_dump --selftest <scratch-path>
+//
+// Exit codes: 0 = recorded failure reproduced (same error code), or the
+// dump recorded no failure and the run is clean; 2 = run behaved
+// differently from the record; 1 = usage / I/O error.
+#include <cstdio>
+#include <string>
+
+#include "core/fault_injection.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/replay.hpp"
+#include "core/scheduler_factory.hpp"
+#include "trace/workload.hpp"
+#include "util/arg_parse.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace ppg;
+
+void print_dump(const ReplayDump& dump) {
+  std::printf("replay dump: k=%u s=%llu max_time=%llu seed=%llu\n",
+              dump.cache_size,
+              static_cast<unsigned long long>(dump.miss_cost),
+              static_cast<unsigned long long>(dump.max_time),
+              static_cast<unsigned long long>(dump.seed));
+  std::printf("  scheduler: %s\n", dump.scheduler_spec.c_str());
+  std::printf("  traces:    %u procs, %zu requests\n", dump.traces.num_procs(),
+              dump.traces.total_requests());
+  std::printf("  reason:    %s\n", dump.reason.ok()
+                                       ? "(none recorded)"
+                                       : dump.reason.to_string().c_str());
+}
+
+int replay_file(const std::string& path, const ValidatorConfig& validator) {
+  const ReplayDump dump = load_replay_dump(path);
+  print_dump(dump);
+  const CheckedRun rerun = run_replay(dump, validator);
+  if (rerun.status.ok()) {
+    std::printf("re-execution: completed clean, makespan=%llu\n",
+                static_cast<unsigned long long>(rerun.result.makespan));
+    return dump.reason.ok() ? 0 : 2;
+  }
+  std::printf("re-execution: failed with %s\n",
+              rerun.status.error.to_string().c_str());
+  const bool reproduced =
+      !dump.reason.ok() && rerun.status.error.code == dump.reason.code;
+  std::printf("%s\n", reproduced ? "REPRODUCED" : "DIVERGED");
+  return reproduced ? 0 : 2;
+}
+
+/// End-to-end self check: inject a fault into RAND-PAR, let the checked
+/// engine write a dump to `scratch`, then re-execute it.
+int selftest(const std::string& scratch) {
+  WorkloadParams wp;
+  wp.num_procs = 4;
+  wp.cache_size = 16;
+  wp.requests_per_proc = 400;
+  wp.seed = 7;
+  wp.miss_cost = 4;
+  const MultiTrace traces = make_workload(WorkloadKind::kZipf, wp);
+
+  const std::string spec = "VALIDATE(INJECT(excessive-stall,RAND-PAR))";
+  auto scheduler = make_scheduler_from_spec(spec, /*seed=*/7);
+  EngineConfig ec;
+  ec.cache_size = 16;
+  ec.miss_cost = 4;
+  ec.seed = 7;
+  ec.scheduler_spec = spec;
+  ec.replay_dump_path = scratch;
+  // The default validator has no stall limit; the injected 2^40-tick stall
+  // trips the watchdog instead, which is also a dump-worthy failure.
+  ec.max_time = Time{1} << 30;
+
+  const CheckedRun run = run_parallel_checked(traces, *scheduler, ec);
+  if (run.status.ok()) {
+    std::printf("selftest: injected run unexpectedly succeeded\n");
+    return 2;
+  }
+  std::printf("selftest: injected failure: %s\n",
+              run.status.error.to_string().c_str());
+  if (run.status.replay_dump_path.empty()) {
+    std::printf("selftest: no replay dump was written\n");
+    return 2;
+  }
+  return replay_file(run.status.replay_dump_path, ValidatorConfig{});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ArgParser args(argc, argv);
+    // "--selftest <path>" parses as a key-value option.
+    if (const std::string scratch = args.get_string("selftest", "");
+        !scratch.empty()) {
+      if (scratch == "true") {
+        std::fprintf(stderr, "usage: replay_dump --selftest <scratch-path>\n");
+        return 1;
+      }
+      return selftest(scratch);
+    }
+    if (args.positional().size() != 1) {
+      std::fprintf(stderr,
+                   "usage: replay_dump <file.ppgreplay> [--pow2] "
+                   "[--max-augmentation X] | --selftest <scratch-path>\n");
+      return 1;
+    }
+    ValidatorConfig validator;
+    validator.require_pow2_heights = args.get_bool("pow2", false);
+    validator.max_augmentation = args.get_double("max-augmentation", 8.0);
+    return replay_file(args.positional()[0], validator);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "replay_dump: %s\n", e.what());
+    return 1;
+  }
+}

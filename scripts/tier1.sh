@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full build + test suite, then the robustness
+# tests (fault injection, trace corruption, replay) again under ASan/UBSan.
+#
+# Usage: scripts/tier1.sh [sanitizer]
+#   sanitizer: address (default) | undefined | none
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAN="${1:-address}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "${SAN}" != "none" ]]; then
+  cmake -B "build-${SAN}" -S . -DPPG_SANITIZE="${SAN}" \
+        -DPPG_BUILD_BENCH=OFF -DPPG_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "build-${SAN}" -j "$(nproc)"
+  (cd "build-${SAN}" &&
+   ctest --output-on-failure -j "$(nproc)" \
+         -R 'FaultInjection|Contract|Replay|TraceIoCorruption|RunChecked|Error')
+fi
+
+echo "tier-1 OK (sanitizer: ${SAN})"

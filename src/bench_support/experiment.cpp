@@ -8,6 +8,27 @@
 
 namespace ppg {
 
+std::size_t InstanceOutcome::num_failed() const {
+  std::size_t n = 0;
+  for (const SchedulerOutcome& so : outcomes)
+    if (!so.status.ok()) ++n;
+  return n;
+}
+
+namespace {
+
+/// Factory spec for the cell, with the decorators applied, so a replay
+/// dump reconstructs the identical (possibly fault-injected) scheduler.
+std::string cell_spec(SchedulerKind kind, const ExperimentConfig& config) {
+  std::string spec = scheduler_kind_name(kind);
+  if (config.inject_fault)
+    spec = std::string("INJECT(") + fault_class_name(config.inject_fault->fault) +
+           "," + spec + ")";
+  return spec;
+}
+
+}  // namespace
+
 InstanceOutcome run_instance(const MultiTrace& traces,
                              const std::vector<SchedulerKind>& kinds,
                              const ExperimentConfig& config) {
@@ -27,14 +48,33 @@ InstanceOutcome run_instance(const MultiTrace& traces,
   EngineConfig ec;
   ec.cache_size = config.cache_size;
   ec.miss_cost = config.miss_cost;
+  ec.max_time = config.max_time;
+  ec.seed = config.seed;
 
   for (const SchedulerKind kind : kinds) {
-    auto scheduler = make_scheduler(kind, config.seed);
+    std::unique_ptr<BoxScheduler> scheduler = make_scheduler(kind, config.seed);
+    if (config.inject_fault) {
+      FaultInjectionConfig fc = *config.inject_fault;
+      fc.seed = config.seed;
+      scheduler = make_fault_injecting(std::move(scheduler), fc);
+    }
+    if (config.validate_contracts)
+      scheduler = make_validating(std::move(scheduler), config.validator);
+
     SchedulerOutcome so;
     so.name = scheduler_kind_name(kind);
-    so.result = run_parallel(traces, *scheduler, ec);
-    so.makespan_ratio = static_cast<double>(so.result.makespan) / lb;
-    so.mean_ct_ratio = so.result.mean_completion / lb;
+    ec.scheduler_spec = cell_spec(kind, config);
+    ec.replay_dump_path =
+        config.replay_dump_dir.empty()
+            ? std::string{}
+            : config.replay_dump_dir + "/" + so.name + ".ppgreplay";
+    CheckedRun run = run_parallel_checked(traces, *scheduler, ec);
+    so.status = std::move(run.status);
+    so.result = std::move(run.result);
+    if (so.status.ok()) {
+      so.makespan_ratio = static_cast<double>(so.result.makespan) / lb;
+      so.mean_ct_ratio = so.result.mean_completion / lb;
+    }
     out.outcomes.push_back(std::move(so));
   }
 
@@ -44,9 +84,15 @@ InstanceOutcome run_instance(const MultiTrace& traces,
     gc.miss_cost = config.miss_cost;
     SchedulerOutcome so;
     so.name = "GLOBAL-LRU";
-    so.result = run_global_lru(traces, gc);
-    so.makespan_ratio = static_cast<double>(so.result.makespan) / lb;
-    so.mean_ct_ratio = so.result.mean_completion / lb;
+    // The shared-pool baseline is simulated directly (no box stream to
+    // validate), but its failures are captured per-cell all the same.
+    try {
+      so.result = run_global_lru(traces, gc);
+      so.makespan_ratio = static_cast<double>(so.result.makespan) / lb;
+      so.mean_ct_ratio = so.result.mean_completion / lb;
+    } catch (const PpgException& e) {
+      so.status = RunStatus::failure(e.error());
+    }
     out.outcomes.push_back(std::move(so));
   }
   return out;

@@ -1,15 +1,24 @@
 // Shared machinery for the benchmark harness: run a set of schedulers on an
 // instance, compute ratio rows against the OPT lower bound, and summarize
 // scaling shapes with log-fits.
+//
+// Runs go through the engine's checked entry point: a scheduler breaking
+// the box contract, or a cell tripping the watchdog, is captured in that
+// cell's SchedulerOutcome::status (with an optional replay dump) instead
+// of aborting the whole sweep.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/contract.hpp"
+#include "core/fault_injection.hpp"
 #include "core/metrics.hpp"
 #include "core/scheduler_factory.hpp"
 #include "opt/opt_bounds.hpp"
 #include "trace/trace.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -21,10 +30,25 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   bool include_global_lru = true;
   std::size_t exact_impact_max_requests = 0;  ///< See OptBoundsConfig.
+  /// Watchdog forwarded to the engine for every cell.
+  Time max_time = Time{1} << 60;
+  /// Wrap every box scheduler in a ValidatingScheduler so contract
+  /// violations surface as per-cell errors.
+  bool validate_contracts = true;
+  ValidatorConfig validator;
+  /// When non-empty, failing cells write a replay dump
+  /// "<dir>/<scheduler>.ppgreplay" (see core/replay.hpp).
+  std::string replay_dump_dir;
+  /// Testing hook: corrupt every box scheduler with this fault to exercise
+  /// the harness's error capture.
+  std::optional<FaultInjectionConfig> inject_fault;
 };
 
 struct SchedulerOutcome {
   std::string name;
+  /// Per-cell capture: !status.ok() means this cell failed (the ratios are
+  /// meaningless) but the rest of the sweep still ran.
+  RunStatus status;
   ParallelRunResult result;
   double makespan_ratio = 0.0;   ///< vs. OPT lower bound.
   double mean_ct_ratio = 0.0;    ///< mean completion vs. LB/... see .cpp.
@@ -33,6 +57,9 @@ struct SchedulerOutcome {
 struct InstanceOutcome {
   OptBounds bounds;
   std::vector<SchedulerOutcome> outcomes;
+
+  /// Number of cells whose run failed.
+  std::size_t num_failed() const;
 };
 
 /// Runs every scheduler in `kinds` (plus GLOBAL-LRU if configured) on the

@@ -1,0 +1,148 @@
+#include "core/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/math_util.hpp"
+
+namespace ppg {
+
+const char* fault_class_name(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kZeroHeight: return "zero-height";
+    case FaultClass::kOversizedHeight: return "oversized-height";
+    case FaultClass::kNonPow2Height: return "non-pow2-height";
+    case FaultClass::kEmptyBox: return "empty-box";
+    case FaultClass::kOverlappingBox: return "overlapping-box";
+    case FaultClass::kBackdatedStart: return "backdated-start";
+    case FaultClass::kExcessiveStall: return "excessive-stall";
+    case FaultClass::kBudgetOverflow: return "budget-overflow";
+  }
+  return "unknown";
+}
+
+std::vector<FaultClass> all_fault_classes() {
+  return {FaultClass::kZeroHeight,     FaultClass::kOversizedHeight,
+          FaultClass::kNonPow2Height,  FaultClass::kEmptyBox,
+          FaultClass::kOverlappingBox, FaultClass::kBackdatedStart,
+          FaultClass::kExcessiveStall, FaultClass::kBudgetOverflow};
+}
+
+std::optional<FaultClass> parse_fault_class(const std::string& name) {
+  for (const FaultClass fault : all_fault_classes())
+    if (name == fault_class_name(fault)) return fault;
+  return std::nullopt;
+}
+
+ViolationKind expected_violation(FaultClass fault) {
+  switch (fault) {
+    case FaultClass::kZeroHeight: return ViolationKind::kZeroHeight;
+    case FaultClass::kOversizedHeight: return ViolationKind::kOversizedHeight;
+    case FaultClass::kNonPow2Height: return ViolationKind::kNonPow2Height;
+    case FaultClass::kEmptyBox: return ViolationKind::kEmptyBox;
+    case FaultClass::kOverlappingBox: return ViolationKind::kOverlappingBox;
+    case FaultClass::kBackdatedStart: return ViolationKind::kBackdatedStart;
+    case FaultClass::kExcessiveStall: return ViolationKind::kExcessiveStall;
+    case FaultClass::kBudgetOverflow: return ViolationKind::kBudgetOverflow;
+  }
+  return ViolationKind::kZeroHeight;
+}
+
+FaultInjectingScheduler::FaultInjectingScheduler(
+    std::unique_ptr<BoxScheduler> inner, const FaultInjectionConfig& config)
+    : inner_(std::move(inner)), config_(config), rng_(config.seed) {
+  PPG_CHECK(inner_ != nullptr);
+  name_ = std::string("INJECT(") + fault_class_name(config.fault) + "," +
+          inner_->name() + ")";
+}
+
+void FaultInjectingScheduler::start(const SchedulerContext& ctx,
+                                    const EngineView& view) {
+  ctx_ = ctx;
+  rng_ = Rng(config_.seed);
+  trigger_ = config_.min_clean_boxes +
+             rng_.next_below(std::uint64_t{config_.trigger_window} + 1);
+  boxes_issued_ = 0;
+  faults_injected_ = 0;
+  frontier_.assign(ctx.num_procs, 0);
+  has_box_.assign(ctx.num_procs, false);
+  inner_->start(ctx, view);
+}
+
+bool FaultInjectingScheduler::should_inject(ProcId proc, Time now) {
+  if (boxes_issued_ < trigger_) return false;
+  // Budget overflow needs several concurrently oversized boxes, so it stays
+  // engaged once triggered; the one-shot classes fire exactly once.
+  if (config_.fault == FaultClass::kBudgetOverflow) return true;
+  if (faults_injected_ > 0) return false;
+  // Classes that need prior state defer until it exists.
+  if (config_.fault == FaultClass::kOverlappingBox)
+    return has_box_[proc] && frontier_[proc] >= 1;
+  if (config_.fault == FaultClass::kBackdatedStart) return now >= 1;
+  return true;
+}
+
+BoxAssignment FaultInjectingScheduler::corrupt(BoxAssignment box, ProcId proc,
+                                               Time now) {
+  const Time duration = box.end > box.start ? box.end - box.start : Time{1};
+  switch (config_.fault) {
+    case FaultClass::kZeroHeight:
+      box.height = 0;
+      break;
+    case FaultClass::kOversizedHeight:
+      box.height = ctx_.cache_size + 1;
+      break;
+    case FaultClass::kNonPow2Height:
+      // 3 is the smallest non-power-of-two; needs k >= 3 to dodge the
+      // oversize check and hit the pow2 check.
+      box.height = 3;
+      break;
+    case FaultClass::kEmptyBox:
+      box.end = box.start;
+      break;
+    case FaultClass::kOverlappingBox:
+      box.start = frontier_[proc] - 1;
+      box.end = box.start + duration;
+      break;
+    case FaultClass::kBackdatedStart:
+      box.start = now - 1;
+      box.end = box.start + duration;
+      break;
+    case FaultClass::kExcessiveStall:
+      box.start = now + config_.stall_amount;
+      box.end = box.start + duration;
+      break;
+    case FaultClass::kBudgetOverflow:
+      // The largest contract-legal height: each box passes the per-box
+      // checks, but concurrently they blow the augmentation budget.
+      box.height = static_cast<Height>(
+          std::max<std::uint64_t>(1, pow2_floor(ctx_.cache_size)));
+      break;
+  }
+  ++faults_injected_;
+  return box;
+}
+
+BoxAssignment FaultInjectingScheduler::next_box(ProcId proc, Time now,
+                                                const EngineView& view) {
+  BoxAssignment box = inner_->next_box(proc, now, view);
+  if (should_inject(proc, now)) box = corrupt(box, proc, now);
+  ++boxes_issued_;
+  if (box.end > box.start) {
+    frontier_[proc] = std::max(frontier_[proc], box.end);
+    has_box_[proc] = true;
+  }
+  return box;
+}
+
+void FaultInjectingScheduler::notify_finished(ProcId proc, Time now,
+                                              const EngineView& view) {
+  inner_->notify_finished(proc, now, view);
+}
+
+std::unique_ptr<FaultInjectingScheduler> make_fault_injecting(
+    std::unique_ptr<BoxScheduler> inner, const FaultInjectionConfig& config) {
+  return std::make_unique<FaultInjectingScheduler>(std::move(inner), config);
+}
+
+}  // namespace ppg

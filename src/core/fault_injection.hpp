@@ -1,0 +1,93 @@
+// Deterministic fault injection for the scheduler contract.
+//
+// FaultInjectingScheduler wraps any real scheduler and corrupts its box
+// stream with one configured violation class — zero or oversized heights,
+// non-power-of-two heights, empty boxes, overlapping or backdated starts,
+// unbounded stalls, budget overflow. The injection point is drawn from a
+// seeded Rng, so every faulty run is bit-reproducible (and replayable from
+// a dump). Paired with ValidatingScheduler this proves, adversarially,
+// that the validator catches every class it claims to catch: the matrix
+// test in tests/test_fault_injection.cpp runs each class against each
+// paper scheduler and asserts the expected ViolationKind is reported.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/contract.hpp"
+#include "core/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+
+enum class FaultClass : std::uint8_t {
+  kZeroHeight,
+  kOversizedHeight,
+  kNonPow2Height,
+  kEmptyBox,
+  kOverlappingBox,
+  kBackdatedStart,
+  kExcessiveStall,
+  kBudgetOverflow,
+};
+
+const char* fault_class_name(FaultClass fault);
+std::optional<FaultClass> parse_fault_class(const std::string& name);
+std::vector<FaultClass> all_fault_classes();
+
+/// The ViolationKind ValidatingScheduler reports for each injected class.
+/// Note kBackdatedStart: driven through the engine, `now` always equals
+/// the processor's previous box end, so a backdated start also overlaps
+/// the previous box and classifies as kOverlappingBox; the distinct
+/// kBackdatedStart kind appears when the validator is driven directly
+/// with a `now` gap (see tests).
+ViolationKind expected_violation(FaultClass fault);
+
+struct FaultInjectionConfig {
+  FaultClass fault = FaultClass::kZeroHeight;
+  std::uint64_t seed = 1;
+  /// The injection point is drawn uniformly from
+  /// [min_clean_boxes, min_clean_boxes + trigger_window].
+  std::uint32_t min_clean_boxes = 1;
+  std::uint32_t trigger_window = 8;
+  /// Stall length for kExcessiveStall.
+  Time stall_amount = Time{1} << 40;
+};
+
+/// Decorator; owns the inner scheduler. name() is "INJECT(<fault>,<inner>)".
+class FaultInjectingScheduler final : public BoxScheduler {
+ public:
+  FaultInjectingScheduler(std::unique_ptr<BoxScheduler> inner,
+                          const FaultInjectionConfig& config);
+
+  void start(const SchedulerContext& ctx, const EngineView& view) override;
+  BoxAssignment next_box(ProcId proc, Time now,
+                         const EngineView& view) override;
+  void notify_finished(ProcId proc, Time now, const EngineView& view) override;
+  const char* name() const override { return name_.c_str(); }
+
+  std::uint64_t boxes_issued() const { return boxes_issued_; }
+  std::uint64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  bool should_inject(ProcId proc, Time now);
+  BoxAssignment corrupt(BoxAssignment box, ProcId proc, Time now);
+
+  std::unique_ptr<BoxScheduler> inner_;
+  FaultInjectionConfig config_;
+  std::string name_;
+  SchedulerContext ctx_;
+  Rng rng_;
+  std::uint64_t trigger_ = 0;  ///< Box index at which injection begins.
+  std::uint64_t boxes_issued_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::vector<Time> frontier_;  ///< End of last box issued, per proc.
+  std::vector<bool> has_box_;
+};
+
+std::unique_ptr<FaultInjectingScheduler> make_fault_injecting(
+    std::unique_ptr<BoxScheduler> inner, const FaultInjectionConfig& config);
+
+}  // namespace ppg

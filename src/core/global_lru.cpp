@@ -1,11 +1,13 @@
 #include "core/global_lru.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "util/assert.hpp"
 #include "util/lru_set.hpp"
+#include "util/math_util.hpp"
 
 namespace ppg {
 
@@ -59,6 +61,46 @@ ParallelRunResult run_global_lru(const MultiTrace& traces,
   result.total_impact =
       static_cast<Impact>(config.cache_size) * result.makespan;
   return result;
+}
+
+namespace {
+
+class GlobalLruBoxFacade final : public BoxScheduler {
+ public:
+  void start(const SchedulerContext& ctx, const EngineView& view) override {
+    (void)view;
+    ctx_ = ctx;
+    height_ = static_cast<Height>(std::max<std::uint64_t>(
+        1, pow2_floor(ctx.cache_size / std::max<ProcId>(1, ctx.num_procs))));
+    fresh_issued_.assign(ctx.num_procs, false);
+  }
+
+  BoxAssignment next_box(ProcId proc, Time now,
+                         const EngineView& view) override {
+    (void)view;
+    BoxAssignment box;
+    box.height = height_;
+    box.start = now;
+    box.end = now + ctx_.miss_cost * static_cast<Time>(ctx_.cache_size);
+    // One shared pool per processor slice: the cache persists across box
+    // boundaries (continuations), only the first box starts cold.
+    box.fresh = !fresh_issued_[proc];
+    fresh_issued_[proc] = true;
+    return box;
+  }
+
+  const char* name() const override { return "GLOBAL-LRU(box)"; }
+
+ private:
+  SchedulerContext ctx_;
+  Height height_ = 1;
+  std::vector<bool> fresh_issued_;
+};
+
+}  // namespace
+
+std::unique_ptr<BoxScheduler> make_global_lru_box_facade() {
+  return std::make_unique<GlobalLruBoxFacade>();
 }
 
 }  // namespace ppg

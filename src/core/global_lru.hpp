@@ -9,7 +9,10 @@
 // (ties by processor id).
 #pragma once
 
+#include <memory>
+
 #include "core/metrics.hpp"
+#include "core/scheduler.hpp"
 #include "trace/trace.hpp"
 #include "util/types.hpp"
 
@@ -22,5 +25,14 @@ struct GlobalLruConfig {
 
 ParallelRunResult run_global_lru(const MultiTrace& traces,
                                  const GlobalLruConfig& config);
+
+/// Box-model facade of the shared-pool baseline, for the robustness layer:
+/// each processor holds a chained continuation box of height
+/// max(1, pow2_floor(k/p)) — a power of two, so it satisfies the paper's
+/// height-ladder contract and can be wrapped by ValidatingScheduler /
+/// FaultInjectingScheduler (the measured GLOBAL-LRU baseline remains the
+/// direct simulation above, which has no box stream to decorate).
+/// name() is "GLOBAL-LRU(box)".
+std::unique_ptr<BoxScheduler> make_global_lru_box_facade();
 
 }  // namespace ppg

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <queue>
+#include <sstream>
 #include <vector>
 
+#include "core/replay.hpp"
 #include "green/box_runner.hpp"
 #include "util/assert.hpp"
 
@@ -63,6 +65,16 @@ class EngineState final : public EngineView {
   ProcId active_count_;
 };
 
+Error engine_error(ErrorCode code, std::string message, ProcId proc,
+                   Time time) {
+  Error error;
+  error.code = code;
+  error.message = std::move(message);
+  error.proc = proc;
+  error.time = time;
+  return error;
+}
+
 }  // namespace
 
 ParallelEngine::ParallelEngine(const MultiTrace& traces,
@@ -74,10 +86,11 @@ ParallelEngine::ParallelEngine(const MultiTrace& traces,
   PPG_CHECK(config.miss_cost >= 1);
 }
 
-ParallelRunResult ParallelEngine::run() {
+CheckedRun ParallelEngine::run_impl() {
   const ProcId p = traces_->num_procs();
   EngineState state(p);
-  ParallelRunResult result;
+  CheckedRun out;
+  ParallelRunResult& result = out.result;
   result.completion.assign(p, 0);
 
   std::vector<BoxRunner> runners;
@@ -85,96 +98,163 @@ ParallelRunResult ParallelEngine::run() {
   for (ProcId i = 0; i < p; ++i)
     runners.emplace_back(traces_->trace(i), config_.miss_cost);
 
-  scheduler_->start(
-      SchedulerContext{p, config_.cache_size, config_.miss_cost}, state);
-
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   std::uint64_t seq = 0;
-  for (ProcId i = 0; i < p; ++i) {
-    // Empty traces complete instantly at t = 0.
-    if (traces_->trace(i).empty())
-      events.push(Event{0, EventKind::kFinish, i, seq++});
-    else
-      events.push(Event{0, EventKind::kNeedBox, i, seq++});
-  }
 
-  std::vector<std::pair<Time, std::int64_t>> mem_timeline;
-  // Ticks of stall already charged per processor for the current box's
-  // unusable tail are implicit: we charge tails when the box is simulated.
-  while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
-    PPG_CHECK_MSG(ev.time <= config_.max_time, "engine exceeded max_time");
+  // Scheduler calls may throw PpgException (ValidatingScheduler and other
+  // decorators do); surface it as the run's status.
+  try {
+    scheduler_->start(
+        SchedulerContext{p, config_.cache_size, config_.miss_cost}, state);
 
-    if (ev.kind == EventKind::kFinish) {
-      state.deactivate(ev.proc);
-      result.completion[ev.proc] = ev.time;
-      scheduler_->notify_finished(ev.proc, ev.time, state);
-      continue;
+    for (ProcId i = 0; i < p; ++i) {
+      // Empty traces complete instantly at t = 0.
+      if (traces_->trace(i).empty())
+        events.push(Event{0, EventKind::kFinish, i, seq++});
+      else
+        events.push(Event{0, EventKind::kNeedBox, i, seq++});
     }
 
-    // kNeedBox
-    BoxRunner& runner = runners[ev.proc];
-    PPG_DCHECK(!runner.finished());
-    const BoxAssignment box = scheduler_->next_box(ev.proc, ev.time, state);
-    PPG_CHECK_MSG(box.height >= 1, "scheduler returned zero-height box");
-    PPG_CHECK_MSG(box.start >= ev.time, "box starts in the past");
-    PPG_CHECK_MSG(box.end > box.start, "empty box");
-    result.total_stall += box.start - ev.time;
-    if (config_.on_box) config_.on_box(ev.proc, box);
-
-    const Time duration = box.end - box.start;
-    const BoxStepResult step = runner.run_box(box.height, duration, box.fresh);
-    ++result.num_boxes;
-    result.hits += step.hits;
-    result.misses += step.misses;
-
-    if (step.finished) {
-      const Time finish_time = box.start + step.busy_time;
-      // Impact while the processor was actually running.
-      result.total_impact +=
-          static_cast<Impact>(box.height) * step.busy_time;
-      if (config_.track_memory_timeline) {
-        mem_timeline.emplace_back(box.start, box.height);
-        mem_timeline.emplace_back(finish_time,
-                                  -static_cast<std::int64_t>(box.height));
+    std::vector<std::pair<Time, std::int64_t>> mem_timeline;
+    // Ticks of stall already charged per processor for the current box's
+    // unusable tail are implicit: we charge tails when the box is simulated.
+    while (!events.empty()) {
+      const Event ev = events.top();
+      events.pop();
+      if (ev.time > config_.max_time) {
+        std::ostringstream msg;
+        msg << "engine exceeded max_time (" << ev.time << " > "
+            << config_.max_time << ") under scheduler "
+            << scheduler_->name();
+        out.status = RunStatus::failure(engine_error(
+            ErrorCode::kWatchdogTimeout, msg.str(), ev.proc, ev.time));
+        return out;
       }
-      events.push(Event{finish_time, EventKind::kFinish, ev.proc, seq++});
-    } else {
-      result.total_impact += static_cast<Impact>(box.height) * duration;
-      result.total_stall += step.stall_time;
-      if (config_.track_memory_timeline) {
-        mem_timeline.emplace_back(box.start, box.height);
-        mem_timeline.emplace_back(box.end,
-                                  -static_cast<std::int64_t>(box.height));
+
+      if (ev.kind == EventKind::kFinish) {
+        state.deactivate(ev.proc);
+        result.completion[ev.proc] = ev.time;
+        scheduler_->notify_finished(ev.proc, ev.time, state);
+        continue;
       }
-      events.push(Event{box.end, EventKind::kNeedBox, ev.proc, seq++});
-    }
-  }
 
-  result.makespan =
-      *std::max_element(result.completion.begin(), result.completion.end());
-  result.mean_completion = mean_of(result.completion);
+      // kNeedBox
+      BoxRunner& runner = runners[ev.proc];
+      PPG_DCHECK(!runner.finished());
+      const BoxAssignment box = scheduler_->next_box(ev.proc, ev.time, state);
+      // Last-line contract checks for undecorated schedulers; a malformed
+      // box is the scheduler's fault, not ours, so it is recoverable.
+      const char* defect = box.height < 1      ? "zero-height box"
+                           : box.start < ev.time ? "box starts in the past"
+                           : box.end <= box.start ? "empty box"
+                                                  : nullptr;
+      if (defect != nullptr) {
+        std::ostringstream msg;
+        msg << "scheduler " << scheduler_->name() << " returned " << defect
+            << " {h=" << box.height << ", [" << box.start << ", " << box.end
+            << ")}";
+        out.status = RunStatus::failure(engine_error(
+            ErrorCode::kContractViolation, msg.str(), ev.proc, ev.time));
+        return out;
+      }
+      result.total_stall += box.start - ev.time;
+      if (config_.on_box) config_.on_box(ev.proc, box);
 
-  if (config_.track_memory_timeline && !mem_timeline.empty()) {
-    std::sort(mem_timeline.begin(), mem_timeline.end(),
-              [](const auto& a, const auto& b) {
-                // Process deallocations before allocations at equal times.
-                if (a.first != b.first) return a.first < b.first;
-                return a.second < b.second;
-              });
-    std::int64_t current = 0;
-    std::int64_t peak = 0;
-    for (const auto& [t, delta] : mem_timeline) {
-      current += delta;
-      peak = std::max(peak, current);
+      const Time duration = box.end - box.start;
+      const BoxStepResult step =
+          runner.run_box(box.height, duration, box.fresh);
+      ++result.num_boxes;
+      result.hits += step.hits;
+      result.misses += step.misses;
+
+      if (step.finished) {
+        const Time finish_time = box.start + step.busy_time;
+        // Impact while the processor was actually running.
+        result.total_impact +=
+            static_cast<Impact>(box.height) * step.busy_time;
+        if (config_.track_memory_timeline) {
+          mem_timeline.emplace_back(box.start, box.height);
+          mem_timeline.emplace_back(finish_time,
+                                    -static_cast<std::int64_t>(box.height));
+        }
+        events.push(Event{finish_time, EventKind::kFinish, ev.proc, seq++});
+      } else {
+        result.total_impact += static_cast<Impact>(box.height) * duration;
+        result.total_stall += step.stall_time;
+        if (config_.track_memory_timeline) {
+          mem_timeline.emplace_back(box.start, box.height);
+          mem_timeline.emplace_back(box.end,
+                                    -static_cast<std::int64_t>(box.height));
+        }
+        events.push(Event{box.end, EventKind::kNeedBox, ev.proc, seq++});
+      }
     }
-    PPG_CHECK(current == 0);
-    result.peak_concurrent_height = static_cast<Height>(peak);
-    result.effective_augmentation =
-        static_cast<double>(peak) / static_cast<double>(config_.cache_size);
+
+    result.makespan =
+        *std::max_element(result.completion.begin(), result.completion.end());
+    result.mean_completion = mean_of(result.completion);
+
+    if (config_.track_memory_timeline && !mem_timeline.empty()) {
+      std::sort(mem_timeline.begin(), mem_timeline.end(),
+                [](const auto& a, const auto& b) {
+                  // Process deallocations before allocations at equal times.
+                  if (a.first != b.first) return a.first < b.first;
+                  return a.second < b.second;
+                });
+      std::int64_t current = 0;
+      std::int64_t peak = 0;
+      for (const auto& [t, delta] : mem_timeline) {
+        current += delta;
+        peak = std::max(peak, current);
+      }
+      PPG_CHECK_FMT(current == 0,
+                    "memory timeline unbalanced: residual height %lld after "
+                    "%llu boxes",
+                    static_cast<long long>(current),
+                    static_cast<unsigned long long>(result.num_boxes));
+      result.peak_concurrent_height = static_cast<Height>(peak);
+      result.effective_augmentation =
+          static_cast<double>(peak) / static_cast<double>(config_.cache_size);
+    }
+  } catch (const PpgException& e) {
+    out.status = RunStatus::failure(e.error());
   }
-  return result;
+  return out;
+}
+
+void ParallelEngine::maybe_write_dump(CheckedRun& out) {
+  if (out.status.ok() || config_.replay_dump_path.empty()) return;
+  ReplayDump dump;
+  dump.cache_size = config_.cache_size;
+  dump.miss_cost = config_.miss_cost;
+  dump.max_time = config_.max_time;
+  dump.seed = config_.seed;
+  dump.scheduler_spec = config_.scheduler_spec.empty() ? scheduler_->name()
+                                                       : config_.scheduler_spec;
+  dump.reason = out.status.error;
+  dump.traces = *traces_;
+  try {
+    save_replay_dump(config_.replay_dump_path, dump);
+    out.status.replay_dump_path = config_.replay_dump_path;
+  } catch (const std::exception&) {
+    // A failed dump must not mask the underlying run failure; the status
+    // simply carries no dump path.
+  }
+}
+
+CheckedRun ParallelEngine::run_checked() {
+  CheckedRun out = run_impl();
+  maybe_write_dump(out);
+  return out;
+}
+
+ParallelRunResult ParallelEngine::run() {
+  CheckedRun out = run_impl();
+  if (!out.status.ok()) {
+    const std::string text = out.status.error.to_string();
+    PPG_CHECK_FMT(false, "%s", text.c_str());
+  }
+  return out.result;
 }
 
 ParallelRunResult run_parallel(const MultiTrace& traces,
@@ -182,6 +262,13 @@ ParallelRunResult run_parallel(const MultiTrace& traces,
                                const EngineConfig& config) {
   ParallelEngine engine(traces, scheduler, config);
   return engine.run();
+}
+
+CheckedRun run_parallel_checked(const MultiTrace& traces,
+                                BoxScheduler& scheduler,
+                                const EngineConfig& config) {
+  ParallelEngine engine(traces, scheduler, config);
+  return engine.run_checked();
 }
 
 }  // namespace ppg

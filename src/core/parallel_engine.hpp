@@ -8,14 +8,24 @@
 // schedulers always observe consistent active counts; within a box a
 // processor's progress depends only on its own trace, so each box is
 // fast-forwarded in one step.
+//
+// Two entry points share the same loop:
+//  - run() treats any scheduler misbehaviour or watchdog trip as fatal
+//    (PPG_CHECK abort), matching the original engine semantics.
+//  - run_checked() returns a structured RunStatus instead, and — when
+//    EngineConfig::replay_dump_path is set — serializes a replay dump
+//    (traces + config + scheduler spec + seed) so the failure can be
+//    re-executed offline by examples/replay_dump.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "core/metrics.hpp"
 #include "core/scheduler.hpp"
 #include "trace/trace.hpp"
+#include "util/error.hpp"
 #include "util/types.hpp"
 
 namespace ppg {
@@ -23,8 +33,8 @@ namespace ppg {
 struct EngineConfig {
   Height cache_size = 0;  ///< k.
   Time miss_cost = 2;     ///< s.
-  /// Safety net against misbehaving schedulers; the run aborts (PPG_CHECK)
-  /// if simulated time passes this.
+  /// Watchdog against misbehaving schedulers: run() aborts (PPG_CHECK) and
+  /// run_checked() returns kWatchdogTimeout if simulated time passes this.
   Time max_time = Time{1} << 60;
   /// Record the (time, +/-height) allocation timeline to measure peak
   /// concurrent height (costs memory proportional to #boxes).
@@ -33,6 +43,23 @@ struct EngineConfig {
   /// validation, before simulation). Used by tests to verify scheduler
   /// properties such as DET-PAR's well-roundedness.
   std::function<void(ProcId, const BoxAssignment&)> on_box;
+
+  // --- failure-replay metadata (used by run_checked only) ---
+  /// When non-empty, run_checked writes a replay dump here on any failure.
+  std::string replay_dump_path;
+  /// Scheduler factory spec recorded in the dump (see
+  /// make_scheduler_from_spec); when empty the scheduler's name() is
+  /// recorded instead.
+  std::string scheduler_spec;
+  /// Seed recorded in the dump (whatever seeded the scheduler).
+  std::uint64_t seed = 0;
+};
+
+/// Result of run_checked: `result` is complete when status.ok(), partial
+/// (metrics up to the failure point) otherwise.
+struct CheckedRun {
+  RunStatus status;
+  ParallelRunResult result;
 };
 
 class ParallelEngine {
@@ -40,18 +67,31 @@ class ParallelEngine {
   ParallelEngine(const MultiTrace& traces, BoxScheduler& scheduler,
                  const EngineConfig& config);
 
-  /// Runs to completion of all processors and returns the metrics.
+  /// Runs to completion of all processors and returns the metrics. Aborts
+  /// on scheduler contract breakage or watchdog timeout (legacy behavior).
   ParallelRunResult run();
 
+  /// As run(), but scheduler misbehaviour — a malformed box, a
+  /// PpgException thrown by a decorator such as ValidatingScheduler, or a
+  /// watchdog trip — comes back as a structured RunStatus, with a replay
+  /// dump written if configured.
+  CheckedRun run_checked();
+
  private:
+  CheckedRun run_impl();
+  void maybe_write_dump(CheckedRun& out);
+
   const MultiTrace* traces_;
   BoxScheduler* scheduler_;
   EngineConfig config_;
 };
 
-/// Convenience wrapper: build, run, return.
+/// Convenience wrappers: build, run, return.
 ParallelRunResult run_parallel(const MultiTrace& traces,
                                BoxScheduler& scheduler,
                                const EngineConfig& config);
+CheckedRun run_parallel_checked(const MultiTrace& traces,
+                                BoxScheduler& scheduler,
+                                const EngineConfig& config);
 
 }  // namespace ppg

@@ -1,0 +1,48 @@
+// Failure replay dumps.
+//
+// When a checked run fails — a scheduler contract violation or a watchdog
+// timeout — the engine serializes everything needed to re-execute the
+// exact failing run: the multitrace, the engine geometry (k, s, max_time),
+// the scheduler factory spec, and the seed. The dump is a single binary
+// file (magic "PPGRPLAY", version 1) embedding the multitrace in the
+// standard trace_io format, so external tools can also extract the traces.
+// examples/replay_dump loads a dump and re-executes it under a fresh
+// ValidatingScheduler, confirming the recorded failure reproduces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/contract.hpp"
+#include "core/parallel_engine.hpp"
+#include "trace/trace.hpp"
+#include "util/error.hpp"
+
+namespace ppg {
+
+struct ReplayDump {
+  Height cache_size = 0;
+  Time miss_cost = 2;
+  Time max_time = Time{1} << 60;
+  std::uint64_t seed = 0;
+  /// Scheduler factory spec (see make_scheduler_from_spec), e.g.
+  /// "RAND-PAR" or "INJECT(excessive-stall,DET-PAR)".
+  std::string scheduler_spec;
+  /// What triggered the dump.
+  Error reason;
+  MultiTrace traces;
+};
+
+void write_replay_dump(std::ostream& os, const ReplayDump& dump);
+ReplayDump read_replay_dump(std::istream& is);
+void save_replay_dump(const std::string& path, const ReplayDump& dump);
+ReplayDump load_replay_dump(const std::string& path);
+
+/// Rebuilds the scheduler from the dump's spec (wrapped in a
+/// ValidatingScheduler so contract violations are re-detected, not
+/// re-crashed) and re-executes the run with run_checked. The returned
+/// status reproduces the recorded failure when the run is deterministic.
+CheckedRun run_replay(const ReplayDump& dump,
+                      const ValidatorConfig& validator = {});
+
+}  // namespace ppg

@@ -1,10 +1,14 @@
 #include "core/scheduler_factory.hpp"
 
 #include "core/blackbox_green.hpp"
+#include "core/contract.hpp"
 #include "core/det_par.hpp"
+#include "core/fault_injection.hpp"
+#include "core/global_lru.hpp"
 #include "core/rand_par.hpp"
 #include "core/simple_schedulers.hpp"
 #include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace ppg {
 
@@ -62,6 +66,46 @@ std::vector<SchedulerKind> all_scheduler_kinds() {
           SchedulerKind::kRandPar,       SchedulerKind::kDetPar,
           SchedulerKind::kBlackboxGreenDet,
           SchedulerKind::kBlackboxGreenRand};
+}
+
+namespace {
+
+/// "HEAD(BODY)" -> BODY for a matching head, std::nullopt otherwise.
+std::optional<std::string> unwrap(const std::string& spec,
+                                  const std::string& head) {
+  if (spec.size() < head.size() + 2 || spec.compare(0, head.size(), head) != 0)
+    return std::nullopt;
+  if (spec[head.size()] != '(' || spec.back() != ')') return std::nullopt;
+  return spec.substr(head.size() + 1, spec.size() - head.size() - 2);
+}
+
+}  // namespace
+
+std::unique_ptr<BoxScheduler> make_scheduler_from_spec(const std::string& spec,
+                                                       std::uint64_t seed) {
+  if (const auto kind = parse_scheduler_kind(spec))
+    return make_scheduler(*kind, seed);
+  if (spec == "GLOBAL-LRU(box)") return make_global_lru_box_facade();
+  if (const auto inner = unwrap(spec, "VALIDATE"))
+    return make_validating(make_scheduler_from_spec(*inner, seed));
+  if (const auto body = unwrap(spec, "INJECT")) {
+    const auto comma = body->find(',');
+    if (comma == std::string::npos)
+      throw_error(ErrorCode::kBadInput,
+                  "INJECT spec needs \"INJECT(<fault>,<scheduler>)\", got \"" +
+                      spec + "\"");
+    const auto fault = parse_fault_class(body->substr(0, comma));
+    if (!fault)
+      throw_error(ErrorCode::kBadInput, "unknown fault class \"" +
+                                            body->substr(0, comma) +
+                                            "\" in spec \"" + spec + "\"");
+    FaultInjectionConfig config;
+    config.fault = *fault;
+    config.seed = seed;
+    return make_fault_injecting(
+        make_scheduler_from_spec(body->substr(comma + 1), seed), config);
+  }
+  throw_error(ErrorCode::kBadInput, "unknown scheduler spec \"" + spec + "\"");
 }
 
 }  // namespace ppg

@@ -33,4 +33,16 @@ std::vector<SchedulerKind> all_scheduler_kinds();
 /// std::nullopt when unknown. Inverse of scheduler_kind_name.
 std::optional<SchedulerKind> parse_scheduler_kind(const std::string& name);
 
+/// Builds a scheduler from a textual spec, including the robustness-layer
+/// decorators — the grammar replay dumps record:
+///   <spec> ::= <kind name>                      e.g. "RAND-PAR"
+///            | "GLOBAL-LRU(box)"                the shared-pool box facade
+///            | "VALIDATE(" <spec> ")"           ValidatingScheduler
+///            | "INJECT(" <fault> "," <spec> ")" FaultInjectingScheduler
+/// where <fault> is a fault_class_name ("zero-height", "budget-overflow",
+/// ...). Decorators built this way use default configs with `seed`.
+/// Throws PpgException (kBadInput) on an unparseable spec.
+std::unique_ptr<BoxScheduler> make_scheduler_from_spec(
+    const std::string& spec, std::uint64_t seed = 1);
+
 }  // namespace ppg

@@ -4,6 +4,13 @@
 // then per trace a u64 length followed by raw u64 page ids. Round-trips
 // exactly; used to snapshot generated workloads for external analysis and
 // to feed recorded traces back into the simulators.
+//
+// Readers are hardened against truncated and hostile input: magic and
+// version are validated, declared counts/lengths are capped against the
+// remaining stream bytes before any allocation (no OOM on a corrupted u64
+// length), and failures surface as ppg::PpgException carrying a structured
+// Error (code kCorruptTrace / kIoError with the byte offset) — which
+// still derives std::runtime_error for older call sites.
 #pragma once
 
 #include <iosfwd>

@@ -19,6 +19,16 @@ namespace ppg::detail {
   std::abort();
 }
 
+template <typename... Args>
+[[noreturn]] void check_failed_fmt(const char* expr, const char* file,
+                                   int line, const char* fmt, Args... args) {
+  std::fprintf(stderr, "PPG_CHECK failed: %s\n  at %s:%d\n  ", expr, file,
+               line);
+  std::fprintf(stderr, fmt, args...);  // NOLINT(cert-dcl50-cpp)
+  std::fprintf(stderr, "\n");
+  std::abort();
+}
+
 }  // namespace ppg::detail
 
 #define PPG_CHECK(expr)                                                   \
@@ -31,6 +41,16 @@ namespace ppg::detail {
   do {                                                                    \
     if (!(expr)) [[unlikely]]                                             \
       ::ppg::detail::check_failed(#expr, __FILE__, __LINE__, (msg));      \
+  } while (false)
+
+/// Invariant check with printf-style context so the abort message can carry
+/// the offending values (time, processor, height) instead of only the
+/// failed expression. Arguments are evaluated only on failure.
+#define PPG_CHECK_FMT(expr, ...)                                          \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]]                                             \
+      ::ppg::detail::check_failed_fmt(#expr, __FILE__, __LINE__,          \
+                                      __VA_ARGS__);                       \
   } while (false)
 
 #ifdef NDEBUG

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "bench_support/experiment.hpp"
+#include "core/replay.hpp"
 #include "trace/workload.hpp"
 
 namespace ppg {
@@ -43,6 +44,53 @@ TEST(RunInstance, GlobalLruCanBeExcluded) {
       run_instance(mt, {SchedulerKind::kDetPar}, config);
   EXPECT_EQ(outcome.outcomes.size(), 1u);
   EXPECT_EQ(outcome.outcomes[0].name, "DET-PAR");
+}
+
+// A faulty scheduler must cost exactly its own cell, not the sweep: every
+// box-scheduler cell reports a structured failure plus a replay dump, the
+// GLOBAL-LRU baseline still completes, and a dump re-executes to the same
+// violation.
+TEST(RunInstance, CapturesPerCellFailuresFromInjectedFaults) {
+  WorkloadParams wp;
+  wp.num_procs = 4;
+  wp.cache_size = 16;
+  wp.requests_per_proc = 500;
+  const MultiTrace mt = make_workload(WorkloadKind::kZipf, wp);
+
+  ExperimentConfig config;
+  config.cache_size = 16;
+  config.miss_cost = 4;
+  FaultInjectionConfig fault;
+  fault.fault = FaultClass::kZeroHeight;
+  config.inject_fault = fault;
+  config.replay_dump_dir = ::testing::TempDir();
+
+  const InstanceOutcome outcome =
+      run_instance(mt, all_scheduler_kinds(), config);
+  ASSERT_EQ(outcome.outcomes.size(), all_scheduler_kinds().size() + 1);
+  EXPECT_EQ(outcome.num_failed(), all_scheduler_kinds().size());
+
+  for (const SchedulerOutcome& so : outcome.outcomes) {
+    if (so.name == "GLOBAL-LRU") {
+      // The shared-pool baseline is simulated directly; the injected box
+      // fault cannot reach it.
+      EXPECT_TRUE(so.status.ok()) << so.status.error.to_string();
+      EXPECT_GT(so.makespan_ratio, 0.0);
+      continue;
+    }
+    EXPECT_FALSE(so.status.ok()) << so.name;
+    EXPECT_EQ(so.status.error.code, ErrorCode::kContractViolation) << so.name;
+    EXPECT_FALSE(so.status.replay_dump_path.empty()) << so.name;
+    EXPECT_EQ(so.makespan_ratio, 0.0) << so.name;
+
+    const ReplayDump dump = load_replay_dump(so.status.replay_dump_path);
+    EXPECT_EQ(dump.scheduler_spec,
+              std::string("INJECT(zero-height,") + so.name + ")");
+    const CheckedRun rerun = run_replay(dump);
+    ASSERT_FALSE(rerun.status.ok()) << so.name;
+    EXPECT_EQ(rerun.status.error.code, ErrorCode::kContractViolation)
+        << so.name;
+  }
 }
 
 TEST(ScalingCollector, FitsPerScheduler) {

@@ -1,0 +1,160 @@
+// The fault-injection matrix: every injected contract-violation class,
+// driven through the real engine against each paper scheduler, is caught
+// by ValidatingScheduler with the expected structured ViolationKind — no
+// aborts anywhere.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/contract.hpp"
+#include "core/fault_injection.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/scheduler_factory.hpp"
+#include "trace/workload.hpp"
+
+namespace ppg {
+namespace {
+
+constexpr Height kCacheSize = 16;
+constexpr Time kMissCost = 4;
+
+MultiTrace matrix_workload() {
+  WorkloadParams wp;
+  wp.num_procs = 8;
+  wp.cache_size = kCacheSize;
+  wp.requests_per_proc = 1500;
+  wp.seed = 5;
+  wp.miss_cost = kMissCost;
+  return make_workload(WorkloadKind::kHeterogeneousMix, wp);
+}
+
+EngineConfig engine_config() {
+  EngineConfig ec;
+  ec.cache_size = kCacheSize;
+  ec.miss_cost = kMissCost;
+  return ec;
+}
+
+/// Through the engine `now` always equals the processor's previous box
+/// end, so a backdated start also overlaps the previous box and the
+/// validator (correctly) classifies it as the overlap.
+ViolationKind engine_expected(FaultClass fault) {
+  if (fault == FaultClass::kBackdatedStart)
+    return ViolationKind::kOverlappingBox;
+  return expected_violation(fault);
+}
+
+/// Peak concurrent height of a clean (uninjected) run, used to calibrate
+/// a budget that the clean scheduler honours but the injected one busts.
+std::uint64_t clean_peak(const std::string& inner_spec, const MultiTrace& mt) {
+  ValidatorConfig vc;
+  vc.max_augmentation = 0.0;  // observe only
+  vc.throw_on_violation = false;
+  auto validator = make_validating(make_scheduler_from_spec(inner_spec, 11), vc);
+  const CheckedRun run = run_parallel_checked(mt, *validator, engine_config());
+  EXPECT_TRUE(run.status.ok()) << inner_spec << " clean run failed: "
+                               << run.status.error.to_string();
+  return validator->peak_concurrent_observed();
+}
+
+TEST(FaultInjection, MatrixEveryClassCaughtOnEveryScheduler) {
+  const MultiTrace mt = matrix_workload();
+  const std::vector<std::string> inners = {"RAND-PAR", "DET-PAR",
+                                           "GLOBAL-LRU(box)"};
+  for (const std::string& inner_spec : inners) {
+    const std::uint64_t peak = clean_peak(inner_spec, mt);
+    // The injected budget-overflow boxes drive the concurrent height
+    // towards p * pow2_floor(k); the calibrated budget must sit strictly
+    // below that or the budget cell cannot distinguish the runs.
+    ASSERT_LT(peak + kCacheSize, std::uint64_t{8} * kCacheSize)
+        << inner_spec << " clean peak " << peak
+        << " leaves no headroom for the budget-overflow cell";
+
+    for (const FaultClass fault : all_fault_classes()) {
+      SCOPED_TRACE(std::string(fault_class_name(fault)) + " into " +
+                   inner_spec);
+
+      ValidatorConfig vc;
+      vc.max_augmentation = 0.0;
+      switch (fault) {
+        case FaultClass::kNonPow2Height:
+          vc.require_pow2_heights = true;
+          break;
+        case FaultClass::kExcessiveStall:
+          vc.max_stall = 100000;  // clean stalls are orders below this
+          break;
+        case FaultClass::kBudgetOverflow:
+          vc.max_augmentation = static_cast<double>(peak + kCacheSize) /
+                                static_cast<double>(kCacheSize);
+          break;
+        default:
+          break;
+      }
+
+      FaultInjectionConfig fic;
+      fic.fault = fault;
+      fic.seed = 13;
+      auto injector =
+          make_fault_injecting(make_scheduler_from_spec(inner_spec, 11), fic);
+      FaultInjectingScheduler* inj = injector.get();
+      auto validator = make_validating(std::move(injector), vc);
+      ValidatingScheduler* val = validator.get();
+
+      const CheckedRun run =
+          run_parallel_checked(mt, *validator, engine_config());
+
+      EXPECT_FALSE(run.status.ok()) << "injected fault went undetected";
+      EXPECT_EQ(run.status.error.code, ErrorCode::kContractViolation);
+      ASSERT_GE(val->violations().size(), 1u);
+      EXPECT_EQ(val->violations()[0].kind, engine_expected(fault))
+          << "caught as " << val->violations()[0].describe();
+      EXPECT_GE(inj->faults_injected(), 1u);
+      if (fault != FaultClass::kBudgetOverflow) {
+        // One-shot classes must be caught on the very box that was
+        // corrupted — zero tolerance, not eventual detection.
+        EXPECT_EQ(inj->faults_injected(), 1u);
+      }
+    }
+  }
+}
+
+TEST(FaultInjection, InjectionPointIsDeterministicPerSeed) {
+  const MultiTrace mt = matrix_workload();
+  auto run_once = [&mt](std::uint64_t seed) {
+    FaultInjectionConfig fic;
+    fic.fault = FaultClass::kZeroHeight;
+    fic.seed = seed;
+    auto injector =
+        make_fault_injecting(make_scheduler_from_spec("DET-PAR", 11), fic);
+    FaultInjectingScheduler* inj = injector.get();
+    auto validator = make_validating(std::move(injector), ValidatorConfig{});
+    const CheckedRun run =
+        run_parallel_checked(mt, *validator, engine_config());
+    EXPECT_FALSE(run.status.ok());
+    return inj->boxes_issued();
+  };
+  EXPECT_EQ(run_once(21), run_once(21));
+}
+
+TEST(FaultInjection, SpecGrammarBuildsDecoratedChain) {
+  auto chain =
+      make_scheduler_from_spec("VALIDATE(INJECT(zero-height,RAND-PAR))", 3);
+  EXPECT_STREQ(chain->name(), "VALIDATE(INJECT(zero-height,RAND-PAR))");
+  EXPECT_THROW(make_scheduler_from_spec("INJECT(bogus-fault,RAND-PAR)"),
+               PpgException);
+  EXPECT_THROW(make_scheduler_from_spec("NOPE"), PpgException);
+}
+
+TEST(FaultInjection, EveryFaultClassRoundTripsThroughItsName) {
+  for (const FaultClass fault : all_fault_classes()) {
+    const auto parsed = parse_fault_class(fault_class_name(fault));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, fault);
+    EXPECT_STRNE(violation_kind_name(expected_violation(fault)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace ppg

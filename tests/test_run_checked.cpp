@@ -1,0 +1,101 @@
+// run_checked: scheduler misbehaviour and watchdog trips come back as
+// structured RunStatus values instead of aborting the process, and a clean
+// checked run is bit-identical to the legacy run().
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/parallel_engine.hpp"
+#include "core/scheduler_factory.hpp"
+#include "test_helpers.hpp"
+#include "trace/workload.hpp"
+
+namespace ppg {
+namespace {
+
+MultiTrace tiny_multitrace() {
+  MultiTrace mt;
+  mt.add(test::make_trace({1, 2, 3, 1, 2, 3, 4, 5}));
+  mt.add(test::make_trace({7, 8, 7, 8, 9}));
+  return mt;
+}
+
+/// Issues boxes that stall forever — only the watchdog can stop the run.
+class StallingScheduler final : public BoxScheduler {
+ public:
+  void start(const SchedulerContext&, const EngineView&) override {}
+  BoxAssignment next_box(ProcId, Time now, const EngineView&) override {
+    const Time far = now + (Time{1} << 50);
+    return BoxAssignment{1, far, far + 8};
+  }
+  const char* name() const override { return "STALLER"; }
+};
+
+/// Returns a malformed (zero-height) box on the second request.
+class EventuallyMalformedScheduler final : public BoxScheduler {
+ public:
+  void start(const SchedulerContext&, const EngineView&) override {}
+  BoxAssignment next_box(ProcId, Time now, const EngineView&) override {
+    if (calls_++ == 0) return BoxAssignment{4, now, now + 16};
+    return BoxAssignment{0, now, now + 16};
+  }
+  const char* name() const override { return "MALFORMED"; }
+
+ private:
+  int calls_ = 0;
+};
+
+TEST(RunChecked, WatchdogReturnsStructuredTimeout) {
+  const MultiTrace mt = tiny_multitrace();
+  StallingScheduler scheduler;
+  EngineConfig ec;
+  ec.cache_size = 8;
+  ec.miss_cost = 2;
+  ec.max_time = 1 << 20;
+  const CheckedRun run = run_parallel_checked(mt, scheduler, ec);
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.error.code, ErrorCode::kWatchdogTimeout);
+  EXPECT_NE(run.status.error.message.find("max_time"), std::string::npos);
+  EXPECT_TRUE(run.status.replay_dump_path.empty());  // no path configured
+}
+
+TEST(RunChecked, MalformedBoxReturnsContractViolation) {
+  const MultiTrace mt = tiny_multitrace();
+  EventuallyMalformedScheduler scheduler;
+  EngineConfig ec;
+  ec.cache_size = 8;
+  ec.miss_cost = 2;
+  const CheckedRun run = run_parallel_checked(mt, scheduler, ec);
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.error.code, ErrorCode::kContractViolation);
+  EXPECT_NE(run.status.error.message.find("zero-height"), std::string::npos);
+  EXPECT_NE(run.status.error.proc, kInvalidProc);
+}
+
+TEST(RunChecked, CleanRunMatchesLegacyRun) {
+  WorkloadParams wp;
+  wp.num_procs = 4;
+  wp.cache_size = 32;
+  wp.requests_per_proc = 800;
+  wp.seed = 6;
+  wp.miss_cost = 4;
+  const MultiTrace mt = make_workload(WorkloadKind::kZipf, wp);
+  EngineConfig ec;
+  ec.cache_size = 32;
+  ec.miss_cost = 4;
+
+  auto legacy = make_scheduler(SchedulerKind::kDetPar, 5);
+  const ParallelRunResult want = run_parallel(mt, *legacy, ec);
+
+  auto checked = make_scheduler(SchedulerKind::kDetPar, 5);
+  const CheckedRun run = run_parallel_checked(mt, *checked, ec);
+  ASSERT_TRUE(run.status.ok()) << run.status.error.to_string();
+  EXPECT_EQ(run.result.makespan, want.makespan);
+  EXPECT_EQ(run.result.num_boxes, want.num_boxes);
+  EXPECT_EQ(run.result.hits, want.hits);
+  EXPECT_EQ(run.result.misses, want.misses);
+  EXPECT_EQ(run.result.peak_concurrent_height, want.peak_concurrent_height);
+}
+
+}  // namespace
+}  // namespace ppg

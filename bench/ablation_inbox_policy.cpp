@@ -6,16 +6,23 @@
 // that constant: the same DET-GREEN box stream replayed over the same
 // traces with every in-box policy, including clairvoyant in-box Belady as
 // the floor.
+//
+//   --jobs N|max   run sweep cells on N threads (default 1)
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_support/parallel_sweep.hpp"
 #include "green/policy_box_runner.hpp"
 #include "trace/generators.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppg;
+  const ArgParser args(argc, argv);
+  const std::size_t jobs = jobs_from_args(args);
+  bench::reject_unknown_options(args);
+
   bench::banner(
       "E12", "Ablation: replacement policy inside compartmentalized boxes",
       "Per-box LRU is WLOG: any policy differs by O(1) because compartments "
@@ -24,6 +31,7 @@ int main() {
 
   const Time s = 16;
   const HeightLadder ladder{4, 64};
+  // The traces share one Rng: generate serially, replay cells in parallel.
   Rng rng(77);
   const std::vector<std::pair<const char*, Trace>> traces{
       {"hot-cycle", gen::cyclic(24, 20000)},
@@ -31,9 +39,11 @@ int main() {
       {"sawtooth", gen::sawtooth(4, 48, 1000, 20, rng)},
       {"scan", gen::single_use(20000)},
   };
+  const std::vector<PolicyKind> policies = all_policy_kinds();
+  const std::vector<Time> multipliers{Time{1}, Time{4}, Time{16}};
 
   // Replays the trace through the DET-GREEN height stream with boxes of
-  // duration multiplier * s * h, measuring each policy's total time.
+  // duration multiplier * s * h, measuring the policy's total time.
   const auto replay = [&](const Trace& trace, PolicyKind kind,
                           Time multiplier) {
     auto pager = make_det_green(ladder);
@@ -48,18 +58,38 @@ int main() {
     return total;
   };
 
-  for (const Time multiplier : {Time{1}, Time{4}, Time{16}}) {
+  // One cell per (multiplier, trace, policy) replay.
+  struct CellParams {
+    std::size_t mult_idx;
+    std::size_t trace_idx;
+    std::size_t policy_idx;
+  };
+  std::vector<CellParams> params;
+  for (std::size_t m = 0; m < multipliers.size(); ++m)
+    for (std::size_t t = 0; t < traces.size(); ++t)
+      for (std::size_t q = 0; q < policies.size(); ++q)
+        params.push_back({m, t, q});
+
+  const std::vector<Time> times =
+      sweep_cells(jobs, params.size(), [&](std::size_t i) {
+        const auto [m, t, q] = params[i];
+        return replay(traces[t].second, policies[q], multipliers[m]);
+      });
+
+  std::size_t next = 0;
+  for (const Time multiplier : multipliers) {
     std::vector<std::string> headers{"trace"};
-    for (const PolicyKind kind : all_policy_kinds())
+    for (const PolicyKind kind : policies)
       headers.emplace_back(policy_kind_name(kind));
     Table table(headers);
     for (const auto& [name, trace] : traces) {
-      std::vector<double> times;
-      for (const PolicyKind kind : all_policy_kinds())
-        times.push_back(static_cast<double>(replay(trace, kind, multiplier)));
-      const double base_time = times[0];  // LRU is first in the list
+      (void)trace;
       table.row().cell(name);
-      for (const double t : times) table.cell(t / base_time);
+      const double base_time =
+          static_cast<double>(times[next]);  // LRU is first in the list
+      for (std::size_t q = 0; q < policies.size(); ++q)
+        table.cell(static_cast<double>(times[next + q]) / base_time);
+      next += policies.size();
     }
     bench::section("time relative to in-box LRU, box duration = " +
                    std::to_string(multiplier) + " * s * h");

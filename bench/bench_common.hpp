@@ -2,15 +2,31 @@
 // banner naming the experiment (matching DESIGN.md / EXPERIMENTS.md ids),
 // the paper claim it checks, the measurement table, and — where the claim
 // is a scaling shape — a ratio-vs-log2(p) fit table.
+//
+// All benches take a shared --jobs flag (see parallel_sweep.hpp): cells
+// are computed concurrently, output is emitted sequentially afterwards and
+// is byte-identical at every --jobs value.
 #pragma once
 
 #include <cstdio>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
+#include "util/arg_parse.hpp"
 #include "util/table.hpp"
 
 namespace ppg::bench {
+
+/// Call after reading every supported flag: unknown options are a hard
+/// error (fail fast beats silently ignored typos in experiment scripts).
+inline void reject_unknown_options(const ArgParser& args) {
+  const std::vector<std::string> unused = args.unused_keys();
+  if (unused.empty()) return;
+  std::string msg = "unknown option(s):";
+  for (const std::string& key : unused) msg += " --" + key;
+  throw std::invalid_argument(msg);
+}
 
 inline void banner(const std::string& id, const std::string& title,
                    const std::string& claim) {

@@ -1,16 +1,20 @@
 // E10 — Microbenchmarks of the simulation substrates (google-benchmark).
 //
-// Throughput of the structures every experiment leans on: the LRU set, the
-// box runner, the stack-distance profiler, the green-OPT DP, and the full
-// parallel engine. These keep the harness honest about simulator cost and
-// catch performance regressions.
+// Throughput of the structures every experiment leans on: the LRU set (hash
+// vs dense-interned index, split vs fused probe), the page interner, the
+// box runner, the sequential cache simulator, the stack-distance profiler,
+// the green-OPT DP, and the full parallel engine. These keep the harness
+// honest about simulator cost and catch performance regressions —
+// scripts/bench_perf.sh snapshots them into BENCH_PERF.json.
 #include <benchmark/benchmark.h>
 
 #include "core/parallel_engine.hpp"
 #include "core/scheduler_factory.hpp"
 #include "green/box_runner.hpp"
 #include "green/green_opt.hpp"
+#include "paging/cache_sim.hpp"
 #include "trace/generators.hpp"
+#include "trace/page_interner.hpp"
 #include "trace/stack_distance.hpp"
 #include "trace/workload.hpp"
 #include "util/lru_set.hpp"
@@ -33,6 +37,68 @@ void BM_LruSetAccess(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_LruSetAccess)->Arg(16)->Arg(256)->Arg(4096);
+
+// The dense fast path BoxRunner now runs on: same access stream as
+// BM_LruSetAccess, but interned ids over a flat direct-map index.
+void BM_DenseLruSetAccess(benchmark::State& state) {
+  const auto capacity = static_cast<Height>(state.range(0));
+  Rng rng(1);
+  const InternedTrace trace{gen::zipf(capacity * 4, 1 << 14, 0.9, rng)};
+  DenseLruSet set(capacity, trace.num_distinct());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.access(trace[i]));
+    i = (i + 1) % trace.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DenseLruSetAccess)->Arg(16)->Arg(256)->Arg(4096);
+
+// The fused probe pair (one index lookup per request) on the dense index —
+// exactly the BoxRunner hot loop, minus the budget arithmetic.
+void BM_DenseLruSetFusedAccess(benchmark::State& state) {
+  const auto capacity = static_cast<Height>(state.range(0));
+  Rng rng(1);
+  const InternedTrace trace{gen::zipf(capacity * 4, 1 << 14, 0.9, rng)};
+  DenseLruSet set(capacity, trace.num_distinct());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::uint32_t page = trace[i];
+    if (!set.try_touch(page)) benchmark::DoNotOptimize(set.insert_absent(page));
+    i = (i + 1) % trace.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DenseLruSetFusedAccess)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PageIntern(benchmark::State& state) {
+  Rng rng(6);
+  const Trace trace =
+      gen::zipf(1024, static_cast<std::size_t>(state.range(0)), 0.9, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InternedTrace(trace));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_PageIntern)->Arg(1 << 14);
+
+// Sequential simulator throughput via the policy fast path
+// (touch_if_resident — one lookup per hit).
+void BM_CacheSimLru(benchmark::State& state) {
+  const auto capacity = static_cast<Height>(state.range(0));
+  Rng rng(7);
+  const Trace trace = gen::zipf(capacity * 4, 1 << 14, 0.9, rng);
+  for (auto _ : state) {
+    CacheSim sim(capacity, make_policy(PolicyKind::kLru, capacity), 8);
+    benchmark::DoNotOptimize(sim.run(trace).misses);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_CacheSimLru)->Arg(256);
 
 void BM_BoxRunnerCanonicalBoxes(benchmark::State& state) {
   const auto height = static_cast<Height>(state.range(0));

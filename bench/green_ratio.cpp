@@ -7,11 +7,14 @@
 // reports the slope of ratio vs log2(p): roughly constant slope for the
 // competitive pagers, super-logarithmic growth (or huge intercepts) for the
 // baselines.
+//
+//   --jobs N|max   run sweep cells on N threads (default 1)
 #include <iostream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "bench_support/experiment.hpp"
+#include "bench_support/parallel_sweep.hpp"
 #include "green/green_algorithm.hpp"
 #include "green/dynamic_green.hpp"
 #include "green/greedy_check.hpp"
@@ -31,7 +34,8 @@ struct GreenCase {
 };
 
 // Workloads whose "wanted" box height varies over time — the regime green
-// paging is about.
+// paging is about. Deterministic in (k, p, seed): safe to rebuild inside
+// any sweep cell.
 std::vector<GreenCase> make_cases(Height k, std::uint32_t p, Time s,
                                   std::uint64_t seed) {
   Rng rng(seed);
@@ -47,10 +51,16 @@ std::vector<GreenCase> make_cases(Height k, std::uint32_t p, Time s,
   return cases;
 }
 
+constexpr std::size_t kNumCases = 3;
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppg;
+  const ArgParser args(argc, argv);
+  const std::size_t jobs = jobs_from_args(args);
+  bench::reject_unknown_options(args);
+
   bench::banner(
       "E1/E2", "Green paging: online pagers vs exact offline OPT",
       "RAND-GREEN and DET-GREEN are O(log p)-competitive for memory impact "
@@ -61,32 +71,60 @@ int main() {
                                       GreenKind::kFixedMin,
                                       GreenKind::kFixedMax};
 
+  // -- main sweep: one cell per (p, workload case) --------------------------
+  struct MainParams {
+    std::uint32_t p;
+    std::size_t case_idx;
+  };
+  std::vector<MainParams> main_params;
+  for (std::uint32_t p = 2; p <= 256; p *= 4)
+    for (std::size_t c = 0; c < kNumCases; ++c) main_params.push_back({p, c});
+
+  struct MainResult {
+    std::string case_name;
+    Impact opt = 0;
+    std::vector<double> ratios;  ///< One per pager, in `pagers` order.
+  };
+  const std::vector<MainResult> main_results =
+      sweep_cells(jobs, main_params.size(), [&](std::size_t i) {
+        const auto [p, case_idx] = main_params[i];
+        const Height k = 4 * p;
+        const HeightLadder ladder = HeightLadder::for_cache(k, p);
+        GreenCase gc =
+            std::move(make_cases(k, p, s, /*seed=*/1000 + p)[case_idx]);
+        MainResult res;
+        res.case_name = gc.name;
+        res.opt = green_opt_impact(gc.trace, ladder, s);
+        for (const GreenKind kind : pagers) {
+          // Average randomized pagers over a few seeds.
+          const int trials = kind == GreenKind::kRand ? 5 : 1;
+          double sum = 0.0;
+          for (int trial = 0; trial < trials; ++trial) {
+            auto pager = make_green_pager(
+                kind, ladder, Rng(42 + static_cast<std::uint64_t>(trial)));
+            const ProfileRunResult r = run_green_paging(gc.trace, *pager, s);
+            sum += static_cast<double>(r.impact);
+          }
+          res.ratios.push_back(
+              sum / trials / static_cast<double>(std::max<Impact>(1, res.opt)));
+        }
+        return res;
+      });
+
   Table table({"workload", "p", "k", "opt_impact", "RAND-GREEN", "DET-GREEN",
                "FIXED-MIN", "FIXED-MAX"});
   ScalingCollector fits;
-
-  for (std::uint32_t p = 2; p <= 256; p *= 4) {
+  for (std::size_t i = 0; i < main_params.size(); ++i) {
+    const auto [p, case_idx] = main_params[i];
+    (void)case_idx;
+    const MainResult& res = main_results[i];
     const Height k = 4 * p;
-    const HeightLadder ladder = HeightLadder::for_cache(k, p);
-    for (GreenCase& gc : make_cases(k, p, s, /*seed=*/1000 + p)) {
-      const Impact opt = green_opt_impact(gc.trace, ladder, s);
-      table.row().cell(gc.name).cell(p).cell(static_cast<std::uint64_t>(k));
-      table.cell(static_cast<std::uint64_t>(opt));
-      for (const GreenKind kind : pagers) {
-        // Average randomized pagers over a few seeds.
-        const int trials = kind == GreenKind::kRand ? 5 : 1;
-        double sum = 0.0;
-        for (int trial = 0; trial < trials; ++trial) {
-          auto pager = make_green_pager(kind, ladder, Rng(42 + static_cast<std::uint64_t>(trial)));
-          const ProfileRunResult r = run_green_paging(gc.trace, *pager, s);
-          sum += static_cast<double>(r.impact);
-        }
-        const double ratio =
-            sum / trials / static_cast<double>(std::max<Impact>(1, opt));
-        table.cell(ratio);
-        fits.add(std::string(green_kind_name(kind)) + "/" + gc.name,
-                 static_cast<double>(p), ratio);
-      }
+    table.row().cell(res.case_name).cell(p).cell(static_cast<std::uint64_t>(k));
+    table.cell(static_cast<std::uint64_t>(res.opt));
+    for (std::size_t j = 0; j < pagers.size(); ++j) {
+      table.cell(res.ratios[j]);
+      fits.add(std::string(green_kind_name(pagers[j])) + "/" + res.case_name,
+               static_cast<double>(p), res.ratios[j]);
     }
   }
 
@@ -104,34 +142,63 @@ int main() {
   // pagers are rebooted at each epoch, as the paper prescribes.
   bench::section("dynamic thresholds (Section 4): doubling minimum, "
                  "reboot per epoch; ratio vs dynamic OPT DP");
-  Table dyn_table({"workload", "p", "epochs", "RAND-GREEN", "DET-GREEN"});
-  for (std::uint32_t p : {16u, 64u}) {
-    const Height k = 4 * p;
-    const Height h_min = HeightLadder::for_cache(k, p).h_min;
-    for (GreenCase& gc : make_cases(k, p, s, /*seed=*/2000 + p)) {
-      // Quarter-points of the trace double the minimum threshold.
-      const std::size_t quarter = gc.trace.size() / 4;
-      const EpochSchedule schedule = EpochSchedule::doubling_min(
-          h_min, static_cast<Height>(pow2_floor(k)),
-          {quarter, 2 * quarter, 3 * quarter});
-      const Impact opt =
-          green_opt_impact_dynamic(gc.trace, schedule, s);
-      dyn_table.row().cell(gc.name).cell(p).cell(
-          static_cast<std::uint64_t>(schedule.num_epochs()));
-      for (const GreenKind kind : {GreenKind::kRand, GreenKind::kDet}) {
-        double sum = 0.0;
-        const int trials = kind == GreenKind::kRand ? 5 : 1;
-        for (int trial = 0; trial < trials; ++trial) {
-          auto pager = make_green_pager(kind, schedule.epoch(0).ladder,
-                                        Rng(52 + static_cast<std::uint64_t>(trial)));
-          const DynamicGreenResult r =
-              run_green_paging_dynamic(gc.trace, *pager, schedule, s);
-          sum += static_cast<double>(r.run.impact);
+  struct DynParams {
+    std::uint32_t p;
+    std::size_t case_idx;
+  };
+  std::vector<DynParams> dyn_params;
+  for (std::uint32_t p : {16u, 64u})
+    for (std::size_t c = 0; c < kNumCases; ++c) dyn_params.push_back({p, c});
+
+  struct DynResult {
+    std::string case_name;
+    std::size_t epochs = 0;
+    double rand_ratio = 0.0;
+    double det_ratio = 0.0;
+  };
+  const std::vector<DynResult> dyn_results =
+      sweep_cells(jobs, dyn_params.size(), [&](std::size_t i) {
+        const auto [p, case_idx] = dyn_params[i];
+        const Height k = 4 * p;
+        const Height h_min = HeightLadder::for_cache(k, p).h_min;
+        GreenCase gc =
+            std::move(make_cases(k, p, s, /*seed=*/2000 + p)[case_idx]);
+        // Quarter-points of the trace double the minimum threshold.
+        const std::size_t quarter = gc.trace.size() / 4;
+        const EpochSchedule schedule = EpochSchedule::doubling_min(
+            h_min, static_cast<Height>(pow2_floor(k)),
+            {quarter, 2 * quarter, 3 * quarter});
+        const Impact opt = green_opt_impact_dynamic(gc.trace, schedule, s);
+        DynResult res;
+        res.case_name = gc.name;
+        res.epochs = schedule.num_epochs();
+        for (const GreenKind kind : {GreenKind::kRand, GreenKind::kDet}) {
+          double sum = 0.0;
+          const int trials = kind == GreenKind::kRand ? 5 : 1;
+          for (int trial = 0; trial < trials; ++trial) {
+            auto pager = make_green_pager(
+                kind, schedule.epoch(0).ladder,
+                Rng(52 + static_cast<std::uint64_t>(trial)));
+            const DynamicGreenResult r =
+                run_green_paging_dynamic(gc.trace, *pager, schedule, s);
+            sum += static_cast<double>(r.run.impact);
+          }
+          const double ratio =
+              sum / trials / static_cast<double>(std::max<Impact>(1, opt));
+          (kind == GreenKind::kRand ? res.rand_ratio : res.det_ratio) = ratio;
         }
-        dyn_table.cell(sum / trials /
-                       static_cast<double>(std::max<Impact>(1, opt)));
-      }
-    }
+        return res;
+      });
+
+  Table dyn_table({"workload", "p", "epochs", "RAND-GREEN", "DET-GREEN"});
+  for (std::size_t i = 0; i < dyn_params.size(); ++i) {
+    const DynResult& res = dyn_results[i];
+    dyn_table.row()
+        .cell(res.case_name)
+        .cell(dyn_params[i].p)
+        .cell(static_cast<std::uint64_t>(res.epochs))
+        .cell(res.rand_ratio)
+        .cell(res.det_ratio);
   }
   bench::print_table(dyn_table);
   std::cout << "\nExpected shape: the reboot machinery preserves the "
@@ -143,22 +210,35 @@ int main() {
   // of that prefix's own optimum. Measured directly via the checker.
   bench::section("greedy green-competitiveness (Definition 1): worst "
                  "prefix ratio over 6 checkpoints");
+  const std::uint32_t greedy_p = 32;
+  struct GreedyResult {
+    std::string case_name;
+    double ratios[3] = {0.0, 0.0, 0.0};
+  };
+  const std::vector<GreedyResult> greedy_results =
+      sweep_cells(jobs, kNumCases, [&](std::size_t case_idx) {
+        const Height k = 4 * greedy_p;
+        const HeightLadder ladder = HeightLadder::for_cache(k, greedy_p);
+        GreenCase gc =
+            std::move(make_cases(k, greedy_p, s, /*seed=*/3000)[case_idx]);
+        GreedyResult res;
+        res.case_name = gc.name;
+        std::size_t j = 0;
+        for (const GreenKind kind :
+             {GreenKind::kRand, GreenKind::kDet, GreenKind::kFixedMax}) {
+          auto pager = make_green_pager(kind, ladder, Rng(62));
+          const GreedyCheckResult r =
+              check_greedily_green(gc.trace, *pager, ladder, s, 6);
+          res.ratios[j++] = r.max_ratio;
+        }
+        return res;
+      });
+
   Table greedy_table({"workload", "p", "RAND-GREEN", "DET-GREEN",
                       "FIXED-MAX"});
-  {
-    const std::uint32_t p = 32;
-    const Height k = 4 * p;
-    const HeightLadder ladder = HeightLadder::for_cache(k, p);
-    for (GreenCase& gc : make_cases(k, p, s, /*seed=*/3000)) {
-      greedy_table.row().cell(gc.name).cell(p);
-      for (const GreenKind kind :
-           {GreenKind::kRand, GreenKind::kDet, GreenKind::kFixedMax}) {
-        auto pager = make_green_pager(kind, ladder, Rng(62));
-        const GreedyCheckResult r =
-            check_greedily_green(gc.trace, *pager, ladder, s, 6);
-        greedy_table.cell(r.max_ratio);
-      }
-    }
+  for (const GreedyResult& res : greedy_results) {
+    greedy_table.row().cell(res.case_name).cell(greedy_p);
+    for (double r : res.ratios) greedy_table.cell(r);
   }
   bench::print_table(greedy_table);
   std::cout << "\nExpected shape: RAND/DET-GREEN's worst prefix ratio is "

@@ -19,76 +19,117 @@
 // p > 100k processors. At laptop scale we shrink the suffix factor to 0.5
 // so the crossover — and the growing gap — is visible at ell = 3..6; the
 // construction is otherwise verbatim.
+//
+//   --jobs N|max   run sweep cells on N threads (default 1)
 #include <cmath>
 #include <iostream>
+#include <memory>
 
 #include "bench_common.hpp"
+#include "bench_support/parallel_sweep.hpp"
 #include "core/parallel_engine.hpp"
 #include "core/scheduler_factory.hpp"
 #include "opt/constructed_opt.hpp"
 #include "opt/opt_bounds.hpp"
 #include "trace/adversarial.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppg;
+  const ArgParser args(argc, argv);
+  const std::size_t jobs = jobs_from_args(args);
+  bench::reject_unknown_options(args);
+
   bench::banner(
       "E6", "Theorem 4 adversarial instance: black-box green paging vs OPT",
       "Parallel pagers built from a greedily-green black box take "
       "Omega(log p / log log p) * T_OPT on this instance; OPT escapes by "
       "burning impact on prefixes up front and overlapping all suffixes.");
 
-  Table table({"ell", "p", "k", "T_opt", "opt_eras", "scheduler", "makespan",
-               "eras", "ratio_vs_optUB", "log(p)/loglog(p)"});
-
   const std::vector<SchedulerKind> kinds{
       SchedulerKind::kBlackboxGreenDet, SchedulerKind::kBlackboxGreenRand,
       SchedulerKind::kDetPar, SchedulerKind::kRandPar, SchedulerKind::kEqui};
 
-  for (std::uint32_t ell = 3; ell <= 6; ++ell) {
-    AdversarialParams params;
-    params.ell = ell;
-    params.a = 1;
-    // gamma = 2*k*alpha must keep each phase long relative to the s*(k-1)
-    // cold fill, or OPT's full-cache hit-serving advantage drowns in
-    // compulsory misses; alpha = 1 (gamma = 2k) gives hits half of every
-    // OPT phase. Shrink slightly at the largest scale for runtime.
-    params.alpha = ell >= 6 ? 0.5 : 1.0;
-    params.suffix_phase_factor = 0.5;
-    const AdversarialInstance inst = make_adversarial_instance(params);
-    const Height k = params.cache_size();
-    const ProcId p = params.num_procs();
-    // The construction requires s large relative to k (s > ck in the
-    // theorem); a multiple of k keeps runtimes finite while preserving the
-    // regime where misses dominate.
-    const Time s = 2 * k;
-    const double era =
-        static_cast<double>(s) * static_cast<double>(params.phase_length());
+  const std::vector<std::uint32_t> ells{3, 4, 5, 6};
 
-    const ConstructedOptResult opt = run_constructed_opt(inst, s);
-    const double logp = std::log2(static_cast<double>(p));
+  // Stage A: one cell per ell — build the instance and run the constructed
+  // OPT schedule (shared by every scheduler at that scale).
+  struct EllCell {
+    AdversarialInstance inst;
+    Height k = 0;
+    ProcId p = 0;
+    Time s = 0;
+    double era = 0.0;
+    ConstructedOptResult opt;
+  };
+  const std::vector<EllCell> ell_cells =
+      sweep_cells(jobs, ells.size(), [&](std::size_t i) {
+        AdversarialParams params;
+        params.ell = ells[i];
+        params.a = 1;
+        // gamma = 2*k*alpha must keep each phase long relative to the
+        // s*(k-1) cold fill, or OPT's full-cache hit-serving advantage
+        // drowns in compulsory misses; alpha = 1 (gamma = 2k) gives hits
+        // half of every OPT phase. Shrink slightly at the largest scale
+        // for runtime.
+        params.alpha = ells[i] >= 6 ? 0.5 : 1.0;
+        params.suffix_phase_factor = 0.5;
+        EllCell cell;
+        cell.inst = make_adversarial_instance(params);
+        cell.k = params.cache_size();
+        cell.p = params.num_procs();
+        // The construction requires s large relative to k (s > ck in the
+        // theorem); a multiple of k keeps runtimes finite while preserving
+        // the regime where misses dominate.
+        cell.s = 2 * cell.k;
+        cell.era = static_cast<double>(cell.s) *
+                   static_cast<double>(params.phase_length());
+        cell.opt = run_constructed_opt(cell.inst, cell.s);
+        return cell;
+      });
+
+  // Stage B: one cell per (ell, scheduler) — each run reads its stage-A
+  // instance (const) and owns its scheduler + engine.
+  struct RunParams {
+    std::size_t ell_idx;
+    SchedulerKind kind;
+  };
+  std::vector<RunParams> run_params;
+  for (std::size_t i = 0; i < ells.size(); ++i)
+    for (const SchedulerKind kind : kinds) run_params.push_back({i, kind});
+
+  const std::vector<Time> makespans =
+      sweep_cells(jobs, run_params.size(), [&](std::size_t i) {
+        const auto [ell_idx, kind] = run_params[i];
+        const EllCell& cell = ell_cells[ell_idx];
+        auto scheduler = make_scheduler(kind, 5);
+        EngineConfig ec;
+        ec.cache_size = cell.k;
+        ec.miss_cost = cell.s;
+        ec.track_memory_timeline = false;
+        return run_parallel(cell.inst.traces, *scheduler, ec).makespan;
+      });
+
+  Table table({"ell", "p", "k", "T_opt", "opt_eras", "scheduler", "makespan",
+               "eras", "ratio_vs_optUB", "log(p)/loglog(p)"});
+  for (std::size_t i = 0; i < run_params.size(); ++i) {
+    const auto [ell_idx, kind] = run_params[i];
+    const EllCell& cell = ell_cells[ell_idx];
+    const Time makespan = makespans[i];
+    const double logp = std::log2(static_cast<double>(cell.p));
     const double loglogp = std::max(1.0, std::log2(logp));
-
-    for (const SchedulerKind kind : kinds) {
-      auto scheduler = make_scheduler(kind, 5);
-      EngineConfig ec;
-      ec.cache_size = k;
-      ec.miss_cost = s;
-      ec.track_memory_timeline = false;
-      const ParallelRunResult r = run_parallel(inst.traces, *scheduler, ec);
-      table.row()
-          .cell(static_cast<std::uint64_t>(ell))
-          .cell(static_cast<std::uint64_t>(p))
-          .cell(static_cast<std::uint64_t>(k))
-          .cell(opt.makespan)
-          .cell(static_cast<double>(opt.makespan) / era, 2)
-          .cell(scheduler_kind_name(kind))
-          .cell(r.makespan)
-          .cell(static_cast<double>(r.makespan) / era, 2)
-          .cell(static_cast<double>(r.makespan) /
-                    static_cast<double>(opt.makespan),
-                2)
-          .cell(logp / loglogp, 2);
-    }
+    table.row()
+        .cell(static_cast<std::uint64_t>(ells[ell_idx]))
+        .cell(static_cast<std::uint64_t>(cell.p))
+        .cell(static_cast<std::uint64_t>(cell.k))
+        .cell(cell.opt.makespan)
+        .cell(static_cast<double>(cell.opt.makespan) / cell.era, 2)
+        .cell(scheduler_kind_name(kind))
+        .cell(makespan)
+        .cell(static_cast<double>(makespan) / cell.era, 2)
+        .cell(static_cast<double>(makespan) /
+                  static_cast<double>(cell.opt.makespan),
+              2)
+        .cell(logp / loglogp, 2);
   }
 
   bench::section("makespan vs the constructed OPT schedule (achievable "

@@ -5,15 +5,25 @@
 // paper proves RAND-PAR and DET-PAR are O(log p)-competitive; EQUI /
 // STATIC / GLOBAL-LRU have no such guarantee, and BLACKBOX-GREEN carries an
 // extra logarithmic factor in the worst case.
+//
+//   --jobs N|max   run sweep cells on N threads (default 1; output is
+//                  byte-identical at every value)
+//   --quick        reduced sweep (p <= 16) for CI smoke runs
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "bench_support/experiment.hpp"
+#include "bench_support/parallel_sweep.hpp"
 #include "opt/offline_packer.hpp"
 #include "trace/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppg;
+  const ArgParser args(argc, argv);
+  const std::size_t jobs = jobs_from_args(args);
+  const bool quick = args.get_bool("quick", false);
+  bench::reject_unknown_options(args);
+
   bench::banner(
       "E3/E4", "Makespan competitive-ratio scaling",
       "RAND-PAR (Thm 2) and DET-PAR (Thm 3) achieve makespan O(log p) * "
@@ -27,50 +37,73 @@ int main() {
                                             WorkloadKind::kHeterogeneousMix,
                                             WorkloadKind::kPollutedCycles};
   const std::vector<SchedulerKind> kinds = all_scheduler_kinds();
+  const ProcId max_p = quick ? 16 : 128;
+
+  // Enumerate every (workload, p) sweep cell up front; each cell's seeds
+  // are functions of its parameters, never of execution order.
+  struct CellParams {
+    WorkloadKind wkind;
+    ProcId p;
+  };
+  std::vector<CellParams> params;
+  for (const WorkloadKind wkind : workloads)
+    for (ProcId p = 4; p <= max_p; p *= 2) params.push_back({wkind, p});
+
+  struct CellResult {
+    InstanceOutcome outcome;
+    Height k = 0;
+    Time t_ub = 0;
+  };
+  const std::vector<CellResult> results =
+      sweep_cells(jobs, params.size(), [&](std::size_t i) {
+        const auto [wkind, p] = params[i];
+        WorkloadParams wp;
+        wp.num_procs = p;
+        wp.cache_size = 8 * p;
+        wp.requests_per_proc = 4000;
+        wp.seed = 7 + p;
+        wp.miss_cost = s;
+        const MultiTrace mt = make_workload(wkind, wp);
+
+        ExperimentConfig config;
+        config.cache_size = wp.cache_size;
+        config.miss_cost = s;
+        config.seed = 3;
+
+        CellResult cell;
+        cell.k = wp.cache_size;
+        cell.outcome = run_instance(mt, kinds, config);
+
+        // Achievable upper bound on T_OPT from offline strip packing of
+        // per-processor profiles (fixed-height fallback: the exact DP is
+        // too slow at this sweep's sizes; the bracket is just looser).
+        OfflinePackConfig pc;
+        pc.cache_size = wp.cache_size;
+        pc.miss_cost = s;
+        pc.exact_profile_max_requests = 1;
+        cell.t_ub = pack_offline(mt, pc).makespan;
+        return cell;
+      });
 
   Table table({"workload", "p", "k", "T_LB", "T_UB", "scheduler", "makespan",
                "ratio", "xi"});
   ScalingCollector fits;
-
-  for (const WorkloadKind wkind : workloads) {
-    for (ProcId p = 4; p <= 128; p *= 2) {
-      WorkloadParams wp;
-      wp.num_procs = p;
-      wp.cache_size = 8 * p;
-      wp.requests_per_proc = 4000;
-      wp.seed = 7 + p;
-      wp.miss_cost = s;
-      const MultiTrace mt = make_workload(wkind, wp);
-
-      ExperimentConfig config;
-      config.cache_size = wp.cache_size;
-      config.miss_cost = s;
-      config.seed = 3;
-      const InstanceOutcome outcome = run_instance(mt, kinds, config);
-
-      // Achievable upper bound on T_OPT from offline strip packing of
-      // per-processor profiles (fixed-height fallback: the exact DP is
-      // too slow at this sweep's sizes; the bracket is just looser).
-      OfflinePackConfig pc;
-      pc.cache_size = wp.cache_size;
-      pc.miss_cost = s;
-      pc.exact_profile_max_requests = 1;
-      const Time t_ub = pack_offline(mt, pc).makespan;
-
-      for (const SchedulerOutcome& so : outcome.outcomes) {
-        table.row()
-            .cell(workload_kind_name(wkind))
-            .cell(static_cast<std::uint64_t>(p))
-            .cell(static_cast<std::uint64_t>(wp.cache_size))
-            .cell(outcome.bounds.lower_bound())
-            .cell(t_ub)
-            .cell(so.name)
-            .cell(so.result.makespan)
-            .cell(so.makespan_ratio)
-            .cell(so.result.effective_augmentation, 2);
-        fits.add(so.name + "/" + workload_kind_name(wkind),
-                 static_cast<double>(p), so.makespan_ratio);
-      }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto [wkind, p] = params[i];
+    const CellResult& cell = results[i];
+    for (const SchedulerOutcome& so : cell.outcome.outcomes) {
+      table.row()
+          .cell(workload_kind_name(wkind))
+          .cell(static_cast<std::uint64_t>(p))
+          .cell(static_cast<std::uint64_t>(cell.k))
+          .cell(cell.outcome.bounds.lower_bound())
+          .cell(cell.t_ub)
+          .cell(so.name)
+          .cell(so.result.makespan)
+          .cell(so.makespan_ratio)
+          .cell(so.result.effective_augmentation, 2);
+      fits.add(so.name + "/" + workload_kind_name(wkind),
+               static_cast<double>(p), so.makespan_ratio);
     }
   }
 

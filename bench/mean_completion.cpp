@@ -4,41 +4,64 @@
 // completion time: on workloads with skewed sequence lengths it must not
 // starve short jobs. We report mean-completion ratios against the OPT
 // lower bound and the max/min completion spread per scheduler.
+//
+//   --jobs N|max   run sweep cells on N threads (default 1)
 #include <algorithm>
 #include <iostream>
 #include <limits>
 
 #include "bench_common.hpp"
 #include "bench_support/experiment.hpp"
+#include "bench_support/parallel_sweep.hpp"
 #include "trace/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppg;
+  const ArgParser args(argc, argv);
+  const std::size_t jobs = jobs_from_args(args);
+  bench::reject_unknown_options(args);
+
   bench::banner(
       "E5", "Mean completion time on skewed-length workloads",
       "DET-PAR is O(log p)-competitive for mean completion time as well as "
       "makespan (Corollary 3): balanced + well-rounded => green.");
 
   const Time s = 8;
+
+  std::vector<ProcId> ps;
+  for (ProcId p = 4; p <= 64; p *= 2) ps.push_back(p);
+
+  struct CellResult {
+    InstanceOutcome outcome;
+    MultiTrace traces;
+    Height k = 0;
+  };
+  const std::vector<CellResult> results =
+      sweep_cells(jobs, ps.size(), [&](std::size_t i) {
+        const ProcId p = ps[i];
+        WorkloadParams wp;
+        wp.num_procs = p;
+        wp.cache_size = 8 * p;
+        wp.requests_per_proc = 6000;
+        wp.seed = 11 + p;
+        CellResult cell;
+        cell.k = wp.cache_size;
+        cell.traces = make_workload(WorkloadKind::kSkewedLengths, wp);
+
+        ExperimentConfig config;
+        config.cache_size = wp.cache_size;
+        config.miss_cost = s;
+        cell.outcome = run_instance(cell.traces, all_scheduler_kinds(), config);
+        return cell;
+      });
+
   Table table({"p", "k", "scheduler", "mean_ct", "mean_ratio", "makespan",
                "spread_max_over_min", "max_stretch"});
   ScalingCollector fits;
-
-  for (ProcId p = 4; p <= 64; p *= 2) {
-    WorkloadParams wp;
-    wp.num_procs = p;
-    wp.cache_size = 8 * p;
-    wp.requests_per_proc = 6000;
-    wp.seed = 11 + p;
-    const MultiTrace mt = make_workload(WorkloadKind::kSkewedLengths, wp);
-
-    ExperimentConfig config;
-    config.cache_size = wp.cache_size;
-    config.miss_cost = s;
-    const InstanceOutcome outcome =
-        run_instance(mt, all_scheduler_kinds(), config);
-
-    for (const SchedulerOutcome& so : outcome.outcomes) {
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const ProcId p = ps[i];
+    const CellResult& cell = results[i];
+    for (const SchedulerOutcome& so : cell.outcome.outcomes) {
       Time min_c = std::numeric_limits<Time>::max();
       Time max_c = 0;
       for (Time c : so.result.completion) {
@@ -46,12 +69,12 @@ int main() {
         max_c = std::max(max_c, c);
       }
       const std::vector<double> stretch =
-          per_proc_stretch(mt, so.result.completion, wp.cache_size, s);
+          per_proc_stretch(cell.traces, so.result.completion, cell.k, s);
       double max_stretch = 0.0;
       for (double v : stretch) max_stretch = std::max(max_stretch, v);
       table.row()
           .cell(static_cast<std::uint64_t>(p))
-          .cell(static_cast<std::uint64_t>(wp.cache_size))
+          .cell(static_cast<std::uint64_t>(cell.k))
           .cell(so.name)
           .cell(so.result.mean_completion, 0)
           .cell(so.mean_ct_ratio)

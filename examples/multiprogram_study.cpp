@@ -6,21 +6,33 @@
 // fault rate, with how much memory — the practical question "how should a
 // shared cache be partitioned?" answered by each strategy.
 //
-//   $ ./multiprogram_study [p] [k]
+//   $ ./multiprogram_study [p] [k] [--jobs N|max]
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 
+#include "bench_support/parallel_sweep.hpp"
 #include "core/global_lru.hpp"
 #include "core/parallel_engine.hpp"
 #include "core/scheduler_factory.hpp"
 #include "opt/opt_bounds.hpp"
 #include "trace/workload.hpp"
+#include "util/arg_parse.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace ppg;
-  const ProcId p = argc > 1 ? static_cast<ProcId>(std::atoi(argv[1])) : 16;
-  const Height k = argc > 2 ? static_cast<Height>(std::atoi(argv[2])) : 8 * p;
+  const ArgParser args(argc, argv);
+  const std::size_t jobs = jobs_from_args(args);
+  if (const auto unused = args.unused_keys(); !unused.empty())
+    throw std::invalid_argument("unknown option --" + unused.front());
+  const auto& positional = args.positional();
+  const ProcId p =
+      !positional.empty() ? static_cast<ProcId>(std::atoi(positional[0].c_str()))
+                          : 16;
+  const Height k = positional.size() > 1
+                       ? static_cast<Height>(std::atoi(positional[1].c_str()))
+                       : 8 * p;
   const Time s = 16;
 
   WorkloadParams wp;
@@ -40,16 +52,31 @@ int main(int argc, char** argv) {
             << "\nOPT lower bound on makespan: " << bounds.lower_bound()
             << "\n\n";
 
+  // One sweep cell per scheduler (GLOBAL-LRU rides along as the last cell);
+  // rows are emitted in scheduler order regardless of --jobs.
+  const std::vector<SchedulerKind> kinds = all_scheduler_kinds();
+  const std::vector<ParallelRunResult> results =
+      sweep_cells(jobs, kinds.size() + 1, [&](std::size_t i) {
+        if (i == kinds.size()) {
+          // The no-partitioning baseline.
+          GlobalLruConfig gc;
+          gc.cache_size = k;
+          gc.miss_cost = s;
+          return run_global_lru(traces, gc);
+        }
+        auto scheduler = make_scheduler(kinds[i], 3);
+        EngineConfig ec;
+        ec.cache_size = k;
+        ec.miss_cost = s;
+        return run_parallel(traces, *scheduler, ec);
+      });
+
   Table table({"scheduler", "makespan", "ratio", "mean_ct", "fault_rate",
                "peak_mem", "boxes"});
-  EngineConfig ec;
-  ec.cache_size = k;
-  ec.miss_cost = s;
-  for (const SchedulerKind kind : all_scheduler_kinds()) {
-    auto scheduler = make_scheduler(kind, 3);
-    const ParallelRunResult r = run_parallel(traces, *scheduler, ec);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ParallelRunResult& r = results[i];
     table.row()
-        .cell(scheduler_kind_name(kind))
+        .cell(i == kinds.size() ? "GLOBAL-LRU" : scheduler_kind_name(kinds[i]))
         .cell(r.makespan)
         .cell(static_cast<double>(r.makespan) /
                   static_cast<double>(bounds.lower_bound()),
@@ -59,21 +86,6 @@ int main(int argc, char** argv) {
         .cell(static_cast<std::uint64_t>(r.peak_concurrent_height))
         .cell(r.num_boxes);
   }
-  // The no-partitioning baseline.
-  GlobalLruConfig gc;
-  gc.cache_size = k;
-  gc.miss_cost = s;
-  const ParallelRunResult g = run_global_lru(traces, gc);
-  table.row()
-      .cell("GLOBAL-LRU")
-      .cell(g.makespan)
-      .cell(static_cast<double>(g.makespan) /
-                static_cast<double>(bounds.lower_bound()),
-            2)
-      .cell(g.mean_completion, 0)
-      .cell(g.fault_rate(), 4)
-      .cell(static_cast<std::uint64_t>(g.peak_concurrent_height))
-      .cell(g.num_boxes);
 
   table.print(std::cout);
   std::cout << "\nReading guide: DET-PAR/RAND-PAR trade a few extra faults "

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Perf regression tracking: snapshots simulator throughput (engine_micro)
+# and the reference E4 sweep wall time at --jobs 1 vs --jobs max into a
+# machine-readable BENCH_PERF.json, verifying on the way that the parallel
+# sweep output is byte-identical to the serial one.
+#
+# Usage: scripts/bench_perf.sh [--quick] [--out FILE]
+#   --quick   CI mode: shorter benchmark repetitions and the reduced
+#             (--quick) E4 sweep; completes in well under a minute.
+#   --out     Output path (default: BENCH_PERF.json in the repo root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+OUT="BENCH_PERF.json"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1; shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target engine_micro makespan_scaling \
+  >/dev/null
+
+MICRO_JSON="$(mktemp)"
+SWEEP_J1="$(mktemp)"
+SWEEP_JMAX="$(mktemp)"
+trap 'rm -f "${MICRO_JSON}" "${SWEEP_J1}" "${SWEEP_JMAX}"' EXIT
+
+# --- Microbenchmark throughput (requests/sec) ----------------------------
+MIN_TIME=0.5
+[[ "${QUICK}" == "1" ]] && MIN_TIME=0.05
+./build/bench/engine_micro \
+  --benchmark_filter='BM_(LruSetAccess|DenseLruSetAccess|DenseLruSetFusedAccess|PageIntern|CacheSimLru|BoxRunnerCanonicalBoxes|StackDistances|ParallelEngine)' \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_format=json >"${MICRO_JSON}"
+
+# --- Reference E4 sweep: serial vs parallel wall time --------------------
+SWEEP_FLAGS=()
+[[ "${QUICK}" == "1" ]] && SWEEP_FLAGS+=(--quick)
+
+now() { python3 -c 'import time; print(time.monotonic())'; }
+
+T0="$(now)"
+./build/bench/makespan_scaling "${SWEEP_FLAGS[@]}" --jobs 1 >"${SWEEP_J1}"
+T1="$(now)"
+./build/bench/makespan_scaling "${SWEEP_FLAGS[@]}" --jobs max >"${SWEEP_JMAX}"
+T2="$(now)"
+
+if ! cmp -s "${SWEEP_J1}" "${SWEEP_JMAX}"; then
+  echo "FAIL: makespan_scaling output differs between --jobs 1 and --jobs max" >&2
+  diff "${SWEEP_J1}" "${SWEEP_JMAX}" >&2 || true
+  exit 1
+fi
+echo "sweep output byte-identical across --jobs values"
+
+# --- Assemble BENCH_PERF.json --------------------------------------------
+BUILD_TYPE="$(grep -m1 '^CMAKE_BUILD_TYPE' build/CMakeCache.txt | cut -d= -f2)"
+MICRO_JSON="${MICRO_JSON}" OUT="${OUT}" QUICK="${QUICK}" \
+BUILD_TYPE="${BUILD_TYPE}" \
+T0="${T0}" T1="${T1}" T2="${T2}" python3 - <<'PY'
+import json, os
+
+with open(os.environ["MICRO_JSON"]) as f:
+    micro = json.load(f)
+
+bench = {
+    b["name"]: round(b["items_per_second"])
+    for b in micro["benchmarks"]
+    if "items_per_second" in b
+}
+
+t0, t1, t2 = (float(os.environ[k]) for k in ("T0", "T1", "T2"))
+serial_s = t1 - t0
+parallel_s = t2 - t1
+
+def ratio(name_dense, name_hash):
+    if bench.get(name_hash):
+        return round(bench[name_dense] / bench[name_hash], 3)
+    return None
+
+out = {
+    "schema": 1,
+    "quick": os.environ["QUICK"] == "1",
+    "context": micro.get("context", {}).get("num_cpus"),
+    "build_type": os.environ["BUILD_TYPE"],
+    "requests_per_sec": bench,
+    "dense_over_hash_lru": ratio("BM_DenseLruSetAccess/256",
+                                 "BM_LruSetAccess/256"),
+    "sweep": {
+        "bench": "makespan_scaling",
+        "jobs1_seconds": round(serial_s, 3),
+        "jobsmax_seconds": round(parallel_s, 3),
+        "speedup_jobsmax": round(serial_s / parallel_s, 3)
+            if parallel_s > 0 else None,
+        "byte_identical": True,
+    },
+}
+out["context"] = {"num_cpus": out.pop("context")}
+
+with open(os.environ["OUT"], "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {os.environ['OUT']}")
+print(f"  dense/hash LRU throughput: {out['dense_over_hash_lru']}x")
+print(f"  sweep --jobs 1: {out['sweep']['jobs1_seconds']}s, "
+      f"--jobs max: {out['sweep']['jobsmax_seconds']}s "
+      f"({out['sweep']['speedup_jobsmax']}x)")
+PY

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full build + test suite, then the robustness
-# tests (fault injection, trace corruption, replay) again under ASan/UBSan.
+# tests (fault injection, trace corruption, replay) again under ASan/UBSan,
+# then the parallel-sweep determinism suite raced under ThreadSanitizer,
+# then the quick perf snapshot (which also checks --jobs byte-identity).
 #
 # Usage: scripts/tier1.sh [sanitizer]
 #   sanitizer: address (default) | undefined | none
@@ -20,6 +22,18 @@ if [[ "${SAN}" != "none" ]]; then
   (cd "build-${SAN}" &&
    ctest --output-on-failure -j "$(nproc)" \
          -R 'FaultInjection|Contract|Replay|TraceIoCorruption|RunChecked|Error')
+
+  # Race the thread pool and sweep executor under TSan: the determinism
+  # suite runs every sweep at --jobs 1/2/hardware, so a data race in the
+  # parallel path surfaces here even on a single-core host.
+  cmake -B build-thread -S . -DPPG_SANITIZE=thread \
+        -DPPG_BUILD_BENCH=OFF -DPPG_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-thread -j "$(nproc)"
+  (cd build-thread &&
+   ctest --output-on-failure -j "$(nproc)" \
+         -R 'ThreadPool|ParallelSweep')
 fi
+
+scripts/bench_perf.sh --quick --out /tmp/bench_perf_ci.json
 
 echo "tier-1 OK (sanitizer: ${SAN})"

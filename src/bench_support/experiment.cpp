@@ -117,14 +117,14 @@ Summary makespan_over_seeds(const MultiTrace& traces, SchedulerKind kind,
 
 void ScalingCollector::add(const std::string& scheduler, double p,
                            double ratio) {
-  for (auto& [name, s] : series_) {
-    if (name == scheduler) {
-      s.ps.push_back(p);
-      s.ratios.push_back(ratio);
-      return;
-    }
+  const auto [it, inserted] = index_.emplace(scheduler, series_.size());
+  if (inserted) {
+    series_.emplace_back(scheduler, Series{{p}, {ratio}});
+    return;
   }
-  series_.emplace_back(scheduler, Series{{p}, {ratio}});
+  Series& s = series_[it->second].second;
+  s.ps.push_back(p);
+  s.ratios.push_back(ratio);
 }
 
 Table ScalingCollector::fit_table() const {

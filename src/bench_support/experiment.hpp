@@ -10,6 +10,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/contract.hpp"
@@ -88,7 +89,11 @@ class ScalingCollector {
     std::vector<double> ps;
     std::vector<double> ratios;
   };
+  /// Series in first-add order (fit_table rows keep insertion order); the
+  /// map gives O(1) lookup by scheduler name instead of a linear scan per
+  /// add (quadratic over many-scheduler sweeps).
   std::vector<std::pair<std::string, Series>> series_;
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 }  // namespace ppg

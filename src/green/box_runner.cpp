@@ -1,11 +1,15 @@
 #include "green/box_runner.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace ppg {
 
 BoxRunner::BoxRunner(const Trace& trace, Time miss_cost)
-    : trace_(&trace), miss_cost_(miss_cost), cache_(1) {
+    : trace_(trace),
+      miss_cost_(miss_cost),
+      cache_(1, std::max<std::size_t>(1, trace_.num_distinct())) {
   PPG_CHECK(miss_cost >= 1);
 }
 
@@ -15,30 +19,29 @@ BoxStepResult BoxRunner::run_box(Height height, Time duration, bool fresh) {
   if (fresh || height != cache_height_) {
     // A height change is always a fresh compartment: the model has no
     // notion of carrying LRU state across differently-sized boxes.
-    cache_.clear();
-    if (height != cache_height_) {
-      cache_ = LruSet(height);
-      cache_height_ = height;
-    }
+    cache_.reset(height);
+    cache_height_ = height;
   }
   Time remaining = duration;
-  while (remaining > 0 && position_ < trace_->size()) {
-    const PageId page = (*trace_)[position_];
-    const bool hit = cache_.contains(page);
-    const Time cost = hit ? 1 : miss_cost_;
-    if (cost > remaining) break;  // stall to box end
-    cache_.access(page);
+  while (remaining > 0 && position_ < trace_.size()) {
+    const std::uint32_t page = trace_[position_];
+    Time cost;
+    if (cache_.try_touch(page)) {
+      cost = 1;  // a hit always fits: remaining >= 1 here
+      ++step.hits;
+    } else {
+      cost = miss_cost_;
+      if (cost > remaining) break;  // stall to box end
+      cache_.insert_absent(page);
+      ++step.misses;
+    }
     remaining -= cost;
     step.busy_time += cost;
     ++position_;
     ++step.requests_completed;
-    if (hit)
-      ++step.hits;
-    else
-      ++step.misses;
   }
   step.stall_time = remaining;
-  step.finished = position_ >= trace_->size();
+  step.finished = position_ >= trace_.size();
   total_hits_ += step.hits;
   total_misses_ += step.misses;
   return step;

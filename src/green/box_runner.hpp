@@ -6,11 +6,18 @@
 // If the next request's cost exceeds the time remaining in the box the
 // processor stalls to the box boundary and retries in the next box (a
 // height-z canonical box therefore always completes at least z requests).
+//
+// Performance: the trace is interned to dense ids at construction (one
+// hash per request, once), after which the per-request path is a single
+// DenseLruSet array probe — no hashing, no double lookup. A hit always
+// fits (cost 1, remaining >= 1), so try_touch commits it directly; a miss
+// checks the remaining budget before insert_absent commits the fault.
 #pragma once
 
 #include <cstdint>
 
 #include "green/box.hpp"
+#include "trace/page_interner.hpp"
 #include "trace/trace.hpp"
 #include "util/lru_set.hpp"
 #include "util/types.hpp"
@@ -36,7 +43,7 @@ class BoxRunner {
   /// false to model a continuation at the same height.
   BoxStepResult run_box(Height height, Time duration, bool fresh = true);
 
-  bool finished() const { return position_ >= trace_->size(); }
+  bool finished() const { return position_ >= trace_.size(); }
   std::size_t position() const { return position_; }
   std::uint64_t total_hits() const { return total_hits_; }
   std::uint64_t total_misses() const { return total_misses_; }
@@ -44,12 +51,12 @@ class BoxRunner {
   void reset();
 
  private:
-  const Trace* trace_;
+  InternedTrace trace_;
   Time miss_cost_;
   std::size_t position_ = 0;
   std::uint64_t total_hits_ = 0;
   std::uint64_t total_misses_ = 0;
-  LruSet cache_;
+  DenseLruSet cache_;
   Height cache_height_ = 0;  ///< Logical capacity of the current box.
 };
 

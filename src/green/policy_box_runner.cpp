@@ -17,7 +17,7 @@ PolicyBoxRunner::PolicyBoxRunner(const Trace& trace, Time miss_cost,
 }
 
 void PolicyBoxRunner::reset_compartment(Height height) {
-  resident_.clear();
+  resident_count_ = 0;
   if (kind_ == PolicyKind::kBelady) {
     policy_->clear();
   } else if (height != capacity_ || policy_ == nullptr) {
@@ -40,25 +40,28 @@ BoxStepResult PolicyBoxRunner::run_box(Height height, Time duration,
   Time remaining = duration;
   while (remaining > 0 && position_ < trace_->size()) {
     const PageId page = (*trace_)[position_];
-    const bool hit = resident_.contains(page);
-    const Time cost = hit ? 1 : miss_cost_;
-    if (cost > remaining) break;
+    // advance() before the probe so offline policies see the request
+    // index when the probe touches; repeating it after a stall retry is
+    // harmless (it only records the position).
     policy_->advance(position_);
-    if (hit) {
-      policy_->touch(page);
+    if (policy_->touch_if_resident(page)) {
+      // A hit costs 1 tick and remaining >= 1 here, so it always fits.
+      remaining -= 1;
+      step.busy_time += 1;
       ++step.hits;
     } else {
-      if (resident_.size() == capacity_) {
+      if (miss_cost_ > remaining) break;  // stall to box end
+      if (resident_count_ == capacity_) {
         const PageId victim = policy_->evict();
-        const auto erased = resident_.erase(victim);
-        PPG_CHECK_MSG(erased == 1, "policy evicted non-resident page");
+        PPG_DCHECK(!policy_->contains(victim));
+      } else {
+        ++resident_count_;
       }
-      resident_.insert(page);
       policy_->insert(page);
+      remaining -= miss_cost_;
+      step.busy_time += miss_cost_;
       ++step.misses;
     }
-    remaining -= cost;
-    step.busy_time += cost;
     ++position_;
     ++step.requests_completed;
   }

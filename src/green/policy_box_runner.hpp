@@ -5,12 +5,13 @@
 // costs by at most a constant factor (boxes start empty and are short, so
 // policy differences cannot compound). This runner exists to measure that
 // constant (ablation E12) and to let users experiment with in-box Belady /
-// CLOCK / ARC. The hot path stays in BoxRunner (specialized LRU); this
-// class trades ~2x speed for generality.
+// CLOCK / ARC. The hot path stays in BoxRunner (specialized dense LRU);
+// this class trades speed for generality — though residency now routes
+// through the policy's own index (touch_if_resident) instead of a second
+// hash set.
 #pragma once
 
 #include <memory>
-#include <unordered_set>
 
 #include "green/box.hpp"
 #include "green/green_algorithm.hpp"
@@ -42,8 +43,8 @@ class PolicyBoxRunner {
   std::uint64_t seed_;
   std::size_t position_ = 0;
   Height capacity_ = 0;
+  Height resident_count_ = 0;
   std::unique_ptr<EvictionPolicy> policy_;
-  std::unordered_set<PageId> resident_;
 };
 
 /// Replays `trace` through canonical boxes emitted by `pager` with the

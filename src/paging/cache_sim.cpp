@@ -10,22 +10,20 @@ CacheSim::CacheSim(Height capacity, std::unique_ptr<EvictionPolicy> policy,
   PPG_CHECK(capacity >= 1);
   PPG_CHECK(miss_cost >= 1);
   PPG_CHECK(policy_ != nullptr);
-  resident_.reserve(capacity * 2);
 }
 
 bool CacheSim::access(PageId page) {
-  if (resident_.contains(page)) {
-    policy_->touch(page);
+  if (policy_->touch_if_resident(page)) {
     ++result_.hits;
     result_.time += 1;
     return true;
   }
-  if (resident_.size() == capacity_) {
+  if (resident_count_ == capacity_) {
     const PageId victim = policy_->evict();
-    const auto erased = resident_.erase(victim);
-    PPG_CHECK_MSG(erased == 1, "policy evicted a non-resident page");
+    PPG_DCHECK(!policy_->contains(victim));
+  } else {
+    ++resident_count_;
   }
-  resident_.insert(page);
   policy_->insert(page);
   ++result_.misses;
   result_.time += miss_cost_;
@@ -33,7 +31,7 @@ bool CacheSim::access(PageId page) {
 }
 
 void CacheSim::reset() {
-  resident_.clear();
+  resident_count_ = 0;
   policy_->clear();
   result_ = CacheSimResult{};
 }

@@ -2,11 +2,15 @@
 // a hit costs 1 tick, a miss costs `s` ticks. This is the single-processor
 // substrate — it provides Belady baselines for OPT lower bounds and the
 // policy-comparison experiment (E9).
+//
+// Residency lives in the EvictionPolicy (the policy's index IS the
+// residency set); the simulator keeps only a counter. The previous design
+// mirrored residency in an unordered_set here, paying a second hash per
+// access for state the policy already tracked.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_set>
 
 #include "paging/eviction_policy.hpp"
 #include "trace/trace.hpp"
@@ -49,7 +53,7 @@ class CacheSim {
   Height capacity_;
   Time miss_cost_;
   std::unique_ptr<EvictionPolicy> policy_;
-  std::unordered_set<PageId> resident_;
+  Height resident_count_ = 0;
   CacheSimResult result_;
 };
 

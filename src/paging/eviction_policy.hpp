@@ -1,10 +1,13 @@
 // Pluggable eviction policies for the sequential cache simulator.
 //
-// CacheSim owns residency; a policy only ranks resident pages for eviction.
-// The contract: insert() is called when a page becomes resident, touch()
-// when a resident page is re-accessed, evict() must return some currently
-// resident page and forget it. prepare()/advance() give offline policies
-// (Belady) access to the future.
+// A policy is the single source of truth for residency: insert() is called
+// when a page becomes resident, touch() when a resident page is
+// re-accessed, evict() must return some currently resident page and forget
+// it, and contains() answers residency queries. (Simulators used to mirror
+// residency in their own hash set; that double bookkeeping is gone — see
+// CacheSim.) prepare()/advance() give offline policies (Belady) access to
+// the future. touch_if_resident() fuses the residency probe with the
+// touch so the hot path pays one lookup instead of two.
 #pragma once
 
 #include <memory>
@@ -32,6 +35,19 @@ class EvictionPolicy {
   virtual void touch(PageId page) = 0;
   virtual PageId evict() = 0;
   virtual void clear() = 0;
+
+  /// True iff `page` is currently resident (inserted and not yet evicted).
+  virtual bool contains(PageId page) const = 0;
+
+  /// Fused hot path: touch `page` and return true if it is resident,
+  /// otherwise return false without modifying any state. Policies with a
+  /// single-lookup structure override this; the default is the safe
+  /// two-lookup composition.
+  virtual bool touch_if_resident(PageId page) {
+    if (!contains(page)) return false;
+    touch(page);
+    return true;
+  }
 
   virtual const char* name() const = 0;
 };

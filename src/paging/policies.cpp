@@ -3,6 +3,7 @@
 #include <deque>
 #include <queue>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "paging/eviction_policy.hpp"
@@ -26,6 +27,10 @@ class LruPolicy final : public EvictionPolicy {
     return victim;
   }
   void clear() override { set_.clear(); }
+  bool contains(PageId page) const override { return set_.contains(page); }
+  bool touch_if_resident(PageId page) override {
+    return set_.try_touch(page);
+  }
   const char* name() const override { return "LRU"; }
 
  private:
@@ -34,19 +39,33 @@ class LruPolicy final : public EvictionPolicy {
 
 class FifoPolicy final : public EvictionPolicy {
  public:
-  void insert(PageId page) override { queue_.push_back(page); }
+  void insert(PageId page) override {
+    queue_.push_back(page);
+    resident_.insert(page);
+  }
   void touch(PageId) override {}  // FIFO ignores re-access
   PageId evict() override {
     PPG_CHECK_MSG(!queue_.empty(), "evict from empty FIFO");
     const PageId victim = queue_.front();
     queue_.pop_front();
+    resident_.erase(victim);
     return victim;
   }
-  void clear() override { queue_.clear(); }
+  void clear() override {
+    queue_.clear();
+    resident_.clear();
+  }
+  bool contains(PageId page) const override {
+    return resident_.contains(page);
+  }
+  bool touch_if_resident(PageId page) override {
+    return resident_.contains(page);  // touch is a no-op for FIFO
+  }
   const char* name() const override { return "FIFO"; }
 
  private:
   std::deque<PageId> queue_;
+  std::unordered_set<PageId> resident_;
 };
 
 // CLOCK (second chance): circular buffer of (page, referenced) pairs; the
@@ -64,6 +83,15 @@ class ClockPolicy final : public EvictionPolicy {
     const auto it = index_.find(page);
     PPG_DCHECK(it != index_.end());
     frames_[it->second].referenced = true;
+  }
+  bool contains(PageId page) const override {
+    return index_.contains(page);
+  }
+  bool touch_if_resident(PageId page) override {
+    const auto it = index_.find(page);
+    if (it == index_.end()) return false;
+    frames_[it->second].referenced = true;
+    return true;
   }
   PageId evict() override {
     PPG_CHECK_MSG(!frames_.empty(), "evict from empty CLOCK");
@@ -110,6 +138,12 @@ class RandomPolicy final : public EvictionPolicy {
     pages_.push_back(page);
   }
   void touch(PageId) override {}
+  bool contains(PageId page) const override {
+    return index_.contains(page);
+  }
+  bool touch_if_resident(PageId page) override {
+    return index_.contains(page);  // touch is a no-op for RANDOM
+  }
   PageId evict() override {
     PPG_CHECK_MSG(!pages_.empty(), "evict from empty RANDOM");
     const std::size_t i = rng_.next_below(pages_.size());
@@ -145,6 +179,16 @@ class LfuPolicy final : public EvictionPolicy {
     PPG_DCHECK(it != entries_.end());
     ++it->second.frequency;
     it->second.last_use = stamp_++;
+  }
+  bool contains(PageId page) const override {
+    return entries_.contains(page);
+  }
+  bool touch_if_resident(PageId page) override {
+    auto it = entries_.find(page);
+    if (it == entries_.end()) return false;
+    ++it->second.frequency;
+    it->second.last_use = stamp_++;
+    return true;
   }
   PageId evict() override {
     PPG_CHECK_MSG(!entries_.empty(), "evict from empty LFU");
@@ -218,6 +262,10 @@ class BeladyPolicy final : public EvictionPolicy {
     next_of_.clear();
     heap_ = {};
     pos_ = 0;
+  }
+
+  bool contains(PageId page) const override {
+    return next_of_.contains(page);
   }
 
   const char* name() const override { return "BELADY"; }

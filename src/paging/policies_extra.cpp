@@ -27,13 +27,16 @@ class MruPolicy final : public EvictionPolicy {
   void insert(PageId page) override { set_.access(page); }
   void touch(PageId page) override { set_.access(page); }
   PageId evict() override {
-    const auto order = set_.pages_mru_order();
-    PPG_CHECK_MSG(!order.empty(), "evict from empty MRU");
-    const PageId victim = order.front();
+    const PageId victim = set_.mru_page();
+    PPG_CHECK_MSG(victim != kInvalidPage, "evict from empty MRU");
     set_.erase(victim);
     return victim;
   }
   void clear() override { set_.clear(); }
+  bool contains(PageId page) const override { return set_.contains(page); }
+  bool touch_if_resident(PageId page) override {
+    return set_.try_touch(page);
+  }
   const char* name() const override { return "MRU"; }
 
  private:
@@ -92,6 +95,10 @@ class SlruPolicy final : public EvictionPolicy {
     probation_.clear();
     protected_.clear();
     where_.clear();
+  }
+
+  bool contains(PageId page) const override {
+    return where_.contains(page);
   }
 
   const char* name() const override { return "SLRU"; }
@@ -174,6 +181,10 @@ class ArcPolicy final : public EvictionPolicy {
     b2_.clear();
     where_.clear();
     target_t1_ = 0;
+  }
+
+  bool contains(PageId page) const override {
+    return where_.contains(page);  // where_ tracks resident pages only
   }
 
   const char* name() const override { return "ARC"; }

@@ -1,0 +1,19 @@
+#include "trace/page_interner.hpp"
+
+#include <unordered_map>
+
+namespace ppg {
+
+InternedTrace::InternedTrace(const Trace& trace) {
+  requests_.reserve(trace.size());
+  std::unordered_map<PageId, std::uint32_t> ids;
+  ids.reserve(trace.size() / 4 + 16);
+  for (const PageId page : trace) {
+    const auto [it, inserted] =
+        ids.emplace(page, static_cast<std::uint32_t>(pages_.size()));
+    if (inserted) pages_.push_back(page);
+    requests_.push_back(it->second);
+  }
+}
+
+}  // namespace ppg

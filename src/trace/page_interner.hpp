@@ -1,0 +1,52 @@
+// Page interning: maps a trace's (sparse, 64-bit) PageIds onto the dense
+// range [0, num_distinct), in first-appearance order.
+//
+// The simulators' hot loops pay for PageId generality with hash lookups on
+// every request. Interning pays the hash cost exactly once per request, up
+// front, and hands the simulator a trace whose ids index flat arrays
+// directly (see DenseLruSet in util/lru_set.hpp). BoxRunner interns its
+// trace at construction; a whole engine run then does no hashing at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/types.hpp"
+
+namespace ppg {
+
+/// A trace re-encoded over dense ids, plus the id -> original-page table.
+class InternedTrace {
+ public:
+  InternedTrace() = default;
+  explicit InternedTrace(const Trace& trace);
+
+  std::size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+
+  /// Dense id of the i-th request, in [0, num_distinct()).
+  std::uint32_t operator[](std::size_t i) const {
+    PPG_DCHECK(i < requests_.size());
+    return requests_[i];
+  }
+
+  std::uint32_t num_distinct() const {
+    return static_cast<std::uint32_t>(pages_.size());
+  }
+
+  /// Original PageId for a dense id.
+  PageId page(std::uint32_t dense_id) const {
+    PPG_DCHECK(dense_id < pages_.size());
+    return pages_[dense_id];
+  }
+
+  const std::vector<std::uint32_t>& requests() const { return requests_; }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+ private:
+  std::vector<std::uint32_t> requests_;
+  std::vector<PageId> pages_;  // dense id -> original page
+};
+
+}  // namespace ppg

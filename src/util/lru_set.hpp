@@ -3,9 +3,21 @@
 // This is the hot data structure of every simulator in the library: each
 // compartmentalized box runs one LruSet, and the box runner touches it once
 // per request. It combines an intrusive doubly-linked list over a slot
-// vector (recency order) with an unordered_map from page to slot, so all
-// operations are O(1) expected and the recency links are cache-friendly
-// array indices rather than pointers.
+// vector (recency order) with a pluggable page->slot index, so all
+// operations are O(1) and the recency links are cache-friendly array
+// indices rather than pointers.
+//
+// Two index implementations back the same recency machinery:
+//  - LruHashIndex (default, LruSet): unordered_map from arbitrary 64-bit
+//    PageIds — one hash per lookup.
+//  - LruDenseIndex (DenseLruSet): a flat epoch-stamped vector over a known
+//    dense id universe [0, num_distinct) — one array load per lookup, O(1)
+//    clear. Traces are interned into this range by trace/page_interner.
+//
+// The hot path is the fused pair try_touch()/insert_absent(): a single
+// index lookup classifies hit vs miss, and the miss path never repeats it.
+// The legacy access() entry points are kept (and now built on the fused
+// pair) for callers that don't need to peek the cost before committing.
 #pragma once
 
 #include <cstdint>
@@ -17,53 +29,129 @@
 
 namespace ppg {
 
-class LruSet {
+inline constexpr std::uint32_t kLruNilSlot = UINT32_MAX;
+
+/// Hash-backed page->slot index for arbitrary (sparse) PageIds.
+class LruHashIndex {
+ public:
+  explicit LruHashIndex(Height capacity) { map_.reserve(capacity * 2); }
+
+  std::uint32_t find(PageId page) const {
+    const auto it = map_.find(page);
+    return it == map_.end() ? kLruNilSlot : it->second;
+  }
+  void set(PageId page, std::uint32_t slot) { map_[page] = slot; }
+  void erase(PageId page) { map_.erase(page); }
+  void clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<PageId, std::uint32_t> map_;
+};
+
+/// Flat direct-map index over a dense id universe [0, universe). clear()
+/// is O(1) via epoch stamping — critical because compartmentalized boxes
+/// reset the cache far more often than they fill it.
+class LruDenseIndex {
+ public:
+  LruDenseIndex(Height capacity, std::size_t universe)
+      : slots_(universe, kLruNilSlot), epochs_(universe, 0) {
+    (void)capacity;
+  }
+
+  std::uint32_t find(PageId page) const {
+    PPG_DCHECK(page < slots_.size());
+    return epochs_[page] == epoch_ ? slots_[page] : kLruNilSlot;
+  }
+  void set(PageId page, std::uint32_t slot) {
+    PPG_DCHECK(page < slots_.size());
+    slots_[page] = slot;
+    epochs_[page] = epoch_;
+  }
+  void erase(PageId page) {
+    PPG_DCHECK(page < slots_.size());
+    slots_[page] = kLruNilSlot;
+  }
+  void clear() { ++epoch_; }
+
+ private:
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::uint32_t> epochs_;
+  std::uint32_t epoch_ = 1;  // entries start stale (epochs_ filled with 0)
+};
+
+template <typename Index>
+class BasicLruSet {
  public:
   /// Creates an empty set holding at most `capacity` pages (capacity >= 1).
-  explicit LruSet(Height capacity) : capacity_(capacity) {
+  /// Extra arguments configure the index (DenseLruSet takes the universe).
+  template <typename... IndexArgs>
+  explicit BasicLruSet(Height capacity, IndexArgs&&... index_args)
+      : capacity_(capacity),
+        index_(capacity, static_cast<IndexArgs&&>(index_args)...) {
     PPG_CHECK(capacity >= 1);
     slots_.reserve(capacity);
-    index_.reserve(capacity * 2);
   }
 
   Height capacity() const { return capacity_; }
-  Height size() const { return static_cast<Height>(slots_.size() - free_.size()); }
+  Height size() const {
+    return static_cast<Height>(slots_.size() - free_.size());
+  }
   bool full() const { return size() == capacity_; }
   bool empty() const { return size() == 0; }
 
-  bool contains(PageId page) const { return index_.find(page) != index_.end(); }
+  bool contains(PageId page) const {
+    return index_.find(page) != kLruNilSlot;
+  }
+
+  /// Fused hot-path probe: one index lookup. On a hit the page moves to the
+  /// MRU position and the call returns true; on a miss the set is left
+  /// untouched (call insert_absent to commit the fault).
+  bool try_touch(PageId page) {
+    const std::uint32_t slot = index_.find(page);
+    if (slot == kLruNilSlot) return false;
+    touch(slot);
+    return true;
+  }
+
+  /// Inserts a page known to be absent (e.g. try_touch just returned
+  /// false); if the set was full, evicts and returns the LRU page,
+  /// kInvalidPage otherwise.
+  PageId insert_absent(PageId page) {
+    PPG_DCHECK(!contains(page));
+    if (full()) {
+      const std::uint32_t victim = lru_;
+      const PageId evicted = slots_[victim].page;
+      index_.erase(evicted);
+      unlink(victim);
+      slots_[victim].page = page;
+      link_front(victim);
+      index_.set(page, victim);
+      return evicted;
+    }
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      slots_[slot].page = page;
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(Slot{page, kLruNilSlot, kLruNilSlot});
+    }
+    link_front(slot);
+    index_.set(page, slot);
+    return kInvalidPage;
+  }
 
   /// Records an access to `page`.
   /// Returns true on a hit (page was present; it is moved to MRU position).
   /// On a miss the page is inserted; if the set was full, the LRU page is
   /// evicted and reported through `evicted` (set to kInvalidPage otherwise).
   bool access(PageId page, PageId& evicted) {
-    evicted = kInvalidPage;
-    if (auto it = index_.find(page); it != index_.end()) {
-      touch(it->second);
+    if (try_touch(page)) {
+      evicted = kInvalidPage;
       return true;
     }
-    if (full()) {
-      const std::uint32_t victim = lru_;
-      evicted = slots_[victim].page;
-      index_.erase(evicted);
-      unlink(victim);
-      slots_[victim].page = page;
-      link_front(victim);
-      index_.emplace(page, victim);
-    } else {
-      std::uint32_t slot;
-      if (!free_.empty()) {
-        slot = free_.back();
-        free_.pop_back();
-        slots_[slot].page = page;
-      } else {
-        slot = static_cast<std::uint32_t>(slots_.size());
-        slots_.push_back(Slot{page, kNil, kNil});
-      }
-      link_front(slot);
-      index_.emplace(page, slot);
-    }
+    evicted = insert_absent(page);
     return false;
   }
 
@@ -75,39 +163,54 @@ class LruSet {
 
   /// Removes a specific page; returns false if it was not present.
   bool erase(PageId page) {
-    auto it = index_.find(page);
-    if (it == index_.end()) return false;
-    const std::uint32_t slot = it->second;
-    index_.erase(it);
+    const std::uint32_t slot = index_.find(page);
+    if (slot == kLruNilSlot) return false;
+    index_.erase(page);
     unlink(slot);
     free_.push_back(slot);
     return true;
   }
 
-  /// Removes every page (compartmentalized box reset).
+  /// Removes every page (compartmentalized box reset). O(1) for the dense
+  /// index (epoch bump), O(size) for the hash index.
   void clear() {
     index_.clear();
     slots_.clear();
     free_.clear();
-    mru_ = kNil;
-    lru_ = kNil;
+    mru_ = kLruNilSlot;
+    lru_ = kLruNilSlot;
+  }
+
+  /// clear() plus a capacity change, without rebuilding the index — the
+  /// box runner resizes compartments once per height switch and must not
+  /// pay an index reallocation each time.
+  void reset(Height capacity) {
+    PPG_CHECK(capacity >= 1);
+    clear();
+    capacity_ = capacity;
+    slots_.reserve(capacity);
   }
 
   /// Page that would be evicted next, or kInvalidPage when empty.
-  PageId lru_page() const { return lru_ == kNil ? kInvalidPage : slots_[lru_].page; }
+  PageId lru_page() const {
+    return lru_ == kLruNilSlot ? kInvalidPage : slots_[lru_].page;
+  }
+
+  /// Most recently used page, or kInvalidPage when empty.
+  PageId mru_page() const {
+    return mru_ == kLruNilSlot ? kInvalidPage : slots_[mru_].page;
+  }
 
   /// Pages in most-recent-first order (for tests and diagnostics).
   std::vector<PageId> pages_mru_order() const {
     std::vector<PageId> out;
     out.reserve(size());
-    for (std::uint32_t cur = mru_; cur != kNil; cur = slots_[cur].next)
+    for (std::uint32_t cur = mru_; cur != kLruNilSlot; cur = slots_[cur].next)
       out.push_back(slots_[cur].page);
     return out;
   }
 
  private:
-  static constexpr std::uint32_t kNil = UINT32_MAX;
-
   struct Slot {
     PageId page;
     std::uint32_t prev;  // toward MRU
@@ -115,20 +218,20 @@ class LruSet {
   };
 
   void link_front(std::uint32_t slot) {
-    slots_[slot].prev = kNil;
+    slots_[slot].prev = kLruNilSlot;
     slots_[slot].next = mru_;
-    if (mru_ != kNil) slots_[mru_].prev = slot;
+    if (mru_ != kLruNilSlot) slots_[mru_].prev = slot;
     mru_ = slot;
-    if (lru_ == kNil) lru_ = slot;
+    if (lru_ == kLruNilSlot) lru_ = slot;
   }
 
   void unlink(std::uint32_t slot) {
     const Slot& s = slots_[slot];
-    if (s.prev != kNil)
+    if (s.prev != kLruNilSlot)
       slots_[s.prev].next = s.next;
     else
       mru_ = s.next;
-    if (s.next != kNil)
+    if (s.next != kLruNilSlot)
       slots_[s.next].prev = s.prev;
     else
       lru_ = s.prev;
@@ -141,11 +244,18 @@ class LruSet {
   }
 
   Height capacity_;
+  Index index_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;
-  std::unordered_map<PageId, std::uint32_t> index_;
-  std::uint32_t mru_ = kNil;
-  std::uint32_t lru_ = kNil;
+  std::uint32_t mru_ = kLruNilSlot;
+  std::uint32_t lru_ = kLruNilSlot;
 };
+
+/// General-purpose LRU set over arbitrary PageIds (hash index).
+using LruSet = BasicLruSet<LruHashIndex>;
+
+/// LRU set over interned dense ids: DenseLruSet(capacity, universe)
+/// accepts pages in [0, universe) and does no hashing at all.
+using DenseLruSet = BasicLruSet<LruDenseIndex>;
 
 }  // namespace ppg

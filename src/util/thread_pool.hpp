@@ -1,0 +1,72 @@
+// Fixed-size thread pool and a deterministic parallel-for built on it.
+//
+// The sweep harness (bench_support/parallel_sweep.hpp) runs independent
+// experiment cells concurrently. Determinism is the contract that makes
+// that safe to expose as a --jobs flag: parallel_for_index(jobs, n, fn)
+// calls fn(i) exactly once for every i in [0, n), each i on exactly one
+// thread, with no ordering guarantee — callers make results deterministic
+// by writing fn(i)'s output to slot i of a pre-sized vector and deriving
+// any per-cell randomness from i, never from execution order.
+//
+// Exceptions thrown by tasks are captured; the first one (by completion
+// order) is rethrown on the calling thread from wait_all() /
+// parallel_for_index(). Remaining tasks still run to completion so the
+// pool is never left with dangling work.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppg {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; clamped up from 0).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not call submit() or wait_all() on the
+  /// same pool (no nested parallelism — sweeps are a flat cell list).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// captured task exception, if any.
+  void wait_all();
+
+  /// Job count meaning "use the hardware": hardware_concurrency, with a
+  /// floor of 1 when the runtime reports 0.
+  static std::size_t hardware_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [0, n) across up to `jobs` threads (inline
+/// when jobs <= 1 or n <= 1, so --jobs 1 exercises the exact serial path).
+/// Blocks until all calls finish; rethrows the first task exception.
+void parallel_for_index(std::size_t jobs, std::size_t n,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace ppg

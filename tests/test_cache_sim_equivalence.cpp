@@ -1,0 +1,82 @@
+// Equivalence check for the residency refactor: CacheSim now routes
+// residency through the EvictionPolicy (touch_if_resident / contains)
+// instead of mirroring it in its own hash set. This test reimplements the
+// old mirrored-set simulator as a reference and checks that every policy
+// produces identical hit/miss/time totals on random traces.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "paging/cache_sim.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+// The pre-refactor CacheSim loop, verbatim: residency mirrored in an
+// unordered_set, two policy lookups per access.
+CacheSimResult reference_simulate(PolicyKind kind, const Trace& trace,
+                                  Height capacity, Time miss_cost,
+                                  std::uint64_t seed) {
+  auto policy = make_policy(kind, capacity, seed);
+  std::unordered_set<PageId> resident;
+  CacheSimResult result;
+  policy->prepare(trace);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    policy->advance(i);
+    const PageId page = trace[i];
+    if (resident.contains(page)) {
+      policy->touch(page);
+      ++result.hits;
+      result.time += 1;
+      continue;
+    }
+    if (resident.size() == capacity) {
+      const PageId victim = policy->evict();
+      resident.erase(victim);
+    }
+    policy->insert(page);
+    resident.insert(page);
+    ++result.misses;
+    result.time += miss_cost;
+  }
+  return result;
+}
+
+class CacheSimEquivalence : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(CacheSimEquivalence, MatchesMirroredResidencyReference) {
+  const PolicyKind kind = GetParam();
+  Rng rng(2024);
+  const std::vector<Trace> traces{
+      gen::zipf(96, 4000, 1.0, rng),
+      gen::cyclic(24, 3000),
+      gen::sawtooth(4, 40, 400, 8, rng),
+      gen::single_use(2000),
+  };
+  for (const Height capacity : {Height{1}, Height{3}, Height{16}, Height{64}}) {
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const CacheSimResult expected =
+          reference_simulate(kind, traces[t], capacity, 7, /*seed=*/5);
+      const CacheSimResult actual =
+          simulate_policy(kind, traces[t], capacity, 7, /*seed=*/5);
+      ASSERT_EQ(actual.hits, expected.hits)
+          << policy_kind_name(kind) << " capacity=" << capacity
+          << " trace=" << t;
+      ASSERT_EQ(actual.misses, expected.misses)
+          << policy_kind_name(kind) << " capacity=" << capacity
+          << " trace=" << t;
+      ASSERT_EQ(actual.time, expected.time);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CacheSimEquivalence,
+                         ::testing::ValuesIn(all_policy_kinds()),
+                         [](const auto& info) {
+                           return std::string(policy_kind_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace ppg

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "trace/generators.hpp"
+#include "trace/page_interner.hpp"
+#include "util/rng.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(PageInterner, EmptyTrace) {
+  const InternedTrace it{Trace{}};
+  EXPECT_TRUE(it.empty());
+  EXPECT_EQ(it.size(), 0u);
+  EXPECT_EQ(it.num_distinct(), 0u);
+}
+
+TEST(PageInterner, FirstAppearanceOrder) {
+  const Trace trace(std::vector<PageId>{500, 7, 500, 123456789, 7});
+  const InternedTrace it(trace);
+  EXPECT_EQ(it.size(), 5u);
+  EXPECT_EQ(it.num_distinct(), 3u);
+  // Dense ids are assigned in first-appearance order.
+  EXPECT_EQ(it[0], 0u);  // 500
+  EXPECT_EQ(it[1], 1u);  // 7
+  EXPECT_EQ(it[2], 0u);  // 500 again
+  EXPECT_EQ(it[3], 2u);  // 123456789
+  EXPECT_EQ(it[4], 1u);  // 7 again
+  EXPECT_EQ(it.page(0), 500u);
+  EXPECT_EQ(it.page(1), 7u);
+  EXPECT_EQ(it.page(2), 123456789u);
+}
+
+TEST(PageInterner, RoundTripsEveryRequest) {
+  Rng rng(99);
+  const Trace trace = gen::zipf(200, 5000, 1.0, rng);
+  const InternedTrace it(trace);
+  ASSERT_EQ(it.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_LT(it[i], it.num_distinct());
+    ASSERT_EQ(it.page(it[i]), trace[i]) << "request " << i;
+  }
+}
+
+TEST(PageInterner, DistinctCountMatchesSet) {
+  Rng rng(7);
+  const Trace trace = gen::zipf(64, 2000, 0.8, rng);
+  std::unordered_set<PageId> distinct(trace.begin(), trace.end());
+  const InternedTrace it(trace);
+  EXPECT_EQ(it.num_distinct(), distinct.size());
+  // The dense id table has no duplicates.
+  std::unordered_set<PageId> table(it.pages().begin(), it.pages().end());
+  EXPECT_EQ(table.size(), it.pages().size());
+}
+
+}  // namespace
+}  // namespace ppg

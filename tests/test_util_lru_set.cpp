@@ -140,5 +140,104 @@ TEST_P(LruSetReference, MatchesNaiveModel) {
 INSTANTIATE_TEST_SUITE_P(Capacities, LruSetReference,
                          ::testing::Values(1, 2, 3, 4, 7, 16, 33));
 
+TEST(LruSet, FusedPairMatchesAccess) {
+  // try_touch + insert_absent must be exactly access() split in two.
+  LruSet fused(3);
+  LruSet plain(3);
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const PageId page = rng.next_below(10);
+    PageId evicted = kInvalidPage;
+    const bool hit = plain.access(page, evicted);
+    if (fused.try_touch(page)) {
+      ASSERT_TRUE(hit);
+      ASSERT_EQ(evicted, kInvalidPage);
+    } else {
+      ASSERT_FALSE(hit);
+      ASSERT_EQ(fused.insert_absent(page), evicted);
+    }
+    ASSERT_EQ(fused.pages_mru_order(), plain.pages_mru_order());
+  }
+}
+
+TEST(LruSet, TryTouchMissLeavesSetUntouched) {
+  LruSet set(2);
+  set.access(1);
+  set.access(2);
+  EXPECT_FALSE(set.try_touch(9));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.pages_mru_order(), (std::vector<PageId>{2, 1}));
+}
+
+TEST(LruSet, MruPageTracksMostRecent) {
+  LruSet set(3);
+  EXPECT_EQ(set.mru_page(), kInvalidPage);
+  set.access(1);
+  set.access(2);
+  EXPECT_EQ(set.mru_page(), 2u);
+  set.access(1);
+  EXPECT_EQ(set.mru_page(), 1u);
+}
+
+TEST(LruSet, ResetChangesCapacityAndEmpties) {
+  LruSet set(2);
+  set.access(1);
+  set.access(2);
+  set.reset(4);
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.capacity(), 4u);
+  for (PageId p = 10; p < 14; ++p) set.access(p);
+  EXPECT_TRUE(set.full());
+  EXPECT_FALSE(set.contains(1));
+}
+
+// The dense-index variant must be observationally identical to the hash
+// variant on any stream drawn from its id universe.
+class DenseLruSetParity : public ::testing::TestWithParam<Height> {};
+
+TEST_P(DenseLruSetParity, MatchesHashIndexVariant) {
+  const Height capacity = GetParam();
+  const std::size_t universe = capacity * 3 + 1;
+  DenseLruSet dense(capacity, universe);
+  LruSet hash(capacity);
+  Rng rng(4321 + capacity);
+  for (int i = 0; i < 5000; ++i) {
+    const PageId page = rng.next_below(universe);
+    PageId dense_evicted = kInvalidPage;
+    PageId hash_evicted = kInvalidPage;
+    const bool dense_hit = dense.access(page, dense_evicted);
+    const bool hash_hit = hash.access(page, hash_evicted);
+    ASSERT_EQ(dense_hit, hash_hit) << "iteration " << i;
+    ASSERT_EQ(dense_evicted, hash_evicted) << "iteration " << i;
+    ASSERT_EQ(dense.pages_mru_order(), hash.pages_mru_order());
+    // Sprinkle clears and resets to exercise the epoch-stamped index.
+    if (i % 701 == 700) {
+      dense.clear();
+      hash.clear();
+    }
+    if (i % 1301 == 1300) {
+      const Height next = 1 + (capacity + static_cast<Height>(i)) % capacity;
+      dense.reset(next);
+      hash.reset(next);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, DenseLruSetParity,
+                         ::testing::Values(1, 2, 5, 16, 33));
+
+TEST(DenseLruSet, ClearIsEpochBased) {
+  DenseLruSet set(4, 8);
+  for (PageId p = 0; p < 4; ++p) set.access(p);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  for (PageId p = 0; p < 8; ++p) EXPECT_FALSE(set.contains(p));
+  // Stale entries from before the clear must not resurrect.
+  set.access(7);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_EQ(set.size(), 1u);
+}
+
 }  // namespace
 }  // namespace ppg

@@ -8,6 +8,8 @@
 // boxes from the augmentation budget.
 //
 //   --jobs N|max   run sweep cells on N threads (default 1)
+//   --stream       pull each instance lazily from generator sources instead
+//                  of materializing it (output is byte-identical)
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
+  const bool stream = args.get_bool("stream", false);
   bench::reject_unknown_options(args);
 
   bench::banner(
@@ -43,7 +46,8 @@ int main(int argc, char** argv) {
     for (ProcId p : {16u, 64u}) inst_params.push_back({wkind, p});
 
   struct InstCell {
-    MultiTrace mt;
+    MultiTrace mt;             ///< Empty under --stream.
+    MultiTraceSource sources;  ///< Views mt, or generator-backed.
     Height k = 0;
     OptBounds bounds;
   };
@@ -56,12 +60,17 @@ int main(int argc, char** argv) {
         wp.requests_per_proc = 4000;
         wp.seed = 61 + p;
         InstCell cell;
-        cell.mt = make_workload(wkind, wp);
+        if (stream) {
+          cell.sources = make_workload_source(wkind, wp);
+        } else {
+          cell.mt = make_workload(wkind, wp);
+          cell.sources = MultiTraceSource::view_of(cell.mt);
+        }
         cell.k = wp.cache_size;
         OptBoundsConfig oc;
         oc.cache_size = wp.cache_size;
         oc.miss_cost = s;
-        cell.bounds = compute_opt_bounds(cell.mt, oc);
+        cell.bounds = compute_opt_bounds(cell.sources, oc);
         return cell;
       });
 
@@ -99,7 +108,8 @@ int main(int argc, char** argv) {
           EngineConfig ec;
           ec.cache_size = inst.k;
           ec.miss_cost = s;
-          const ParallelRunResult r = run_parallel(inst.mt, *scheduler, ec);
+          const ParallelRunResult r =
+              run_parallel(inst.sources, *scheduler, ec);
           makespan_sum += static_cast<double>(r.makespan);
           stall_sum += static_cast<double>(r.total_stall) /
                        (static_cast<double>(r.makespan) * p);

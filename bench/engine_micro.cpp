@@ -165,6 +165,31 @@ void BM_ParallelEngine(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelEngine)->Arg(8)->Arg(32)->Arg(128);
 
+/// Same instance pulled lazily from generator sources: measures the
+/// streaming path's per-request overhead (hash LRU + on-demand generation)
+/// against the dense materialized fast path above.
+void BM_ParallelEngineStreamed(benchmark::State& state) {
+  const auto p = static_cast<ProcId>(state.range(0));
+  WorkloadParams wp;
+  wp.num_procs = p;
+  wp.cache_size = 8 * p;
+  wp.requests_per_proc = 2000;
+  const MultiTraceSource sources =
+      make_workload_source(WorkloadKind::kHeterogeneousMix, wp);
+  EngineConfig ec;
+  ec.cache_size = wp.cache_size;
+  ec.miss_cost = 8;
+  ec.track_memory_timeline = false;
+  for (auto _ : state) {
+    auto scheduler = make_scheduler(SchedulerKind::kDetPar);
+    benchmark::DoNotOptimize(run_parallel(sources, *scheduler, ec).makespan);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(sources.total_requests()));
+}
+BENCHMARK(BM_ParallelEngineStreamed)->Arg(8)->Arg(32)->Arg(128);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -9,12 +9,16 @@
 //   --jobs N|max   run sweep cells on N threads (default 1; output is
 //                  byte-identical at every value)
 //   --quick        reduced sweep (p <= 16) for CI smoke runs
+//   --stream       pull each instance lazily from generator sources instead
+//                  of materializing it (output is byte-identical; peak
+//                  memory drops to O(active window))
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "bench_support/experiment.hpp"
 #include "bench_support/parallel_sweep.hpp"
 #include "opt/offline_packer.hpp"
+#include "trace/trace_spec.hpp"
 #include "trace/workload.hpp"
 
 int main(int argc, char** argv) {
@@ -22,6 +26,7 @@ int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
   const bool quick = args.get_bool("quick", false);
+  const bool stream = args.get_bool("stream", false);
   bench::reject_unknown_options(args);
 
   bench::banner(
@@ -63,16 +68,26 @@ int main(int argc, char** argv) {
         wp.requests_per_proc = 4000;
         wp.seed = 7 + p;
         wp.miss_cost = s;
-        const MultiTrace mt = make_workload(wkind, wp);
+        // Same instance either way; --stream just defers generation to the
+        // cursors inside the engine.
+        MultiTrace mt;
+        MultiTraceSource sources;
+        if (stream) {
+          sources = make_workload_source(wkind, wp);
+        } else {
+          mt = make_workload(wkind, wp);
+          sources = MultiTraceSource::view_of(mt);
+        }
 
         ExperimentConfig config;
         config.cache_size = wp.cache_size;
         config.miss_cost = s;
         config.seed = 3;
+        config.trace_spec = workload_trace_spec(wkind, wp);
 
         CellResult cell;
         cell.k = wp.cache_size;
-        cell.outcome = run_instance(mt, kinds, config);
+        cell.outcome = run_instance(sources, kinds, config);
 
         // Achievable upper bound on T_OPT from offline strip packing of
         // per-processor profiles (fixed-height fallback: the exact DP is
@@ -81,7 +96,7 @@ int main(int argc, char** argv) {
         pc.cache_size = wp.cache_size;
         pc.miss_cost = s;
         pc.exact_profile_max_requests = 1;
-        cell.t_ub = pack_offline(mt, pc).makespan;
+        cell.t_ub = pack_offline(sources, pc).makespan;
         return cell;
       });
 

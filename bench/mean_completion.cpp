@@ -6,6 +6,8 @@
 // lower bound and the max/min completion spread per scheduler.
 //
 //   --jobs N|max   run sweep cells on N threads (default 1)
+//   --stream       pull each instance lazily from generator sources
+//                  (byte-identical output, O(active window) peak memory)
 #include <algorithm>
 #include <iostream>
 #include <limits>
@@ -13,12 +15,14 @@
 #include "bench_common.hpp"
 #include "bench_support/experiment.hpp"
 #include "bench_support/parallel_sweep.hpp"
+#include "trace/trace_spec.hpp"
 #include "trace/workload.hpp"
 
 int main(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
+  const bool stream = args.get_bool("stream", false);
   bench::reject_unknown_options(args);
 
   bench::banner(
@@ -33,7 +37,9 @@ int main(int argc, char** argv) {
 
   struct CellResult {
     InstanceOutcome outcome;
-    MultiTrace traces;
+    /// Max per-proc stretch per outcome row, computed in the cell so the
+    /// traces don't have to outlive it.
+    std::vector<double> max_stretch;
     Height k = 0;
   };
   const std::vector<CellResult> results =
@@ -46,12 +52,28 @@ int main(int argc, char** argv) {
         wp.seed = 11 + p;
         CellResult cell;
         cell.k = wp.cache_size;
-        cell.traces = make_workload(WorkloadKind::kSkewedLengths, wp);
+        MultiTrace mt;
+        MultiTraceSource sources;
+        if (stream) {
+          sources = make_workload_source(WorkloadKind::kSkewedLengths, wp);
+        } else {
+          mt = make_workload(WorkloadKind::kSkewedLengths, wp);
+          sources = MultiTraceSource::view_of(mt);
+        }
 
         ExperimentConfig config;
         config.cache_size = wp.cache_size;
         config.miss_cost = s;
-        cell.outcome = run_instance(cell.traces, all_scheduler_kinds(), config);
+        config.trace_spec =
+            workload_trace_spec(WorkloadKind::kSkewedLengths, wp);
+        cell.outcome = run_instance(sources, all_scheduler_kinds(), config);
+        for (const SchedulerOutcome& so : cell.outcome.outcomes) {
+          const std::vector<double> stretch =
+              per_proc_stretch(sources, so.result.completion, cell.k, s);
+          double max_stretch = 0.0;
+          for (double v : stretch) max_stretch = std::max(max_stretch, v);
+          cell.max_stretch.push_back(max_stretch);
+        }
         return cell;
       });
 
@@ -61,17 +83,15 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < ps.size(); ++i) {
     const ProcId p = ps[i];
     const CellResult& cell = results[i];
-    for (const SchedulerOutcome& so : cell.outcome.outcomes) {
+    for (std::size_t j = 0; j < cell.outcome.outcomes.size(); ++j) {
+      const SchedulerOutcome& so = cell.outcome.outcomes[j];
       Time min_c = std::numeric_limits<Time>::max();
       Time max_c = 0;
       for (Time c : so.result.completion) {
         min_c = std::min(min_c, std::max<Time>(1, c));
         max_c = std::max(max_c, c);
       }
-      const std::vector<double> stretch =
-          per_proc_stretch(cell.traces, so.result.completion, cell.k, s);
-      double max_stretch = 0.0;
-      for (double v : stretch) max_stretch = std::max(max_stretch, v);
+      const double max_stretch = cell.max_stretch[j];
       table.row()
           .cell(static_cast<std::uint64_t>(p))
           .cell(static_cast<std::uint64_t>(cell.k))

@@ -20,6 +20,7 @@
 #include "core/parallel_engine.hpp"
 #include "core/replay.hpp"
 #include "core/scheduler_factory.hpp"
+#include "trace/trace_spec.hpp"
 #include "trace/workload.hpp"
 #include "util/arg_parse.hpp"
 #include "util/error.hpp"
@@ -35,8 +36,14 @@ void print_dump(const ReplayDump& dump) {
               static_cast<unsigned long long>(dump.max_time),
               static_cast<unsigned long long>(dump.seed));
   std::printf("  scheduler: %s\n", dump.scheduler_spec.c_str());
-  std::printf("  traces:    %u procs, %zu requests\n", dump.traces.num_procs(),
-              dump.traces.total_requests());
+  if (dump.has_traces)
+    std::printf("  traces:    %u procs, %zu requests (embedded)\n",
+                dump.traces.num_procs(), dump.traces.total_requests());
+  else if (!dump.trace_spec.empty())
+    std::printf("  traces:    regenerated from spec: %s\n",
+                dump.trace_spec.c_str());
+  else
+    std::printf("  traces:    (not embedded — run not replayable)\n");
   std::printf("  reason:    %s\n", dump.reason.ok()
                                        ? "(none recorded)"
                                        : dump.reason.to_string().c_str());
@@ -59,22 +66,17 @@ int replay_file(const std::string& path, const ValidatorConfig& validator) {
   return reproduced ? 0 : 2;
 }
 
-/// End-to-end self check: inject a fault into RAND-PAR, let the checked
-/// engine write a dump to `scratch`, then re-execute it.
-int selftest(const std::string& scratch) {
-  WorkloadParams wp;
-  wp.num_procs = 4;
-  wp.cache_size = 16;
-  wp.requests_per_proc = 400;
-  wp.seed = 7;
-  wp.miss_cost = 4;
-  const MultiTrace traces = make_workload(WorkloadKind::kZipf, wp);
-
+/// One injected-failure round trip: run the faulty scheduler over `traces`
+/// (or, when `record_spec` is set, over the streamed generator sources with
+/// the spec recorded in the dump instead of the vectors), then re-execute
+/// the dump the engine wrote.
+int selftest_round(const WorkloadParams& wp, const std::string& scratch,
+                   bool record_spec) {
   const std::string spec = "VALIDATE(INJECT(excessive-stall,RAND-PAR))";
   auto scheduler = make_scheduler_from_spec(spec, /*seed=*/7);
   EngineConfig ec;
-  ec.cache_size = 16;
-  ec.miss_cost = 4;
+  ec.cache_size = wp.cache_size;
+  ec.miss_cost = wp.miss_cost;
   ec.seed = 7;
   ec.scheduler_spec = spec;
   ec.replay_dump_path = scratch;
@@ -82,7 +84,15 @@ int selftest(const std::string& scratch) {
   // trips the watchdog instead, which is also a dump-worthy failure.
   ec.max_time = Time{1} << 30;
 
-  const CheckedRun run = run_parallel_checked(traces, *scheduler, ec);
+  CheckedRun run;
+  if (record_spec) {
+    ec.trace_spec = workload_trace_spec(WorkloadKind::kZipf, wp);
+    run = run_parallel_checked(make_workload_source(WorkloadKind::kZipf, wp),
+                               *scheduler, ec);
+  } else {
+    const MultiTrace traces = make_workload(WorkloadKind::kZipf, wp);
+    run = run_parallel_checked(traces, *scheduler, ec);
+  }
   if (run.status.ok()) {
     std::printf("selftest: injected run unexpectedly succeeded\n");
     return 2;
@@ -93,7 +103,32 @@ int selftest(const std::string& scratch) {
     std::printf("selftest: no replay dump was written\n");
     return 2;
   }
+  // A spec-backed dump must regenerate, not embed, its traces.
+  const ReplayDump dump = load_replay_dump(run.status.replay_dump_path);
+  if (record_spec && (dump.has_traces || dump.trace_spec.empty())) {
+    std::printf("selftest: spec-backed dump still embeds trace vectors\n");
+    return 2;
+  }
   return replay_file(run.status.replay_dump_path, ValidatorConfig{});
+}
+
+/// End-to-end self check: inject a fault into RAND-PAR, let the checked
+/// engine write a dump to `scratch`, then re-execute it. Runs twice: once
+/// with embedded trace vectors, once recording only the generator spec.
+int selftest(const std::string& scratch) {
+  WorkloadParams wp;
+  wp.num_procs = 4;
+  wp.cache_size = 16;
+  wp.requests_per_proc = 400;
+  wp.seed = 7;
+  wp.miss_cost = 4;
+
+  std::printf("--- selftest: embedded-trace dump ---\n");
+  if (const int rc = selftest_round(wp, scratch, /*record_spec=*/false);
+      rc != 0)
+    return rc;
+  std::printf("--- selftest: spec-backed dump ---\n");
+  return selftest_round(wp, scratch + ".spec", /*record_spec=*/true);
 }
 
 }  // namespace

@@ -23,7 +23,7 @@ done
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target engine_micro makespan_scaling \
-  >/dev/null
+  stream_smoke >/dev/null
 
 MICRO_JSON="$(mktemp)"
 SWEEP_J1="$(mktemp)"
@@ -37,6 +37,29 @@ MIN_TIME=0.5
   --benchmark_filter='BM_(LruSetAccess|DenseLruSetAccess|DenseLruSetFusedAccess|PageIntern|CacheSimLru|BoxRunnerCanonicalBoxes|StackDistances|ParallelEngine)' \
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_format=json >"${MICRO_JSON}"
+
+# --- Peak RSS: large engine run, streamed vs materialized ----------------
+# (no /usr/bin/time in minimal containers: getrusage(RUSAGE_CHILDREN) via
+# python gives the child's peak RSS portably)
+measure_rss_mb() {
+  python3 - "$@" <<'PY'
+import resource, subprocess, sys
+proc = subprocess.run(sys.argv[1:], stdout=subprocess.DEVNULL)
+if proc.returncode != 0:
+    sys.exit(proc.returncode)
+print(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss // 1024)
+PY
+}
+
+RSS_N=20000000
+[[ "${QUICK}" == "1" ]] && RSS_N=4000000
+RSS_STREAMED="$(measure_rss_mb ./build/examples-bin/stream_smoke --n "${RSS_N}")"
+RSS_MATERIALIZED="$(measure_rss_mb ./build/examples-bin/stream_smoke \
+  --n "${RSS_N}" --materialize)"
+RSS_MICRO="$(measure_rss_mb ./build/bench/engine_micro \
+  --benchmark_filter='BM_ParallelEngine/128' --benchmark_min_time=0.05)"
+echo "peak RSS at n=${RSS_N}: streamed ${RSS_STREAMED} MB," \
+     "materialized ${RSS_MATERIALIZED} MB (engine_micro p=128: ${RSS_MICRO} MB)"
 
 # --- Reference E4 sweep: serial vs parallel wall time --------------------
 SWEEP_FLAGS=()
@@ -61,7 +84,10 @@ echo "sweep output byte-identical across --jobs values"
 BUILD_TYPE="$(grep -m1 '^CMAKE_BUILD_TYPE' build/CMakeCache.txt | cut -d= -f2)"
 MICRO_JSON="${MICRO_JSON}" OUT="${OUT}" QUICK="${QUICK}" \
 BUILD_TYPE="${BUILD_TYPE}" \
-T0="${T0}" T1="${T1}" T2="${T2}" python3 - <<'PY'
+T0="${T0}" T1="${T1}" T2="${T2}" \
+RSS_N="${RSS_N}" RSS_STREAMED="${RSS_STREAMED}" \
+RSS_MATERIALIZED="${RSS_MATERIALIZED}" RSS_MICRO="${RSS_MICRO}" \
+python3 - <<'PY'
 import json, os
 
 with open(os.environ["MICRO_JSON"]) as f:
@@ -97,6 +123,12 @@ out = {
         "speedup_jobsmax": round(serial_s / parallel_s, 3)
             if parallel_s > 0 else None,
         "byte_identical": True,
+    },
+    "peak_rss_mb": {
+        "stream_smoke_requests": int(os.environ["RSS_N"]),
+        "streamed": int(os.environ["RSS_STREAMED"]),
+        "materialized": int(os.environ["RSS_MATERIALIZED"]),
+        "engine_micro_p128": int(os.environ["RSS_MICRO"]),
     },
 }
 out["context"] = {"num_cpus": out.pop("context")}

@@ -34,6 +34,15 @@ if [[ "${SAN}" != "none" ]]; then
          -R 'ThreadPool|ParallelSweep')
 fi
 
+# Constant-memory gate: a generator-backed 10^8-request streamed run must
+# complete under a hard 256 MB address-space cap (the materialized instance
+# alone would be ~800 MB). Runs in a subshell so the ulimit stays local.
+(
+  ulimit -v 262144
+  ./build/examples-bin/stream_smoke --n 100000000 --max-rss-mb 256
+)
+echo "streaming memory gate OK (10^8 requests under 256 MB)"
+
 scripts/bench_perf.sh --quick --out /tmp/bench_perf_ci.json
 
 echo "tier-1 OK (sanitizer: ${SAN})"

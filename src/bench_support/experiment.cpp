@@ -29,7 +29,7 @@ std::string cell_spec(SchedulerKind kind, const ExperimentConfig& config) {
 
 }  // namespace
 
-InstanceOutcome run_instance(const MultiTrace& traces,
+InstanceOutcome run_instance(const MultiTraceSource& sources,
                              const std::vector<SchedulerKind>& kinds,
                              const ExperimentConfig& config) {
   InstanceOutcome out;
@@ -37,7 +37,7 @@ InstanceOutcome run_instance(const MultiTrace& traces,
   ob.cache_size = config.cache_size;
   ob.miss_cost = config.miss_cost;
   ob.exact_impact_max_requests = config.exact_impact_max_requests;
-  out.bounds = compute_opt_bounds(traces, ob);
+  out.bounds = compute_opt_bounds(sources, ob);
   const double lb = static_cast<double>(
       std::max<Time>(1, out.bounds.lower_bound()));
 
@@ -50,6 +50,7 @@ InstanceOutcome run_instance(const MultiTrace& traces,
   ec.miss_cost = config.miss_cost;
   ec.max_time = config.max_time;
   ec.seed = config.seed;
+  ec.trace_spec = config.trace_spec;
 
   for (const SchedulerKind kind : kinds) {
     std::unique_ptr<BoxScheduler> scheduler = make_scheduler(kind, config.seed);
@@ -68,7 +69,7 @@ InstanceOutcome run_instance(const MultiTrace& traces,
         config.replay_dump_dir.empty()
             ? std::string{}
             : config.replay_dump_dir + "/" + so.name + ".ppgreplay";
-    CheckedRun run = run_parallel_checked(traces, *scheduler, ec);
+    CheckedRun run = run_parallel_checked(sources, *scheduler, ec);
     so.status = std::move(run.status);
     so.result = std::move(run.result);
     if (so.status.ok()) {
@@ -87,7 +88,7 @@ InstanceOutcome run_instance(const MultiTrace& traces,
     // The shared-pool baseline is simulated directly (no box stream to
     // validate), but its failures are captured per-cell all the same.
     try {
-      so.result = run_global_lru(traces, gc);
+      so.result = run_global_lru(sources, gc);
       so.makespan_ratio = static_cast<double>(so.result.makespan) / lb;
       so.mean_ct_ratio = so.result.mean_completion / lb;
     } catch (const PpgException& e) {
@@ -98,7 +99,14 @@ InstanceOutcome run_instance(const MultiTrace& traces,
   return out;
 }
 
-Summary makespan_over_seeds(const MultiTrace& traces, SchedulerKind kind,
+InstanceOutcome run_instance(const MultiTrace& traces,
+                             const std::vector<SchedulerKind>& kinds,
+                             const ExperimentConfig& config) {
+  return run_instance(MultiTraceSource::view_of(traces), kinds, config);
+}
+
+Summary makespan_over_seeds(const MultiTraceSource& sources,
+                            SchedulerKind kind,
                             const ExperimentConfig& config,
                             std::size_t num_seeds) {
   PPG_CHECK(num_seeds >= 1);
@@ -110,9 +118,16 @@ Summary makespan_over_seeds(const MultiTrace& traces, SchedulerKind kind,
   for (std::size_t trial = 0; trial < num_seeds; ++trial) {
     auto scheduler = make_scheduler(kind, config.seed + trial * 7919);
     summary.add(static_cast<double>(
-        run_parallel(traces, *scheduler, ec).makespan));
+        run_parallel(sources, *scheduler, ec).makespan));
   }
   return summary;
+}
+
+Summary makespan_over_seeds(const MultiTrace& traces, SchedulerKind kind,
+                            const ExperimentConfig& config,
+                            std::size_t num_seeds) {
+  return makespan_over_seeds(MultiTraceSource::view_of(traces), kind, config,
+                             num_seeds);
 }
 
 void ScalingCollector::add(const std::string& scheduler, double p,

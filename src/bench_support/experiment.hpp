@@ -19,6 +19,7 @@
 #include "core/scheduler_factory.hpp"
 #include "opt/opt_bounds.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -43,6 +44,10 @@ struct ExperimentConfig {
   /// Testing hook: corrupt every box scheduler with this fault to exercise
   /// the harness's error capture.
   std::optional<FaultInjectionConfig> inject_fault;
+  /// Generator spec of the instance (see make_source_from_trace_spec),
+  /// forwarded to the engine so replay dumps record (spec, seed) instead
+  /// of the full request vectors.
+  std::string trace_spec;
 };
 
 struct SchedulerOutcome {
@@ -64,14 +69,23 @@ struct InstanceOutcome {
 };
 
 /// Runs every scheduler in `kinds` (plus GLOBAL-LRU if configured) on the
-/// instance and computes ratios against the OPT lower bound.
+/// instance and computes ratios against the OPT lower bound. The
+/// MultiTrace overload delegates to the source overload (one code path),
+/// so streamed and materialized instances produce identical outcomes.
 InstanceOutcome run_instance(const MultiTrace& traces,
+                             const std::vector<SchedulerKind>& kinds,
+                             const ExperimentConfig& config);
+InstanceOutcome run_instance(const MultiTraceSource& sources,
                              const std::vector<SchedulerKind>& kinds,
                              const ExperimentConfig& config);
 
 /// Makespan distribution of one scheduler across seeds (randomized
 /// schedulers need aggregation; deterministic ones return a point mass).
 Summary makespan_over_seeds(const MultiTrace& traces, SchedulerKind kind,
+                            const ExperimentConfig& config,
+                            std::size_t num_seeds);
+Summary makespan_over_seeds(const MultiTraceSource& sources,
+                            SchedulerKind kind,
                             const ExperimentConfig& config,
                             std::size_t num_seeds);
 

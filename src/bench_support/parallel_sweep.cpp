@@ -36,7 +36,7 @@ std::vector<InstanceOutcome> run_instances(
     const std::vector<InstanceCell>& cells, std::size_t jobs) {
   return sweep_cells(jobs, cells.size(), [&cells](std::size_t i) {
     const InstanceCell& cell = cells[i];
-    return run_instance(cell.traces, cell.kinds, cell.config);
+    return run_instance(cell.sources, cell.kinds, cell.config);
   });
 }
 

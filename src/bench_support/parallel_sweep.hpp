@@ -49,8 +49,11 @@ auto sweep_cells(std::size_t jobs, std::size_t num_cells, Fn&& fn)
 
 /// One run_instance() experiment cell: an instance, the schedulers to run
 /// on it, and the per-cell configuration (including the cell's seed).
+/// The instance is held as sources, not vectors: a generator-backed cell
+/// costs O(1) memory until it runs, so enumerating a large sweep no longer
+/// materializes every instance up front.
 struct InstanceCell {
-  MultiTrace traces;
+  MultiTraceSource sources;
   std::vector<SchedulerKind> kinds;
   ExperimentConfig config;
 };

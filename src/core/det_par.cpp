@@ -111,10 +111,10 @@ class DetPar final : public BoxScheduler {
 
   void start_phase(Time t0, const EngineView& view) {
     phase_start_ = t0;
-    const std::vector<ProcId> order = view.active_list();
-    phase_r0_ = std::max<std::size_t>(1, order.size());
     index_.clear();
-    for (std::size_t i = 0; i < order.size(); ++i) index_[order[i]] = i;
+    std::size_t num_active = 0;
+    view.for_each_active([&](ProcId p) { index_[p] = num_active++; });
+    phase_r0_ = std::max<std::size_t>(1, num_active);
 
     const Height h_max =
         std::max<Height>(1, static_cast<Height>(pow2_floor(ctx_.cache_size)));

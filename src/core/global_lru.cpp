@@ -11,24 +11,26 @@
 
 namespace ppg {
 
-ParallelRunResult run_global_lru(const MultiTrace& traces,
+ParallelRunResult run_global_lru(const MultiTraceSource& sources,
                                  const GlobalLruConfig& config) {
   PPG_CHECK(config.cache_size >= 1);
   PPG_CHECK(config.miss_cost >= 1);
-  const ProcId p = traces.num_procs();
+  const ProcId p = sources.num_procs();
 
   ParallelRunResult result;
   result.completion.assign(p, 0);
 
   LruSet cache(config.cache_size);
-  std::vector<std::size_t> position(p, 0);
+  std::vector<std::unique_ptr<TraceCursor>> cursors;
+  cursors.reserve(p);
 
   // (ready time, proc): the time at which the processor's next request is
   // issued. Ties resolve by processor id for determinism.
   using Entry = std::pair<Time, ProcId>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
   for (ProcId i = 0; i < p; ++i) {
-    if (traces.trace(i).empty())
+    cursors.push_back(sources.source(i).cursor());
+    if (cursors.back()->done())
       result.completion[i] = 0;
     else
       queue.push({0, i});
@@ -37,8 +39,8 @@ ParallelRunResult run_global_lru(const MultiTrace& traces,
   while (!queue.empty()) {
     const auto [now, proc] = queue.top();
     queue.pop();
-    const Trace& trace = traces.trace(proc);
-    const PageId page = trace[position[proc]];
+    TraceCursor& cursor = *cursors[proc];
+    const PageId page = cursor.peek();
     const bool hit = cache.contains(page);
     cache.access(page);
     const Time done = now + (hit ? 1 : config.miss_cost);
@@ -46,8 +48,8 @@ ParallelRunResult run_global_lru(const MultiTrace& traces,
       ++result.hits;
     else
       ++result.misses;
-    ++position[proc];
-    if (position[proc] == trace.size())
+    cursor.advance();
+    if (cursor.done())
       result.completion[proc] = done;
     else
       queue.push({done, proc});
@@ -61,6 +63,11 @@ ParallelRunResult run_global_lru(const MultiTrace& traces,
   result.total_impact =
       static_cast<Impact>(config.cache_size) * result.makespan;
   return result;
+}
+
+ParallelRunResult run_global_lru(const MultiTrace& traces,
+                                 const GlobalLruConfig& config) {
+  return run_global_lru(MultiTraceSource::view_of(traces), config);
 }
 
 namespace {

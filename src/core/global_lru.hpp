@@ -14,6 +14,7 @@
 #include "core/metrics.hpp"
 #include "core/scheduler.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 #include "util/types.hpp"
 
 namespace ppg {
@@ -23,6 +24,11 @@ struct GlobalLruConfig {
   Time miss_cost = 2;     ///< s.
 };
 
+/// Streams each processor's requests from a cursor; memory is O(k + p)
+/// regardless of trace length. The MultiTrace overload delegates here and
+/// produces byte-identical results.
+ParallelRunResult run_global_lru(const MultiTraceSource& sources,
+                                 const GlobalLruConfig& config);
 ParallelRunResult run_global_lru(const MultiTrace& traces,
                                  const GlobalLruConfig& config);
 

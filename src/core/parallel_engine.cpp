@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "core/replay.hpp"
@@ -46,13 +47,6 @@ class EngineState final : public EngineView {
   }
   ProcId active_count() const override { return active_count_; }
   bool is_active(ProcId proc) const override { return active_[proc]; }
-  std::vector<ProcId> active_list() const override {
-    std::vector<ProcId> out;
-    out.reserve(active_count_);
-    for (ProcId i = 0; i < active_.size(); ++i)
-      if (active_[i]) out.push_back(i);
-    return out;
-  }
 
   void deactivate(ProcId proc) {
     PPG_CHECK(active_[proc]);
@@ -80,14 +74,26 @@ Error engine_error(ErrorCode code, std::string message, ProcId proc,
 ParallelEngine::ParallelEngine(const MultiTrace& traces,
                                BoxScheduler& scheduler,
                                const EngineConfig& config)
-    : traces_(&traces), scheduler_(&scheduler), config_(config) {
+    : sources_(MultiTraceSource::view_of(traces)),
+      traces_(&traces),
+      scheduler_(&scheduler),
+      config_(config) {
   PPG_CHECK(traces.num_procs() >= 1);
   PPG_CHECK(config.cache_size >= 1);
   PPG_CHECK(config.miss_cost >= 1);
 }
 
+ParallelEngine::ParallelEngine(MultiTraceSource sources,
+                               BoxScheduler& scheduler,
+                               const EngineConfig& config)
+    : sources_(std::move(sources)), scheduler_(&scheduler), config_(config) {
+  PPG_CHECK(sources_.num_procs() >= 1);
+  PPG_CHECK(config.cache_size >= 1);
+  PPG_CHECK(config.miss_cost >= 1);
+}
+
 CheckedRun ParallelEngine::run_impl() {
-  const ProcId p = traces_->num_procs();
+  const ProcId p = sources_.num_procs();
   EngineState state(p);
   CheckedRun out;
   ParallelRunResult& result = out.result;
@@ -96,7 +102,7 @@ CheckedRun ParallelEngine::run_impl() {
   std::vector<BoxRunner> runners;
   runners.reserve(p);
   for (ProcId i = 0; i < p; ++i)
-    runners.emplace_back(traces_->trace(i), config_.miss_cost);
+    runners.emplace_back(sources_.source(i), config_.miss_cost);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   std::uint64_t seq = 0;
@@ -109,7 +115,7 @@ CheckedRun ParallelEngine::run_impl() {
 
     for (ProcId i = 0; i < p; ++i) {
       // Empty traces complete instantly at t = 0.
-      if (traces_->trace(i).empty())
+      if (sources_.source(i).num_requests() == 0)
         events.push(Event{0, EventKind::kFinish, i, seq++});
       else
         events.push(Event{0, EventKind::kNeedBox, i, seq++});
@@ -224,6 +230,10 @@ CheckedRun ParallelEngine::run_impl() {
 
 void ParallelEngine::maybe_write_dump(CheckedRun& out) {
   if (out.status.ok() || config_.replay_dump_path.empty()) return;
+  // Streamed runs without a generator spec can be arbitrarily long;
+  // embedding the vectors above this cap would defeat constant-memory
+  // execution, so such dumps record the failure but skip the traces.
+  constexpr std::uint64_t kMaxDumpRequests = std::uint64_t{1} << 22;
   ReplayDump dump;
   dump.cache_size = config_.cache_size;
   dump.miss_cost = config_.miss_cost;
@@ -232,7 +242,17 @@ void ParallelEngine::maybe_write_dump(CheckedRun& out) {
   dump.scheduler_spec = config_.scheduler_spec.empty() ? scheduler_->name()
                                                        : config_.scheduler_spec;
   dump.reason = out.status.error;
-  dump.traces = *traces_;
+  dump.trace_spec = config_.trace_spec;
+  if (!config_.trace_spec.empty()) {
+    // The spec regenerates the exact traces; no need to embed vectors.
+    dump.has_traces = false;
+  } else if (traces_ != nullptr) {
+    dump.traces = *traces_;
+  } else if (sources_.total_requests() <= kMaxDumpRequests) {
+    dump.traces = sources_.materialize();
+  } else {
+    dump.has_traces = false;
+  }
   try {
     save_replay_dump(config_.replay_dump_path, dump);
     out.status.replay_dump_path = config_.replay_dump_path;
@@ -264,10 +284,24 @@ ParallelRunResult run_parallel(const MultiTrace& traces,
   return engine.run();
 }
 
+ParallelRunResult run_parallel(const MultiTraceSource& sources,
+                               BoxScheduler& scheduler,
+                               const EngineConfig& config) {
+  ParallelEngine engine(sources, scheduler, config);
+  return engine.run();
+}
+
 CheckedRun run_parallel_checked(const MultiTrace& traces,
                                 BoxScheduler& scheduler,
                                 const EngineConfig& config) {
   ParallelEngine engine(traces, scheduler, config);
+  return engine.run_checked();
+}
+
+CheckedRun run_parallel_checked(const MultiTraceSource& sources,
+                                BoxScheduler& scheduler,
+                                const EngineConfig& config) {
+  ParallelEngine engine(sources, scheduler, config);
   return engine.run_checked();
 }
 

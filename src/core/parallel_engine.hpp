@@ -14,8 +14,8 @@
 //    (PPG_CHECK abort), matching the original engine semantics.
 //  - run_checked() returns a structured RunStatus instead, and — when
 //    EngineConfig::replay_dump_path is set — serializes a replay dump
-//    (traces + config + scheduler spec + seed) so the failure can be
-//    re-executed offline by examples/replay_dump.
+//    (trace spec or full traces, plus config + scheduler spec + seed) so
+//    the failure can be re-executed offline by examples/replay_dump.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +25,7 @@
 #include "core/metrics.hpp"
 #include "core/scheduler.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 #include "util/error.hpp"
 #include "util/types.hpp"
 
@@ -53,6 +54,10 @@ struct EngineConfig {
   std::string scheduler_spec;
   /// Seed recorded in the dump (whatever seeded the scheduler).
   std::uint64_t seed = 0;
+  /// Generator spec of the workload (see make_source_from_trace_spec).
+  /// When set, a replay dump records this spec instead of the full request
+  /// vectors, so dumps of generator-backed runs stay O(bytes of spec).
+  std::string trace_spec;
 };
 
 /// Result of run_checked: `result` is complete when status.ok(), partial
@@ -64,7 +69,19 @@ struct CheckedRun {
 
 class ParallelEngine {
  public:
+  /// Materialized instance: every per-processor runner takes the dense
+  /// fast path, and replay dumps can always embed the request vectors.
+  /// `traces` must outlive the engine.
   ParallelEngine(const MultiTrace& traces, BoxScheduler& scheduler,
+                 const EngineConfig& config);
+
+  /// Streaming instance: each processor pulls its requests from a
+  /// TraceCursor opened on `sources`, so peak memory is O(p * box height)
+  /// plus whatever the sources themselves buffer — independent of trace
+  /// length. Sources that are materialized underneath (VectorTraceSource)
+  /// still take the dense fast path; the two constructions produce
+  /// byte-identical metrics.
+  ParallelEngine(MultiTraceSource sources, BoxScheduler& scheduler,
                  const EngineConfig& config);
 
   /// Runs to completion of all processors and returns the metrics. Aborts
@@ -81,7 +98,10 @@ class ParallelEngine {
   CheckedRun run_impl();
   void maybe_write_dump(CheckedRun& out);
 
-  const MultiTrace* traces_;
+  MultiTraceSource sources_;
+  /// Non-null only when constructed from a MultiTrace; lets replay dumps
+  /// embed the vectors without re-materializing.
+  const MultiTrace* traces_ = nullptr;
   BoxScheduler* scheduler_;
   EngineConfig config_;
 };
@@ -90,7 +110,13 @@ class ParallelEngine {
 ParallelRunResult run_parallel(const MultiTrace& traces,
                                BoxScheduler& scheduler,
                                const EngineConfig& config);
+ParallelRunResult run_parallel(const MultiTraceSource& sources,
+                               BoxScheduler& scheduler,
+                               const EngineConfig& config);
 CheckedRun run_parallel_checked(const MultiTrace& traces,
+                                BoxScheduler& scheduler,
+                                const EngineConfig& config);
+CheckedRun run_parallel_checked(const MultiTraceSource& sources,
                                 BoxScheduler& scheduler,
                                 const EngineConfig& config);
 

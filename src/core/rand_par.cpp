@@ -94,13 +94,13 @@ class RandPar final : public BoxScheduler {
     DiscreteDistribution dist(std::move(weights));
     j_height_ = ladder_.height(static_cast<std::uint32_t>(dist.sample(rng_)));
 
-    const std::vector<ProcId> order = view.active_list();
     rank_.clear();
-    for (std::size_t i = 0; i < order.size(); ++i) rank_[order[i]] = i;
+    std::size_t num_active = 0;
+    view.for_each_active([&](ProcId p) { rank_[p] = num_active++; });
 
     procs_per_wave_ = std::max<std::size_t>(1, h_max / j_height_);
     const std::size_t num_waves =
-        std::max<std::size_t>(1, ceil_div(order.size(), procs_per_wave_));
+        std::max<std::size_t>(1, ceil_div(num_active, procs_per_wave_));
     const Time secondary_len = static_cast<Time>(num_waves) * ctx_.miss_cost *
                                static_cast<Time>(j_height_);
     chunk_end_ = primary_end_ + secondary_len;

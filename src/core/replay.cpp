@@ -7,13 +7,16 @@
 
 #include "core/scheduler_factory.hpp"
 #include "trace/trace_io.hpp"
+#include "trace/trace_spec.hpp"
 
 namespace ppg {
 
 namespace {
 
 constexpr char kMagic[8] = {'P', 'P', 'G', 'R', 'P', 'L', 'A', 'Y'};
-constexpr std::uint32_t kVersion = 1;
+/// v2 adds (trace_spec, has_traces) and makes the embedded multitrace
+/// optional; v1 dumps (vectors always embedded) are still read.
+constexpr std::uint32_t kVersion = 2;
 /// Strings in a dump header are short (specs, error messages); anything
 /// longer than this marks a corrupt file, not a real dump.
 constexpr std::uint32_t kMaxStringLen = 1u << 20;
@@ -67,7 +70,9 @@ void write_replay_dump(std::ostream& os, const ReplayDump& dump) {
   write_pod(os, dump.reason.proc);
   write_pod(os, dump.reason.time);
   write_pod(os, dump.reason.byte_offset);
-  write_multitrace(os, dump.traces);
+  write_string(os, dump.trace_spec);
+  write_pod(os, static_cast<std::uint8_t>(dump.has_traces ? 1 : 0));
+  if (dump.has_traces) write_multitrace(os, dump.traces);
   if (!os) throw_error(ErrorCode::kIoError, "replay dump write failed");
 }
 
@@ -77,7 +82,7 @@ ReplayDump read_replay_dump(std::istream& is) {
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
     throw_error(ErrorCode::kCorruptTrace, "bad replay dump magic");
   const auto version = read_pod<std::uint32_t>(is, "version");
-  if (version != kVersion)
+  if (version < 1 || version > kVersion)
     throw_error(ErrorCode::kCorruptTrace,
                 "unsupported replay dump version " + std::to_string(version));
   ReplayDump dump;
@@ -93,7 +98,11 @@ ReplayDump read_replay_dump(std::istream& is) {
   dump.reason.proc = read_pod<ProcId>(is, "error proc");
   dump.reason.time = read_pod<Time>(is, "error time");
   dump.reason.byte_offset = read_pod<std::uint64_t>(is, "error offset");
-  dump.traces = read_multitrace(is);
+  if (version >= 2) {
+    dump.trace_spec = read_string(is, "trace_spec");
+    dump.has_traces = read_pod<std::uint8_t>(is, "has_traces") != 0;
+  }
+  if (dump.has_traces) dump.traces = read_multitrace(is);
   return dump;
 }
 
@@ -121,7 +130,15 @@ CheckedRun run_replay(const ReplayDump& dump,
   config.max_time = dump.max_time;
   config.seed = dump.seed;
   config.scheduler_spec = dump.scheduler_spec;
-  return run_parallel_checked(dump.traces, *validating, config);
+  config.trace_spec = dump.trace_spec;
+  if (dump.has_traces)
+    return run_parallel_checked(dump.traces, *validating, config);
+  if (dump.trace_spec.empty())
+    throw_error(ErrorCode::kBadInput,
+                "replay dump embeds neither traces nor a trace spec; the "
+                "recorded run is not replayable");
+  return run_parallel_checked(make_source_from_trace_spec(dump.trace_spec),
+                              *validating, config);
 }
 
 }  // namespace ppg

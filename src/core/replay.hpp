@@ -2,10 +2,16 @@
 //
 // When a checked run fails — a scheduler contract violation or a watchdog
 // timeout — the engine serializes everything needed to re-execute the
-// exact failing run: the multitrace, the engine geometry (k, s, max_time),
+// exact failing run: the workload, the engine geometry (k, s, max_time),
 // the scheduler factory spec, and the seed. The dump is a single binary
-// file (magic "PPGRPLAY", version 1) embedding the multitrace in the
-// standard trace_io format, so external tools can also extract the traces.
+// file (magic "PPGRPLAY", version 2). The workload is recorded one of two
+// ways:
+//  - as a generator spec (see make_source_from_trace_spec) when the run
+//    was built from one — the dump stays a few hundred bytes and replay
+//    regenerates the exact traces from (spec, seed);
+//  - as the full multitrace in the standard trace_io format otherwise, so
+//    external tools can also extract the traces.
+// Version-1 dumps (always full vectors) remain readable.
 // examples/replay_dump loads a dump and re-executes it under a fresh
 // ValidatingScheduler, confirming the recorded failure reproduces.
 #pragma once
@@ -30,6 +36,13 @@ struct ReplayDump {
   std::string scheduler_spec;
   /// What triggered the dump.
   Error reason;
+  /// Generator spec of the workload; replay regenerates the traces from it
+  /// when `has_traces` is false. Empty when the workload was hand-built.
+  std::string trace_spec;
+  /// Whether `traces` below holds the request vectors. False for
+  /// spec-backed dumps and for oversized streamed runs with no spec (the
+  /// failure is still recorded; the run is not replayable).
+  bool has_traces = true;
   MultiTrace traces;
 };
 

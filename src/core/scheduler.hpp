@@ -37,8 +37,16 @@ class EngineView {
   virtual ProcId num_procs() const = 0;
   virtual ProcId active_count() const = 0;
   virtual bool is_active(ProcId proc) const = 0;
-  /// Active processors in ascending id order (materialized per call).
-  virtual std::vector<ProcId> active_list() const = 0;
+
+  /// Visits the active processors in ascending id order without
+  /// materializing a list — schedulers call this at every chunk/phase
+  /// start, so it must not allocate.
+  template <typename Fn>
+  void for_each_active(Fn&& fn) const {
+    const ProcId p = num_procs();
+    for (ProcId i = 0; i < p; ++i)
+      if (is_active(i)) fn(i);
+  }
 };
 
 class BoxScheduler {

@@ -1,6 +1,7 @@
 #include "green/box_runner.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -8,10 +9,24 @@ namespace ppg {
 
 BoxRunner::BoxRunner(const Trace& trace, Time miss_cost)
     : trace_(trace),
-      miss_cost_(miss_cost),
-      cache_(1, std::max<std::size_t>(1, trace_.num_distinct())) {
+      cache_(std::in_place, 1,
+             std::max<std::size_t>(1, trace_.num_distinct())),
+      miss_cost_(miss_cost) {
   PPG_CHECK(miss_cost >= 1);
 }
+
+BoxRunner::BoxRunner(std::unique_ptr<TraceCursor> cursor, Time miss_cost)
+    : cursor_(std::move(cursor)), miss_cost_(miss_cost) {
+  PPG_CHECK(miss_cost >= 1);
+  PPG_CHECK(cursor_ != nullptr);
+  start_ = cursor_->checkpoint();
+  stream_cache_.emplace(1);
+}
+
+BoxRunner::BoxRunner(const TraceSource& source, Time miss_cost)
+    : BoxRunner(source.materialized() != nullptr
+                    ? BoxRunner(*source.materialized(), miss_cost)
+                    : BoxRunner(source.cursor(), miss_cost)) {}
 
 BoxStepResult BoxRunner::run_box(Height height, Time duration, bool fresh) {
   PPG_CHECK(height >= 1);
@@ -19,44 +34,73 @@ BoxStepResult BoxRunner::run_box(Height height, Time duration, bool fresh) {
   if (fresh || height != cache_height_) {
     // A height change is always a fresh compartment: the model has no
     // notion of carrying LRU state across differently-sized boxes.
-    cache_.reset(height);
+    if (streaming())
+      stream_cache_->reset(height);
+    else
+      cache_->reset(height);
     cache_height_ = height;
   }
   Time remaining = duration;
-  while (remaining > 0 && position_ < trace_.size()) {
-    const std::uint32_t page = trace_[position_];
-    Time cost;
-    if (cache_.try_touch(page)) {
-      cost = 1;  // a hit always fits: remaining >= 1 here
-      ++step.hits;
-    } else {
-      cost = miss_cost_;
-      if (cost > remaining) break;  // stall to box end
-      cache_.insert_absent(page);
-      ++step.misses;
+  if (streaming()) {
+    while (remaining > 0 && !cursor_->done()) {
+      const PageId page = cursor_->peek();
+      Time cost;
+      if (stream_cache_->try_touch(page)) {
+        cost = 1;  // a hit always fits: remaining >= 1 here
+        ++step.hits;
+      } else {
+        cost = miss_cost_;
+        if (cost > remaining) break;  // stall; the request stays unconsumed
+        stream_cache_->insert_absent(page);
+        ++step.misses;
+      }
+      remaining -= cost;
+      step.busy_time += cost;
+      cursor_->advance();
+      ++step.requests_completed;
     }
-    remaining -= cost;
-    step.busy_time += cost;
-    ++position_;
-    ++step.requests_completed;
+  } else {
+    while (remaining > 0 && position_ < trace_.size()) {
+      const std::uint32_t page = trace_[position_];
+      Time cost;
+      if (cache_->try_touch(page)) {
+        cost = 1;  // a hit always fits: remaining >= 1 here
+        ++step.hits;
+      } else {
+        cost = miss_cost_;
+        if (cost > remaining) break;  // stall to box end
+        cache_->insert_absent(page);
+        ++step.misses;
+      }
+      remaining -= cost;
+      step.busy_time += cost;
+      ++position_;
+      ++step.requests_completed;
+    }
   }
   step.stall_time = remaining;
-  step.finished = position_ >= trace_.size();
+  step.finished = finished();
   total_hits_ += step.hits;
   total_misses_ += step.misses;
   return step;
 }
 
 void BoxRunner::reset() {
-  position_ = 0;
   total_hits_ = 0;
   total_misses_ = 0;
-  cache_.clear();
+  if (streaming()) {
+    cursor_->rewind(start_);
+    stream_cache_->clear();
+  } else {
+    position_ = 0;
+    cache_->clear();
+  }
 }
 
-ProfileRunResult run_profile(const Trace& trace, const BoxProfile& profile,
-                             Time miss_cost) {
-  BoxRunner runner(trace, miss_cost);
+namespace {
+
+ProfileRunResult run_profile_impl(BoxRunner& runner,
+                                  const BoxProfile& profile) {
   ProfileRunResult result;
   for (const Box& box : profile) {
     if (runner.finished()) break;
@@ -75,6 +119,20 @@ ProfileRunResult run_profile(const Trace& trace, const BoxProfile& profile,
   }
   PPG_CHECK_MSG(runner.finished(), "profile too short to finish trace");
   return result;
+}
+
+}  // namespace
+
+ProfileRunResult run_profile(const Trace& trace, const BoxProfile& profile,
+                             Time miss_cost) {
+  BoxRunner runner(trace, miss_cost);
+  return run_profile_impl(runner, profile);
+}
+
+ProfileRunResult run_profile(const TraceSource& source,
+                             const BoxProfile& profile, Time miss_cost) {
+  BoxRunner runner(source, miss_cost);
+  return run_profile_impl(runner, profile);
 }
 
 }  // namespace ppg

@@ -7,18 +7,29 @@
 // processor stalls to the box boundary and retries in the next box (a
 // height-z canonical box therefore always completes at least z requests).
 //
-// Performance: the trace is interned to dense ids at construction (one
-// hash per request, once), after which the per-request path is a single
-// DenseLruSet array probe — no hashing, no double lookup. A hit always
-// fits (cost 1, remaining >= 1), so try_touch commits it directly; a miss
-// checks the remaining budget before insert_absent commits the fault.
+// Two execution modes with identical results (both are exact LRU):
+//  - Dense (materialized traces): the trace is interned to dense ids at
+//    construction (one hash per request, once), after which the
+//    per-request path is a single DenseLruSet array probe — no hashing.
+//  - Streaming (lazy sources): requests are pulled from a TraceCursor and
+//    the box cache is a hash-indexed LruSet over raw PageIds — one hash
+//    per request, but O(height) memory regardless of trace length. A
+//    stalled box leaves the peeked request unconsumed, so the next box
+//    resumes at the same position without any rewind.
+//
+// A hit always fits (cost 1, remaining >= 1), so try_touch commits it
+// directly; a miss checks the remaining budget before insert_absent
+// commits the fault.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 
 #include "green/box.hpp"
 #include "trace/page_interner.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 #include "util/lru_set.hpp"
 #include "util/types.hpp"
 
@@ -36,27 +47,49 @@ struct BoxStepResult {
 
 class BoxRunner {
  public:
+  /// Dense mode over a materialized trace (the fast path).
   BoxRunner(const Trace& trace, Time miss_cost);
+
+  /// Streaming mode over a cursor: O(height) memory, any trace length.
+  BoxRunner(std::unique_ptr<TraceCursor> cursor, Time miss_cost);
+
+  /// Picks the mode: dense when the source is materialized, streaming
+  /// otherwise.
+  BoxRunner(const TraceSource& source, Time miss_cost);
 
   /// Runs one box of the given height and duration from the current
   /// position. `fresh` resets the cache first (compartmentalized box); pass
   /// false to model a continuation at the same height.
   BoxStepResult run_box(Height height, Time duration, bool fresh = true);
 
-  bool finished() const { return position_ >= trace_.size(); }
-  std::size_t position() const { return position_; }
+  bool finished() const {
+    return streaming() ? cursor_->done() : position_ >= trace_.size();
+  }
+  std::size_t position() const {
+    return streaming() ? static_cast<std::size_t>(cursor_->position())
+                       : position_;
+  }
   std::uint64_t total_hits() const { return total_hits_; }
   std::uint64_t total_misses() const { return total_misses_; }
 
   void reset();
 
  private:
+  bool streaming() const { return cursor_ != nullptr; }
+
+  // Dense mode.
   InternedTrace trace_;
-  Time miss_cost_;
   std::size_t position_ = 0;
+  std::optional<DenseLruSet> cache_;
+
+  // Streaming mode.
+  std::unique_ptr<TraceCursor> cursor_;
+  CursorCheckpoint start_;  ///< For reset(): the cursor's initial state.
+  std::optional<LruSet> stream_cache_;
+
+  Time miss_cost_;
   std::uint64_t total_hits_ = 0;
   std::uint64_t total_misses_ = 0;
-  DenseLruSet cache_;
   Height cache_height_ = 0;  ///< Logical capacity of the current box.
 };
 
@@ -73,5 +106,9 @@ struct ProfileRunResult {
 
 ProfileRunResult run_profile(const Trace& trace, const BoxProfile& profile,
                              Time miss_cost);
+
+/// Streaming counterpart; results are identical to the materialized run.
+ProfileRunResult run_profile(const TraceSource& source,
+                             const BoxProfile& profile, Time miss_cost);
 
 }  // namespace ppg

@@ -1,20 +1,46 @@
 #include "green/policy_box_runner.hpp"
 
+#include <utility>
+
 #include "util/assert.hpp"
 
 namespace ppg {
 
 PolicyBoxRunner::PolicyBoxRunner(const Trace& trace, Time miss_cost,
                                  PolicyKind kind, std::uint64_t seed)
-    : trace_(&trace), miss_cost_(miss_cost), kind_(kind), seed_(seed) {
+    : cursor_(VectorTraceSource::view(trace)->cursor()),
+      miss_cost_(miss_cost),
+      kind_(kind),
+      seed_(seed) {
   PPG_CHECK(miss_cost >= 1);
   if (kind_ == PolicyKind::kBelady) {
     // Belady ignores capacity and must keep its next-use table across
-    // compartments; build it once.
+    // compartments; build it once from the whole trace.
     policy_ = make_policy(kind_, 1, seed_);
     policy_->prepare(trace);
   }
 }
+
+PolicyBoxRunner::PolicyBoxRunner(std::unique_ptr<TraceCursor> cursor,
+                                 Time miss_cost, PolicyKind kind,
+                                 std::uint64_t seed)
+    : cursor_(std::move(cursor)),
+      miss_cost_(miss_cost),
+      kind_(kind),
+      seed_(seed) {
+  PPG_CHECK(miss_cost >= 1);
+  PPG_CHECK(cursor_ != nullptr);
+  PPG_CHECK_MSG(kind_ != PolicyKind::kBelady,
+                "Belady is clairvoyant and needs a materialized trace");
+}
+
+PolicyBoxRunner::PolicyBoxRunner(const TraceSource& source, Time miss_cost,
+                                 PolicyKind kind, std::uint64_t seed)
+    : PolicyBoxRunner(source.materialized() != nullptr
+                          ? PolicyBoxRunner(*source.materialized(), miss_cost,
+                                            kind, seed)
+                          : PolicyBoxRunner(source.cursor(), miss_cost, kind,
+                                            seed)) {}
 
 void PolicyBoxRunner::reset_compartment(Height height) {
   resident_count_ = 0;
@@ -38,12 +64,12 @@ BoxStepResult PolicyBoxRunner::run_box(Height height, Time duration,
 
   BoxStepResult step;
   Time remaining = duration;
-  while (remaining > 0 && position_ < trace_->size()) {
-    const PageId page = (*trace_)[position_];
+  while (remaining > 0 && !cursor_->done()) {
+    const PageId page = cursor_->peek();
     // advance() before the probe so offline policies see the request
     // index when the probe touches; repeating it after a stall retry is
     // harmless (it only records the position).
-    policy_->advance(position_);
+    policy_->advance(static_cast<std::size_t>(cursor_->position()));
     if (policy_->touch_if_resident(page)) {
       // A hit costs 1 tick and remaining >= 1 here, so it always fits.
       remaining -= 1;
@@ -54,6 +80,7 @@ BoxStepResult PolicyBoxRunner::run_box(Height height, Time duration,
       if (resident_count_ == capacity_) {
         const PageId victim = policy_->evict();
         PPG_DCHECK(!policy_->contains(victim));
+        (void)victim;
       } else {
         ++resident_count_;
       }
@@ -62,19 +89,19 @@ BoxStepResult PolicyBoxRunner::run_box(Height height, Time duration,
       step.busy_time += miss_cost_;
       ++step.misses;
     }
-    ++position_;
+    cursor_->advance();
     ++step.requests_completed;
   }
   step.stall_time = remaining;
-  step.finished = position_ >= trace_->size();
+  step.finished = cursor_->done();
   return step;
 }
 
-ProfileRunResult run_green_paging_with_policy(const Trace& trace,
-                                              GreenPager& pager,
-                                              Time miss_cost, PolicyKind kind,
-                                              std::uint64_t seed) {
-  PolicyBoxRunner runner(trace, miss_cost, kind, seed);
+namespace {
+
+ProfileRunResult run_green_paging_with_policy_impl(PolicyBoxRunner& runner,
+                                                   GreenPager& pager,
+                                                   Time miss_cost) {
   ProfileRunResult result;
   while (!runner.finished()) {
     const Height h = pager.next_height();
@@ -93,6 +120,24 @@ ProfileRunResult run_green_paging_with_policy(const Trace& trace,
     ++result.boxes_used;
   }
   return result;
+}
+
+}  // namespace
+
+ProfileRunResult run_green_paging_with_policy(const Trace& trace,
+                                              GreenPager& pager,
+                                              Time miss_cost, PolicyKind kind,
+                                              std::uint64_t seed) {
+  PolicyBoxRunner runner(trace, miss_cost, kind, seed);
+  return run_green_paging_with_policy_impl(runner, pager, miss_cost);
+}
+
+ProfileRunResult run_green_paging_with_policy(const TraceSource& source,
+                                              GreenPager& pager,
+                                              Time miss_cost, PolicyKind kind,
+                                              std::uint64_t seed) {
+  PolicyBoxRunner runner(source, miss_cost, kind, seed);
+  return run_green_paging_with_policy_impl(runner, pager, miss_cost);
 }
 
 }  // namespace ppg

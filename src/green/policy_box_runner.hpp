@@ -9,6 +9,11 @@
 // this class trades speed for generality — though residency now routes
 // through the policy's own index (touch_if_resident) instead of a second
 // hash set.
+//
+// Requests are pulled from a TraceCursor, so any online policy also runs
+// over lazy (generator / file) sources in O(height) memory. The exception
+// is kBelady: it is clairvoyant — its next-use table requires the whole
+// trace up front — so it only accepts materialized traces.
 #pragma once
 
 #include <memory>
@@ -17,6 +22,7 @@
 #include "green/green_algorithm.hpp"
 #include "paging/eviction_policy.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 
 namespace ppg {
 
@@ -24,24 +30,36 @@ class PolicyBoxRunner {
  public:
   /// `kind` selects the in-box policy; kBelady uses global next-use times
   /// (clairvoyant within and across boxes — a lower-bound reference).
+  /// The trace must outlive the runner.
   PolicyBoxRunner(const Trace& trace, Time miss_cost, PolicyKind kind,
+                  std::uint64_t seed = 1);
+
+  /// Streaming mode over a cursor. kBelady is rejected (PPG_CHECK): a
+  /// clairvoyant policy cannot run single-pass.
+  PolicyBoxRunner(std::unique_ptr<TraceCursor> cursor, Time miss_cost,
+                  PolicyKind kind, std::uint64_t seed = 1);
+
+  /// Picks the mode: materialized sources run exactly like the Trace
+  /// constructor (any policy), lazy sources stream (online policies only).
+  PolicyBoxRunner(const TraceSource& source, Time miss_cost, PolicyKind kind,
                   std::uint64_t seed = 1);
 
   /// Same semantics as BoxRunner::run_box: serve requests while they fit,
   /// stall the remainder, reset the compartment when `fresh`.
   BoxStepResult run_box(Height height, Time duration, bool fresh = true);
 
-  bool finished() const { return position_ >= trace_->size(); }
-  std::size_t position() const { return position_; }
+  bool finished() const { return cursor_->done(); }
+  std::size_t position() const {
+    return static_cast<std::size_t>(cursor_->position());
+  }
 
  private:
   void reset_compartment(Height height);
 
-  const Trace* trace_;
+  std::unique_ptr<TraceCursor> cursor_;
   Time miss_cost_;
   PolicyKind kind_;
   std::uint64_t seed_;
-  std::size_t position_ = 0;
   Height capacity_ = 0;
   Height resident_count_ = 0;
   std::unique_ptr<EvictionPolicy> policy_;
@@ -50,6 +68,12 @@ class PolicyBoxRunner {
 /// Replays `trace` through canonical boxes emitted by `pager` with the
 /// given in-box policy; returns totals (mirrors run_green_paging).
 ProfileRunResult run_green_paging_with_policy(const Trace& trace,
+                                              GreenPager& pager,
+                                              Time miss_cost, PolicyKind kind,
+                                              std::uint64_t seed = 1);
+
+/// Streaming counterpart (kBelady requires a materialized source).
+ProfileRunResult run_green_paging_with_policy(const TraceSource& source,
                                               GreenPager& pager,
                                               Time miss_cost, PolicyKind kind,
                                               std::uint64_t seed = 1);

@@ -171,9 +171,10 @@ std::vector<std::size_t> select_profiles(
 
 }  // namespace
 
-OfflinePackResult pack_offline(const MultiTrace& traces,
+OfflinePackResult pack_offline(const MultiTraceSource& sources,
                                const OfflinePackConfig& config) {
   PPG_CHECK(config.cache_size >= 1);
+  const ProcId num_procs = sources.num_procs();
   const Height h_max = std::max<Height>(
       1, static_cast<Height>(pow2_floor(config.cache_size)));
   const HeightLadder ladder{1, h_max};
@@ -181,9 +182,17 @@ OfflinePackResult pack_offline(const MultiTrace& traces,
   // Candidate profiles per processor: the fixed-height family always, plus
   // the exact minimum-impact DP profile when affordable. The global
   // selection pass then trades duration against impact across processors.
-  std::vector<std::vector<CandidateProfile>> candidates(traces.num_procs());
-  for (ProcId i = 0; i < traces.num_procs(); ++i) {
-    const Trace& t = traces.trace(i);
+  // Lazy sources are drained one processor at a time — the DP needs random
+  // access, but never more than one trace's worth of it.
+  std::vector<std::vector<CandidateProfile>> candidates(num_procs);
+  for (ProcId i = 0; i < num_procs; ++i) {
+    Trace storage;
+    const Trace* mat = sources.source(i).materialized();
+    if (mat == nullptr) {
+      storage = materialize(sources.source(i));
+      mat = &storage;
+    }
+    const Trace& t = *mat;
     if (t.empty()) continue;
     candidates[i] = fixed_height_candidates(t, h_max, config.miss_cost);
     const bool exact = config.exact_profile_max_requests == 0 ||
@@ -196,8 +205,8 @@ OfflinePackResult pack_offline(const MultiTrace& traces,
   }
   const std::vector<std::size_t> selection =
       select_profiles(candidates, config.cache_size);
-  std::vector<BoxProfile> profiles(traces.num_procs());
-  for (ProcId i = 0; i < traces.num_procs(); ++i)
+  std::vector<BoxProfile> profiles(num_procs);
+  for (ProcId i = 0; i < num_procs; ++i)
     if (!candidates[i].empty())
       profiles[i] = candidates[i][selection[i]].profile;
 
@@ -205,7 +214,7 @@ OfflinePackResult pack_offline(const MultiTrace& traces,
   // current frontier so nobody races far ahead (keeps mean completion
   // reasonable and the makespan near the impact bound).
   OfflinePackResult result;
-  result.completion.assign(traces.num_procs(), 0);
+  result.completion.assign(num_procs, 0);
   Skyline skyline(config.cache_size);
 
   struct Frontier {
@@ -218,7 +227,7 @@ OfflinePackResult pack_offline(const MultiTrace& traces,
     }
   };
   std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> queue;
-  for (ProcId i = 0; i < traces.num_procs(); ++i)
+  for (ProcId i = 0; i < num_procs; ++i)
     if (!profiles[i].empty()) queue.push(Frontier{0, i, 0});
 
   while (!queue.empty()) {
@@ -240,12 +249,15 @@ OfflinePackResult pack_offline(const MultiTrace& traces,
   double mean = 0.0;
   for (Time c : result.completion) mean += static_cast<double>(c);
   result.mean_completion =
-      traces.num_procs() == 0
-          ? 0.0
-          : mean / static_cast<double>(traces.num_procs());
+      num_procs == 0 ? 0.0 : mean / static_cast<double>(num_procs);
   result.peak_height = skyline.peak();
   PPG_CHECK(result.peak_height <= config.cache_size);
   return result;
+}
+
+OfflinePackResult pack_offline(const MultiTrace& traces,
+                               const OfflinePackConfig& config) {
+  return pack_offline(MultiTraceSource::view_of(traces), config);
 }
 
 }  // namespace ppg

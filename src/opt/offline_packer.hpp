@@ -23,6 +23,7 @@
 
 #include "green/box.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 #include "util/types.hpp"
 
 namespace ppg {
@@ -54,6 +55,13 @@ struct OfflinePackConfig {
 /// Packs per-processor optimal green profiles; returns the witness
 /// schedule and its (achievable) makespan.
 OfflinePackResult pack_offline(const MultiTrace& traces,
+                               const OfflinePackConfig& config);
+
+/// Streamed instance: the per-processor DP needs random access, so lazy
+/// sources are materialized one processor at a time (peak memory = the
+/// largest single trace). Results are identical to the MultiTrace overload,
+/// which delegates here.
+OfflinePackResult pack_offline(const MultiTraceSource& sources,
                                const OfflinePackConfig& config);
 
 }  // namespace ppg

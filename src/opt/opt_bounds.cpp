@@ -17,9 +17,12 @@ Time busy_min_single(const Trace& trace, Height cache, Time miss_cost) {
   return r.time;
 }
 
-Impact impact_lb_stack(const Trace& trace, Time miss_cost) {
+Impact impact_lb_stack(TraceCursor& cursor, Time miss_cost) {
   Impact total = 0;
-  for (const std::uint64_t d : stack_distances(trace)) {
+  OnlineStackDistance online;
+  while (!cursor.done()) {
+    const std::uint64_t d = online.access(cursor.peek());
+    cursor.advance();
     if (d == kInfiniteDistance)
       total += miss_cost;  // cold: must miss in any profile
     else
@@ -28,18 +31,38 @@ Impact impact_lb_stack(const Trace& trace, Time miss_cost) {
   return total;
 }
 
+Impact impact_lb_stack(const Trace& trace, Time miss_cost) {
+  const auto cursor = VectorTraceSource::view(trace)->cursor();
+  return impact_lb_stack(*cursor, miss_cost);
+}
+
 Time OptBounds::lower_bound() const {
   return std::max({lb_max_length, lb_max_single, lb_impact});
 }
 
-std::vector<double> per_proc_stretch(const MultiTrace& traces,
+namespace {
+
+/// Borrows the source's vectors when materialized; otherwise drains one
+/// cursor into `storage`. The Belady term needs random access, so lazy
+/// sources cost one trace of transient memory each — never the whole
+/// instance at once.
+const Trace& materialized_view(const TraceSource& source, Trace& storage) {
+  if (const Trace* trace = source.materialized()) return *trace;
+  storage = materialize(source);
+  return storage;
+}
+
+}  // namespace
+
+std::vector<double> per_proc_stretch(const MultiTraceSource& sources,
                                      const std::vector<Time>& completion,
                                      Height cache_size, Time miss_cost) {
-  PPG_CHECK(completion.size() == traces.num_procs());
-  std::vector<double> stretch(traces.num_procs(), 1.0);
-  for (ProcId i = 0; i < traces.num_procs(); ++i) {
-    const Time busy =
-        busy_min_single(traces.trace(i), cache_size, miss_cost);
+  PPG_CHECK(completion.size() == sources.num_procs());
+  std::vector<double> stretch(sources.num_procs(), 1.0);
+  for (ProcId i = 0; i < sources.num_procs(); ++i) {
+    Trace storage;
+    const Time busy = busy_min_single(
+        materialized_view(sources.source(i), storage), cache_size, miss_cost);
     if (busy == 0) continue;
     stretch[i] =
         static_cast<double>(completion[i]) / static_cast<double>(busy);
@@ -47,7 +70,14 @@ std::vector<double> per_proc_stretch(const MultiTrace& traces,
   return stretch;
 }
 
-OptBounds compute_opt_bounds(const MultiTrace& traces,
+std::vector<double> per_proc_stretch(const MultiTrace& traces,
+                                     const std::vector<Time>& completion,
+                                     Height cache_size, Time miss_cost) {
+  return per_proc_stretch(MultiTraceSource::view_of(traces), completion,
+                          cache_size, miss_cost);
+}
+
+OptBounds compute_opt_bounds(const MultiTraceSource& sources,
                              const OptBoundsConfig& config) {
   PPG_CHECK(config.cache_size >= 1);
   OptBounds bounds;
@@ -56,8 +86,9 @@ OptBounds compute_opt_bounds(const MultiTrace& traces,
       1, static_cast<Height>(pow2_floor(config.cache_size)));
   const HeightLadder full_ladder{1, h_max};
 
-  for (ProcId i = 0; i < traces.num_procs(); ++i) {
-    const Trace& t = traces.trace(i);
+  for (ProcId i = 0; i < sources.num_procs(); ++i) {
+    Trace storage;
+    const Trace& t = materialized_view(sources.source(i), storage);
     bounds.lb_max_length =
         std::max<Time>(bounds.lb_max_length, t.size());
     bounds.lb_max_single =
@@ -70,6 +101,11 @@ OptBounds compute_opt_bounds(const MultiTrace& traces,
   }
   bounds.lb_impact = impact_sum / config.cache_size;
   return bounds;
+}
+
+OptBounds compute_opt_bounds(const MultiTrace& traces,
+                             const OptBoundsConfig& config) {
+  return compute_opt_bounds(MultiTraceSource::view_of(traces), config);
 }
 
 }  // namespace ppg

@@ -29,6 +29,7 @@
 
 #include "green/box.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 #include "util/types.hpp"
 
 namespace ppg {
@@ -39,6 +40,10 @@ Time busy_min_single(const Trace& trace, Height cache, Time miss_cost);
 
 /// Stack-distance impact lower bound (see header comment).
 Impact impact_lb_stack(const Trace& trace, Time miss_cost);
+
+/// Single-pass fold over a cursor in O(distinct pages) memory; identical
+/// to the Trace overload.
+Impact impact_lb_stack(TraceCursor& cursor, Time miss_cost);
 
 struct OptBounds {
   Time lb_max_length = 0;
@@ -60,11 +65,23 @@ struct OptBoundsConfig {
 OptBounds compute_opt_bounds(const MultiTrace& traces,
                              const OptBoundsConfig& config);
 
+/// Streamed instance. The Belady term is clairvoyant, so each lazy source
+/// is materialized one processor at a time — peak memory is the largest
+/// single trace, not the whole instance — keeping the bounds exact and
+/// identical to the MultiTrace overload (which delegates here).
+OptBounds compute_opt_bounds(const MultiTraceSource& sources,
+                             const OptBoundsConfig& config);
+
 /// Per-processor stretch (slowdown): completion time divided by the
 /// processor's dedicated-cache minimum busy time (Belady at capacity k).
 /// Stretch 1 means "as fast as running alone on the whole cache"; large
 /// stretches expose starvation. Empty traces report stretch 1.
 std::vector<double> per_proc_stretch(const MultiTrace& traces,
+                                     const std::vector<Time>& completion,
+                                     Height cache_size, Time miss_cost);
+
+/// Streamed instance; materializes per processor like compute_opt_bounds.
+std::vector<double> per_proc_stretch(const MultiTraceSource& sources,
                                      const std::vector<Time>& completion,
                                      Height cache_size, Time miss_cost);
 

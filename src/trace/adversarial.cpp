@@ -41,60 +41,60 @@ std::uint64_t AdversarialParams::pollute_interval(std::uint32_t j) const {
 
 namespace {
 
-// Builds one prefixed sequence of family `family`: prefix phases
-// sigma^0..sigma^{last_phase} over a shared set of k-1 repeaters, then the
-// standard suffix. Local page layout: repeaters in [0, k-1), polluters and
-// suffix pages allocated upward from k.
-Trace build_prefixed_sequence(const AdversarialParams& params,
-                              std::uint32_t last_phase,
-                              AdversarialSeqInfo& info) {
+// Builds one prefixed sequence of family `family` as a lazy source: prefix
+// phases sigma^0..sigma^{last_phase} over a shared set of k-1 repeaters,
+// then the standard suffix, concatenated without materializing anything.
+// Local page layout: repeaters in [0, k-1), polluters and suffix pages
+// allocated upward from k.
+std::shared_ptr<const TraceSource> build_prefixed_sequence(
+    const AdversarialParams& params, std::uint32_t last_phase,
+    AdversarialSeqInfo& info) {
   const std::uint64_t repeaters = params.cache_size() - 1;
-  const std::uint64_t gamma = params.gamma();
   const std::size_t phase_len = params.phase_length();
   std::uint64_t fresh = repeaters;  // next unused local page id
 
-  Trace out;
-  out.reserve(phase_len * (last_phase + 1 + params.suffix_phases()));
+  std::vector<std::shared_ptr<const TraceSource>> parts;
+  parts.reserve(last_phase + 2);
   for (std::uint32_t j = 0; j <= last_phase; ++j) {
     const std::uint64_t n_j = params.pollute_interval(j);
-    Trace phase = gen::polluted_cycle(repeaters, phase_len, n_j,
-                                      /*repeater_base=*/0,
-                                      /*polluter_base=*/fresh);
-    // polluted_cycle consumed at most phase_len/n_j + 1 polluter ids.
+    parts.push_back(gen::polluted_cycle_source(repeaters, phase_len, n_j,
+                                               /*repeater_base=*/0,
+                                               /*polluter_base=*/fresh));
+    // polluted_cycle consumes at most phase_len/n_j + 1 polluter ids.
     fresh += phase_len / n_j + 1;
-    out.append(phase);
   }
   info.prefixed = true;
   info.prefix_phases = last_phase + 1;
-  info.prefix_requests = out.size();
+  info.prefix_requests =
+      static_cast<std::size_t>(last_phase + 1) * phase_len;
 
   const std::size_t suffix_len =
       static_cast<std::size_t>(params.suffix_phases()) * phase_len;
-  out.append(gen::single_use(suffix_len, fresh));
-  (void)gamma;
-  return out;
+  parts.push_back(gen::single_use_source(suffix_len, fresh));
+  return concat_source(std::move(parts));
 }
 
-Trace build_suffix_only_sequence(const AdversarialParams& params,
-                                 AdversarialSeqInfo& info) {
+std::shared_ptr<const TraceSource> build_suffix_only_sequence(
+    const AdversarialParams& params, AdversarialSeqInfo& info) {
   info.prefixed = false;
   info.prefix_phases = 0;
   info.prefix_requests = 0;
   const std::size_t suffix_len =
       static_cast<std::size_t>(params.suffix_phases()) * params.phase_length();
-  return gen::single_use(suffix_len, 0);
+  return gen::single_use_source(suffix_len, 0);
 }
 
 }  // namespace
 
-AdversarialInstance make_adversarial_instance(const AdversarialParams& params) {
+AdversarialSourceInstance make_adversarial_source(
+    const AdversarialParams& params) {
   PPG_CHECK(params.ell >= 2);
   PPG_CHECK(params.a >= 1);
   const std::uint32_t p = params.num_procs();
   PPG_CHECK_MSG(params.num_prefixed() <= p,
                 "more prefixed sequences than processors");
 
-  AdversarialInstance inst;
+  AdversarialSourceInstance inst;
   inst.params = params;
   inst.info.resize(p);
 
@@ -105,16 +105,25 @@ AdversarialInstance make_adversarial_instance(const AdversarialParams& params) {
     const std::uint32_t count = 1u << i;
     const std::uint32_t last_phase = families - 1 - i;  // l - log l - i
     for (std::uint32_t c = 0; c < count; ++c, ++proc) {
-      Trace t = build_prefixed_sequence(params, last_phase, inst.info[proc]);
-      inst.traces.add(gen::rebase_to_proc(t, proc));
+      inst.sources.add(rebase_source(
+          build_prefixed_sequence(params, last_phase, inst.info[proc]), proc));
       inst.info[proc].family = i;
     }
   }
   for (; proc < p; ++proc) {
-    Trace t = build_suffix_only_sequence(params, inst.info[proc]);
-    inst.traces.add(gen::rebase_to_proc(t, proc));
+    inst.sources.add(rebase_source(
+        build_suffix_only_sequence(params, inst.info[proc]), proc));
   }
-  PPG_CHECK(inst.traces.num_procs() == p);
+  PPG_CHECK(inst.sources.num_procs() == p);
+  return inst;
+}
+
+AdversarialInstance make_adversarial_instance(const AdversarialParams& params) {
+  AdversarialSourceInstance lazy = make_adversarial_source(params);
+  AdversarialInstance inst;
+  inst.params = lazy.params;
+  inst.traces = lazy.sources.materialize();
+  inst.info = std::move(lazy.info);
   return inst;
 }
 

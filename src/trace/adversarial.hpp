@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 
 namespace ppg {
 
@@ -65,5 +66,18 @@ struct AdversarialInstance {
 
 /// Builds the full instance. Page ids are already processor-disjoint.
 AdversarialInstance make_adversarial_instance(const AdversarialParams& params);
+
+/// The lazy counterpart: per-processor streaming sources (concatenated
+/// polluted-cycle phases plus the single-use suffix, rebased on the fly).
+/// make_adversarial_instance drains these sources, so the streamed and
+/// materialized instances are byte-identical by construction.
+struct AdversarialSourceInstance {
+  AdversarialParams params;
+  MultiTraceSource sources;
+  std::vector<AdversarialSeqInfo> info;  ///< One entry per processor.
+};
+
+AdversarialSourceInstance make_adversarial_source(
+    const AdversarialParams& params);
 
 }  // namespace ppg

@@ -1,109 +1,391 @@
 #include "trace/generators.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <utility>
 
 #include "util/assert.hpp"
 
 namespace ppg::gen {
 
-Trace cyclic(std::uint64_t num_pages, std::size_t num_requests) {
-  PPG_CHECK(num_pages >= 1);
-  std::vector<PageId> reqs;
-  reqs.reserve(num_requests);
-  std::uint64_t next = 0;
-  for (std::size_t i = 0; i < num_requests; ++i) {
-    reqs.push_back(next);
-    next = (next + 1) % num_pages;
+namespace {
+
+// Shared scaffolding for generator cursors: generate-ahead-by-one, so
+// peek() is a plain load and the total number of produce() calls (and thus
+// RNG draws) equals the number of requests exactly — the same draw order
+// the materialized loop performs. Checkpoints carry [current, extra...]
+// after the position.
+class GenCursor : public TraceCursor {
+ public:
+  explicit GenCursor(std::uint64_t num_requests)
+      : num_requests_(num_requests) {}
+
+  std::uint64_t position() const final { return position_; }
+  bool done() const final { return position_ >= num_requests_; }
+  PageId peek() final {
+    PPG_DCHECK(!done());
+    return current_;
   }
-  return Trace(std::move(reqs));
-}
-
-Trace polluted_cycle(std::uint64_t num_repeaters, std::size_t num_requests,
-                     std::uint64_t pollute_every, std::uint64_t repeater_base,
-                     std::uint64_t polluter_base) {
-  PPG_CHECK(num_repeaters >= 1);
-  PPG_CHECK_MSG(repeater_base + num_repeaters <= polluter_base ||
-                    polluter_base + num_requests <= repeater_base,
-                "repeater and polluter id ranges overlap");
-  std::vector<PageId> reqs;
-  reqs.reserve(num_requests);
-  std::uint64_t cycle_pos = 0;
-  std::uint64_t polluter = polluter_base;
-  for (std::size_t i = 1; i <= num_requests; ++i) {
-    if (pollute_every != 0 && i % pollute_every == 0) {
-      reqs.push_back(polluter++);
-    } else {
-      reqs.push_back(repeater_base + cycle_pos);
-      cycle_pos = (cycle_pos + 1) % num_repeaters;
-    }
+  void advance() final {
+    PPG_DCHECK(!done());
+    ++position_;
+    if (position_ < num_requests_) current_ = produce();
   }
-  return Trace(std::move(reqs));
+  CursorCheckpoint checkpoint() const final {
+    CursorCheckpoint cp;
+    cp.position = position_;
+    cp.words.push_back(current_);
+    save_extra(cp.words);
+    return cp;
+  }
+  void rewind(const CursorCheckpoint& cp) final {
+    PPG_CHECK(cp.position <= num_requests_ && !cp.words.empty());
+    position_ = cp.position;
+    current_ = cp.words[0];
+    load_extra(cp.words.data() + 1, cp.words.size() - 1);
+  }
+
+ protected:
+  /// Derived constructors call this once their state is ready (produce()
+  /// is virtual, so it cannot run from the base constructor).
+  void prime() {
+    if (!done()) current_ = produce();
+  }
+  /// Emits the request at position(); called exactly once per request.
+  virtual PageId produce() = 0;
+  virtual void save_extra(std::vector<std::uint64_t>& /*words*/) const {}
+  virtual void load_extra(const std::uint64_t* /*words*/,
+                          std::size_t /*count*/) {}
+
+ private:
+  std::uint64_t num_requests_;
+  std::uint64_t position_ = 0;
+  PageId current_ = kInvalidPage;
+};
+
+void save_rng(const Rng& rng, std::vector<std::uint64_t>& words) {
+  for (std::uint64_t word : rng.save_state()) words.push_back(word);
 }
 
-Trace single_use(std::size_t num_requests, std::uint64_t first_page) {
-  std::vector<PageId> reqs;
-  reqs.reserve(num_requests);
-  for (std::size_t i = 0; i < num_requests; ++i)
-    reqs.push_back(first_page + i);
-  return Trace(std::move(reqs));
+void load_rng(Rng& rng, const std::uint64_t* words) {
+  rng.restore_state({words[0], words[1], words[2], words[3]});
 }
 
-Trace uniform_random(std::uint64_t num_pages, std::size_t num_requests,
-                     Rng& rng) {
-  PPG_CHECK(num_pages >= 1);
-  std::vector<PageId> reqs;
-  reqs.reserve(num_requests);
-  for (std::size_t i = 0; i < num_requests; ++i)
-    reqs.push_back(rng.next_below(num_pages));
-  return Trace(std::move(reqs));
-}
+class CyclicCursor final : public GenCursor {
+ public:
+  CyclicCursor(std::uint64_t num_pages, std::uint64_t num_requests)
+      : GenCursor(num_requests), num_pages_(num_pages) {
+    PPG_CHECK(num_pages >= 1);
+    prime();
+  }
 
-Trace zipf(std::uint64_t num_pages, std::size_t num_requests, double theta,
-           Rng& rng) {
+ protected:
+  PageId produce() override { return position() % num_pages_; }
+
+ private:
+  std::uint64_t num_pages_;
+};
+
+class SingleUseCursor final : public GenCursor {
+ public:
+  SingleUseCursor(std::uint64_t num_requests, std::uint64_t first_page)
+      : GenCursor(num_requests), first_page_(first_page) {
+    prime();
+  }
+
+ protected:
+  PageId produce() override { return first_page_ + position(); }
+
+ private:
+  std::uint64_t first_page_;
+};
+
+class PollutedCycleCursor final : public GenCursor {
+ public:
+  PollutedCycleCursor(std::uint64_t num_repeaters, std::uint64_t num_requests,
+                      std::uint64_t pollute_every, std::uint64_t repeater_base,
+                      std::uint64_t polluter_base)
+      : GenCursor(num_requests),
+        num_repeaters_(num_repeaters),
+        pollute_every_(pollute_every),
+        repeater_base_(repeater_base),
+        polluter_(polluter_base) {
+    PPG_CHECK(num_repeaters >= 1);
+    PPG_CHECK_MSG(repeater_base + num_repeaters <= polluter_base ||
+                      polluter_base + num_requests <= repeater_base,
+                  "repeater and polluter id ranges overlap");
+    prime();
+  }
+
+ protected:
+  PageId produce() override {
+    const std::uint64_t i = position() + 1;  // 1-indexed within the stream
+    if (pollute_every_ != 0 && i % pollute_every_ == 0) return polluter_++;
+    const PageId page = repeater_base_ + cycle_pos_;
+    cycle_pos_ = (cycle_pos_ + 1) % num_repeaters_;
+    return page;
+  }
+  void save_extra(std::vector<std::uint64_t>& words) const override {
+    words.push_back(cycle_pos_);
+    words.push_back(polluter_);
+  }
+  void load_extra(const std::uint64_t* words, std::size_t count) override {
+    PPG_CHECK(count == 2);
+    cycle_pos_ = words[0];
+    polluter_ = words[1];
+  }
+
+ private:
+  std::uint64_t num_repeaters_;
+  std::uint64_t pollute_every_;
+  std::uint64_t repeater_base_;
+  std::uint64_t cycle_pos_ = 0;
+  std::uint64_t polluter_;
+};
+
+class UniformCursor final : public GenCursor {
+ public:
+  UniformCursor(std::uint64_t num_pages, std::uint64_t num_requests,
+                const Rng& rng)
+      : GenCursor(num_requests), num_pages_(num_pages), rng_(rng) {
+    PPG_CHECK(num_pages >= 1);
+    prime();
+  }
+
+  const Rng& rng() const { return rng_; }
+
+ protected:
+  PageId produce() override { return rng_.next_below(num_pages_); }
+  void save_extra(std::vector<std::uint64_t>& words) const override {
+    save_rng(rng_, words);
+  }
+  void load_extra(const std::uint64_t* words, std::size_t count) override {
+    PPG_CHECK(count == 4);
+    load_rng(rng_, words);
+  }
+
+ private:
+  std::uint64_t num_pages_;
+  Rng rng_;
+};
+
+std::shared_ptr<const std::vector<double>> make_zipf_cdf(
+    std::uint64_t num_pages, double theta) {
   PPG_CHECK(num_pages >= 1);
   PPG_CHECK(theta >= 0.0);
   // Inverse-transform sampling over the precomputed CDF. O(m) setup,
   // O(log m) per draw.
-  std::vector<double> cdf(num_pages);
+  auto cdf = std::make_shared<std::vector<double>>(num_pages);
   double acc = 0.0;
   for (std::uint64_t r = 0; r < num_pages; ++r) {
     acc += 1.0 / std::pow(static_cast<double>(r + 1), theta);
-    cdf[r] = acc;
+    (*cdf)[r] = acc;
   }
-  for (auto& v : cdf) v /= acc;
-  std::vector<PageId> reqs;
-  reqs.reserve(num_requests);
-  for (std::size_t i = 0; i < num_requests; ++i) {
-    const double u = rng.next_double();
-    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-    reqs.push_back(static_cast<PageId>(it - cdf.begin()));
-  }
-  return Trace(std::move(reqs));
+  for (auto& v : *cdf) v /= acc;
+  return cdf;
 }
 
-Trace phased_working_set(const std::vector<WorkingSetPhase>& phases,
-                         Rng& rng) {
-  std::vector<PageId> reqs;
-  std::size_t total = 0;
+class ZipfCursor final : public GenCursor {
+ public:
+  ZipfCursor(std::shared_ptr<const std::vector<double>> cdf,
+             std::uint64_t num_requests, const Rng& rng)
+      : GenCursor(num_requests), cdf_(std::move(cdf)), rng_(rng) {
+    prime();
+  }
+
+  const Rng& rng() const { return rng_; }
+
+ protected:
+  PageId produce() override {
+    const double u = rng_.next_double();
+    const auto it = std::lower_bound(cdf_->begin(), cdf_->end(), u);
+    return static_cast<PageId>(it - cdf_->begin());
+  }
+  void save_extra(std::vector<std::uint64_t>& words) const override {
+    save_rng(rng_, words);
+  }
+  void load_extra(const std::uint64_t* words, std::size_t count) override {
+    PPG_CHECK(count == 4);
+    load_rng(rng_, words);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<double>> cdf_;
+  Rng rng_;
+};
+
+std::uint64_t total_phase_length(const std::vector<WorkingSetPhase>& phases) {
+  std::uint64_t total = 0;
   for (const auto& ph : phases) total += ph.length;
-  reqs.reserve(total);
-  std::uint64_t base = 0;
-  for (const auto& ph : phases) {
-    PPG_CHECK(ph.working_set_size >= 1);
-    for (std::size_t i = 0; i < ph.length; ++i) {
-      const std::uint64_t offset =
-          ph.random_order ? rng.next_below(ph.working_set_size)
-                          : i % ph.working_set_size;
-      reqs.push_back(base + offset);
-    }
-    base += ph.working_set_size;  // fresh set each phase
-  }
-  return Trace(std::move(reqs));
+  return total;
 }
 
-Trace sawtooth(std::uint64_t hot, std::uint64_t cold, std::size_t burst_len,
-               std::size_t num_bursts, Rng& rng) {
+class PhasedCursor final : public GenCursor {
+ public:
+  PhasedCursor(std::shared_ptr<const std::vector<WorkingSetPhase>> phases,
+               const Rng& rng)
+      : GenCursor(total_phase_length(*phases)),
+        phases_(std::move(phases)),
+        rng_(rng) {
+    for (const auto& ph : *phases_) PPG_CHECK(ph.working_set_size >= 1);
+    prime();
+  }
+
+  const Rng& rng() const { return rng_; }
+
+ protected:
+  PageId produce() override {
+    while (in_phase_ == (*phases_)[phase_].length) {
+      base_ += (*phases_)[phase_].working_set_size;  // fresh set each phase
+      ++phase_;
+      in_phase_ = 0;
+    }
+    const WorkingSetPhase& ph = (*phases_)[phase_];
+    const std::uint64_t offset = ph.random_order
+                                     ? rng_.next_below(ph.working_set_size)
+                                     : in_phase_ % ph.working_set_size;
+    ++in_phase_;
+    return base_ + offset;
+  }
+  void save_extra(std::vector<std::uint64_t>& words) const override {
+    words.push_back(phase_);
+    words.push_back(in_phase_);
+    words.push_back(base_);
+    save_rng(rng_, words);
+  }
+  void load_extra(const std::uint64_t* words, std::size_t count) override {
+    PPG_CHECK(count == 7);
+    phase_ = static_cast<std::size_t>(words[0]);
+    in_phase_ = words[1];
+    base_ = words[2];
+    load_rng(rng_, words + 3);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<WorkingSetPhase>> phases_;
+  std::size_t phase_ = 0;
+  std::uint64_t in_phase_ = 0;
+  std::uint64_t base_ = 0;
+  Rng rng_;
+};
+
+class CyclicSource final : public TraceSource {
+ public:
+  CyclicSource(std::uint64_t num_pages, std::uint64_t num_requests)
+      : num_pages_(num_pages), num_requests_(num_requests) {
+    PPG_CHECK(num_pages >= 1);
+  }
+  std::uint64_t num_requests() const override { return num_requests_; }
+  std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<CyclicCursor>(num_pages_, num_requests_);
+  }
+
+ private:
+  std::uint64_t num_pages_;
+  std::uint64_t num_requests_;
+};
+
+class SingleUseSource final : public TraceSource {
+ public:
+  SingleUseSource(std::uint64_t num_requests, std::uint64_t first_page)
+      : num_requests_(num_requests), first_page_(first_page) {}
+  std::uint64_t num_requests() const override { return num_requests_; }
+  std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<SingleUseCursor>(num_requests_, first_page_);
+  }
+
+ private:
+  std::uint64_t num_requests_;
+  std::uint64_t first_page_;
+};
+
+class PollutedCycleSource final : public TraceSource {
+ public:
+  PollutedCycleSource(std::uint64_t num_repeaters, std::uint64_t num_requests,
+                      std::uint64_t pollute_every,
+                      std::uint64_t repeater_base, std::uint64_t polluter_base)
+      : num_repeaters_(num_repeaters),
+        num_requests_(num_requests),
+        pollute_every_(pollute_every),
+        repeater_base_(repeater_base),
+        polluter_base_(polluter_base) {}
+  std::uint64_t num_requests() const override { return num_requests_; }
+  std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<PollutedCycleCursor>(num_repeaters_, num_requests_,
+                                                 pollute_every_,
+                                                 repeater_base_,
+                                                 polluter_base_);
+  }
+
+ private:
+  std::uint64_t num_repeaters_;
+  std::uint64_t num_requests_;
+  std::uint64_t pollute_every_;
+  std::uint64_t repeater_base_;
+  std::uint64_t polluter_base_;
+};
+
+class UniformSource final : public TraceSource {
+ public:
+  UniformSource(std::uint64_t num_pages, std::uint64_t num_requests,
+                const Rng& rng)
+      : num_pages_(num_pages), num_requests_(num_requests), rng_(rng) {
+    PPG_CHECK(num_pages >= 1);
+  }
+  std::uint64_t num_requests() const override { return num_requests_; }
+  std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<UniformCursor>(num_pages_, num_requests_, rng_);
+  }
+
+ private:
+  std::uint64_t num_pages_;
+  std::uint64_t num_requests_;
+  Rng rng_;
+};
+
+class ZipfSource final : public TraceSource {
+ public:
+  ZipfSource(std::uint64_t num_pages, std::uint64_t num_requests, double theta,
+             const Rng& rng)
+      : cdf_(make_zipf_cdf(num_pages, theta)),
+        num_requests_(num_requests),
+        rng_(rng) {}
+  std::uint64_t num_requests() const override { return num_requests_; }
+  std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<ZipfCursor>(cdf_, num_requests_, rng_);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<double>> cdf_;
+  std::uint64_t num_requests_;
+  Rng rng_;
+};
+
+class PhasedSource final : public TraceSource {
+ public:
+  PhasedSource(std::vector<WorkingSetPhase> phases, const Rng& rng)
+      : phases_(std::make_shared<const std::vector<WorkingSetPhase>>(
+            std::move(phases))),
+        num_requests_(total_phase_length(*phases_)),
+        rng_(rng) {
+    for (const auto& ph : *phases_) PPG_CHECK(ph.working_set_size >= 1);
+  }
+  std::uint64_t num_requests() const override { return num_requests_; }
+  std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<PhasedCursor>(phases_, rng_);
+  }
+
+ private:
+  std::shared_ptr<const std::vector<WorkingSetPhase>> phases_;
+  std::uint64_t num_requests_;
+  Rng rng_;
+};
+
+std::vector<WorkingSetPhase> sawtooth_phases(std::uint64_t hot,
+                                             std::uint64_t cold,
+                                             std::size_t burst_len,
+                                             std::size_t num_bursts) {
   std::vector<WorkingSetPhase> phases;
   phases.reserve(num_bursts);
   for (std::size_t b = 0; b < num_bursts; ++b) {
@@ -111,7 +393,59 @@ Trace sawtooth(std::uint64_t hot, std::uint64_t cold, std::size_t burst_len,
     phases.push_back(WorkingSetPhase{is_hot ? hot : cold, burst_len,
                                      /*random_order=*/is_hot});
   }
-  return phased_working_set(phases, rng);
+  return phases;
+}
+
+}  // namespace
+
+Trace cyclic(std::uint64_t num_pages, std::size_t num_requests) {
+  CyclicCursor cursor(num_pages, num_requests);
+  return materialize(cursor, num_requests);
+}
+
+Trace polluted_cycle(std::uint64_t num_repeaters, std::size_t num_requests,
+                     std::uint64_t pollute_every, std::uint64_t repeater_base,
+                     std::uint64_t polluter_base) {
+  PollutedCycleCursor cursor(num_repeaters, num_requests, pollute_every,
+                             repeater_base, polluter_base);
+  return materialize(cursor, num_requests);
+}
+
+Trace single_use(std::size_t num_requests, std::uint64_t first_page) {
+  SingleUseCursor cursor(num_requests, first_page);
+  return materialize(cursor, num_requests);
+}
+
+Trace uniform_random(std::uint64_t num_pages, std::size_t num_requests,
+                     Rng& rng) {
+  UniformCursor cursor(num_pages, num_requests, rng);
+  Trace trace = materialize(cursor, num_requests);
+  rng = cursor.rng();  // leave the caller's generator advanced by n draws
+  return trace;
+}
+
+Trace zipf(std::uint64_t num_pages, std::size_t num_requests, double theta,
+           Rng& rng) {
+  ZipfCursor cursor(make_zipf_cdf(num_pages, theta), num_requests, rng);
+  Trace trace = materialize(cursor, num_requests);
+  rng = cursor.rng();
+  return trace;
+}
+
+Trace phased_working_set(const std::vector<WorkingSetPhase>& phases,
+                         Rng& rng) {
+  PhasedCursor cursor(
+      std::make_shared<const std::vector<WorkingSetPhase>>(phases), rng);
+  Trace trace = materialize(cursor, static_cast<std::size_t>(
+                                        total_phase_length(phases)));
+  rng = cursor.rng();
+  return trace;
+}
+
+Trace sawtooth(std::uint64_t hot, std::uint64_t cold, std::size_t burst_len,
+               std::size_t num_bursts, Rng& rng) {
+  return phased_working_set(sawtooth_phases(hot, cold, burst_len, num_bursts),
+                            rng);
 }
 
 Trace rebase_to_proc(const Trace& t, ProcId proc) {
@@ -126,6 +460,50 @@ Trace rebase_to_proc(const Trace& t, ProcId proc) {
     reqs.push_back(make_page(proc, it->second));
   }
   return Trace(std::move(reqs));
+}
+
+std::shared_ptr<const TraceSource> cyclic_source(std::uint64_t num_pages,
+                                                 std::size_t num_requests) {
+  return std::make_shared<CyclicSource>(num_pages, num_requests);
+}
+
+std::shared_ptr<const TraceSource> polluted_cycle_source(
+    std::uint64_t num_repeaters, std::size_t num_requests,
+    std::uint64_t pollute_every, std::uint64_t repeater_base,
+    std::uint64_t polluter_base) {
+  return std::make_shared<PollutedCycleSource>(num_repeaters, num_requests,
+                                               pollute_every, repeater_base,
+                                               polluter_base);
+}
+
+std::shared_ptr<const TraceSource> single_use_source(std::size_t num_requests,
+                                                     std::uint64_t first_page) {
+  return std::make_shared<SingleUseSource>(num_requests, first_page);
+}
+
+std::shared_ptr<const TraceSource> uniform_random_source(
+    std::uint64_t num_pages, std::size_t num_requests, const Rng& rng) {
+  return std::make_shared<UniformSource>(num_pages, num_requests, rng);
+}
+
+std::shared_ptr<const TraceSource> zipf_source(std::uint64_t num_pages,
+                                               std::size_t num_requests,
+                                               double theta, const Rng& rng) {
+  return std::make_shared<ZipfSource>(num_pages, num_requests, theta, rng);
+}
+
+std::shared_ptr<const TraceSource> phased_working_set_source(
+    std::vector<WorkingSetPhase> phases, const Rng& rng) {
+  return std::make_shared<PhasedSource>(std::move(phases), rng);
+}
+
+std::shared_ptr<const TraceSource> sawtooth_source(std::uint64_t hot,
+                                                   std::uint64_t cold,
+                                                   std::size_t burst_len,
+                                                   std::size_t num_bursts,
+                                                   const Rng& rng) {
+  return std::make_shared<PhasedSource>(
+      sawtooth_phases(hot, cold, burst_len, num_bursts), rng);
 }
 
 }  // namespace ppg::gen

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 #include "util/rng.hpp"
 
 namespace ppg::gen {
@@ -66,5 +68,42 @@ Trace sawtooth(std::uint64_t hot, std::uint64_t cold, std::size_t burst_len,
 
 /// Rewrites every page id in `t` into processor `proc`'s disjoint id space.
 Trace rebase_to_proc(const Trace& t, ProcId proc);
+
+// ---------------------------------------------------------------------------
+// Lazy streaming counterparts. Each *_source returns a TraceSource whose
+// cursors synthesize the exact same request stream as the materialized
+// function above it, on demand, in O(1) memory per cursor. The RNG-driven
+// sources take the generator state by value (a snapshot): unlike the
+// materialized functions they do not advance the caller's Rng, because every
+// cursor replays its draws from the snapshot. The materialized functions are
+// implemented by draining one cursor, so equivalence holds by construction.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const TraceSource> cyclic_source(std::uint64_t num_pages,
+                                                 std::size_t num_requests);
+
+std::shared_ptr<const TraceSource> polluted_cycle_source(
+    std::uint64_t num_repeaters, std::size_t num_requests,
+    std::uint64_t pollute_every, std::uint64_t repeater_base = 0,
+    std::uint64_t polluter_base = std::uint64_t{1} << 32);
+
+std::shared_ptr<const TraceSource> single_use_source(
+    std::size_t num_requests, std::uint64_t first_page = 0);
+
+std::shared_ptr<const TraceSource> uniform_random_source(
+    std::uint64_t num_pages, std::size_t num_requests, const Rng& rng);
+
+std::shared_ptr<const TraceSource> zipf_source(std::uint64_t num_pages,
+                                               std::size_t num_requests,
+                                               double theta, const Rng& rng);
+
+std::shared_ptr<const TraceSource> phased_working_set_source(
+    std::vector<WorkingSetPhase> phases, const Rng& rng);
+
+std::shared_ptr<const TraceSource> sawtooth_source(std::uint64_t hot,
+                                                   std::uint64_t cold,
+                                                   std::size_t burst_len,
+                                                   std::size_t num_bursts,
+                                                   const Rng& rng);
 
 }  // namespace ppg::gen

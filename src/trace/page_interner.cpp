@@ -1,19 +1,24 @@
 #include "trace/page_interner.hpp"
 
-#include <unordered_map>
-
 namespace ppg {
 
 InternedTrace::InternedTrace(const Trace& trace) {
   requests_.reserve(trace.size());
-  std::unordered_map<PageId, std::uint32_t> ids;
-  ids.reserve(trace.size() / 4 + 16);
-  for (const PageId page : trace) {
-    const auto [it, inserted] =
-        ids.emplace(page, static_cast<std::uint32_t>(pages_.size()));
-    if (inserted) pages_.push_back(page);
-    requests_.push_back(it->second);
+  StreamingInterner interner;
+  interner.reserve(trace.size());
+  for (const PageId page : trace) requests_.push_back(interner.intern(page));
+  pages_ = std::move(interner).take_pages();
+}
+
+InternedTrace::InternedTrace(TraceCursor& cursor, std::size_t size_hint) {
+  requests_.reserve(size_hint);
+  StreamingInterner interner;
+  interner.reserve(size_hint);
+  while (!cursor.done()) {
+    requests_.push_back(interner.intern(cursor.peek()));
+    cursor.advance();
   }
+  pages_ = std::move(interner).take_pages();
 }
 
 }  // namespace ppg

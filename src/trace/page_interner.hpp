@@ -9,18 +9,61 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 #include "util/types.hpp"
 
 namespace ppg {
+
+/// Incremental interner: feed pages one at a time and get dense ids in
+/// first-appearance order. This is the streaming building block behind
+/// InternedTrace — single-pass consumers can intern a cursor's stream as
+/// they fold over it, keeping the dense fast path without a materialized
+/// trace.
+class StreamingInterner {
+ public:
+  /// Dense id for `page`, assigning the next id on first appearance.
+  std::uint32_t intern(PageId page) {
+    const auto [it, inserted] =
+        ids_.emplace(page, static_cast<std::uint32_t>(pages_.size()));
+    if (inserted) pages_.push_back(page);
+    return it->second;
+  }
+
+  std::uint32_t num_distinct() const {
+    return static_cast<std::uint32_t>(pages_.size());
+  }
+  PageId page(std::uint32_t dense_id) const {
+    PPG_DCHECK(dense_id < pages_.size());
+    return pages_[dense_id];
+  }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  /// Moves the id -> page table out (invalidates the interner).
+  std::vector<PageId> take_pages() && { return std::move(pages_); }
+
+  void reserve(std::size_t expected_requests) {
+    ids_.reserve(expected_requests / 4 + 16);
+  }
+
+ private:
+  std::unordered_map<PageId, std::uint32_t> ids_;
+  std::vector<PageId> pages_;  // dense id -> original page
+};
 
 /// A trace re-encoded over dense ids, plus the id -> original-page table.
 class InternedTrace {
  public:
   InternedTrace() = default;
   explicit InternedTrace(const Trace& trace);
+
+  /// Single-pass streaming build: drains `cursor`, interning as it goes.
+  /// The only materialized array is the dense (u32) request vector — the
+  /// original 64-bit pages are never held as a whole.
+  explicit InternedTrace(TraceCursor& cursor, std::size_t size_hint = 0);
 
   std::size_t size() const { return requests_.size(); }
   bool empty() const { return requests_.empty(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -35,6 +36,56 @@ class Fenwick {
 
 }  // namespace
 
+void OnlineStackDistance::tree_add(std::size_t slot, std::int64_t delta) {
+  for (std::size_t i = slot + 1; i < tree_.size(); i += i & (~i + 1))
+    tree_[i] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(tree_[i]) + delta);
+}
+
+std::uint64_t OnlineStackDistance::tree_prefix(std::size_t slot) const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = slot + 1; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+  return sum;
+}
+
+void OnlineStackDistance::compact() {
+  // Live pages keep their relative slot order, so distances computed after
+  // compaction are unchanged.
+  std::vector<std::pair<std::uint64_t, PageId>> order;
+  order.reserve(slot_of_.size());
+  for (const auto& [page, slot] : slot_of_) order.emplace_back(slot, page);
+  std::sort(order.begin(), order.end());
+  tree_.assign(std::max<std::size_t>(16, 2 * order.size() + 2), 0);
+  next_slot_ = 0;
+  for (const auto& [slot, page] : order) {
+    slot_of_[page] = next_slot_;
+    tree_add(static_cast<std::size_t>(next_slot_), +1);
+    ++next_slot_;
+  }
+}
+
+std::uint64_t OnlineStackDistance::access(PageId page) {
+  // Compact before touching the tree so the new slot always fits; value
+  // updates keep map iterators valid.
+  if (next_slot_ + 1 >= tree_.size()) compact();
+  std::uint64_t distance = kInfiniteDistance;
+  const auto it = slot_of_.find(page);
+  if (it != slot_of_.end()) {
+    // Live slots strictly after the previous access = distinct pages
+    // touched since (the page's own marker sits AT the previous slot).
+    distance = slot_of_.size() -
+               tree_prefix(static_cast<std::size_t>(it->second));
+    tree_add(static_cast<std::size_t>(it->second), -1);
+  }
+  const std::uint64_t slot = next_slot_++;
+  tree_add(static_cast<std::size_t>(slot), +1);
+  if (it != slot_of_.end())
+    it->second = slot;
+  else
+    slot_of_.emplace(page, slot);
+  return distance;
+}
+
 std::vector<std::uint64_t> stack_distances(const Trace& trace) {
   const std::size_t n = trace.size();
   std::vector<std::uint64_t> out(n, kInfiniteDistance);
@@ -61,12 +112,15 @@ std::vector<std::uint64_t> stack_distances(const Trace& trace) {
   return out;
 }
 
-StackDistanceProfile stack_distance_profile(const Trace& trace,
+StackDistanceProfile stack_distance_profile(TraceCursor& cursor,
                                             std::uint64_t max_tracked) {
   PPG_CHECK(max_tracked >= 1);
   StackDistanceProfile profile;
   profile.counts.assign(max_tracked, 0);
-  for (std::uint64_t d : stack_distances(trace)) {
+  OnlineStackDistance online;
+  while (!cursor.done()) {
+    const std::uint64_t d = online.access(cursor.peek());
+    cursor.advance();
     if (d == kInfiniteDistance)
       ++profile.cold_misses;
     else if (d < max_tracked)
@@ -75,6 +129,12 @@ StackDistanceProfile stack_distance_profile(const Trace& trace,
       ++profile.far;
   }
   return profile;
+}
+
+StackDistanceProfile stack_distance_profile(const Trace& trace,
+                                            std::uint64_t max_tracked) {
+  const auto cursor = VectorTraceSource::view(trace)->cursor();
+  return stack_distance_profile(*cursor, max_tracked);
 }
 
 std::uint64_t StackDistanceProfile::lru_faults(std::uint64_t capacity) const {

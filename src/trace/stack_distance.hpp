@@ -8,20 +8,49 @@
 // which is exactly the marginal-benefit structure the paper's scheduler
 // must cope with.
 //
-// Implementation: Fenwick tree over request positions holding a 1 at the
-// previous-access position of each currently "live" page; the distance of a
-// request is the count of live positions after its page's previous access.
-// O(n log n) total.
+// Implementation: Fenwick tree holding a 1 at the most recent access slot
+// of each currently "live" page; the distance of a request is the count of
+// live slots after its page's previous slot. The batch API indexes the tree
+// by request position (O(n) memory); OnlineStackDistance below instead
+// allocates compact slots and renumbers live pages when they run out, so a
+// single pass over an arbitrarily long stream needs only O(distinct pages)
+// memory at the same O(log) amortized cost per request.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 
 namespace ppg {
 
 inline constexpr std::uint64_t kInfiniteDistance = UINT64_MAX;
+
+/// Online Mattson distances: feed requests one at a time, get the stack
+/// distance of each. Memory is O(distinct pages seen), independent of how
+/// many requests have been fed — the streaming building block behind the
+/// cursor-based profile/stats/impact folds.
+class OnlineStackDistance {
+ public:
+  /// Returns the stack distance of this access (kInfiniteDistance for the
+  /// first access to `page`), then records the access.
+  std::uint64_t access(PageId page);
+
+  std::uint64_t num_distinct() const { return slot_of_.size(); }
+
+ private:
+  void tree_add(std::size_t slot, std::int64_t delta);
+  std::uint64_t tree_prefix(std::size_t slot) const;  ///< Sum over [0, slot].
+  /// Renumbers live pages into [0, m) preserving recency order and resizes
+  /// the tree to ~2m slots; amortizes to O(log) per access.
+  void compact();
+
+  std::unordered_map<PageId, std::uint64_t> slot_of_;  // page -> live slot
+  std::vector<std::uint64_t> tree_;  // Fenwick over slot occupancy
+  std::uint64_t next_slot_ = 0;
+};
 
 /// Per-request stack distances; entry i is kInfiniteDistance when request i
 /// is the first access to its page.
@@ -41,6 +70,11 @@ struct StackDistanceProfile {
 };
 
 StackDistanceProfile stack_distance_profile(const Trace& trace,
+                                            std::uint64_t max_tracked);
+
+/// Single-pass profile over a cursor in O(distinct pages) memory; the Trace
+/// overload delegates here, so the two are identical by construction.
+StackDistanceProfile stack_distance_profile(TraceCursor& cursor,
                                             std::uint64_t max_tracked);
 
 /// Reference O(n * m) implementation (explicit LRU stack) for testing.

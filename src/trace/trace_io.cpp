@@ -80,7 +80,139 @@ std::vector<PageId> read_payload(std::istream& is, std::uint64_t len,
   return reqs;
 }
 
+/// One processor's slice of a PPGTRACE file, streamed through a bounded
+/// buffer. The slice was length-validated against the file size when the
+/// source was opened; a short read afterwards means the file changed on
+/// disk and surfaces as kCorruptTrace with the offending offset.
+class FileTraceCursor final : public TraceCursor {
+ public:
+  FileTraceCursor(std::string path, std::uint64_t data_offset,
+                  std::uint64_t num_requests, std::size_t chunk)
+      : path_(std::move(path)),
+        data_offset_(data_offset),
+        num_requests_(num_requests),
+        chunk_(chunk),
+        is_(path_, std::ios::binary) {
+    if (!is_)
+      throw_error(ErrorCode::kIoError, "cannot open " + path_, kNoOffset,
+                  path_);
+  }
+
+  std::uint64_t position() const override { return position_; }
+  bool done() const override { return position_ >= num_requests_; }
+  PageId peek() override {
+    PPG_DCHECK(!done());
+    if (position_ - base_ >= buffer_.size()) refill();
+    return buffer_[static_cast<std::size_t>(position_ - base_)];
+  }
+  void advance() override {
+    PPG_DCHECK(!done());
+    ++position_;
+  }
+  CursorCheckpoint checkpoint() const override {
+    return CursorCheckpoint{position_, {}};
+  }
+  void rewind(const CursorCheckpoint& cp) override {
+    PPG_CHECK(cp.position <= num_requests_);
+    position_ = cp.position;
+    // Invalidate the buffer unless the target is still inside it; the next
+    // peek seeks and refills.
+    if (position_ < base_ || position_ - base_ >= buffer_.size()) {
+      base_ = position_;
+      buffer_.clear();
+    }
+  }
+
+ private:
+  void refill() {
+    base_ = position_;
+    const auto count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk_, num_requests_ - position_));
+    buffer_.resize(count);
+    const std::uint64_t byte_offset =
+        data_offset_ + position_ * sizeof(PageId);
+    is_.clear();
+    is_.seekg(static_cast<std::streamoff>(byte_offset));
+    is_.read(reinterpret_cast<char*>(buffer_.data()),
+             static_cast<std::streamsize>(count * sizeof(PageId)));
+    if (!is_)
+      throw_error(ErrorCode::kCorruptTrace,
+                  "truncated trace stream reading requests", byte_offset,
+                  path_);
+  }
+
+  std::string path_;
+  std::uint64_t data_offset_;
+  std::uint64_t num_requests_;
+  std::size_t chunk_;
+  std::ifstream is_;
+  std::vector<PageId> buffer_;
+  std::uint64_t base_ = 0;      ///< Position of buffer_[0].
+  std::uint64_t position_ = 0;
+};
+
+class FileTraceSource final : public TraceSource {
+ public:
+  FileTraceSource(std::string path, std::uint64_t data_offset,
+                  std::uint64_t num_requests, std::size_t chunk)
+      : path_(std::move(path)),
+        data_offset_(data_offset),
+        num_requests_(num_requests),
+        chunk_(chunk) {}
+
+  std::uint64_t num_requests() const override { return num_requests_; }
+  std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<FileTraceCursor>(path_, data_offset_,
+                                             num_requests_, chunk_);
+  }
+
+ private:
+  std::string path_;
+  std::uint64_t data_offset_;
+  std::uint64_t num_requests_;
+  std::size_t chunk_;
+};
+
 }  // namespace
+
+MultiTraceSource open_multitrace_source(const std::string& path,
+                                        std::size_t chunk_requests) {
+  const std::size_t chunk = chunk_requests == 0 ? kReadChunk : chunk_requests;
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    throw_error(ErrorCode::kIoError, "cannot open " + path, kNoOffset, path);
+
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    corrupt(is, "bad trace magic");
+  const auto version = read_pod<std::uint32_t>(is, "version");
+  if (version != kVersion)
+    corrupt(is, "unsupported trace version " + std::to_string(version));
+  const auto num = read_pod<std::uint32_t>(is, "trace count");
+  const std::uint64_t remaining = remaining_bytes(is);
+  PPG_CHECK(remaining != kNoOffset);  // regular files are seekable
+  if (std::uint64_t{num} * sizeof(std::uint64_t) > remaining)
+    corrupt(is, "declared trace count " + std::to_string(num) +
+                    " exceeds remaining stream bytes (" +
+                    std::to_string(remaining) + ")");
+
+  MultiTraceSource sources;
+  for (std::uint32_t i = 0; i < num; ++i) {
+    const auto len = read_pod<std::uint64_t>(is, "trace length");
+    const std::uint64_t left = remaining_bytes(is);
+    if (len > left / sizeof(PageId))
+      corrupt(is, "declared trace length " + std::to_string(len) +
+                      " exceeds remaining stream bytes (" +
+                      std::to_string(left) + ")");
+    const auto data_offset = static_cast<std::uint64_t>(is.tellg());
+    sources.add(std::make_shared<FileTraceSource>(path, data_offset, len,
+                                                  chunk));
+    is.seekg(static_cast<std::streamoff>(len * sizeof(PageId)),
+             std::ios::cur);
+  }
+  return sources;
+}
 
 void write_multitrace(std::ostream& os, const MultiTrace& mt) {
   os.write(kMagic, sizeof(kMagic));

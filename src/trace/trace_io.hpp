@@ -17,6 +17,7 @@
 #include <string>
 
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 
 namespace ppg {
 
@@ -25,6 +26,18 @@ MultiTrace read_multitrace(std::istream& is);
 
 void save_multitrace(const std::string& path, const MultiTrace& mt);
 MultiTrace load_multitrace(const std::string& path);
+
+/// Opens a PPGTRACE file as per-processor streaming sources without loading
+/// the payloads: the header and every declared trace length are validated
+/// against the file size up front (a torn or truncated record fails here,
+/// with the offending byte offset), then each cursor streams its payload
+/// chunk by chunk through a fixed-size buffer, so peak memory is
+/// O(chunk * open cursors) regardless of file size. Each cursor owns an
+/// independent file handle; rewind seeks. `chunk_requests` sets the buffer
+/// granularity in requests (0 = default, 1<<16). A file truncated *after*
+/// opening surfaces as PpgException(kCorruptTrace) from the cursor.
+MultiTraceSource open_multitrace_source(const std::string& path,
+                                        std::size_t chunk_requests = 0);
 
 /// Text format for interchange with external tools: one request per line
 /// as "<proc> <page>" in decimal; '#' starts a comment; processors may

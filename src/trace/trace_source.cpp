@@ -1,0 +1,254 @@
+#include "trace/trace_source.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace ppg {
+
+namespace {
+
+class VectorTraceCursor final : public TraceCursor {
+ public:
+  explicit VectorTraceCursor(std::shared_ptr<const Trace> trace)
+      : trace_(std::move(trace)) {}
+
+  std::uint64_t position() const override { return position_; }
+  bool done() const override { return position_ >= trace_->size(); }
+  PageId peek() override {
+    PPG_DCHECK(!done());
+    return (*trace_)[static_cast<std::size_t>(position_)];
+  }
+  void advance() override {
+    PPG_DCHECK(!done());
+    ++position_;
+  }
+  CursorCheckpoint checkpoint() const override {
+    return CursorCheckpoint{position_, {}};
+  }
+  void rewind(const CursorCheckpoint& cp) override {
+    PPG_CHECK(cp.position <= trace_->size());
+    position_ = cp.position;
+  }
+
+ private:
+  std::shared_ptr<const Trace> trace_;
+  std::uint64_t position_ = 0;
+};
+
+class ConcatCursor final : public TraceCursor {
+ public:
+  explicit ConcatCursor(std::vector<std::unique_ptr<TraceCursor>> parts)
+      : parts_(std::move(parts)) {
+    starts_.reserve(parts_.size());
+    for (const auto& part : parts_) starts_.push_back(part->checkpoint());
+    skip_finished();
+  }
+
+  std::uint64_t position() const override { return position_; }
+  bool done() const override { return segment_ >= parts_.size(); }
+  PageId peek() override {
+    PPG_DCHECK(!done());
+    return parts_[segment_]->peek();
+  }
+  void advance() override {
+    PPG_DCHECK(!done());
+    parts_[segment_]->advance();
+    ++position_;
+    skip_finished();
+  }
+  CursorCheckpoint checkpoint() const override {
+    CursorCheckpoint cp;
+    cp.position = position_;
+    cp.words.push_back(segment_);
+    if (segment_ < parts_.size()) {
+      const CursorCheckpoint inner = parts_[segment_]->checkpoint();
+      cp.words.push_back(inner.position);
+      cp.words.insert(cp.words.end(), inner.words.begin(), inner.words.end());
+    }
+    return cp;
+  }
+  void rewind(const CursorCheckpoint& cp) override {
+    PPG_CHECK(!cp.words.empty());
+    const auto segment = static_cast<std::size_t>(cp.words[0]);
+    PPG_CHECK(segment <= parts_.size());
+    // Segments after the target may have been partially (or fully)
+    // consumed; reset them to their start so they replay from scratch.
+    for (std::size_t i = segment + 1; i < parts_.size(); ++i)
+      parts_[i]->rewind(starts_[i]);
+    if (segment < parts_.size()) {
+      PPG_CHECK(cp.words.size() >= 2);
+      CursorCheckpoint inner;
+      inner.position = cp.words[1];
+      inner.words.assign(cp.words.begin() + 2, cp.words.end());
+      parts_[segment]->rewind(inner);
+    }
+    segment_ = segment;
+    position_ = cp.position;
+    skip_finished();
+  }
+
+ private:
+  void skip_finished() {
+    while (segment_ < parts_.size() && parts_[segment_]->done()) ++segment_;
+  }
+
+  std::vector<std::unique_ptr<TraceCursor>> parts_;
+  std::vector<CursorCheckpoint> starts_;
+  std::size_t segment_ = 0;
+  std::uint64_t position_ = 0;
+};
+
+class ConcatSource final : public TraceSource {
+ public:
+  explicit ConcatSource(std::vector<std::shared_ptr<const TraceSource>> parts)
+      : parts_(std::move(parts)) {
+    for (const auto& part : parts_) {
+      PPG_CHECK(part != nullptr);
+      total_ += part->num_requests();
+    }
+  }
+
+  std::uint64_t num_requests() const override { return total_; }
+  std::unique_ptr<TraceCursor> cursor() const override {
+    std::vector<std::unique_ptr<TraceCursor>> cursors;
+    cursors.reserve(parts_.size());
+    for (const auto& part : parts_) cursors.push_back(part->cursor());
+    return std::make_unique<ConcatCursor>(std::move(cursors));
+  }
+
+ private:
+  std::vector<std::shared_ptr<const TraceSource>> parts_;
+  std::uint64_t total_ = 0;
+};
+
+// Mirrors gen::rebase_to_proc: compact local ids assigned in
+// first-appearance order. The remap table only ever grows, and ids are a
+// pure function of the first-appearance order of the underlying stream, so
+// mappings learned ahead of a rewind stay correct after it.
+class RebaseCursor final : public TraceCursor {
+ public:
+  RebaseCursor(std::unique_ptr<TraceCursor> inner, ProcId proc)
+      : inner_(std::move(inner)), proc_(proc), start_(inner_->checkpoint()) {}
+
+  std::uint64_t position() const override { return inner_->position(); }
+  bool done() const override { return inner_->done(); }
+  PageId peek() override {
+    if (!cached_) {
+      const auto [it, inserted] =
+          remap_.emplace(inner_->peek(), remap_.size());
+      current_ = make_page(proc_, it->second);
+      cached_ = true;
+      frontier_ = std::max(frontier_, inner_->position() + 1);
+    }
+    return current_;
+  }
+  void advance() override {
+    // Ensure the mapping exists even if the caller never peeked, so later
+    // first appearances still get the right compact id.
+    (void)peek();
+    inner_->advance();
+    cached_ = false;
+  }
+  CursorCheckpoint checkpoint() const override { return inner_->checkpoint(); }
+  void rewind(const CursorCheckpoint& cp) override {
+    cached_ = false;
+    if (cp.position <= frontier_) {
+      // Every first appearance up to cp.position is already in the table;
+      // the replayed suffix reuses the ids assigned on the first pass.
+      inner_->rewind(cp);
+      return;
+    }
+    // The checkpoint was taken on another cursor of the same source and
+    // lies beyond anything this cursor has peeked. Replay the inner stream
+    // from the start so the remap fills in first-appearance order — the id
+    // assignment is a pure function of the stream, so this reproduces
+    // exactly the table the originating cursor had (portable checkpoints
+    // at O(position) rewind cost; boxes never take this path).
+    inner_->rewind(start_);
+    while (inner_->position() < cp.position) advance();
+  }
+
+ private:
+  std::unique_ptr<TraceCursor> inner_;
+  ProcId proc_;
+  CursorCheckpoint start_;
+  std::unordered_map<PageId, std::uint64_t> remap_;
+  PageId current_ = kInvalidPage;
+  bool cached_ = false;
+  /// Positions [0, frontier_) have had their pages recorded in remap_.
+  std::uint64_t frontier_ = 0;
+};
+
+class RebaseSource final : public TraceSource {
+ public:
+  RebaseSource(std::shared_ptr<const TraceSource> inner, ProcId proc)
+      : inner_(std::move(inner)), proc_(proc) {
+    PPG_CHECK(inner_ != nullptr);
+  }
+
+  std::uint64_t num_requests() const override {
+    return inner_->num_requests();
+  }
+  std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<RebaseCursor>(inner_->cursor(), proc_);
+  }
+
+ private:
+  std::shared_ptr<const TraceSource> inner_;
+  ProcId proc_;
+};
+
+}  // namespace
+
+Trace materialize(TraceCursor& cursor, std::size_t size_hint) {
+  std::vector<PageId> reqs;
+  reqs.reserve(size_hint);
+  while (!cursor.done()) {
+    reqs.push_back(cursor.peek());
+    cursor.advance();
+  }
+  return Trace(std::move(reqs));
+}
+
+Trace materialize(const TraceSource& source) {
+  if (const Trace* trace = source.materialized()) return *trace;
+  const auto cursor = source.cursor();
+  return materialize(*cursor, static_cast<std::size_t>(source.num_requests()));
+}
+
+std::unique_ptr<TraceCursor> VectorTraceSource::cursor() const {
+  return std::make_unique<VectorTraceCursor>(trace_);
+}
+
+MultiTraceSource MultiTraceSource::view_of(const MultiTrace& traces) {
+  std::vector<std::shared_ptr<const TraceSource>> sources;
+  sources.reserve(traces.num_procs());
+  for (ProcId i = 0; i < traces.num_procs(); ++i)
+    sources.push_back(VectorTraceSource::view(traces.trace(i)));
+  return MultiTraceSource(std::move(sources));
+}
+
+std::uint64_t MultiTraceSource::total_requests() const {
+  std::uint64_t total = 0;
+  for (const auto& source : sources_) total += source->num_requests();
+  return total;
+}
+
+MultiTrace MultiTraceSource::materialize() const {
+  MultiTrace traces;
+  for (const auto& source : sources_) traces.add(ppg::materialize(*source));
+  return traces;
+}
+
+std::shared_ptr<const TraceSource> concat_source(
+    std::vector<std::shared_ptr<const TraceSource>> parts) {
+  return std::make_shared<ConcatSource>(std::move(parts));
+}
+
+std::shared_ptr<const TraceSource> rebase_source(
+    std::shared_ptr<const TraceSource> inner, ProcId proc) {
+  return std::make_shared<RebaseSource>(std::move(inner), proc);
+}
+
+}  // namespace ppg

@@ -1,0 +1,170 @@
+// Pull-based streaming trace pipeline: the input language of the library.
+//
+// A TraceSource describes one processor's request sequence without requiring
+// it to be resident in memory; a TraceCursor is a single independent pass
+// over that sequence. Generators synthesize requests on demand from their
+// seed, trace files are streamed chunk by chunk, and a materialized Trace
+// vector is just the special case whose source is an adapter (see
+// VectorTraceSource). Every simulator consumes cursors, so peak memory is
+// O(active window) instead of O(total requests).
+//
+// Cursor contract:
+//   - peek() returns the request at position() without consuming it and is
+//     repeatable; advance() consumes it. Both require !done().
+//   - checkpoint() captures the full cursor state in O(1) words;
+//     rewind(checkpoint) restores it exactly, including any generator RNG
+//     state, so the replayed suffix is byte-identical. Checkpoints taken
+//     from one cursor may be rewound on any cursor of the same source.
+//   - Boxes never rewind: a stalled box leaves the peeked request
+//     unconsumed, and the next box resumes at the same position. Rewind
+//     exists for multi-pass analyses and tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace ppg {
+
+/// Opaque snapshot of a cursor's state. `position` is the request index the
+/// cursor will emit next; `words` carries implementation-defined extra state
+/// (generator counters, RNG words). Cheap to take: no trace data is copied.
+struct CursorCheckpoint {
+  std::uint64_t position = 0;
+  std::vector<std::uint64_t> words;
+};
+
+/// One independent pass over a request sequence.
+class TraceCursor {
+ public:
+  virtual ~TraceCursor() = default;
+
+  /// Index of the next request to be emitted, in [0, num_requests].
+  virtual std::uint64_t position() const = 0;
+
+  /// True once every request has been consumed.
+  virtual bool done() const = 0;
+
+  /// The request at position(), without consuming it. Requires !done().
+  /// Repeatable: consecutive peeks return the same page. Non-const because
+  /// lazy implementations may fault in a buffer or assign a page id.
+  virtual PageId peek() = 0;
+
+  /// Consumes the current request. Requires !done().
+  virtual void advance() = 0;
+
+  /// Snapshots the cursor state for rewind().
+  virtual CursorCheckpoint checkpoint() const = 0;
+
+  /// Restores a state previously captured by checkpoint() on a cursor of
+  /// the same source. The replayed stream is byte-identical.
+  virtual void rewind(const CursorCheckpoint& cp) = 0;
+};
+
+/// A (re-)iterable request sequence of known length.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Total number of requests in the sequence.
+  virtual std::uint64_t num_requests() const = 0;
+
+  /// A fresh cursor positioned at the first request.
+  virtual std::unique_ptr<TraceCursor> cursor() const = 0;
+
+  /// If the whole sequence is resident in memory, the backing Trace —
+  /// consumers use this to keep the dense interned fast path. Null for
+  /// lazy (generator / file) sources.
+  virtual const Trace* materialized() const { return nullptr; }
+};
+
+/// Drains a cursor into a materialized Trace. `size_hint` pre-reserves.
+Trace materialize(TraceCursor& cursor, std::size_t size_hint = 0);
+
+/// Materializes a source (returns a copy of the backing vector when the
+/// source is already materialized).
+Trace materialize(const TraceSource& source);
+
+/// Adapter over an existing Trace vector: the materialized special case.
+class VectorTraceSource final : public TraceSource {
+ public:
+  /// Owning: moves the trace into shared storage.
+  explicit VectorTraceSource(Trace trace)
+      : trace_(std::make_shared<const Trace>(std::move(trace))) {}
+
+  /// Shared: several sources/cursors may alias one trace.
+  explicit VectorTraceSource(std::shared_ptr<const Trace> trace)
+      : trace_(std::move(trace)) {
+    PPG_CHECK(trace_ != nullptr);
+  }
+
+  /// Non-owning view; the caller guarantees `trace` outlives the source.
+  static std::shared_ptr<const VectorTraceSource> view(const Trace& trace) {
+    return std::make_shared<const VectorTraceSource>(
+        std::shared_ptr<const Trace>(std::shared_ptr<const Trace>(), &trace));
+  }
+
+  std::uint64_t num_requests() const override { return trace_->size(); }
+  std::unique_ptr<TraceCursor> cursor() const override;
+  const Trace* materialized() const override { return trace_.get(); }
+
+ private:
+  std::shared_ptr<const Trace> trace_;
+};
+
+/// The p per-processor sources of a parallel-paging instance. Cheap to
+/// copy (shared handles); cursors taken from it are independent passes.
+class MultiTraceSource {
+ public:
+  MultiTraceSource() = default;
+  explicit MultiTraceSource(
+      std::vector<std::shared_ptr<const TraceSource>> sources)
+      : sources_(std::move(sources)) {}
+
+  /// Non-owning view over a materialized MultiTrace; the caller guarantees
+  /// `traces` outlives the view (the same contract ParallelEngine already
+  /// imposes on its trace argument).
+  static MultiTraceSource view_of(const MultiTrace& traces);
+
+  ProcId num_procs() const { return static_cast<ProcId>(sources_.size()); }
+  const TraceSource& source(ProcId i) const {
+    PPG_DCHECK(i < sources_.size());
+    return *sources_[i];
+  }
+  const std::shared_ptr<const TraceSource>& source_ptr(ProcId i) const {
+    PPG_DCHECK(i < sources_.size());
+    return sources_[i];
+  }
+
+  void add(std::shared_ptr<const TraceSource> source) {
+    PPG_CHECK(source != nullptr);
+    sources_.push_back(std::move(source));
+  }
+
+  std::uint64_t total_requests() const;
+
+  /// Drains every source into a materialized MultiTrace.
+  MultiTrace materialize() const;
+
+ private:
+  std::vector<std::shared_ptr<const TraceSource>> sources_;
+};
+
+/// Concatenation of several sources, in order. Used by the adversarial
+/// builder to chain prefix phases and the single-use suffix lazily.
+std::shared_ptr<const TraceSource> concat_source(
+    std::vector<std::shared_ptr<const TraceSource>> parts);
+
+/// Streaming counterpart of gen::rebase_to_proc: remaps every page of
+/// `inner` into processor `proc`'s disjoint id space, assigning compact
+/// local ids in first-appearance order (byte-identical to the materialized
+/// rebase). The remap table grows with the number of distinct pages, so
+/// memory is O(distinct), not O(requests).
+std::shared_ptr<const TraceSource> rebase_source(
+    std::shared_ptr<const TraceSource> inner, ProcId proc);
+
+}  // namespace ppg

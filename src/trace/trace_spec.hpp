@@ -1,0 +1,32 @@
+// Round-trippable textual specs for generator-backed instances.
+//
+// A trace spec is a short string like
+//   workload(kind=hetero-mix,p=8,k=64,n=20000,seed=1,s=8)
+//   adversarial(ell=4,a=1,alpha=1,spf=4)
+// that fully determines a MultiTraceSource: the generator family plus every
+// parameter, including the seed. Replay dumps record the spec instead of
+// the request vectors (PPGRPLAY v2), and examples/replay_dump regenerates
+// the instance on load — a few dozen bytes instead of megabytes.
+#pragma once
+
+#include <string>
+
+#include "trace/adversarial.hpp"
+#include "trace/trace_source.hpp"
+#include "trace/workload.hpp"
+
+namespace ppg {
+
+/// Spec for a make_workload_source instance.
+std::string workload_trace_spec(WorkloadKind kind,
+                                const WorkloadParams& params);
+
+/// Spec for a make_adversarial_source instance.
+std::string adversarial_trace_spec(const AdversarialParams& params);
+
+/// Rebuilds the sources a spec describes. Throws PpgException(kBadInput)
+/// on a malformed or unknown spec (specs arrive from replay dumps, which
+/// may be hand-edited or damaged).
+MultiTraceSource make_source_from_trace_spec(const std::string& spec);
+
+}  // namespace ppg

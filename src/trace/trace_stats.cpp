@@ -9,59 +9,92 @@
 
 namespace ppg {
 
-TraceStats compute_trace_stats(const Trace& trace,
+TraceStats compute_trace_stats(TraceCursor& cursor,
                                std::uint32_t max_capacity_log2) {
   TraceStats stats;
-  stats.num_requests = trace.size();
-  stats.distinct_pages = trace.distinct_pages();
-  if (trace.empty()) return stats;
+  OnlineStackDistance online;
+  // Finite distances are bounded by the number of distinct pages, so this
+  // histogram — and the whole fold — is O(distinct) memory.
+  std::vector<std::uint64_t> hist;
+  std::uint64_t cold = 0;
+  std::uint64_t total_finite = 0;
+  std::size_t n = 0;
+  while (!cursor.done()) {
+    const std::uint64_t d = online.access(cursor.peek());
+    cursor.advance();
+    ++n;
+    if (d == kInfiniteDistance) {
+      ++cold;
+      continue;
+    }
+    if (d >= hist.size()) hist.resize(static_cast<std::size_t>(d) + 1, 0);
+    ++hist[static_cast<std::size_t>(d)];
+    ++total_finite;
+  }
+  stats.num_requests = n;
+  stats.distinct_pages = static_cast<std::size_t>(online.num_distinct());
+  if (n == 0) return stats;
   stats.reuse_fraction = 1.0 - static_cast<double>(stats.distinct_pages) /
                                    static_cast<double>(stats.num_requests);
-
-  const std::uint64_t max_tracked = std::uint64_t{1} << max_capacity_log2;
-  const auto distances = stack_distances(trace);
-  std::vector<double> finite;
-  std::uint64_t cold = 0;
-  for (std::uint64_t d : distances) {
-    if (d == kInfiniteDistance)
-      ++cold;
-    else
-      finite.push_back(static_cast<double>(d));
-  }
   stats.cold_miss_fraction =
-      static_cast<double>(cold) / static_cast<double>(trace.size());
-  if (!finite.empty()) {
-    auto mid = finite.begin() + static_cast<std::ptrdiff_t>(finite.size() / 2);
-    std::nth_element(finite.begin(), mid, finite.end());
-    stats.median_stack_distance = static_cast<std::uint64_t>(*mid);
+      static_cast<double>(cold) / static_cast<double>(n);
+
+  // Upper median (sorted rank total/2), matching nth_element on the raw
+  // distance vector.
+  if (total_finite > 0) {
+    const std::uint64_t rank = total_finite / 2;
+    std::uint64_t cum = 0;
+    for (std::size_t d = 0; d < hist.size(); ++d) {
+      cum += hist[d];
+      if (cum > rank) {
+        stats.median_stack_distance = d;
+        break;
+      }
+    }
   }
 
-  // Fault curve from the distance multiset: fault at capacity c iff
-  // distance >= c (or cold).
+  // Fault curve from the histogram: fault at capacity c iff distance >= c
+  // (or cold), i.e. cold + total_finite - #{d < c}.
+  const std::uint64_t max_tracked = std::uint64_t{1} << max_capacity_log2;
+  std::vector<std::uint64_t> below(hist.size() + 1, 0);  // #{d < i}
+  for (std::size_t i = 0; i < hist.size(); ++i) below[i + 1] = below[i] + hist[i];
   stats.lru_fault_curve.reserve(max_capacity_log2 + 1);
   for (std::uint32_t lg = 0; lg <= max_capacity_log2; ++lg) {
     const std::uint64_t c = std::uint64_t{1} << lg;
-    std::uint64_t faults = cold;
-    for (std::uint64_t d : distances)
-      if (d != kInfiniteDistance && d >= c) ++faults;
-    stats.lru_fault_curve.push_back(faults);
+    const std::size_t idx =
+        std::min<std::size_t>(hist.size(), static_cast<std::size_t>(c));
+    stats.lru_fault_curve.push_back(cold + total_finite - below[idx]);
     if (c >= max_tracked) break;
   }
   return stats;
 }
 
-std::vector<std::size_t> working_set_profile(const Trace& trace,
+TraceStats compute_trace_stats(const Trace& trace,
+                               std::uint32_t max_capacity_log2) {
+  const auto cursor = VectorTraceSource::view(trace)->cursor();
+  return compute_trace_stats(*cursor, max_capacity_log2);
+}
+
+std::vector<std::size_t> working_set_profile(TraceCursor& cursor,
                                              std::size_t window) {
   PPG_CHECK(window >= 1);
   std::vector<std::size_t> out;
   std::unordered_set<PageId> seen;
-  for (std::size_t start = 0; start < trace.size(); start += window) {
+  while (!cursor.done()) {
     seen.clear();
-    const std::size_t end = std::min(trace.size(), start + window);
-    for (std::size_t i = start; i < end; ++i) seen.insert(trace[i]);
+    for (std::size_t i = 0; i < window && !cursor.done(); ++i) {
+      seen.insert(cursor.peek());
+      cursor.advance();
+    }
     out.push_back(seen.size());
   }
   return out;
+}
+
+std::vector<std::size_t> working_set_profile(const Trace& trace,
+                                             std::size_t window) {
+  const auto cursor = VectorTraceSource::view(trace)->cursor();
+  return working_set_profile(*cursor, window);
 }
 
 std::string format_trace_stats(const TraceStats& stats) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 
 namespace ppg {
 
@@ -24,9 +25,20 @@ struct TraceStats {
 TraceStats compute_trace_stats(const Trace& trace,
                                std::uint32_t max_capacity_log2 = 16);
 
+/// Single-pass fold over a cursor in O(distinct pages) memory: the median
+/// and fault curve are derived from a distance histogram instead of the
+/// raw per-request vector. The Trace overload delegates here, so the two
+/// agree exactly.
+TraceStats compute_trace_stats(TraceCursor& cursor,
+                               std::uint32_t max_capacity_log2 = 16);
+
 /// Sliding-window working-set sizes: distinct pages per window of the given
 /// length (non-overlapping windows).
 std::vector<std::size_t> working_set_profile(const Trace& trace,
+                                             std::size_t window);
+
+/// Streaming counterpart: O(window) transient memory per window.
+std::vector<std::size_t> working_set_profile(TraceCursor& cursor,
                                              std::size_t window);
 
 std::string format_trace_stats(const TraceStats& stats);

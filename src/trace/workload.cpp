@@ -46,27 +46,31 @@ std::uint64_t rung_spread_ws(const WorkloadParams& params, ProcId proc) {
                                  base << (proc % 4));
 }
 
-Trace make_one(WorkloadKind kind, const WorkloadParams& params, ProcId proc,
-               Rng& rng, std::size_t length) {
+std::shared_ptr<const TraceSource> make_one_source(WorkloadKind kind,
+                                                   const WorkloadParams& params,
+                                                   ProcId proc, const Rng& rng,
+                                                   std::size_t length) {
   const std::uint64_t k = params.cache_size;
   const std::uint64_t p = std::max<std::uint64_t>(1, params.num_procs);
   const std::uint64_t fair_share = std::max<std::uint64_t>(2, k / p);
   switch (kind) {
     case WorkloadKind::kHomogeneousCyclic:
-      return gen::cyclic(2 * fair_share, length);
+      return gen::cyclic_source(2 * fair_share, length);
     case WorkloadKind::kHeterogeneousMix:
       switch (proc % 4) {
-        case 0: return gen::cyclic(rung_spread_ws(params, proc), length);
-        case 1: return gen::zipf(4 * fair_share, length, 0.9, rng);
+        case 0:
+          return gen::cyclic_source(rung_spread_ws(params, proc), length);
+        case 1: return gen::zipf_source(4 * fair_share, length, 0.9, rng);
         case 2:
-          return gen::sawtooth(std::max<std::uint64_t>(2, fair_share / 2),
-                               std::min<std::uint64_t>(k, 4 * fair_share),
-                               std::max<std::size_t>(64, length / 16),
-                               /*num_bursts=*/16, rng);
+          return gen::sawtooth_source(
+              std::max<std::uint64_t>(2, fair_share / 2),
+              std::min<std::uint64_t>(k, 4 * fair_share),
+              std::max<std::size_t>(64, length / 16),
+              /*num_bursts=*/16, rng);
         default:
           // Height-insensitive stream, length-normalized by s so its
           // all-miss completion does not trivially pin the makespan.
-          return gen::single_use(std::max<std::size_t>(
+          return gen::single_use_source(std::max<std::size_t>(
               16, length / std::max<Time>(2, params.miss_cost)));
       }
     case WorkloadKind::kCacheHungry: {
@@ -82,7 +86,7 @@ Trace make_one(WorkloadKind kind, const WorkloadParams& params, ProcId proc,
         const std::uint64_t hungry = k >> (2 + proc);
         if (hungry > 2 * small) w = hungry;
       }
-      return gen::cyclic(w, length);
+      return gen::cyclic_source(w, length);
     }
     case WorkloadKind::kPollutedCycles: {
       // Rung-spread working sets with pollution levels that also vary, so
@@ -90,38 +94,47 @@ Trace make_one(WorkloadKind kind, const WorkloadParams& params, ProcId proc,
       // hit/miss tradeoff the way the paper's prefixes do.
       const std::uint64_t interval =
           std::max<std::uint64_t>(2, p >> (proc % 3));
-      return gen::polluted_cycle(rung_spread_ws(params, proc), length,
-                                 interval);
+      return gen::polluted_cycle_source(rung_spread_ws(params, proc), length,
+                                        interval);
     }
     case WorkloadKind::kZipf:
-      return gen::zipf(std::max<std::uint64_t>(4, 2 * k), length, 1.1, rng);
+      return gen::zipf_source(std::max<std::uint64_t>(4, 2 * k), length, 1.1,
+                              rng);
     case WorkloadKind::kSkewedLengths:
       // Lengths handled by caller; content is a mix.
-      return make_one(WorkloadKind::kHeterogeneousMix, params, proc, rng,
-                      length);
+      return make_one_source(WorkloadKind::kHeterogeneousMix, params, proc,
+                             rng, length);
   }
   PPG_CHECK_MSG(false, "unreachable workload kind");
-  return Trace{};
+  return nullptr;
 }
 
 }  // namespace
 
-MultiTrace make_workload(WorkloadKind kind, const WorkloadParams& params) {
+MultiTraceSource make_workload_source(WorkloadKind kind,
+                                      const WorkloadParams& params) {
   PPG_CHECK(params.num_procs >= 1);
   PPG_CHECK(params.cache_size >= params.num_procs);
   Rng root(params.seed);
-  MultiTrace mt;
+  MultiTraceSource sources;
   for (ProcId proc = 0; proc < params.num_procs; ++proc) {
-    Rng rng = root.fork();
+    // One fork per processor, exactly as the materialized builder always
+    // did; the per-processor generator takes the forked state by value.
+    const Rng rng = root.fork();
     std::size_t length = params.requests_per_proc;
     if (kind == WorkloadKind::kSkewedLengths) {
       // Geometric spread: processor i gets length / 2^(i mod 4), so
       // completion times differ by up to 8x — stresses mean completion.
       length = std::max<std::size_t>(16, length >> (proc % 4));
     }
-    Trace local = make_one(kind, params, proc, rng, length);
-    mt.add(gen::rebase_to_proc(local, proc));
+    sources.add(rebase_source(
+        make_one_source(kind, params, proc, rng, length), proc));
   }
+  return sources;
+}
+
+MultiTrace make_workload(WorkloadKind kind, const WorkloadParams& params) {
+  MultiTrace mt = make_workload_source(kind, params).materialize();
   PPG_DCHECK(mt.validate_disjoint());
   return mt;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 #include "util/rng.hpp"
 
 namespace ppg {
@@ -41,7 +42,15 @@ const char* workload_kind_name(WorkloadKind kind);
 std::optional<WorkloadKind> parse_workload_kind(const std::string& name);
 
 /// Builds the requested workload. Page sets are processor-disjoint.
+/// Implemented by draining make_workload_source, so the materialized and
+/// streamed instances are byte-identical by construction.
 MultiTrace make_workload(WorkloadKind kind, const WorkloadParams& params);
+
+/// The lazy counterpart: per-processor generator-backed sources that
+/// synthesize the same requests on demand from the seed, in O(1) memory
+/// per cursor (plus the per-processor rebase table, O(distinct pages)).
+MultiTraceSource make_workload_source(WorkloadKind kind,
+                                      const WorkloadParams& params);
 
 /// All kinds, for sweep loops.
 std::vector<WorkloadKind> all_workload_kinds();

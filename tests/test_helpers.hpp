@@ -19,12 +19,6 @@ class FakeView final : public EngineView {
   }
   ProcId active_count() const override { return count_; }
   bool is_active(ProcId proc) const override { return active_[proc]; }
-  std::vector<ProcId> active_list() const override {
-    std::vector<ProcId> out;
-    for (ProcId i = 0; i < active_.size(); ++i)
-      if (active_[i]) out.push_back(i);
-    return out;
-  }
 
   void finish(ProcId proc) {
     if (active_[proc]) {

@@ -84,7 +84,7 @@ std::vector<InstanceCell> make_cells() {
       wp.requests_per_proc = 400;
       wp.seed = cell_seed(5, index++);
       InstanceCell cell;
-      cell.traces = make_workload(wkind, wp);
+      cell.sources = make_workload_source(wkind, wp);
       cell.kinds = all_scheduler_kinds();
       cell.config.cache_size = wp.cache_size;
       cell.config.miss_cost = 8;

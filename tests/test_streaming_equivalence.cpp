@@ -1,0 +1,322 @@
+// Byte-identical-equivalence suite for the streaming pipeline: every
+// scheduler, runner and harness entry point must produce exactly the same
+// metrics whether the instance is materialized up front or pulled lazily
+// from generator sources. Equivalence is by construction (the materialized
+// builders drain the streaming cursors), and this suite pins it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/global_lru.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/replay.hpp"
+#include "core/scheduler_factory.hpp"
+#include "bench_support/experiment.hpp"
+#include "green/box_runner.hpp"
+#include "green/policy_box_runner.hpp"
+#include "opt/opt_bounds.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_source.hpp"
+#include "trace/trace_spec.hpp"
+#include "trace/workload.hpp"
+#include "util/error.hpp"
+
+namespace ppg {
+namespace {
+
+void expect_same_result(const ParallelRunResult& a, const ParallelRunResult& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.makespan, b.makespan) << label;
+  EXPECT_EQ(a.completion, b.completion) << label;
+  EXPECT_EQ(a.mean_completion, b.mean_completion) << label;
+  EXPECT_EQ(a.hits, b.hits) << label;
+  EXPECT_EQ(a.misses, b.misses) << label;
+  EXPECT_EQ(a.num_boxes, b.num_boxes) << label;
+  EXPECT_EQ(a.total_stall, b.total_stall) << label;
+  EXPECT_EQ(a.total_impact, b.total_impact) << label;
+  EXPECT_EQ(a.peak_concurrent_height, b.peak_concurrent_height) << label;
+  EXPECT_EQ(a.effective_augmentation, b.effective_augmentation) << label;
+}
+
+WorkloadParams small_params() {
+  WorkloadParams wp;
+  wp.num_procs = 4;
+  wp.cache_size = 16;
+  wp.requests_per_proc = 500;
+  wp.seed = 23;
+  wp.miss_cost = 4;
+  return wp;
+}
+
+TEST(StreamingEquivalence, EverySchedulerMatchesMaterialized) {
+  const WorkloadParams wp = small_params();
+  for (const WorkloadKind wkind :
+       {WorkloadKind::kHeterogeneousMix, WorkloadKind::kCacheHungry}) {
+    const MultiTrace traces = make_workload(wkind, wp);
+    const MultiTraceSource sources = make_workload_source(wkind, wp);
+
+    EngineConfig ec;
+    ec.cache_size = wp.cache_size;
+    ec.miss_cost = wp.miss_cost;
+    ec.seed = 9;
+    for (const SchedulerKind kind : all_scheduler_kinds()) {
+      // Fresh scheduler per run: randomized schedulers must see identical
+      // seeds and draw identical streams in both modes.
+      const auto dense = make_scheduler(kind, /*seed=*/9);
+      const ParallelRunResult a = run_parallel(traces, *dense, ec);
+      const auto streamed = make_scheduler(kind, /*seed=*/9);
+      const ParallelRunResult b = run_parallel(sources, *streamed, ec);
+      expect_same_result(a, b, std::string(scheduler_kind_name(kind)) + "/" +
+                                   workload_kind_name(wkind));
+    }
+  }
+}
+
+TEST(StreamingEquivalence, GlobalLruMatchesMaterialized) {
+  const WorkloadParams wp = small_params();
+  const MultiTrace traces = make_workload(WorkloadKind::kZipf, wp);
+  const MultiTraceSource sources =
+      make_workload_source(WorkloadKind::kZipf, wp);
+  GlobalLruConfig gc;
+  gc.cache_size = wp.cache_size;
+  gc.miss_cost = wp.miss_cost;
+  expect_same_result(run_global_lru(traces, gc), run_global_lru(sources, gc),
+                     "GLOBAL-LRU");
+}
+
+TEST(StreamingEquivalence, RunInstanceMatchesMaterialized) {
+  const WorkloadParams wp = small_params();
+  const MultiTrace traces = make_workload(WorkloadKind::kPollutedCycles, wp);
+  const MultiTraceSource sources =
+      make_workload_source(WorkloadKind::kPollutedCycles, wp);
+
+  ExperimentConfig config;
+  config.cache_size = wp.cache_size;
+  config.miss_cost = wp.miss_cost;
+  config.seed = 3;
+  const InstanceOutcome a =
+      run_instance(traces, all_scheduler_kinds(), config);
+  const InstanceOutcome b =
+      run_instance(sources, all_scheduler_kinds(), config);
+
+  EXPECT_EQ(a.bounds.lower_bound(), b.bounds.lower_bound());
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].name, b.outcomes[i].name);
+    EXPECT_EQ(a.outcomes[i].status.ok(), b.outcomes[i].status.ok());
+    expect_same_result(a.outcomes[i].result, b.outcomes[i].result,
+                       a.outcomes[i].name);
+    EXPECT_EQ(a.outcomes[i].makespan_ratio, b.outcomes[i].makespan_ratio);
+    EXPECT_EQ(a.outcomes[i].mean_ct_ratio, b.outcomes[i].mean_ct_ratio);
+  }
+}
+
+TEST(StreamingEquivalence, OptBoundsMatchMaterialized) {
+  const WorkloadParams wp = small_params();
+  const MultiTrace traces = make_workload(WorkloadKind::kCacheHungry, wp);
+  const MultiTraceSource sources =
+      make_workload_source(WorkloadKind::kCacheHungry, wp);
+  OptBoundsConfig bc;
+  bc.cache_size = wp.cache_size;
+  bc.miss_cost = wp.miss_cost;
+  const OptBounds a = compute_opt_bounds(traces, bc);
+  const OptBounds b = compute_opt_bounds(sources, bc);
+  EXPECT_EQ(a.lower_bound(), b.lower_bound());
+  EXPECT_EQ(a.lb_max_length, b.lb_max_length);
+  EXPECT_EQ(a.lb_max_single, b.lb_max_single);
+  EXPECT_EQ(a.lb_impact, b.lb_impact);
+}
+
+TEST(StreamingEquivalence, BoxRunnerStreamingModeMatchesDense) {
+  const Trace trace = gen::polluted_cycle(9, 400, 5);
+  const auto view = VectorTraceSource::view(trace);
+
+  BoxRunner dense(trace, /*miss_cost=*/6);
+  // The cursor constructor forces streaming mode even though the payload
+  // is resident — the two modes must agree box by box.
+  BoxRunner streaming(view->cursor(), /*miss_cost=*/6);
+
+  const struct {
+    Height h;
+    Time d;
+  } boxes[] = {{4, 40}, {2, 16}, {8, 100}, {1, 9}, {16, 300}, {8, 500}};
+  for (const auto& box : boxes) {
+    const BoxStepResult a = dense.run_box(box.h, box.d);
+    const BoxStepResult b = streaming.run_box(box.h, box.d);
+    EXPECT_EQ(a.requests_completed, b.requests_completed);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.busy_time, b.busy_time);
+    EXPECT_EQ(a.stall_time, b.stall_time);
+    EXPECT_EQ(a.finished, b.finished);
+    EXPECT_EQ(dense.position(), streaming.position());
+    if (a.finished) break;
+  }
+  EXPECT_EQ(dense.total_hits(), streaming.total_hits());
+  EXPECT_EQ(dense.total_misses(), streaming.total_misses());
+
+  // reset() rewinds the streaming cursor to its initial state.
+  dense.reset();
+  streaming.reset();
+  const BoxStepResult a = dense.run_box(4, 40);
+  const BoxStepResult b = streaming.run_box(4, 40);
+  EXPECT_EQ(a.requests_completed, b.requests_completed);
+  EXPECT_EQ(a.misses, b.misses);
+}
+
+TEST(StreamingEquivalence, RunProfileMatchesOverGeneratorSource) {
+  Rng rng(41);
+  const auto source = gen::zipf_source(30, 600, 1.0, rng);
+  const Trace trace = materialize(*source);
+
+  BoxProfile profile;
+  for (int i = 0; i < 128; ++i)
+    profile.push_back(canonical_box(static_cast<Height>(1u << (i % 5)), 64));
+
+  const ProfileRunResult a = run_profile(trace, profile, /*miss_cost=*/8);
+  const ProfileRunResult b = run_profile(*source, profile, /*miss_cost=*/8);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.impact, b.impact);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.boxes_used, b.boxes_used);
+}
+
+TEST(StreamingEquivalence, PolicyRunnerStreamsOnlinePolicies) {
+  const Trace trace = gen::polluted_cycle(7, 300, 4);
+  const auto view = VectorTraceSource::view(trace);
+  for (const PolicyKind kind :
+       {PolicyKind::kLru, PolicyKind::kFifo, PolicyKind::kClock,
+        PolicyKind::kRandom, PolicyKind::kLfu, PolicyKind::kMru,
+        PolicyKind::kSlru, PolicyKind::kArc}) {
+    PolicyBoxRunner dense(trace, /*miss_cost=*/5, kind, /*seed=*/3);
+    PolicyBoxRunner streaming(view->cursor(), /*miss_cost=*/5, kind,
+                              /*seed=*/3);
+    while (true) {
+      const BoxStepResult a = dense.run_box(8, 120);
+      const BoxStepResult b = streaming.run_box(8, 120);
+      ASSERT_EQ(a.requests_completed, b.requests_completed)
+          << "policy " << static_cast<int>(kind);
+      ASSERT_EQ(a.misses, b.misses);
+      ASSERT_EQ(a.finished, b.finished);
+      if (a.finished) break;
+    }
+  }
+}
+
+TEST(StreamingEquivalence, StreamingBeladyIsRejected) {
+  const Trace trace = gen::cyclic(4, 20);
+  const auto view = VectorTraceSource::view(trace);
+  // Dense mode (Trace or materialized source) supports the clairvoyant
+  // policy; a raw cursor cannot.
+  PolicyBoxRunner ok(*view, /*miss_cost=*/2, PolicyKind::kBelady);
+  EXPECT_DEATH(PolicyBoxRunner(view->cursor(), 2, PolicyKind::kBelady), "");
+}
+
+// --- Replay dump v2 --------------------------------------------------------
+
+TEST(ReplayDumpV2, SpecBackedDumpRoundTripsWithoutVectors) {
+  ReplayDump dump;
+  dump.cache_size = 32;
+  dump.miss_cost = 8;
+  dump.seed = 5;
+  dump.scheduler_spec = "DET-PAR";
+  dump.trace_spec = "workload(kind=zipf,p=2,k=32,n=100,seed=5,s=8)";
+  dump.has_traces = false;
+  dump.reason = Error{};
+
+  const std::string path = testing::TempDir() + "ppg_spec_dump.ppgreplay";
+  save_replay_dump(path, dump);
+  const ReplayDump back = load_replay_dump(path);
+  EXPECT_EQ(back.trace_spec, dump.trace_spec);
+  EXPECT_FALSE(back.has_traces);
+  EXPECT_EQ(back.traces.num_procs(), 0u);
+  EXPECT_EQ(back.scheduler_spec, "DET-PAR");
+
+  // Replay regenerates the instance from the spec and completes clean.
+  const CheckedRun rerun = run_replay(back);
+  EXPECT_TRUE(rerun.status.ok());
+  EXPECT_GT(rerun.result.makespan, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayDumpV2, SpecBackedReplayMatchesEmbeddedReplay) {
+  WorkloadParams wp;
+  wp.num_procs = 2;
+  wp.cache_size = 32;
+  wp.requests_per_proc = 100;
+  wp.seed = 5;
+  wp.miss_cost = 8;
+
+  ReplayDump embedded;
+  embedded.cache_size = 32;
+  embedded.miss_cost = 8;
+  embedded.seed = 5;
+  embedded.scheduler_spec = "DET-PAR";
+  embedded.traces = make_workload(WorkloadKind::kZipf, wp);
+
+  ReplayDump spec_backed = embedded;
+  spec_backed.traces = MultiTrace{};
+  spec_backed.has_traces = false;
+  spec_backed.trace_spec = workload_trace_spec(WorkloadKind::kZipf, wp);
+
+  const CheckedRun a = run_replay(embedded);
+  const CheckedRun b = run_replay(spec_backed);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(a.result.makespan, b.result.makespan);
+  EXPECT_EQ(a.result.misses, b.result.misses);
+  EXPECT_EQ(a.result.completion, b.result.completion);
+}
+
+TEST(ReplayDumpV2, DumpWithNeitherTracesNorSpecIsNotReplayable) {
+  ReplayDump dump;
+  dump.cache_size = 8;
+  dump.scheduler_spec = "EQUI";
+  dump.has_traces = false;
+  try {
+    run_replay(dump);
+    FAIL() << "replayed a dump with no traces and no spec";
+  } catch (const PpgException& e) {
+    EXPECT_EQ(e.error().code, ErrorCode::kBadInput);
+  }
+}
+
+TEST(ReplayDumpV2, EngineRecordsSpecInsteadOfVectors) {
+  WorkloadParams wp;
+  wp.num_procs = 2;
+  wp.cache_size = 8;
+  wp.requests_per_proc = 200;
+  wp.seed = 3;
+  wp.miss_cost = 4;
+
+  EngineConfig ec;
+  ec.cache_size = wp.cache_size;
+  ec.miss_cost = wp.miss_cost;
+  ec.scheduler_spec = "RAND-PAR";
+  ec.trace_spec = workload_trace_spec(WorkloadKind::kHomogeneousCyclic, wp);
+  ec.replay_dump_path = testing::TempDir() + "ppg_engine_spec.ppgreplay";
+  // Force a watchdog failure so the engine writes a dump.
+  ec.max_time = 1;
+
+  const auto scheduler = make_scheduler(SchedulerKind::kRandPar, 3);
+  const CheckedRun run = run_parallel_checked(
+      make_workload_source(WorkloadKind::kHomogeneousCyclic, wp), *scheduler,
+      ec);
+  ASSERT_FALSE(run.status.ok());
+  ASSERT_FALSE(run.status.replay_dump_path.empty());
+
+  const ReplayDump dump = load_replay_dump(run.status.replay_dump_path);
+  EXPECT_FALSE(dump.has_traces);
+  EXPECT_EQ(dump.trace_spec, ec.trace_spec);
+  EXPECT_EQ(dump.traces.num_procs(), 0u);
+  std::remove(run.status.replay_dump_path.c_str());
+}
+
+}  // namespace
+}  // namespace ppg

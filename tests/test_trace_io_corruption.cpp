@@ -4,7 +4,9 @@
 // the corrupt value.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -140,6 +142,110 @@ TEST(TraceIoCorruption, TextReaderSkipsCommentsAndBlanks) {
   ASSERT_EQ(mt.num_procs(), 2u);
   EXPECT_EQ(mt.trace(0).requests(), (std::vector<PageId>{3, 4}));
   EXPECT_EQ(mt.trace(1).requests(), (std::vector<PageId>{7}));
+}
+
+// --- Chunked streaming reader (open_multitrace_source) ---------------------
+
+class StreamingReaderCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "ppg_corrupt_stream.ppgtrace";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void write_bytes(const std::string& bytes) {
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path_;
+};
+
+TEST_F(StreamingReaderCorruption, StreamsIntactFileThroughTinyChunks) {
+  write_bytes(serialized());
+  // chunk_requests=2 forces a refill every other request; the reader must
+  // hide the chunking entirely, including EOF landing inside a chunk.
+  const MultiTraceSource sources = open_multitrace_source(path_, 2);
+  EXPECT_TRUE(sources.materialize().traces() == sample().traces());
+}
+
+TEST_F(StreamingReaderCorruption, EofExactlyAtChunkBoundary) {
+  // First trace has 5 requests; a 5-request chunk makes the payload end
+  // exactly where the buffer does, and the second trace (3 requests) ends
+  // mid-chunk. Both boundaries must read cleanly.
+  write_bytes(serialized());
+  const MultiTraceSource sources = open_multitrace_source(path_, 5);
+  EXPECT_TRUE(sources.materialize().traces() == sample().traces());
+  // Also chunk == total payload and chunk > payload.
+  for (const std::size_t chunk : {std::size_t{8}, std::size_t{64}}) {
+    const MultiTraceSource again = open_multitrace_source(path_, chunk);
+    EXPECT_TRUE(again.materialize().traces() == sample().traces());
+  }
+}
+
+TEST_F(StreamingReaderCorruption, TruncationAtEveryByteIsRejectedAtOpen) {
+  // A torn record — the file ends before the lengths declared in its
+  // header — must fail at open_multitrace_source time, before any cursor
+  // touches the payload.
+  const std::string bytes = serialized();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    write_bytes(bytes.substr(0, cut));
+    try {
+      open_multitrace_source(path_, 4);
+      FAIL() << "opened a file truncated to " << cut << " of "
+             << bytes.size() << " bytes";
+    } catch (const PpgException& e) {
+      EXPECT_TRUE(e.error().code == ErrorCode::kCorruptTrace ||
+                  e.error().code == ErrorCode::kIoError)
+          << "cut=" << cut << ": " << e.error().to_string();
+    }
+  }
+}
+
+TEST_F(StreamingReaderCorruption, MissingFileIsAnIoError) {
+  try {
+    open_multitrace_source(path_ + ".does-not-exist");
+    FAIL() << "opened a nonexistent file";
+  } catch (const PpgException& e) {
+    EXPECT_EQ(e.error().code, ErrorCode::kIoError);
+  }
+}
+
+TEST_F(StreamingReaderCorruption, HugeDeclaredLengthIsRejectedAtOpen) {
+  std::string bytes = serialized();
+  const std::uint64_t huge = std::uint64_t{1} << 61;
+  std::memcpy(bytes.data() + 16, &huge, sizeof(huge));
+  write_bytes(bytes);
+  try {
+    open_multitrace_source(path_, 4);
+    FAIL() << "accepted a 2^61-request trace length";
+  } catch (const PpgException& e) {
+    EXPECT_EQ(e.error().code, ErrorCode::kCorruptTrace);
+  }
+}
+
+TEST_F(StreamingReaderCorruption, TruncationAfterOpenSurfacesFromCursor) {
+  // The validated file shrinks between open and read (torn rewrite,
+  // vanished NFS page): the cursor must surface kCorruptTrace, not crash
+  // or return garbage.
+  const std::string bytes = serialized();
+  write_bytes(bytes);
+  const MultiTraceSource sources = open_multitrace_source(path_, 2);
+  // Cut the file inside the first trace's payload (header is 16 bytes,
+  // then u64 length, then 5 * 8 payload bytes).
+  write_bytes(bytes.substr(0, 16 + 8 + 2 * 8));
+  auto cursor = sources.source(0).cursor();
+  try {
+    while (!cursor->done()) {
+      (void)cursor->peek();
+      cursor->advance();
+    }
+    FAIL() << "streamed past the torn payload";
+  } catch (const PpgException& e) {
+    EXPECT_TRUE(e.error().code == ErrorCode::kCorruptTrace ||
+                e.error().code == ErrorCode::kIoError)
+        << e.error().to_string();
+  }
 }
 
 }  // namespace

@@ -19,7 +19,7 @@
 #include "opt/opt_bounds.hpp"
 #include "trace/workload.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
@@ -142,4 +142,8 @@ int main(int argc, char** argv) {
                "on impact-bound workloads; stalling between waves wastes "
                "time that fillers recover.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ppg::bench::guarded_main(run_bench, argc, argv);
 }

@@ -26,7 +26,7 @@
 #include "trace/workload.hpp"
 #include "util/rng.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
@@ -165,4 +165,8 @@ int main(int argc, char** argv) {
                "(small s caps that loss via miss-serving, hence the "
                "dedicated large-s row).\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ppg::bench::guarded_main(run_bench, argc, argv);
 }

@@ -17,7 +17,7 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
@@ -105,4 +105,8 @@ int main(int argc, char** argv) {
                "spreads — but bounded by the compartment length, unlike "
                "the unbounded whole-trace gaps of E9.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ppg::bench::guarded_main(run_bench, argc, argv);
 }

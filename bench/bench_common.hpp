@@ -28,6 +28,19 @@ inline void reject_unknown_options(const ArgParser& args) {
   throw std::invalid_argument(msg);
 }
 
+/// Standard bench entry point wrapper: recoverable failures (malformed
+/// flags, corrupt trace input — anything carried by ppg::Error or a std
+/// exception) print `error: [code] message` and exit 1 instead of
+/// std::terminate, matching the examples' contract.
+inline int guarded_main(int (*body)(int, char**), int argc, char** argv) {
+  try {
+    return body(argc, argv);
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+}
+
 inline void banner(const std::string& id, const std::string& title,
                    const std::string& claim) {
   std::cout << "\n================================================================\n"

@@ -55,7 +55,7 @@ constexpr std::size_t kNumCases = 3;
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
@@ -246,4 +246,8 @@ int main(int argc, char** argv) {
                "free); FIXED-MAX greenwashes -- fine on some prefixes, "
                "terrible on others.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ppg::bench::guarded_main(run_bench, argc, argv);
 }

@@ -37,7 +37,7 @@
 #include "opt/opt_bounds.hpp"
 #include "trace/adversarial.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
@@ -155,4 +155,8 @@ int main(int argc, char** argv) {
                "greedily-green allocation (and DET-PAR is one, Corollary 2) "
                "crawl at miss speed.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ppg::bench::guarded_main(run_bench, argc, argv);
 }

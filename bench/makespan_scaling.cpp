@@ -21,7 +21,7 @@
 #include "trace/trace_spec.hpp"
 #include "trace/workload.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
@@ -131,4 +131,8 @@ int main(int argc, char** argv) {
                "STATIC/EQUI degrade on height-sensitive workloads; ratios "
                "overstate the truth since T_LB <= T_OPT.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ppg::bench::guarded_main(run_bench, argc, argv);
 }

@@ -18,7 +18,7 @@
 #include "trace/trace_spec.hpp"
 #include "trace/workload.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
@@ -114,4 +114,8 @@ int main(int argc, char** argv) {
                "completion well below makespan (short jobs finish early); "
                "STATIC lets stragglers dominate both metrics.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ppg::bench::guarded_main(run_bench, argc, argv);
 }

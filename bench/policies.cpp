@@ -13,7 +13,9 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int run_bench(int argc, char** /*argv*/) {
+  if (argc > 1)
+    throw std::invalid_argument("this bench takes no arguments");
   using namespace ppg;
   bench::banner(
       "E9", "Sequential policy comparison and augmentation",
@@ -79,4 +81,8 @@ int main() {
                "(the classic k-competitiveness wall, why augmentation is "
                "part of the model).\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ppg::bench::guarded_main(run_bench, argc, argv);
 }

@@ -18,7 +18,7 @@
 #include "opt/opt_bounds.hpp"
 #include "trace/workload.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
@@ -103,4 +103,8 @@ int main(int argc, char** argv) {
                "an asymptotic gap over the deterministic one, consistent "
                "with the conjecture.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ppg::bench::guarded_main(run_bench, argc, argv);
 }

@@ -19,7 +19,7 @@
 #include "core/scheduler_factory.hpp"
 #include "trace/shared_workload.hpp"
 
-int main(int argc, char** argv) {
+int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
@@ -102,4 +102,8 @@ int main(int argc, char** argv) {
                "region crowd the compartments while the pool keeps one — "
                "and the gap widens with p (more duplicates).\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return ppg::bench::guarded_main(run_bench, argc, argv);
 }

@@ -20,7 +20,7 @@
 #include "util/arg_parse.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+int run_study(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
@@ -94,4 +94,13 @@ int main(int argc, char** argv) {
                "finished programs; GLOBAL-LRU lets streaming programs "
                "pollute everyone's working set.\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_study(argc, argv);
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
 }

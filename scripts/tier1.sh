@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full build + test suite, then the robustness
-# tests (fault injection, trace corruption, replay) again under ASan/UBSan,
-# then the parallel-sweep determinism suite raced under ThreadSanitizer,
-# then the quick perf snapshot (which also checks --jobs byte-identity).
+# Tier-1 verification: warnings-as-errors build + full test suite (which
+# includes the PpgLint.Repo gate), then the static-analysis gate
+# (scripts/static.sh: ppg_lint, header self-containedness, clang-tidy /
+# cppcheck when available), then the robustness tests (fault injection,
+# trace corruption, replay) again under ASan/UBSan, then the parallel-sweep
+# determinism suite raced under ThreadSanitizer, then the quick perf
+# snapshot (which also checks --jobs byte-identity).
+#
+# PPG_WERROR is ON here by design: a warning regression fails tier-1 even
+# though plain developer builds stay permissive.
 #
 # Usage: scripts/tier1.sh [sanitizer]
 #   sanitizer: address (default) | undefined | none
@@ -11,12 +17,14 @@ cd "$(dirname "$0")/.."
 
 SAN="${1:-address}"
 
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DPPG_WERROR=ON >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
+scripts/static.sh --format-check
+
 if [[ "${SAN}" != "none" ]]; then
-  cmake -B "build-${SAN}" -S . -DPPG_SANITIZE="${SAN}" \
+  cmake -B "build-${SAN}" -S . -DPPG_SANITIZE="${SAN}" -DPPG_WERROR=ON \
         -DPPG_BUILD_BENCH=OFF -DPPG_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "build-${SAN}" -j "$(nproc)"
   (cd "build-${SAN}" &&
@@ -26,7 +34,7 @@ if [[ "${SAN}" != "none" ]]; then
   # Race the thread pool and sweep executor under TSan: the determinism
   # suite runs every sweep at --jobs 1/2/hardware, so a data race in the
   # parallel path surfaces here even on a single-core host.
-  cmake -B build-thread -S . -DPPG_SANITIZE=thread \
+  cmake -B build-thread -S . -DPPG_SANITIZE=thread -DPPG_WERROR=ON \
         -DPPG_BUILD_BENCH=OFF -DPPG_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-thread -j "$(nproc)"
   (cd build-thread &&

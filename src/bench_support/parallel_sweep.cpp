@@ -1,7 +1,6 @@
 #include "bench_support/parallel_sweep.hpp"
 
-#include <stdexcept>
-
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace ppg {
@@ -16,10 +15,11 @@ std::size_t jobs_from_args(const ArgParser& args) {
   } catch (const std::exception&) {
     pos = 0;
   }
-  if (pos != value.size() || parsed < 0)
-    throw std::invalid_argument(
-        "--jobs expects a non-negative integer or 'max', got '" + value +
-        "'");
+  if (pos != value.size() || parsed < 0) {
+    throw_error(ErrorCode::kBadInput,
+                "--jobs expects a non-negative integer or 'max', got '" +
+                    value + "'");
+  }
   return parsed == 0 ? ThreadPool::hardware_jobs()
                      : static_cast<std::size_t>(parsed);
 }

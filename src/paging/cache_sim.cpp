@@ -19,7 +19,7 @@ bool CacheSim::access(PageId page) {
     return true;
   }
   if (resident_count_ == capacity_) {
-    const PageId victim = policy_->evict();
+    [[maybe_unused]] const PageId victim = policy_->evict();
     PPG_DCHECK(!policy_->contains(victim));
   } else {
     ++resident_count_;

@@ -53,6 +53,8 @@ void OnlineStackDistance::compact() {
   // compaction are unchanged.
   std::vector<std::pair<std::uint64_t, PageId>> order;
   order.reserve(slot_of_.size());
+  // Drained pairs are sorted below before any use, so the map's order never
+  // escapes this function. ppg-lint: allow(unordered-iter)
   for (const auto& [page, slot] : slot_of_) order.emplace_back(slot, page);
   std::sort(order.begin(), order.end());
   tree_.assign(std::max<std::size_t>(16, 2 * order.size() + 2), 0);

@@ -1,6 +1,6 @@
 #include "util/arg_parse.hpp"
 
-#include <stdexcept>
+#include "util/error.hpp"
 
 namespace ppg {
 
@@ -12,7 +12,7 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
       continue;
     }
     const std::string body = arg.substr(2);
-    if (body.empty()) throw std::invalid_argument("bare '--' argument");
+    if (body.empty()) throw_error(ErrorCode::kBadInput, "bare '--' argument");
     if (const auto eq = body.find('='); eq != std::string::npos) {
       options_[body.substr(0, eq)] = body.substr(eq + 1);
       continue;
@@ -44,30 +44,39 @@ std::int64_t ArgParser::get_int(const std::string& key,
   queried_[key] = true;
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
+  std::size_t pos = 0;
+  std::int64_t value = 0;
+  bool parsed = true;
   try {
-    std::size_t pos = 0;
-    const std::int64_t value = std::stoll(it->second, &pos);
-    if (pos != it->second.size()) throw std::invalid_argument(it->second);
-    return value;
+    value = std::stoll(it->second, &pos);
   } catch (const std::exception&) {
-    throw std::invalid_argument("--" + key + " expects an integer, got '" +
-                                it->second + "'");
+    parsed = false;
   }
+  if (!parsed || pos != it->second.size()) {
+    throw_error(ErrorCode::kBadInput, "--" + key +
+                                          " expects an integer, got '" +
+                                          it->second + "'");
+  }
+  return value;
 }
 
 double ArgParser::get_double(const std::string& key, double fallback) const {
   queried_[key] = true;
   const auto it = options_.find(key);
   if (it == options_.end()) return fallback;
+  std::size_t pos = 0;
+  double value = 0.0;
+  bool parsed = true;
   try {
-    std::size_t pos = 0;
-    const double value = std::stod(it->second, &pos);
-    if (pos != it->second.size()) throw std::invalid_argument(it->second);
-    return value;
+    value = std::stod(it->second, &pos);
   } catch (const std::exception&) {
-    throw std::invalid_argument("--" + key + " expects a number, got '" +
-                                it->second + "'");
+    parsed = false;
   }
+  if (!parsed || pos != it->second.size()) {
+    throw_error(ErrorCode::kBadInput, "--" + key + " expects a number, got '" +
+                                          it->second + "'");
+  }
+  return value;
 }
 
 bool ArgParser::get_bool(const std::string& key, bool fallback) const {
@@ -78,8 +87,8 @@ bool ArgParser::get_bool(const std::string& key, bool fallback) const {
     return true;
   if (it->second == "false" || it->second == "0" || it->second == "no")
     return false;
-  throw std::invalid_argument("--" + key + " expects a boolean, got '" +
-                              it->second + "'");
+  throw_error(ErrorCode::kBadInput, "--" + key + " expects a boolean, got '" +
+                                        it->second + "'");
 }
 
 std::vector<std::string> ArgParser::unused_keys() const {

@@ -14,7 +14,8 @@ namespace ppg {
 
 class ArgParser {
  public:
-  /// Parses argv; throws std::invalid_argument on malformed input.
+  /// Parses argv; throws ppg::PpgException (ErrorCode::kBadInput) on
+  /// malformed input.
   ArgParser(int argc, const char* const* argv);
 
   bool has(const std::string& key) const;

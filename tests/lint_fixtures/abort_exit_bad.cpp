@@ -1,0 +1,4 @@
+// Violates abort-exit (library realm): kills the process outside PPG_CHECK.
+#include <cstdlib>
+
+void die() { std::abort(); }

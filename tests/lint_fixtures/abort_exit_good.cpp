@@ -1,0 +1,5 @@
+// Clean: invariant failures go through PPG_CHECK (whose expansion lives in
+// util/assert.hpp, a designated exception).
+#include "util/assert.hpp"
+
+void check(int value) { PPG_CHECK(value >= 0); }

@@ -1,0 +1,5 @@
+// Same violation, silenced file-wide to exercise allow-file.
+// ppg-lint: allow-file(abort-exit)
+#include <cstdlib>
+
+void die() { std::abort(); }

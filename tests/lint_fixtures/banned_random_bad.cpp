@@ -1,0 +1,7 @@
+// Violates banned-random: direct <random> engine instead of ppg::Rng.
+#include <random>
+
+int draw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,10 @@
+// Clean: randomness flows through util/rng.hpp. A comment naming
+// std::rand or std::random_device must not trigger the rule.
+#include "util/rng.hpp"
+
+int draw() {
+  ppg::Rng rng(42);
+  return static_cast<int>(rng() & 0x7fffffff);
+}
+
+const char* label() { return "uses std::random_device"; }

@@ -1,0 +1,7 @@
+// Same violation, silenced by a per-line suppression with rationale.
+#include <random>  // ppg-lint: allow(banned-random): fixture exercises raw engine
+
+int draw() {
+  std::mt19937 gen(42);  // ppg-lint: allow(banned-random): fixture
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,4 @@
+// Violates io-sink (library realm): library code printing to the console.
+#include <iostream>
+
+void report(int hits) { std::cout << hits << "\n"; }

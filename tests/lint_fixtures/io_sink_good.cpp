@@ -1,0 +1,4 @@
+// Clean: library code returns data; formatting into a string is fine.
+#include <string>
+
+std::string report(int hits) { return std::to_string(hits); }

@@ -1,0 +1,6 @@
+// Same violation, silenced per line.
+#include <iostream>
+
+void report(int hits) {
+  std::cout << hits << "\n";  // ppg-lint: allow(io-sink): fixture
+}

@@ -1,0 +1,2 @@
+// Violates pragma-once: the first non-comment line is a declaration.
+int fixture_value();

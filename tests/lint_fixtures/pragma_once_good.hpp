@@ -1,0 +1,4 @@
+// Clean: a leading comment block is fine; the first code line is the guard.
+#pragma once
+
+int fixture_value();

@@ -1,0 +1,2 @@
+// Violation silenced file-wide. ppg-lint: allow-file(pragma-once)
+int fixture_value();

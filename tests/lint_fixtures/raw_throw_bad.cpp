@@ -1,0 +1,5 @@
+// Violates raw-throw (library realm): bare std exception loses the
+// structured ppg::Error context.
+#include <stdexcept>
+
+void fail() { throw std::runtime_error("unstructured"); }

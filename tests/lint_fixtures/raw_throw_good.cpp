@@ -1,0 +1,4 @@
+// Clean: library code routes failures through ppg::throw_error.
+#include "util/error.hpp"
+
+void fail() { ppg::throw_error(ppg::ErrorCode::kBadInput, "structured"); }

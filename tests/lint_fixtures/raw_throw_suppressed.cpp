@@ -1,0 +1,6 @@
+// Same violation, silenced per line.
+#include <stdexcept>
+
+void fail() {
+  throw std::runtime_error("x");  // ppg-lint: allow(raw-throw): fixture
+}

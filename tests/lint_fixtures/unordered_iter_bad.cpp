@@ -1,0 +1,11 @@
+// Violates unordered-iter: range-for over an unordered container could
+// feed output in an unspecified order.
+#include <unordered_map>
+
+int drain() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int sum = 0;
+  for (const auto& [page, hits] : counts) sum += hits;
+  return sum;
+}

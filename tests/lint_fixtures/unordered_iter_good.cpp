@@ -1,0 +1,13 @@
+// Clean: the unordered container is consumed via lookups only; the loop
+// iterates a vector.
+#include <unordered_map>
+#include <vector>
+
+int drain() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  std::vector<int> keys{1};
+  int sum = 0;
+  for (const int key : keys) sum += counts[key];
+  return sum;
+}

@@ -1,0 +1,11 @@
+// Same violation, silenced with a rationale (pretend a sort follows).
+#include <unordered_map>
+
+int drain() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int sum = 0;
+  // ppg-lint: allow(unordered-iter): order-insensitive fold (sum)
+  for (const auto& [page, hits] : counts) sum += hits;
+  return sum;
+}

@@ -1,0 +1,8 @@
+#pragma once
+
+// Violates using-namespace-header: leaks std into every includer.
+#include <string>
+
+using namespace std;
+
+string fixture_name();

@@ -1,0 +1,9 @@
+#pragma once
+
+// Clean: qualified names and aliases only.
+#include <string>
+
+namespace fixture {
+using StringAlias = std::string;
+StringAlias fixture_name();
+}  // namespace fixture

@@ -1,0 +1,8 @@
+#pragma once
+
+// Violation silenced per line.
+#include <string>
+
+using namespace std;  // ppg-lint: allow(using-namespace-header): fixture
+
+string fixture_name();

@@ -1,0 +1,4 @@
+// Violates wall-clock: seeds depend on real time.
+#include <ctime>
+
+long stamp() { return static_cast<long>(std::time(nullptr)); }

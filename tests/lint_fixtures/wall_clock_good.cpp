@@ -1,0 +1,5 @@
+// Clean: no wall-clock source; identifiers merely containing "time" are
+// fine, as are strings like "time(LRU, 2k)".
+long sim_time(long steps) { return steps * 2; }
+
+const char* label() { return "time(LRU, 2k) / time(BELADY, k)"; }

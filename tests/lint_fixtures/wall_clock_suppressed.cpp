@@ -1,0 +1,5 @@
+// Same violation, silenced by a suppression on the preceding line.
+#include <ctime>  // ppg-lint: allow(wall-clock): fixture
+
+// ppg-lint: allow(wall-clock): fixture exercises the directive-above form
+long stamp() { return static_cast<long>(std::time(nullptr)); }

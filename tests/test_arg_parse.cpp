@@ -5,6 +5,7 @@
 #include "core/scheduler_factory.hpp"
 #include "trace/workload.hpp"
 #include "util/arg_parse.hpp"
+#include "util/error.hpp"
 
 namespace ppg {
 namespace {
@@ -57,14 +58,25 @@ TEST(ArgParser, PositionalArguments) {
 
 TEST(ArgParser, RejectsMalformedNumbers) {
   const ArgParser args = parse({"--p=12x", "--d=1.2.3", "--b=maybe"});
-  EXPECT_THROW(args.get_int("p", 0), std::invalid_argument);
-  EXPECT_THROW(args.get_double("d", 0.0), std::invalid_argument);
-  EXPECT_THROW(args.get_bool("b"), std::invalid_argument);
+  EXPECT_THROW(args.get_int("p", 0), PpgException);
+  EXPECT_THROW(args.get_double("d", 0.0), PpgException);
+  EXPECT_THROW(args.get_bool("b"), PpgException);
+}
+
+TEST(ArgParser, MalformedNumberCarriesStructuredError) {
+  const ArgParser args = parse({"--p=12x"});
+  try {
+    args.get_int("p", 0);
+    FAIL() << "expected PpgException";
+  } catch (const PpgException& e) {
+    EXPECT_EQ(e.error().code, ErrorCode::kBadInput);
+    EXPECT_NE(e.error().message.find("--p"), std::string::npos);
+  }
 }
 
 TEST(ArgParser, RejectsBareDoubleDash) {
   std::vector<const char*> argv{"prog", "--"};
-  EXPECT_THROW(ArgParser(2, argv.data()), std::invalid_argument);
+  EXPECT_THROW(ArgParser(2, argv.data()), PpgException);
 }
 
 TEST(ArgParser, UnusedKeysTracksQueries) {

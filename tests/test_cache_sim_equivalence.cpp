@@ -74,8 +74,9 @@ TEST_P(CacheSimEquivalence, MatchesMirroredResidencyReference) {
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, CacheSimEquivalence,
                          ::testing::ValuesIn(all_policy_kinds()),
-                         [](const auto& info) {
-                           return std::string(policy_kind_name(info.param));
+                         [](const auto& param_info) {
+                           return std::string(
+                               policy_kind_name(param_info.param));
                          });
 
 }  // namespace

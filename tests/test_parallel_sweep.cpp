@@ -11,6 +11,7 @@
 
 #include "bench_support/parallel_sweep.hpp"
 #include "trace/workload.hpp"
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ppg {
@@ -27,8 +28,8 @@ TEST(ParallelSweep, JobsFromArgsParsesFlagForms) {
   EXPECT_EQ(parse({"--jobs=5"}), 5u);
   EXPECT_EQ(parse({"--jobs", "max"}), ThreadPool::hardware_jobs());
   EXPECT_EQ(parse({"--jobs", "0"}), ThreadPool::hardware_jobs());
-  EXPECT_THROW(parse({"--jobs", "-1"}), std::invalid_argument);
-  EXPECT_THROW(parse({"--jobs", "many"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--jobs", "-1"}), PpgException);
+  EXPECT_THROW(parse({"--jobs", "many"}), PpgException);
 }
 
 TEST(ParallelSweep, CellSeedIsPureAndSpreads) {

@@ -1,0 +1,200 @@
+// Fixture suite for ppg_lint: every rule must (a) fire on its violating
+// fixture and on nothing else in that fixture, (b) stay silent on the clean
+// twin, and (c) be silenced by the suppression comment. This is the proof
+// that the PpgLint.Repo gate can neither miss the invariant it guards nor
+// lock a justified exception out of the tree.
+//
+// Fixtures live in tests/lint_fixtures/ (excluded from the repo-wide lint
+// walk precisely because the *_bad files violate rules on purpose).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+#include "scan.hpp"
+
+namespace ppg::lint {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(PPG_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_path(name), std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool is_header_name(const std::string& name) {
+  return name.size() >= 4 && name.compare(name.size() - 4, 4, ".hpp") == 0;
+}
+
+std::vector<Finding> lint_fixture(const std::string& name, Realm realm) {
+  const std::string text = read_fixture(name);
+  ScannedFile scanned(name, text);
+  FileInfo info;
+  info.realm = realm;
+  info.is_header = is_header_name(name);
+  return run_rules(scanned, info, nullptr);
+}
+
+struct RuleCase {
+  const char* rule;
+  const char* stem;  ///< Fixture prefix: <stem>_bad, _good, _suppressed.
+  const char* ext;   ///< ".cpp" or ".hpp".
+  Realm realm;       ///< Realm the rule is scoped to.
+
+  friend void PrintTo(const RuleCase& rule_case, std::ostream* os) {
+    *os << rule_case.rule;
+  }
+};
+
+// Library-only rules run under Realm::kLibrary; universal rules use kApp to
+// prove they fire even in the most permissive realm.
+const RuleCase kCases[] = {
+    {"banned-random", "banned_random", ".cpp", Realm::kApp},
+    {"wall-clock", "wall_clock", ".cpp", Realm::kApp},
+    {"unordered-iter", "unordered_iter", ".cpp", Realm::kApp},
+    {"raw-throw", "raw_throw", ".cpp", Realm::kLibrary},
+    {"abort-exit", "abort_exit", ".cpp", Realm::kLibrary},
+    {"io-sink", "io_sink", ".cpp", Realm::kLibrary},
+    {"pragma-once", "pragma_once", ".hpp", Realm::kApp},
+    {"using-namespace-header", "using_namespace", ".hpp", Realm::kApp},
+};
+
+class LintRule : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(LintRule, FiresOnBadFixture) {
+  const RuleCase& rule_case = GetParam();
+  const std::vector<Finding> findings = lint_fixture(
+      std::string(rule_case.stem) + "_bad" + rule_case.ext, rule_case.realm);
+  ASSERT_FALSE(findings.empty())
+      << rule_case.rule << " did not fire on its bad fixture";
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, rule_case.rule)
+        << "unexpected rule fired on " << rule_case.stem << "_bad at line "
+        << finding.line << ": " << finding.message;
+    EXPECT_GE(finding.line, 1u);
+  }
+}
+
+TEST_P(LintRule, SilentOnGoodFixture) {
+  const RuleCase& rule_case = GetParam();
+  const std::vector<Finding> findings = lint_fixture(
+      std::string(rule_case.stem) + "_good" + rule_case.ext, rule_case.realm);
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << rule_case.stem << "_good is expected clean but got ["
+                  << finding.rule << "] at line " << finding.line << ": "
+                  << finding.message;
+  }
+}
+
+TEST_P(LintRule, SuppressionSilencesBadFixture) {
+  const RuleCase& rule_case = GetParam();
+  const std::vector<Finding> findings =
+      lint_fixture(std::string(rule_case.stem) + "_suppressed" + rule_case.ext,
+                   rule_case.realm);
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << rule_case.stem
+                  << "_suppressed should be silenced but got ["
+                  << finding.rule << "] at line " << finding.line << ": "
+                  << finding.message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintRule, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<RuleCase>& param_info) {
+      std::string name = param_info.param.rule;
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// Every rule in the table above must exist in the registry and vice versa,
+// so a new rule cannot land without a fixture trio.
+TEST(LintRegistry, EveryRuleHasAFixtureCase) {
+  std::vector<std::string> registered;
+  for (const RuleDesc& rule : all_rules()) registered.push_back(rule.id);
+  std::vector<std::string> covered;
+  for (const RuleCase& rule_case : kCases) covered.push_back(rule_case.rule);
+  std::sort(registered.begin(), registered.end());
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(registered, covered);
+}
+
+// --- Scanner unit coverage: the properties the rules rely on. -------------
+
+TEST(LintScanner, StringsAndCommentsAreBlanked) {
+  ScannedFile file("f.cpp",
+                   "int a; // std::rand() in prose\n"
+                   "const char* s = \"std::rand()\";\n"
+                   "/* std::abort() */ int b;\n");
+  EXPECT_EQ(file.joined_code().find("rand"), std::string::npos);
+  EXPECT_EQ(file.joined_code().find("abort"), std::string::npos);
+  // Comment text is preserved on its own channel for directive parsing.
+  EXPECT_NE(file.lines()[0].comment.find("std::rand"), std::string::npos);
+}
+
+TEST(LintScanner, RawStringsAndDigitSeparatorsSurvive) {
+  ScannedFile file("f.cpp",
+                   "auto s = R\"(time(nullptr))\";\n"
+                   "long n = 1'000'000;\n"
+                   "char c = 't';\n");
+  EXPECT_EQ(file.joined_code().find("time"), std::string::npos);
+  // The digit separator must not open a char literal that swallows the rest
+  // of the line.
+  EXPECT_NE(file.lines()[1].code.find("000;"), std::string::npos);
+}
+
+TEST(LintScanner, LineMappingIsStable) {
+  ScannedFile file("f.cpp", "a\nbb\nccc\n");
+  EXPECT_EQ(file.line_of_offset(0), 1u);   // 'a'
+  EXPECT_EQ(file.line_of_offset(2), 2u);   // 'b'
+  EXPECT_EQ(file.line_of_offset(5), 3u);   // 'c'
+}
+
+TEST(LintSuppression, DirectiveCoversOwnAndNextLineOnly) {
+  const std::string text =
+      "#include <ctime>  // ppg-lint: allow(wall-clock): here\n"
+      "long a() { return std::time(nullptr); }  // covered? no: next line "
+      "only counts from the directive line\n"
+      "long b() { return std::time(nullptr); }\n";
+  ScannedFile scanned("f.cpp", text);
+  FileInfo info;
+  info.realm = Realm::kApp;
+  const std::vector<Finding> findings = run_rules(scanned, info, nullptr);
+  // Line 1 (directive line) and line 2 (next line) are suppressed; line 3
+  // still fires.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintUnorderedIter, PairedHeaderDeclarationsAreVisible) {
+  ScannedFile header("f.hpp",
+                     "#pragma once\n"
+                     "#include <unordered_map>\n"
+                     "struct S { std::unordered_map<int, int> slots_; };\n");
+  ScannedFile source("f.cpp",
+                     "void drain(S& s) {\n"
+                     "  for (const auto& kv : s.slots_) { (void)kv; }\n"
+                     "}\n");
+  FileInfo info;
+  info.realm = Realm::kLibrary;
+  info.is_header = false;
+  const std::vector<Finding> findings = run_rules(source, info, &header);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+}  // namespace
+}  // namespace ppg::lint

@@ -227,7 +227,7 @@ INSTANTIATE_TEST_SUITE_P(Capacities, DenseLruSetParity,
                          ::testing::Values(1, 2, 5, 16, 33));
 
 TEST(DenseLruSet, ClearIsEpochBased) {
-  DenseLruSet set(4, 8);
+  DenseLruSet set(4, std::size_t{8});
   for (PageId p = 0; p < 4; ++p) set.access(p);
   set.clear();
   EXPECT_TRUE(set.empty());

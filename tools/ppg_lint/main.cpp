@@ -1,0 +1,185 @@
+// ppg_lint — the project-invariant linter. See rules.hpp for the rule set
+// and DESIGN.md §8 for the rationale.
+//
+// Usage:
+//   ppg_lint [--root <dir>] [--list-rules] [--quiet] <file-or-dir>...
+//
+// Paths are linted as C++ if they end in .hpp/.h/.cpp/.cc; directories are
+// walked recursively. Realm (library / app / test) is derived from the path
+// relative to --root (default: current directory): src/ is library, tests/
+// is test, everything else (bench/, examples/, tools/) is app code.
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+#include "scan.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_cpp_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+bool is_header(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".h";
+}
+
+/// Directories that must never be linted: build trees, VCS metadata, and the
+/// lint fixtures themselves (whose *_bad files violate rules on purpose).
+bool skip_dir(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name == ".git" || name == "lint_fixtures" ||
+         name.rfind("build", 0) == 0;
+}
+
+ppg::lint::Realm realm_of(const fs::path& relative) {
+  const std::string head =
+      relative.empty() ? std::string() : relative.begin()->string();
+  if (head == "src") return ppg::lint::Realm::kLibrary;
+  if (head == "tests") return ppg::lint::Realm::kTest;
+  return ppg::lint::Realm::kApp;
+}
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Options {
+  fs::path root = fs::current_path();
+  std::vector<fs::path> targets;
+  bool quiet = false;
+};
+
+int lint_one(const fs::path& path, const Options& options,
+             std::vector<ppg::lint::Finding>& findings_out) {
+  const auto text = read_file(path);
+  if (!text) {
+    std::cerr << "ppg_lint: cannot read " << path.string() << "\n";
+    return 2;
+  }
+  const fs::path relative = path.lexically_relative(options.root);
+  const std::string display =
+      relative.empty() || relative.native().rfind("..", 0) == 0
+          ? path.generic_string()
+          : relative.generic_string();
+
+  ppg::lint::ScannedFile scanned(display, *text);
+  ppg::lint::FileInfo info;
+  info.realm = realm_of(relative);
+  info.is_header = is_header(path);
+
+  // Member declarations live in the same-stem header; bring them into scope
+  // for unordered-iter when linting a .cpp.
+  std::optional<ppg::lint::ScannedFile> paired;
+  if (!info.is_header) {
+    const fs::path header = fs::path(path).replace_extension(".hpp");
+    if (const auto header_text = read_file(header)) {
+      paired.emplace(header.generic_string(), *header_text);
+    }
+  }
+
+  std::vector<ppg::lint::Finding> findings = ppg::lint::run_rules(
+      scanned, info, paired ? &*paired : nullptr);
+  for (ppg::lint::Finding& finding : findings) {
+    if (!options.quiet) {
+      std::cout << display << ":" << finding.line << ": [" << finding.rule
+                << "] " << finding.message << "\n";
+    }
+    findings_out.push_back(std::move(finding));
+  }
+  return 0;
+}
+
+void collect_targets(const fs::path& path, std::vector<fs::path>& files) {
+  if (fs::is_directory(path)) {
+    std::vector<fs::path> entries;
+    for (const auto& entry : fs::directory_iterator(path)) {
+      if (entry.is_directory() && skip_dir(entry.path())) continue;
+      entries.push_back(entry.path());
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const fs::path& entry : entries) collect_targets(entry, files);
+    return;
+  }
+  if (is_cpp_file(path)) files.push_back(path);
+}
+
+int list_rules() {
+  for (const ppg::lint::RuleDesc& rule : ppg::lint::all_rules()) {
+    std::cout << rule.id << "\n    " << rule.summary << "\n";
+    if (!rule.exempt_suffixes.empty()) {
+      std::cout << "    designated exceptions:";
+      for (const char* suffix : rule.exempt_suffixes)
+        std::cout << " " << suffix;
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "ppg_lint: --root needs a directory\n";
+        return 2;
+      }
+      options.root = fs::absolute(argv[++i]).lexically_normal();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "ppg_lint: unknown option " << arg << "\n"
+                << "usage: ppg_lint [--root <dir>] [--list-rules] [--quiet] "
+                   "<file-or-dir>...\n";
+      return 2;
+    } else {
+      options.targets.push_back(fs::absolute(arg).lexically_normal());
+    }
+  }
+  if (options.targets.empty()) {
+    std::cerr << "ppg_lint: no files or directories given\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& target : options.targets) {
+    if (!fs::exists(target)) {
+      std::cerr << "ppg_lint: no such path: " << target.string() << "\n";
+      return 2;
+    }
+    collect_targets(target, files);
+  }
+
+  std::vector<ppg::lint::Finding> findings;
+  for (const fs::path& file : files) {
+    const int status = lint_one(file, options, findings);
+    if (status != 0) return status;
+  }
+
+  if (!options.quiet) {
+    std::cerr << "ppg_lint: " << files.size() << " files, "
+              << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

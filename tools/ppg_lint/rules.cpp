@@ -1,0 +1,342 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+#include <unordered_set>
+
+namespace ppg::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+struct Suppressions {
+  // ppg-lint: allow(unordered-iter) — this file builds them, it may name them
+  std::set<std::string> file_wide;
+  /// line -> rules allowed on that line (a directive covers its own line and
+  /// the next, so a comment line annotates the statement below it).
+  std::vector<std::set<std::string>> by_line;
+
+  bool allows(const std::string& rule, std::size_t line) const {
+    if (file_wide.count(rule) != 0) return true;
+    return line >= 1 && line <= by_line.size() &&
+           by_line[line - 1].count(rule) != 0;
+  }
+};
+
+Suppressions parse_suppressions(const ScannedFile& file) {
+  static const std::regex kDirective(
+      R"(ppg-lint:\s*(allow|allow-file)\s*\(([^)]*)\))");
+  Suppressions sup;
+  sup.by_line.resize(file.line_count());
+  for (std::size_t i = 0; i < file.line_count(); ++i) {
+    const std::string& comment = file.lines()[i].comment;
+    auto begin = std::sregex_iterator(comment.begin(), comment.end(),
+                                      kDirective);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const bool file_wide = (*it)[1].str() == "allow-file";
+      std::string ids = (*it)[2].str();
+      std::string id;
+      auto flush = [&]() {
+        if (id.empty()) return;
+        if (file_wide) {
+          sup.file_wide.insert(id);
+        } else {
+          sup.by_line[i].insert(id);
+          if (i + 1 < sup.by_line.size()) sup.by_line[i + 1].insert(id);
+        }
+        id.clear();
+      };
+      for (const char c : ids) {
+        if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+            c == '_') {
+          id += c;
+        } else {
+          flush();
+        }
+      }
+      flush();
+    }
+  }
+  return sup;
+}
+
+// ---------------------------------------------------------------------------
+// Regex-driven rules
+
+void match_all(const ScannedFile& file, const std::regex& pattern,
+               const char* rule, const std::string& message,
+               std::vector<Finding>& out) {
+  const std::string& code = file.joined_code();
+  auto begin = std::sregex_iterator(code.begin(), code.end(), pattern);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const auto offset = static_cast<std::size_t>(it->position());
+    out.push_back(Finding{rule, file.line_of_offset(offset), message});
+  }
+}
+
+void check_banned_random(const ScannedFile& file, std::vector<Finding>& out) {
+  static const std::regex kCalls(R"(\b(?:std\s*::\s*)?(?:rand|srand)\s*\()");
+  static const std::regex kEngines(
+      R"(\b(?:std\s*::\s*)?(?:random_device|mt19937(?:_64)?|default_random_engine|minstd_rand0?|knuth_b|ranlux(?:24|48)(?:_base)?|random_shuffle)\b)");
+  static const std::regex kInclude(R"(#\s*include\s*<random>)");
+  const std::string msg =
+      "randomness outside util/rng.hpp; all draws must flow through ppg::Rng "
+      "(explicit seed, bit-reproducible)";
+  match_all(file, kCalls, "banned-random", msg, out);
+  match_all(file, kEngines, "banned-random", msg, out);
+  match_all(file, kInclude, "banned-random",
+            "direct <random> include; use util/rng.hpp", out);
+}
+
+void check_wall_clock(const ScannedFile& file, std::vector<Finding>& out) {
+  static const std::regex kCalls(
+      R"(\b(?:std\s*::\s*)?(?:time|clock|gettimeofday|localtime|gmtime|mktime)\s*\()");
+  static const std::regex kTypes(R"(\bsystem_clock\b)");
+  static const std::regex kInclude(
+      R"(#\s*include\s*<(?:ctime|time\.h|sys/time\.h)>)");
+  const std::string msg =
+      "wall-clock time source; results must be a pure function of the seed "
+      "(steady_clock is the only sanctioned clock, for elapsed-time reporting)";
+  match_all(file, kCalls, "wall-clock", msg, out);
+  match_all(file, kTypes, "wall-clock", msg, out);
+  match_all(file, kInclude, "wall-clock", msg, out);
+}
+
+void check_raw_throw(const ScannedFile& file, std::vector<Finding>& out) {
+  static const std::regex kThrow(R"(\bthrow\s+(?:::\s*)?std\s*::\s*(\w+))");
+  const std::string& code = file.joined_code();
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kThrow);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    out.push_back(Finding{
+        "raw-throw", file.line_of_offset(static_cast<std::size_t>(it->position())),
+        "bare `throw std::" + (*it)[1].str() +
+            "` in library code; use ppg::throw_error / PPG_CHECK so the "
+            "error carries structured context (code, proc, time, offset)"});
+  }
+}
+
+void check_abort_exit(const ScannedFile& file, std::vector<Finding>& out) {
+  static const std::regex kCalls(
+      R"(\b(?:std\s*::\s*)?(?:abort|exit|_Exit|quick_exit|terminate)\s*\()");
+  match_all(file, kCalls, "abort-exit",
+            "process kill in library code; invariant failures go through "
+            "PPG_CHECK, recoverable failures through ppg::Error",
+            out);
+}
+
+void check_io_sink(const ScannedFile& file, std::vector<Finding>& out) {
+  static const std::regex kStreams(
+      R"(\b(?:std\s*::\s*)?(?:cout|cerr|clog)\b)");
+  static const std::regex kCstdio(
+      R"(\b(?:std\s*::\s*)?(?:printf|fprintf|puts|fputs|putchar)\s*\()");
+  const std::string msg =
+      "console output in library code; stdout/stderr belong to benches, "
+      "examples, and the PPG_CHECK failure path — return data, don't print";
+  match_all(file, kStreams, "io-sink", msg, out);
+  match_all(file, kCstdio, "io-sink", msg, out);
+}
+
+void check_pragma_once(const ScannedFile& file, std::vector<Finding>& out) {
+  static const std::regex kPragma(R"(^\s*#\s*pragma\s+once\s*$)");
+  for (std::size_t i = 0; i < file.line_count(); ++i) {
+    const std::string& code = file.lines()[i].code;
+    if (code.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!std::regex_match(code, kPragma)) {
+      out.push_back(Finding{"pragma-once", i + 1,
+                            "header's first non-comment line must be "
+                            "`#pragma once`"});
+    }
+    return;
+  }
+  out.push_back(
+      Finding{"pragma-once", 1, "header is empty or lacks `#pragma once`"});
+}
+
+void check_using_namespace(const ScannedFile& file,
+                           std::vector<Finding>& out) {
+  static const std::regex kUsing(R"(\busing\s+namespace\b)");
+  match_all(file, kUsing, "using-namespace-header",
+            "`using namespace` in a header leaks into every includer; "
+            "qualify names or alias instead",
+            out);
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter: range-for over a name declared as std::unordered_{map,set}.
+//
+// Heuristic, single-translation-unit scope by design: declarations are
+// collected from the file itself plus its same-stem header. That covers the
+// real hazard (members and locals drained into output) without needing a
+// full type system; cross-file false negatives are accepted, false positives
+// are suppressible with a rationale.
+
+void collect_unordered_names(const ScannedFile& file,
+                             std::unordered_set<std::string>& names) {
+  static const std::regex kDecl(R"(\bstd\s*::\s*unordered_(?:map|set)\s*<)");
+  const std::string& code = file.joined_code();
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kDecl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    // Skip the balanced template argument list.
+    std::size_t pos = static_cast<std::size_t>(it->position()) +
+                      static_cast<std::size_t>(it->length());
+    int depth = 1;
+    while (pos < code.size() && depth > 0) {
+      if (code[pos] == '<') ++depth;
+      if (code[pos] == '>') --depth;
+      ++pos;
+    }
+    // Accept `> name`, `>& name`, `>* name`, `> name;`, `> name =`, etc.
+    while (pos < code.size() &&
+           (std::isspace(static_cast<unsigned char>(code[pos])) != 0 ||
+            code[pos] == '&' || code[pos] == '*')) {
+      ++pos;
+    }
+    std::string name;
+    while (pos < code.size() &&
+           (std::isalnum(static_cast<unsigned char>(code[pos])) != 0 ||
+            code[pos] == '_')) {
+      name += code[pos];
+      ++pos;
+    }
+    if (!name.empty()) names.insert(name);
+  }
+}
+
+void check_unordered_iter(const ScannedFile& file,
+                          const ScannedFile* paired_header,
+                          std::vector<Finding>& out) {
+  std::unordered_set<std::string> names;
+  collect_unordered_names(file, names);
+  if (paired_header != nullptr) collect_unordered_names(*paired_header, names);
+  if (names.empty()) return;
+
+  static const std::regex kFor(R"(\bfor\s*\()");
+  const std::string& code = file.joined_code();
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kFor);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    // Scan the balanced for-header and find a top-level range `:` (skip
+    // `::`, skip anything nested in parens/brackets/angles).
+    std::size_t pos = static_cast<std::size_t>(it->position()) +
+                      static_cast<std::size_t>(it->length());
+    int paren = 1;
+    int square = 0;
+    std::size_t colon = std::string::npos;
+    std::size_t end = pos;
+    while (end < code.size() && paren > 0) {
+      const char c = code[end];
+      if (c == '(') ++paren;
+      if (c == ')') --paren;
+      if (c == '[') ++square;
+      if (c == ']') --square;
+      if (c == ';') break;  // Classic three-clause for loop: not range-for.
+      if (c == ':' && paren == 1 && square == 0 && colon == std::string::npos) {
+        const bool scope = (end + 1 < code.size() && code[end + 1] == ':') ||
+                           (end > 0 && code[end - 1] == ':');
+        if (!scope) colon = end;
+      }
+      ++end;
+    }
+    if (colon == std::string::npos) continue;
+    const std::string range_expr = code.substr(colon + 1, end - colon - 2);
+
+    static const std::regex kIdent(R"([A-Za-z_]\w*)");
+    auto ids = std::sregex_iterator(range_expr.begin(), range_expr.end(),
+                                    kIdent);
+    for (auto id = ids; id != std::sregex_iterator(); ++id) {
+      if (names.count(id->str()) != 0) {
+        out.push_back(Finding{
+            "unordered-iter", file.line_of_offset(colon),
+            "range-for over unordered container '" + id->str() +
+                "'; iteration order is unspecified and must never feed "
+                "output, tables, or trace emission — drain into a sorted "
+                "vector (then suppress with a rationale if the drain is "
+                "sorted immediately)"});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleDesc>& all_rules() {
+  static const std::vector<RuleDesc> kRules = {
+      {"banned-random",
+       "std::rand/srand/random_device/mt19937/<random> outside util/rng.hpp",
+       {"util/rng.hpp"}},
+      {"wall-clock",
+       "time()/clock()/system_clock/<ctime>: results must not depend on "
+       "real time",
+       {}},
+      {"unordered-iter",
+       "range-for over std::unordered_{map,set}: unspecified order must not "
+       "feed output",
+       {}},
+      {"raw-throw",
+       "bare `throw std::...` in src/: route through ppg::throw_error / "
+       "PPG_CHECK",
+       {"util/error.hpp", "util/error.cpp"}},
+      {"abort-exit",
+       "abort/exit/terminate in src/: PPG_CHECK is the only sanctioned "
+       "escalation",
+       {"util/assert.hpp"}},
+      {"io-sink",
+       "stdout/stderr output in src/: only benches/examples and PPG_CHECK "
+       "print",
+       {"util/assert.hpp"}},
+      {"pragma-once", "headers must open with #pragma once", {}},
+      {"using-namespace-header", "no `using namespace` in headers", {}},
+  };
+  return kRules;
+}
+
+std::vector<Finding> run_rules(const ScannedFile& file, const FileInfo& info,
+                               const ScannedFile* paired_header) {
+  std::vector<Finding> raw;
+
+  auto exempt = [&](const char* rule_id) {
+    for (const RuleDesc& rule : all_rules()) {
+      if (std::string(rule.id) != rule_id) continue;
+      for (const char* suffix : rule.exempt_suffixes) {
+        const std::string& path = file.path();
+        const std::string tail = std::string("/") + suffix;
+        if (path == suffix ||
+            (path.size() > tail.size() &&
+             path.compare(path.size() - tail.size(), tail.size(), tail) == 0)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  if (!exempt("banned-random")) check_banned_random(file, raw);
+  if (!exempt("wall-clock")) check_wall_clock(file, raw);
+  check_unordered_iter(file, paired_header, raw);
+  if (info.realm == Realm::kLibrary) {
+    if (!exempt("raw-throw")) check_raw_throw(file, raw);
+    if (!exempt("abort-exit")) check_abort_exit(file, raw);
+    if (!exempt("io-sink")) check_io_sink(file, raw);
+  }
+  if (info.is_header) {
+    check_pragma_once(file, raw);
+    check_using_namespace(file, raw);
+  }
+
+  const Suppressions sup = parse_suppressions(file);
+  std::vector<Finding> kept;
+  for (Finding& finding : raw) {
+    if (!sup.allows(finding.rule, finding.line)) {
+      kept.push_back(std::move(finding));
+    }
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return kept;
+}
+
+}  // namespace ppg::lint

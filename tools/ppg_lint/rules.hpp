@@ -1,0 +1,67 @@
+// Project-invariant rules for ppg_lint.
+//
+// Each rule guards an invariant the compiler cannot check but every result
+// table depends on (see DESIGN.md §8):
+//
+//   banned-random           all randomness flows through util/rng.hpp
+//   wall-clock              no wall-clock time sources anywhere
+//   unordered-iter          no range-for over unordered containers
+//                           (unspecified order must never feed output)
+//   raw-throw               library code throws ppg::Error, not bare std::
+//   abort-exit              library code never aborts outside PPG_CHECK
+//   io-sink                 library code never prints (stdout/stderr are
+//                           owned by benches, examples, and PPG_CHECK)
+//   pragma-once             every header opens with #pragma once
+//   using-namespace-header  no `using namespace` in headers
+//
+// Suppressions (see parse rules in rules.cpp):
+//   // ppg-lint: allow(rule-a, rule-b)      this line or the next line
+//   // ppg-lint: allow-file(rule-a)         whole file
+// Anything after the closing paren is free-text rationale and is ignored,
+// so sites can explain themselves:
+//   // ppg-lint: allow(unordered-iter): drain is sorted two lines below
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scan.hpp"
+
+namespace ppg::lint {
+
+/// Which part of the repo a file belongs to. Library code (src/) carries
+/// the error/IO discipline; benches, examples, and tools own the process
+/// boundary and may print and throw; tests sit in between.
+enum class Realm { kLibrary, kApp, kTest };
+
+struct FileInfo {
+  Realm realm = Realm::kApp;
+  bool is_header = false;
+};
+
+struct Finding {
+  std::string rule;
+  std::size_t line = 0;  ///< 1-based.
+  std::string message;
+};
+
+/// Static description of one rule, for --list-rules and the docs.
+struct RuleDesc {
+  const char* id;
+  const char* summary;
+  /// Path suffixes of designated-exception files (e.g. util/rng.hpp is the
+  /// one place allowed to implement randomness).
+  std::vector<const char*> exempt_suffixes;
+};
+
+const std::vector<RuleDesc>& all_rules();
+
+/// Runs every applicable rule over `file` and returns unsuppressed findings
+/// sorted by line. `paired_header`, when non-null, is the same-stem .hpp of
+/// a .cpp under lint: member declarations live there, so unordered-iter
+/// needs its declarations in scope.
+std::vector<Finding> run_rules(const ScannedFile& file, const FileInfo& info,
+                               const ScannedFile* paired_header);
+
+}  // namespace ppg::lint

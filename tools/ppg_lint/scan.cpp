@@ -1,0 +1,163 @@
+#include "scan.hpp"
+
+#include <algorithm>
+
+namespace ppg::lint {
+namespace {
+
+enum class State {
+  kCode,
+  kLineComment,
+  kBlockComment,
+  kString,
+  kChar,
+  kRawString,
+};
+
+}  // namespace
+
+ScannedFile::ScannedFile(std::string path, const std::string& text)
+    : path_(std::move(path)) {
+  State state = State::kCode;
+  std::string code;
+  std::string comment;
+  std::string raw_delim;  // Closing delimiter of an active raw string: )...".
+
+  auto flush_line = [&]() {
+    lines_.push_back(ScannedLine{code, comment});
+    code.clear();
+    comment.clear();
+  };
+
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+
+    if (c == '\n') {
+      // A newline ends line comments and (illegally, but tolerantly)
+      // ordinary literals; block comments and raw strings continue.
+      if (state == State::kLineComment || state == State::kString ||
+          state == State::kChar) {
+        state = State::kCode;
+      }
+      flush_line();
+      continue;
+    }
+
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"') {
+          // Only treat as a raw string when R starts a token (not `FooR"`).
+          const bool starts_token =
+              code.empty() ||
+              (!(std::isalnum(static_cast<unsigned char>(code.back())) != 0 ||
+                 code.back() == '_'));
+          if (starts_token) {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && text[j] != '(' && text[j] != '\n') {
+              delim += text[j];
+              ++j;
+            }
+            if (j < n && text[j] == '(') {
+              state = State::kRawString;
+              raw_delim = ")" + delim + "\"";
+              code += "R\"";
+              code.append(j - i - 1, ' ');
+              i = j;
+              break;
+            }
+          }
+          code += c;
+        } else if (c == '"') {
+          state = State::kString;
+          code += '"';
+        } else if (c == '\'') {
+          // Distinguish char literals from digit separators (1'000'000):
+          // a quote directly after an identifier/number char is a separator.
+          const bool separator =
+              !code.empty() &&
+              (std::isalnum(static_cast<unsigned char>(code.back())) != 0 ||
+               code.back() == '_');
+          if (separator) {
+            code += '\'';
+          } else {
+            state = State::kChar;
+            code += '\'';
+          }
+        } else {
+          code += c;
+        }
+        break;
+
+      case State::kLineComment:
+        comment += c;
+        code += ' ';
+        break;
+
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code += "  ";
+          ++i;
+        } else {
+          comment += c;
+          code += ' ';
+        }
+        break;
+
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          code += ' ';
+          if (i + 1 < n && next != '\n') {
+            code += ' ';
+            ++i;
+          }
+        } else if (c == quote) {
+          state = State::kCode;
+          code += quote;
+        } else {
+          code += ' ';
+        }
+        break;
+      }
+
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          code += raw_delim;
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          code += ' ';
+        }
+        break;
+    }
+  }
+  flush_line();
+
+  line_starts_.reserve(lines_.size());
+  for (const ScannedLine& line : lines_) {
+    line_starts_.push_back(joined_code_.size());
+    joined_code_ += line.code;
+    joined_code_ += '\n';
+  }
+}
+
+std::size_t ScannedFile::line_of_offset(std::size_t offset) const {
+  const auto it =
+      std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  return static_cast<std::size_t>(it - line_starts_.begin());
+}
+
+}  // namespace ppg::lint

@@ -1,0 +1,55 @@
+// Lossless-enough C++ scanning for the project linter.
+//
+// ppg_lint is a token/pattern-level linter, not a compiler frontend. The one
+// piece of real lexing it needs is comment/string removal: rule patterns must
+// never fire on prose ("avoid std::rand" in a comment) or on string literals
+// (a bench label like "time(LRU, 2k)"). ScannedFile keeps two parallel views
+// of every line — the code with comments/strings blanked to spaces (so column
+// positions survive), and the comment text (so suppression directives can be
+// parsed). Rules match against the code view only.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ppg::lint {
+
+/// One physical line, split into the two channels rules care about.
+struct ScannedLine {
+  std::string code;     ///< Comments and literal contents blanked to spaces.
+  std::string comment;  ///< Concatenated comment text on this line.
+};
+
+/// A source file after comment/string separation.
+///
+/// Handles line comments, block comments (including multi-line), string and
+/// character literals with escapes, and raw string literals with arbitrary
+/// delimiters. Preprocessor directives stay in the code channel (the
+/// pragma-once rule needs them); the quoted path of `#include "..."` is
+/// blanked like any other string literal, which is fine because no rule
+/// matches quoted include paths.
+class ScannedFile {
+ public:
+  /// Scans `text` (full file contents). `path` is kept for diagnostics only.
+  ScannedFile(std::string path, const std::string& text);
+
+  const std::string& path() const { return path_; }
+  const std::vector<ScannedLine>& lines() const { return lines_; }
+  std::size_t line_count() const { return lines_.size(); }
+
+  /// The code channel joined with '\n' — for rules whose patterns span
+  /// physical lines (multi-line declarations, range-for headers).
+  const std::string& joined_code() const { return joined_code_; }
+
+  /// Maps a byte offset into joined_code() back to a 1-based line number.
+  std::size_t line_of_offset(std::size_t offset) const;
+
+ private:
+  std::string path_;
+  std::vector<ScannedLine> lines_;
+  std::string joined_code_;
+  std::vector<std::size_t> line_starts_;  ///< Offset of each line's start.
+};
+
+}  // namespace ppg::lint

@@ -10,6 +10,10 @@
 //   --jobs N|max   run sweep cells on N threads (default 1)
 //   --stream       pull each instance lazily from generator sources instead
 //                  of materializing it (output is byte-identical)
+//   --journal PATH checkpoint each finished variant cell (stage B) to PATH
+//                  (PPGJRNL); stage A holds live sources, so it is
+//                  recomputed on resume — output stays byte-identical
+//   --resume       skip cells already in the journal
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -24,7 +28,12 @@ int run_bench(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
   const bool stream = args.get_bool("stream", false);
+  const auto journal = journal_from_args(
+      args, std::string("ablation_chunks v1 stream=") + (stream ? "1" : "0"));
   bench::reject_unknown_options(args);
+  SweepOptions sweep;
+  sweep.jobs = jobs;
+  sweep.journal = journal.get();
 
   bench::banner(
       "E8", "Ablation: RAND-PAR primary/secondary balance and wave fillers",
@@ -91,8 +100,9 @@ int run_bench(int argc, char** argv) {
     double makespan_mean = 0.0;
     double stall_mean = 0.0;
   };
-  const std::vector<VariantResult> variant_results =
-      sweep_cells(jobs, variant_params.size(), [&](std::size_t i) {
+  const std::vector<VariantResult> variant_results = sweep_cells(
+      sweep.with_stage(1), variant_params.size(),
+      [&](std::size_t i) {
         const auto [inst_idx, primary_mult, stall] = variant_params[i];
         const InstCell& inst = inst_cells[inst_idx];
         const ProcId p = inst_params[inst_idx].p;
@@ -115,6 +125,16 @@ int run_bench(int argc, char** argv) {
                        (static_cast<double>(r.makespan) * p);
         }
         return VariantResult{makespan_sum / trials, stall_sum / trials};
+      },
+      [](CellWriter& w, const VariantResult& res) {
+        w.f64(res.makespan_mean);
+        w.f64(res.stall_mean);
+      },
+      [](CellReader& r) {
+        VariantResult res;
+        res.makespan_mean = r.f64();
+        res.stall_mean = r.f64();
+        return res;
       });
 
   Table table({"workload", "p", "primary_x", "fillers", "makespan", "ratio",

@@ -12,6 +12,9 @@
 //                  sources instead of materializing them (output is
 //                  byte-identical; the green-paging traces are a few
 //                  thousand requests and stay materialized)
+//   --journal PATH checkpoint each finished cell to PATH (PPGJRNL); the
+//                  two sweeps journal as stages 0/1
+//   --resume       skip cells already in the journal
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -31,7 +34,13 @@ int run_bench(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
   const bool stream = args.get_bool("stream", false);
+  const auto journal = journal_from_args(
+      args,
+      std::string("ablation_distribution v1 stream=") + (stream ? "1" : "0"));
   bench::reject_unknown_options(args);
+  SweepOptions sweep;
+  sweep.jobs = jobs;
+  sweep.journal = journal.get();
 
   bench::banner(
       "E7", "Ablation: box-height distribution exponent",
@@ -74,8 +83,9 @@ int run_bench(int argc, char** argv) {
   struct GreenResult {
     std::vector<double> ratios;  ///< One per exponent.
   };
-  const std::vector<GreenResult> green_results =
-      sweep_cells(jobs, cases.size(), [&](std::size_t i) {
+  const std::vector<GreenResult> green_results = sweep_cells(
+      sweep.with_stage(0), cases.size(),
+      [&](std::size_t i) {
         const GreenCase& gc = cases[i];
         const Height k = 4 * gc.p;
         const HeightLadder ladder = HeightLadder::for_cache(k, gc.p);
@@ -94,7 +104,11 @@ int run_bench(int argc, char** argv) {
               sum / trials / static_cast<double>(std::max<Impact>(1, opt)));
         }
         return res;
-      });
+      },
+      [](CellWriter& w, const GreenResult& res) {
+        encode_f64_vec(w, res.ratios);
+      },
+      [](CellReader& r) { return GreenResult{decode_f64_vec(r)}; });
 
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const GreenCase& gc = cases[i];
@@ -110,8 +124,9 @@ int run_bench(int argc, char** argv) {
   struct ParResult {
     std::vector<double> ratios;  ///< One per exponent.
   };
-  const std::vector<ParResult> par_results =
-      sweep_cells(jobs, ps.size(), [&](std::size_t i) {
+  const std::vector<ParResult> par_results = sweep_cells(
+      sweep.with_stage(1), ps.size(),
+      [&](std::size_t i) {
         const ProcId p = ps[i];
         WorkloadParams wp;
         wp.num_procs = p;
@@ -149,7 +164,11 @@ int run_bench(int argc, char** argv) {
                                static_cast<double>(bounds.lower_bound()));
         }
         return res;
-      });
+      },
+      [](CellWriter& w, const ParResult& res) {
+        encode_f64_vec(w, res.ratios);
+      },
+      [](CellReader& r) { return ParResult{decode_f64_vec(r)}; });
 
   Table par_table({"p", "exp0", "exp1", "exp2", "exp3"});
   for (std::size_t i = 0; i < ps.size(); ++i) {

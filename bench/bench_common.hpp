@@ -10,10 +10,13 @@
 
 #include <cstdio>
 #include <iostream>
+#include <new>
 #include <stdexcept>
 #include <string>
 
 #include "util/arg_parse.hpp"
+#include "util/error.hpp"
+#include "util/interrupt.hpp"
 #include "util/table.hpp"
 
 namespace ppg::bench {
@@ -31,10 +34,29 @@ inline void reject_unknown_options(const ArgParser& args) {
 /// Standard bench entry point wrapper: recoverable failures (malformed
 /// flags, corrupt trace input — anything carried by ppg::Error or a std
 /// exception) print `error: [code] message` and exit 1 instead of
-/// std::terminate, matching the examples' contract.
+/// std::terminate, matching the examples' contract. Three extra duties:
+///  - installs the SIGINT/SIGTERM handler so sweeps drain-and-stop;
+///  - a kInterrupted escape (the sweep was stopped) prints the resume
+///    hint and exits 130, the shell convention for "killed by SIGINT";
+///  - std::bad_alloc maps to a structured [resource-exhausted] exit
+///    instead of escaping to std::terminate.
 inline int guarded_main(int (*body)(int, char**), int argc, char** argv) {
+  install_interrupt_handler();
   try {
     return body(argc, argv);
+  } catch (const PpgException& err) {
+    if (err.error().code == ErrorCode::kInterrupted) {
+      std::cerr << "interrupted: " << err.error().message << "\n";
+      return 130;
+    }
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  } catch (const std::bad_alloc&) {
+    Error oom;
+    oom.code = ErrorCode::kResourceExhausted;
+    oom.message = "allocation failed (std::bad_alloc)";
+    std::cerr << "error: " << oom.to_string() << "\n";
+    return 1;
   } catch (const std::exception& err) {
     std::cerr << "error: " << err.what() << "\n";
     return 1;

@@ -25,6 +25,10 @@
 //                  instead of the materialized instance (output is
 //                  byte-identical; the constructed OPT is clairvoyant and
 //                  still materializes inside its stage-A cell)
+//   --journal PATH checkpoint each finished scheduler-run cell (stage B) to
+//                  PATH (PPGJRNL); stage A holds live sources, so it is
+//                  recomputed on resume — output stays byte-identical
+//   --resume       skip cells already in the journal
 #include <cmath>
 #include <iostream>
 #include <memory>
@@ -42,7 +46,12 @@ int run_bench(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
   const bool stream = args.get_bool("stream", false);
+  const auto journal = journal_from_args(
+      args, std::string("lower_bound v1 stream=") + (stream ? "1" : "0"));
   bench::reject_unknown_options(args);
+  SweepOptions sweep;
+  sweep.jobs = jobs;
+  sweep.journal = journal.get();
 
   bench::banner(
       "E6", "Theorem 4 adversarial instance: black-box green paging vs OPT",
@@ -109,8 +118,9 @@ int run_bench(int argc, char** argv) {
   for (std::size_t i = 0; i < ells.size(); ++i)
     for (const SchedulerKind kind : kinds) run_params.push_back({i, kind});
 
-  const std::vector<Time> makespans =
-      sweep_cells(jobs, run_params.size(), [&](std::size_t i) {
+  const std::vector<Time> makespans = sweep_cells(
+      sweep.with_stage(1), run_params.size(),
+      [&](std::size_t i) {
         const auto [ell_idx, kind] = run_params[i];
         const EllCell& cell = ell_cells[ell_idx];
         auto scheduler = make_scheduler(kind, 5);
@@ -119,7 +129,9 @@ int run_bench(int argc, char** argv) {
         ec.miss_cost = cell.s;
         ec.track_memory_timeline = false;
         return run_parallel(cell.sources, *scheduler, ec).makespan;
-      });
+      },
+      [](CellWriter& w, const Time& makespan) { w.u64(makespan); },
+      [](CellReader& r) { return Time{r.u64()}; });
 
   Table table({"ell", "p", "k", "T_opt", "opt_eras", "scheduler", "makespan",
                "eras", "ratio_vs_optUB", "log(p)/loglog(p)"});

@@ -12,6 +12,9 @@
 //   --stream       pull each instance lazily from generator sources instead
 //                  of materializing it (output is byte-identical; peak
 //                  memory drops to O(active window))
+//   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
+//   --resume       skip cells already in the journal; final output is
+//                  byte-identical to an uninterrupted run
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -27,7 +30,13 @@ int run_bench(int argc, char** argv) {
   const std::size_t jobs = jobs_from_args(args);
   const bool quick = args.get_bool("quick", false);
   const bool stream = args.get_bool("stream", false);
+  const auto journal = journal_from_args(
+      args, std::string("makespan_scaling v1 quick=") + (quick ? "1" : "0") +
+                " stream=" + (stream ? "1" : "0"));
   bench::reject_unknown_options(args);
+  SweepOptions sweep;
+  sweep.jobs = jobs;
+  sweep.journal = journal.get();
 
   bench::banner(
       "E3/E4", "Makespan competitive-ratio scaling",
@@ -59,8 +68,21 @@ int run_bench(int argc, char** argv) {
     Height k = 0;
     Time t_ub = 0;
   };
-  const std::vector<CellResult> results =
-      sweep_cells(jobs, params.size(), [&](std::size_t i) {
+  const auto encode_cell = [](CellWriter& w, const CellResult& c) {
+    encode_instance_outcome(w, c.outcome);
+    w.u32(c.k);
+    w.u64(c.t_ub);
+  };
+  const auto decode_cell = [](CellReader& r) {
+    CellResult c;
+    c.outcome = decode_instance_outcome(r);
+    c.k = r.u32();
+    c.t_ub = r.u64();
+    return c;
+  };
+  const std::vector<CellResult> results = sweep_cells(
+      sweep, params.size(),
+      [&](std::size_t i) {
         const auto [wkind, p] = params[i];
         WorkloadParams wp;
         wp.num_procs = p;
@@ -98,7 +120,8 @@ int run_bench(int argc, char** argv) {
         pc.exact_profile_max_requests = 1;
         cell.t_ub = pack_offline(sources, pc).makespan;
         return cell;
-      });
+      },
+      encode_cell, decode_cell);
 
   Table table({"workload", "p", "k", "T_LB", "T_UB", "scheduler", "makespan",
                "ratio", "xi"});

@@ -8,6 +8,8 @@
 //   --jobs N|max   run sweep cells on N threads (default 1)
 //   --stream       pull each instance lazily from generator sources
 //                  (byte-identical output, O(active window) peak memory)
+//   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
+//   --resume       skip cells already in the journal
 #include <algorithm>
 #include <iostream>
 #include <limits>
@@ -23,7 +25,13 @@ int run_bench(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
   const bool stream = args.get_bool("stream", false);
+  const auto journal = journal_from_args(
+      args,
+      std::string("mean_completion v1 stream=") + (stream ? "1" : "0"));
   bench::reject_unknown_options(args);
+  SweepOptions sweep;
+  sweep.jobs = jobs;
+  sweep.journal = journal.get();
 
   bench::banner(
       "E5", "Mean completion time on skewed-length workloads",
@@ -42,8 +50,21 @@ int run_bench(int argc, char** argv) {
     std::vector<double> max_stretch;
     Height k = 0;
   };
-  const std::vector<CellResult> results =
-      sweep_cells(jobs, ps.size(), [&](std::size_t i) {
+  const auto encode_cell = [](CellWriter& w, const CellResult& c) {
+    encode_instance_outcome(w, c.outcome);
+    encode_f64_vec(w, c.max_stretch);
+    w.u32(c.k);
+  };
+  const auto decode_cell = [](CellReader& r) {
+    CellResult c;
+    c.outcome = decode_instance_outcome(r);
+    c.max_stretch = decode_f64_vec(r);
+    c.k = r.u32();
+    return c;
+  };
+  const std::vector<CellResult> results = sweep_cells(
+      sweep, ps.size(),
+      [&](std::size_t i) {
         const ProcId p = ps[i];
         WorkloadParams wp;
         wp.num_procs = p;
@@ -75,7 +96,8 @@ int run_bench(int argc, char** argv) {
           cell.max_stretch.push_back(max_stretch);
         }
         return cell;
-      });
+      },
+      encode_cell, decode_cell);
 
   Table table({"p", "k", "scheduler", "mean_ct", "mean_ratio", "makespan",
                "spread_max_over_min", "max_stretch"});

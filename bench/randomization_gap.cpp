@@ -10,6 +10,8 @@
 //   --jobs N|max   run sweep cells on N threads (default 1)
 //   --stream       pull each instance lazily from generator sources instead
 //                  of materializing it (output is byte-identical)
+//   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
+//   --resume       skip cells already in the journal
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -23,7 +25,13 @@ int run_bench(int argc, char** argv) {
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
   const bool stream = args.get_bool("stream", false);
+  const auto journal = journal_from_args(
+      args,
+      std::string("randomization_gap v1 stream=") + (stream ? "1" : "0"));
   bench::reject_unknown_options(args);
+  SweepOptions sweep;
+  sweep.jobs = jobs;
+  sweep.journal = journal.get();
 
   bench::banner(
       "E13", "Does randomization help? (Section 5 conjecture)",
@@ -47,8 +55,21 @@ int run_bench(int argc, char** argv) {
     Summary det;
     Summary rand;
   };
-  const std::vector<CellResult> results =
-      sweep_cells(jobs, params.size(), [&](std::size_t i) {
+  const auto encode_cell = [](CellWriter& w, const CellResult& c) {
+    w.f64(c.lb);
+    encode_summary(w, c.det);
+    encode_summary(w, c.rand);
+  };
+  const auto decode_cell = [](CellReader& r) {
+    CellResult c;
+    c.lb = r.f64();
+    c.det = decode_summary(r);
+    c.rand = decode_summary(r);
+    return c;
+  };
+  const std::vector<CellResult> results = sweep_cells(
+      sweep, params.size(),
+      [&](std::size_t i) {
         const auto [wkind, p] = params[i];
         WorkloadParams wp;
         wp.num_procs = p;
@@ -79,7 +100,8 @@ int run_bench(int argc, char** argv) {
         cell.rand =
             makespan_over_seeds(sources, SchedulerKind::kRandPar, config, 11);
         return cell;
-      });
+      },
+      encode_cell, decode_cell);
 
   Table table({"workload", "p", "DET-PAR", "RAND mean", "RAND best",
                "RAND worst", "best/det"});

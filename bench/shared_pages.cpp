@@ -10,6 +10,8 @@
 // wins outright — quantifying why the open problem is open.
 //
 //   --jobs N|max   run sweep cells on N threads (default 1)
+//   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
+//   --resume       skip cells already in the journal
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -23,7 +25,11 @@ int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
   const std::size_t jobs = jobs_from_args(args);
+  const auto journal = journal_from_args(args, "shared_pages v1");
   bench::reject_unknown_options(args);
+  SweepOptions sweep;
+  sweep.jobs = jobs;
+  sweep.journal = journal.get();
 
   bench::banner(
       "E11", "Page sharing across processors (open problem, Section 5)",
@@ -47,8 +53,9 @@ int run_bench(int argc, char** argv) {
     Time det_par = 0;
     Time equi = 0;
   };
-  const std::vector<CellResult> results =
-      sweep_cells(jobs, params.size(), [&](std::size_t i) {
+  const std::vector<CellResult> results = sweep_cells(
+      sweep, params.size(),
+      [&](std::size_t i) {
         const auto [sigma, p] = params[i];
         SharedWorkloadParams sp;
         sp.num_procs = p;
@@ -75,6 +82,20 @@ int run_bench(int argc, char** argv) {
         auto equi = make_scheduler(SchedulerKind::kEqui);
         cell.equi = run_parallel(priv, *equi, ec).makespan;
         return cell;
+      },
+      [](CellWriter& w, const CellResult& c) {
+        w.u32(c.k);
+        w.u64(c.global_lru);
+        w.u64(c.det_par);
+        w.u64(c.equi);
+      },
+      [](CellReader& r) {
+        CellResult c;
+        c.k = r.u32();
+        c.global_lru = r.u64();
+        c.det_par = r.u64();
+        c.equi = r.u64();
+        return c;
       });
 
   Table table({"share_frac", "p", "k", "GLOBAL-LRU", "DET-PAR(priv)",

@@ -1,0 +1,143 @@
+// Chaos harness: a small sweep purpose-built for crash-safety drills.
+//
+// Each cell is a real (tiny) experiment — a deterministic workload run
+// through run_instance() — so the binary exercises the full checkpoint
+// path: journal append, durable flush, resume decode, budget outcomes.
+// What makes it a chaos harness is --kill-at: the process raises SIGKILL
+// against itself once K cells are journaled, simulating a hard crash
+// (power loss, OOM kill) that no signal handler can soften. scripts/
+// chaos.sh drives the drill: golden run, killed run, resumed run, then
+// byte-compares the outputs.
+//
+//   $ ./chaos_sweep [--cells N] [--jobs N|max]
+//                   [--journal PATH [--resume]] [--kill-at K]
+//                   [--budget EVENTS] [--retries R]
+//
+//   --cells N      number of sweep cells (default 48)
+//   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
+//   --resume       skip cells already in the journal
+//   --kill-at K    raise SIGKILL at the start of the first fresh cell once
+//                  >= K records are journaled (requires --journal); the
+//                  journal keeps the K finished cells, the process dies
+//                  with exit 137 like any externally killed job
+//   --budget E     per-cell engine step budget (0 = unlimited); exhausted
+//                  cells report a structured [cell-budget-exceeded] status
+//                  in their row instead of aborting the sweep
+//   --retries R    re-attempt failing cells up to R times with the same
+//                  seed (deterministic failures fail identically; see
+//                  ExperimentConfig::cell_retries)
+#include <csignal>
+#include <iostream>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "bench_support/experiment.hpp"
+#include "bench_support/parallel_sweep.hpp"
+#include "trace/workload.hpp"
+#include "util/arg_parse.hpp"
+#include "util/error.hpp"
+#include "util/interrupt.hpp"
+#include "util/table.hpp"
+
+int run_chaos(int argc, char** argv) {
+  using namespace ppg;
+  const ArgParser args(argc, argv);
+  const std::size_t jobs = jobs_from_args(args);
+  const std::size_t num_cells =
+      static_cast<std::size_t>(args.get_int("cells", 48));
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(args.get_int("budget", 0));
+  const std::uint32_t retries =
+      static_cast<std::uint32_t>(args.get_int("retries", 0));
+  const std::int64_t kill_at = args.get_int("kill-at", -1);
+  const auto journal = journal_from_args(
+      args, "chaos_sweep v1 cells=" + std::to_string(num_cells) +
+                " budget=" + std::to_string(budget) +
+                " retries=" + std::to_string(retries));
+  if (const auto unused = args.unused_keys(); !unused.empty())
+    throw std::invalid_argument("unknown option --" + unused.front());
+  if (kill_at >= 0 && journal == nullptr)
+    throw_error(ErrorCode::kBadInput,
+                "--kill-at requires --journal (the drill is about what the "
+                "journal preserves)");
+  SweepOptions sweep;
+  sweep.jobs = jobs;
+  sweep.journal = journal.get();
+
+  const std::vector<SchedulerKind> kinds{SchedulerKind::kDetPar};
+
+  const std::vector<InstanceOutcome> outcomes = sweep_cells(
+      sweep, num_cells,
+      [&](std::size_t i) {
+        // Hard-crash simulation: once enough cells are journaled, die
+        // mid-sweep with a signal no handler can intercept. Checked at
+        // cell start so the journal holds exactly whole records.
+        if (kill_at >= 0 &&
+            journal->num_records() >= static_cast<std::size_t>(kill_at)) {
+          std::raise(SIGKILL);
+        }
+        WorkloadParams wp;
+        wp.num_procs = 4;
+        wp.cache_size = 32;
+        wp.requests_per_proc = 400;
+        wp.seed = cell_seed(7, i);
+        const MultiTrace traces =
+            make_workload(WorkloadKind::kHeterogeneousMix, wp);
+        ExperimentConfig config;
+        config.cache_size = wp.cache_size;
+        config.miss_cost = 4;
+        config.seed = cell_seed(11, i);
+        config.include_global_lru = false;
+        config.cell_event_budget = budget;
+        config.cell_retries = retries;
+        return run_instance(traces, kinds, config);
+      },
+      [](CellWriter& w, const InstanceOutcome& o) {
+        encode_instance_outcome(w, o);
+      },
+      [](CellReader& r) { return decode_instance_outcome(r); });
+
+  Table table({"cell", "makespan", "ratio", "status"});
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const SchedulerOutcome& o = outcomes[i].outcomes.front();
+    if (!o.status.ok()) ++failed;
+    table.row()
+        .cell(static_cast<std::uint64_t>(i))
+        .cell(o.result.makespan)
+        .cell(o.makespan_ratio, 3)
+        .cell(o.status.ok() ? "ok"
+                            : error_code_name(o.status.error.code));
+  }
+  table.print(std::cout);
+  std::cout << "\ncells = " << outcomes.size() << ", failed = " << failed
+            << "\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  // Examples only see src/ on the include path; this mirrors
+  // bench::guarded_main (drain-and-stop on SIGINT/SIGTERM, exit 130 with
+  // the resume hint, structured resource-exhausted on bad_alloc).
+  ppg::install_interrupt_handler();
+  try {
+    return run_chaos(argc, argv);
+  } catch (const ppg::PpgException& err) {
+    if (err.error().code == ppg::ErrorCode::kInterrupted) {
+      std::cerr << "interrupted: " << err.what() << "\n";
+      return 130;
+    }
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  } catch (const std::bad_alloc&) {
+    ppg::Error oom;
+    oom.code = ppg::ErrorCode::kResourceExhausted;
+    oom.message = "allocation failed (std::bad_alloc)";
+    std::cerr << "error: " << oom.to_string() << "\n";
+    return 1;
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+}

@@ -133,9 +133,15 @@ out = {
 }
 out["context"] = {"num_cpus": out.pop("context")}
 
-with open(os.environ["OUT"], "w") as f:
+# Atomic publish: write to a sibling temp file and rename, so a crash (or
+# a reader racing this script) never sees a torn BENCH_PERF.json.
+tmp = os.environ["OUT"] + ".tmp"
+with open(tmp, "w") as f:
     json.dump(out, f, indent=2, sort_keys=True)
     f.write("\n")
+    f.flush()
+    os.fsync(f.fileno())
+os.replace(tmp, os.environ["OUT"])
 print(f"wrote {os.environ['OUT']}")
 print(f"  dense/hash LRU throughput: {out['dense_over_hash_lru']}x")
 print(f"  sweep --jobs 1: {out['sweep']['jobs1_seconds']}s, "

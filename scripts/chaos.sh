@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Crash-safety drill (tier-1): prove the checkpoint journal survives a hard
+# kill and that resume reproduces the uninterrupted output byte for byte.
+#
+# Four gates, each at --jobs 1 and --jobs max:
+#   1. golden:   plain run, no journal — the reference output;
+#   2. kill:     same run with --journal, SIGKILL'd mid-sweep (exit 137);
+#   3. resume:   --resume against the survivor journal; output must be
+#                byte-identical to golden (cmp, not diff);
+#   4. torn:     the journal is truncated mid-record (simulating a crash
+#                inside write()); resume must recover the whole-record
+#                prefix and still reproduce golden exactly.
+# Plus one budget gate: cells that exhaust --budget must report structured
+# [cell-budget-exceeded] rows and exit 0 (a failed cell is data, not a
+# crash).
+#
+# Usage: scripts/chaos.sh [path-to-chaos_sweep]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-./build/examples-bin/chaos_sweep}"
+if [[ ! -x "${BIN}" ]]; then
+  echo "chaos.sh: ${BIN} not built (cmake --build build)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+CELLS=24
+KILL_AT=9
+
+for JOBS in 1 max; do
+  tag="jobs-${JOBS}"
+  golden="${WORK}/golden-${tag}.txt"
+  journal="${WORK}/journal-${tag}.ppgjrnl"
+
+  "${BIN}" --cells "${CELLS}" --jobs "${JOBS}" > "${golden}"
+
+  # Gate 2: SIGKILL mid-sweep. raise(SIGKILL) exits 137 via the shell; the
+  # run must NOT complete (the kill fired) and must leave a journal.
+  set +e
+  "${BIN}" --cells "${CELLS}" --jobs "${JOBS}" \
+           --journal "${journal}" --kill-at "${KILL_AT}" \
+           > "${WORK}/killed-${tag}.txt" 2>&1
+  status=$?
+  set -e
+  if [[ "${status}" -ne 137 ]]; then
+    echo "chaos.sh FAIL (${tag}): expected exit 137 from SIGKILL, got ${status}" >&2
+    exit 1
+  fi
+  if [[ ! -s "${journal}" ]]; then
+    echo "chaos.sh FAIL (${tag}): kill run left no journal" >&2
+    exit 1
+  fi
+
+  # Gate 3: resume completes the sweep; stdout must match golden exactly.
+  "${BIN}" --cells "${CELLS}" --jobs "${JOBS}" \
+           --journal "${journal}" --resume \
+           > "${WORK}/resumed-${tag}.txt" 2> "${WORK}/resumed-${tag}.err"
+  cmp "${golden}" "${WORK}/resumed-${tag}.txt" || {
+    echo "chaos.sh FAIL (${tag}): resumed output differs from golden" >&2
+    exit 1
+  }
+
+  # Gate 4: tear the (now complete) journal mid-record and resume again.
+  # The reader must truncate to the last whole record and recompute the
+  # tail — still byte-identical.
+  size=$(wc -c < "${journal}")
+  torn="${WORK}/torn-${tag}.ppgjrnl"
+  head -c "$((size - 13))" "${journal}" > "${torn}"
+  "${BIN}" --cells "${CELLS}" --jobs "${JOBS}" \
+           --journal "${torn}" --resume \
+           > "${WORK}/torn-${tag}.txt" 2> "${WORK}/torn-${tag}.err"
+  cmp "${golden}" "${WORK}/torn-${tag}.txt" || {
+    echo "chaos.sh FAIL (${tag}): torn-journal resume differs from golden" >&2
+    exit 1
+  }
+done
+
+# Budget gate: exhausted cells are structured outcomes, not crashes.
+budget_out="${WORK}/budget.txt"
+"${BIN}" --cells 4 --budget 10 > "${budget_out}"
+grep -q "cell-budget-exceeded" "${budget_out}" || {
+  echo "chaos.sh FAIL: budget run did not report cell-budget-exceeded rows" >&2
+  exit 1
+}
+
+echo "chaos OK (kill/resume/torn byte-identical at --jobs 1 and max; budget rows structured)"

@@ -4,8 +4,10 @@
 # (scripts/static.sh: ppg_lint, header self-containedness, clang-tidy /
 # cppcheck when available), then the robustness tests (fault injection,
 # trace corruption, replay) again under ASan/UBSan, then the parallel-sweep
-# determinism suite raced under ThreadSanitizer, then the quick perf
-# snapshot (which also checks --jobs byte-identity).
+# determinism suite raced under ThreadSanitizer, then the crash-safety
+# drill (scripts/chaos.sh: SIGKILL mid-sweep, resume, torn-journal
+# recovery, all byte-compared), then the quick perf snapshot (which also
+# checks --jobs byte-identity).
 #
 # PPG_WERROR is ON here by design: a warning regression fails tier-1 even
 # though plain developer builds stay permissive.
@@ -29,7 +31,7 @@ if [[ "${SAN}" != "none" ]]; then
   cmake --build "build-${SAN}" -j "$(nproc)"
   (cd "build-${SAN}" &&
    ctest --output-on-failure -j "$(nproc)" \
-         -R 'FaultInjection|Contract|Replay|TraceIoCorruption|RunChecked|Error')
+         -R 'FaultInjection|Contract|Replay|TraceIoCorruption|RunChecked|Error|SweepJournal|AtomicFile|Interrupt|CellCodec')
 
   # Race the thread pool and sweep executor under TSan: the determinism
   # suite runs every sweep at --jobs 1/2/hardware, so a data race in the
@@ -39,8 +41,13 @@ if [[ "${SAN}" != "none" ]]; then
   cmake --build build-thread -j "$(nproc)"
   (cd build-thread &&
    ctest --output-on-failure -j "$(nproc)" \
-         -R 'ThreadPool|ParallelSweep')
+         -R 'ThreadPool|ParallelSweep|SweepJournal|Interrupt')
 fi
+
+# Crash-safety gate: SIGKILL a journaled sweep mid-flight, resume it, tear
+# the journal mid-record and resume again — all byte-identical to an
+# uninterrupted run, at --jobs 1 and max.
+scripts/chaos.sh
 
 # Constant-memory gate: a generator-backed 10^8-request streamed run must
 # complete under a hard 256 MB address-space cap (the materialized instance

@@ -1,0 +1,152 @@
+// Byte codec for journaled sweep-cell results.
+//
+// CellWriter/CellReader are the primitive layer: fixed-width
+// little-endian integers, doubles bit-cast to u64 (bit-exact round-trip
+// — resumed output must be byte-identical, so no text formatting), and
+// length-prefixed strings. The free functions encode the composite
+// result types the benches journal (ParallelRunResult, RunStatus,
+// InstanceOutcome, Summary, ...).
+//
+// Decoding is defensive: a payload too short for the requested field, or
+// with trailing bytes left over, throws kCorruptTrace. The journal's
+// checksum already rejects torn records; these checks catch the other
+// failure mode — a stale journal whose binding matched but whose payload
+// schema drifted.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "opt/opt_bounds.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ppg {
+
+struct SchedulerOutcome;
+struct InstanceOutcome;
+
+class CellWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes_.append(s);
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  void raw(const void* data, std::size_t n) {
+    bytes_.append(static_cast<const char*>(data), n);
+  }
+  std::string bytes_;
+};
+
+class CellReader {
+ public:
+  explicit CellReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, 8);
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint64_t len = u64();
+    need(len);
+    std::string s(bytes_.substr(pos_, static_cast<std::size_t>(len)));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// Element count for a vector about to be decoded: validates that
+  /// `count` elements of `elem_bytes` each can still fit in the payload,
+  /// so a corrupt length fails as kCorruptTrace instead of a huge
+  /// allocation.
+  std::size_t vec_count(std::uint64_t count, std::size_t elem_bytes) const {
+    if (count > remaining() / elem_bytes)
+      throw_error(ErrorCode::kCorruptTrace,
+                  "journaled cell payload declares impossible vector length " +
+                      std::to_string(count),
+                  pos_);
+    return static_cast<std::size_t>(count);
+  }
+
+  /// Throws kCorruptTrace unless every byte was consumed — catches codec
+  /// drift between the journal writer and this reader.
+  void expect_end() const {
+    if (pos_ != bytes_.size())
+      throw_error(ErrorCode::kCorruptTrace,
+                  "journaled cell payload has " +
+                      std::to_string(bytes_.size() - pos_) +
+                      " trailing bytes (codec mismatch)");
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (bytes_.size() - pos_ < n)
+      throw_error(ErrorCode::kCorruptTrace,
+                  "journaled cell payload truncated", pos_);
+  }
+  void raw(void* out, std::size_t n) {
+    need(n);
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Composite codecs. encode_x/decode_x are exact inverses; doubles and
+// vectors round-trip bit-exactly.
+
+void encode_f64_vec(CellWriter& w, const std::vector<double>& v);
+std::vector<double> decode_f64_vec(CellReader& r);
+
+void encode_time_vec(CellWriter& w, const std::vector<Time>& v);
+std::vector<Time> decode_time_vec(CellReader& r);
+
+void encode_summary(CellWriter& w, const Summary& s);
+Summary decode_summary(CellReader& r);
+
+void encode_error(CellWriter& w, const Error& e);
+Error decode_error(CellReader& r);
+
+void encode_run_status(CellWriter& w, const RunStatus& s);
+RunStatus decode_run_status(CellReader& r);
+
+void encode_run_result(CellWriter& w, const ParallelRunResult& res);
+ParallelRunResult decode_run_result(CellReader& r);
+
+void encode_opt_bounds(CellWriter& w, const OptBounds& b);
+OptBounds decode_opt_bounds(CellReader& r);
+
+void encode_scheduler_outcome(CellWriter& w, const SchedulerOutcome& o);
+SchedulerOutcome decode_scheduler_outcome(CellReader& r);
+
+void encode_instance_outcome(CellWriter& w, const InstanceOutcome& o);
+InstanceOutcome decode_instance_outcome(CellReader& r);
+
+}  // namespace ppg

@@ -49,18 +49,25 @@ InstanceOutcome run_instance(const MultiTraceSource& sources,
   ec.cache_size = config.cache_size;
   ec.miss_cost = config.miss_cost;
   ec.max_time = config.max_time;
+  ec.max_events = config.cell_event_budget;
   ec.seed = config.seed;
   ec.trace_spec = config.trace_spec;
 
   for (const SchedulerKind kind : kinds) {
-    std::unique_ptr<BoxScheduler> scheduler = make_scheduler(kind, config.seed);
-    if (config.inject_fault) {
-      FaultInjectionConfig fc = *config.inject_fault;
-      fc.seed = config.seed;
-      scheduler = make_fault_injecting(std::move(scheduler), fc);
-    }
-    if (config.validate_contracts)
-      scheduler = make_validating(std::move(scheduler), config.validator);
+    // Scheduler construction is a lambda so a retry rebuilds it from the
+    // same cell seed (fresh internal state, identical randomness).
+    const auto build_scheduler = [&] {
+      std::unique_ptr<BoxScheduler> scheduler =
+          make_scheduler(kind, config.seed);
+      if (config.inject_fault) {
+        FaultInjectionConfig fc = *config.inject_fault;
+        fc.seed = config.seed;
+        scheduler = make_fault_injecting(std::move(scheduler), fc);
+      }
+      if (config.validate_contracts)
+        scheduler = make_validating(std::move(scheduler), config.validator);
+      return scheduler;
+    };
 
     SchedulerOutcome so;
     so.name = scheduler_kind_name(kind);
@@ -69,7 +76,13 @@ InstanceOutcome run_instance(const MultiTraceSource& sources,
         config.replay_dump_dir.empty()
             ? std::string{}
             : config.replay_dump_dir + "/" + so.name + ".ppgreplay";
-    CheckedRun run = run_parallel_checked(sources, *scheduler, ec);
+    CheckedRun run;
+    for (std::uint32_t attempt = 0; attempt <= config.cell_retries;
+         ++attempt) {
+      std::unique_ptr<BoxScheduler> scheduler = build_scheduler();
+      run = run_parallel_checked(sources, *scheduler, ec);
+      if (run.status.ok()) break;
+    }
     so.status = std::move(run.status);
     so.result = std::move(run.result);
     if (so.status.ok()) {

@@ -34,6 +34,16 @@ struct ExperimentConfig {
   std::size_t exact_impact_max_requests = 0;  ///< See OptBoundsConfig.
   /// Watchdog forwarded to the engine for every cell.
   Time max_time = Time{1} << 60;
+  /// Per-cell deadline in simulated engine steps (EngineConfig::max_events),
+  /// so a runaway cell fails deterministically with kCellBudgetExceeded
+  /// instead of hanging the sweep. 0 = unlimited.
+  std::uint64_t cell_event_budget = 0;
+  /// Bounded retry for failing cells: the run is re-attempted up to this
+  /// many extra times with the *same* cell seed (a freshly built
+  /// scheduler). Deterministic failures fail identically every attempt —
+  /// retry exists for decorators with transient behaviour (fault
+  /// injection) and keeps the final outcome reproducible.
+  std::uint32_t cell_retries = 0;
   /// Wrap every box scheduler in a ValidatingScheduler so contract
   /// violations surface as per-cell errors.
   bool validate_contracts = true;

@@ -124,9 +124,19 @@ CheckedRun ParallelEngine::run_impl() {
     std::vector<std::pair<Time, std::int64_t>> mem_timeline;
     // Ticks of stall already charged per processor for the current box's
     // unusable tail are implicit: we charge tails when the box is simulated.
+    std::uint64_t processed_events = 0;
     while (!events.empty()) {
       const Event ev = events.top();
       events.pop();
+      if (config_.max_events != 0 && ++processed_events > config_.max_events) {
+        std::ostringstream msg;
+        msg << "engine exhausted its step budget (max_events = "
+            << config_.max_events << ") under scheduler "
+            << scheduler_->name();
+        out.status = RunStatus::failure(engine_error(
+            ErrorCode::kCellBudgetExceeded, msg.str(), ev.proc, ev.time));
+        return out;
+      }
       if (ev.time > config_.max_time) {
         std::ostringstream msg;
         msg << "engine exceeded max_time (" << ev.time << " > "

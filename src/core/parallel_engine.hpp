@@ -37,6 +37,13 @@ struct EngineConfig {
   /// Watchdog against misbehaving schedulers: run() aborts (PPG_CHECK) and
   /// run_checked() returns kWatchdogTimeout if simulated time passes this.
   Time max_time = Time{1} << 60;
+  /// Per-run budget on processed engine events (box requests, box
+  /// expirations, completions) — the sweep layer's per-cell deadline.
+  /// Counted in simulated steps, not wall-clock, so exhausting it is
+  /// deterministic and reproducible from the seed. 0 means unlimited;
+  /// run_checked() returns kCellBudgetExceeded when the budget is spent,
+  /// run() aborts (PPG_CHECK) like any other fatal engine condition.
+  std::uint64_t max_events = 0;
   /// Record the (time, +/-height) allocation timeline to measure peak
   /// concurrent height (costs memory proportional to #boxes).
   bool track_memory_timeline = true;

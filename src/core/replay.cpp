@@ -4,10 +4,12 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "core/scheduler_factory.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_spec.hpp"
+#include "util/atomic_file.hpp"
 
 namespace ppg {
 
@@ -107,10 +109,12 @@ ReplayDump read_replay_dump(std::istream& is) {
 }
 
 void save_replay_dump(const std::string& path, const ReplayDump& dump) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw_error(ErrorCode::kIoError, "cannot open " + path, kNoOffset,
-                       path);
+  // Serialize to memory, publish atomically: a crash mid-dump must never
+  // leave a torn .ppgreplay at the final path (the dump exists precisely
+  // because something is already going wrong).
+  std::ostringstream os;
   write_replay_dump(os, dump);
+  atomic_write_file(path, os.str());
 }
 
 ReplayDump load_replay_dump(const std::string& path) {

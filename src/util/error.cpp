@@ -13,6 +13,9 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kContractViolation: return "contract-violation";
     case ErrorCode::kWatchdogTimeout: return "watchdog-timeout";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kCellBudgetExceeded: return "cell-budget-exceeded";
+    case ErrorCode::kResourceExhausted: return "resource-exhausted";
+    case ErrorCode::kInterrupted: return "interrupted";
   }
   return "unknown";
 }

@@ -29,6 +29,9 @@ enum class ErrorCode : std::uint8_t {
   kContractViolation,   ///< A scheduler broke the box contract.
   kWatchdogTimeout,     ///< Simulated time passed EngineConfig::max_time.
   kInternal,            ///< Unexpected failure escaping a component.
+  kCellBudgetExceeded,  ///< Sweep cell passed its simulated-step budget.
+  kResourceExhausted,   ///< Allocation failure (std::bad_alloc) surfaced.
+  kInterrupted,         ///< SIGINT/SIGTERM: sweep drained and stopped.
 };
 
 const char* error_code_name(ErrorCode code);

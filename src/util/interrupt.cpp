@@ -1,0 +1,36 @@
+#include "util/interrupt.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace ppg {
+namespace {
+
+std::atomic<int> g_interrupt_flag{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
+
+extern "C" void ppg_interrupt_signal_handler(int /*signum*/) {
+  // Relaxed is enough: consumers only poll the flag, they never pair it
+  // with other memory published by the handler.
+  g_interrupt_flag.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_interrupt_handler() {
+  std::signal(SIGINT, &ppg_interrupt_signal_handler);
+  std::signal(SIGTERM, &ppg_interrupt_signal_handler);
+}
+
+bool interrupt_requested() {
+  return g_interrupt_flag.load(std::memory_order_relaxed) != 0;
+}
+
+void request_interrupt() {
+  g_interrupt_flag.store(1, std::memory_order_relaxed);
+}
+
+void clear_interrupt() { g_interrupt_flag.store(0, std::memory_order_relaxed); }
+
+}  // namespace ppg

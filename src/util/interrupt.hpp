@@ -1,0 +1,31 @@
+// Cooperative interruption.
+//
+// A process-wide flag set from SIGINT/SIGTERM (or programmatically) that
+// long-running loops poll. The sweep executor cooperates: once the flag
+// is up, worker threads stop claiming new cells, in-flight cells run to
+// completion (and land in the checkpoint journal if one is attached), and
+// the sweep surfaces a structured kInterrupted error so benches can exit
+// 130 with a resume hint instead of discarding finished work.
+//
+// The flag is a lock-free std::atomic<int>: relaxed atomic stores are
+// async-signal-safe, and unlike a bare volatile sig_atomic_t the flag may
+// also be set/read across threads (tests, pool workers) without racing.
+#pragma once
+
+namespace ppg {
+
+/// Installs SIGINT and SIGTERM handlers that set the interrupt flag.
+/// Idempotent; call from main() before long-running work.
+void install_interrupt_handler();
+
+/// True once an interrupt was requested (signal or request_interrupt()).
+bool interrupt_requested();
+
+/// Sets the flag directly — tests and cooperative shutdown paths.
+void request_interrupt();
+
+/// Clears the flag (tests; a resumed run starts fresh anyway because the
+/// flag is per-process).
+void clear_interrupt();
+
+}  // namespace ppg

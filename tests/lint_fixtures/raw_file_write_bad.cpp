@@ -1,0 +1,9 @@
+// Violates raw-file-write (library realm): an ofstream to a final path can
+// leave a torn file behind on crash.
+#include <fstream>
+#include <string>
+
+void save(const std::string& path, const std::string& data) {
+  std::ofstream out(path);
+  out << data;
+}

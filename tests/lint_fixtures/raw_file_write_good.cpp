@@ -1,0 +1,12 @@
+// Clean: durable writes go through util/atomic_file (temp + fsync +
+// rename), so readers never observe a half-written file.
+#include <string>
+#include <string_view>
+
+namespace ppg {
+void atomic_write_file(const std::string& path, std::string_view contents);
+}
+
+void save(const std::string& path, const std::string& data) {
+  ppg::atomic_write_file(path, data);
+}

@@ -1,0 +1,8 @@
+// Same violation, silenced per line.
+#include <fstream>
+#include <string>
+
+void save(const std::string& path, const std::string& data) {
+  std::ofstream out(path);  // ppg-lint: allow(raw-file-write): fixture
+  out << data;
+}

@@ -1,0 +1,162 @@
+// Cell codec: journaled payloads must round-trip bit-exactly (resumed
+// output is byte-compared against uninterrupted runs) and decode
+// defensively — truncation, trailing bytes, and hostile vector lengths are
+// structured kCorruptTrace errors, never crashes or huge allocations.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_support/cell_codec.hpp"
+#include "bench_support/experiment.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ppg {
+namespace {
+
+TEST(CellCodec, ScalarsRoundTrip) {
+  CellWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(std::uint64_t{1} << 63);
+  w.f64(3.141592653589793);
+  w.str("hello journal");
+  w.str("");
+  CellReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), std::uint64_t{1} << 63);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_EQ(r.str(), "hello journal");
+  EXPECT_EQ(r.str(), "");
+  r.expect_end();
+}
+
+TEST(CellCodec, DoublesRoundTripBitExactly) {
+  // Byte-identical resume means NaN payloads, signed zero, denormals and
+  // infinities must all survive the trip with their exact bit patterns.
+  const std::vector<double> specials{
+      0.0, -0.0, std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(), 0.1};
+  CellWriter w;
+  encode_f64_vec(w, specials);
+  CellReader r(w.bytes());
+  const std::vector<double> back = decode_f64_vec(r);
+  r.expect_end();
+  ASSERT_EQ(back.size(), specials.size());
+  for (std::size_t i = 0; i < specials.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back[i]),
+              std::bit_cast<std::uint64_t>(specials[i]))
+        << "element " << i;
+}
+
+TEST(CellCodec, TruncationAtEveryByteIsStructured) {
+  CellWriter w;
+  w.u32(7);
+  w.str("payload");
+  w.f64(2.5);
+  const std::string& whole = w.bytes();
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    CellReader r(std::string_view(whole).substr(0, cut));
+    try {
+      (void)r.u32();
+      (void)r.str();
+      (void)r.f64();
+      r.expect_end();
+      FAIL() << "decoded a payload truncated to " << cut << " of "
+             << whole.size() << " bytes";
+    } catch (const PpgException& e) {
+      EXPECT_EQ(e.error().code, ErrorCode::kCorruptTrace) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(CellCodec, TrailingBytesAreStructured) {
+  CellWriter w;
+  w.u64(1);
+  std::string bytes = w.bytes();
+  bytes += "stale";
+  CellReader r(bytes);
+  (void)r.u64();
+  try {
+    r.expect_end();
+    FAIL() << "accepted trailing bytes";
+  } catch (const PpgException& e) {
+    EXPECT_EQ(e.error().code, ErrorCode::kCorruptTrace);
+    EXPECT_NE(e.error().message.find("trailing"), std::string::npos);
+  }
+}
+
+TEST(CellCodec, HostileVectorLengthRejectedBeforeAllocating) {
+  // A corrupt 2^61 length would be a 2^64-byte reserve if trusted.
+  CellWriter w;
+  w.u64(std::uint64_t{1} << 61);
+  w.f64(1.0);  // far fewer payload bytes than the length claims
+  CellReader r(w.bytes());
+  try {
+    (void)decode_f64_vec(r);
+    FAIL() << "accepted an impossible vector length";
+  } catch (const PpgException& e) {
+    EXPECT_EQ(e.error().code, ErrorCode::kCorruptTrace);
+    EXPECT_NE(e.error().message.find("length"), std::string::npos);
+  }
+}
+
+TEST(CellCodec, HostileStringLengthRejected) {
+  CellWriter w;
+  w.u64(std::uint64_t{1} << 60);  // string length prefix, no payload
+  CellReader r(w.bytes());
+  EXPECT_THROW((void)r.str(), PpgException);
+}
+
+TEST(CellCodec, SummaryRoundTripPreservesWelfordState) {
+  Summary s;
+  for (const double x : {3.5, -1.25, 7.0, 0.125, 99.875}) s.add(x);
+  CellWriter w;
+  encode_summary(w, s);
+  CellReader r(w.bytes());
+  const Summary back = decode_summary(r);
+  r.expect_end();
+  EXPECT_EQ(back.count(), s.count());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.mean()),
+            std::bit_cast<std::uint64_t>(s.mean()));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.m2()),
+            std::bit_cast<std::uint64_t>(s.m2()));
+  EXPECT_EQ(back.min(), s.min());
+  EXPECT_EQ(back.max(), s.max());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.stddev()),
+            std::bit_cast<std::uint64_t>(s.stddev()));
+}
+
+TEST(CellCodec, RunStatusRoundTripsErrors) {
+  Error e;
+  e.code = ErrorCode::kCellBudgetExceeded;
+  e.message = "engine exhausted its step budget";
+  e.proc = 3;
+  e.time = 12345;
+  e.path = "/tmp/cell.ppgreplay";
+  RunStatus status = RunStatus::failure(e);
+  status.replay_dump_path = "/tmp/cell.ppgreplay";
+  CellWriter w;
+  encode_run_status(w, status);
+  CellReader r(w.bytes());
+  const RunStatus back = decode_run_status(r);
+  r.expect_end();
+  EXPECT_EQ(back.error.code, ErrorCode::kCellBudgetExceeded);
+  EXPECT_EQ(back.error.message, status.error.message);
+  EXPECT_EQ(back.error.proc, status.error.proc);
+  EXPECT_EQ(back.error.time, status.error.time);
+  EXPECT_EQ(back.error.path, status.error.path);
+  EXPECT_EQ(back.replay_dump_path, status.replay_dump_path);
+}
+
+}  // namespace
+}  // namespace ppg

@@ -72,6 +72,54 @@ TEST(RunChecked, MalformedBoxReturnsContractViolation) {
   EXPECT_NE(run.status.error.proc, kInvalidProc);
 }
 
+TEST(RunChecked, EventBudgetReturnsStructuredExhaustion) {
+  const MultiTrace mt = tiny_multitrace();
+  auto scheduler = make_scheduler(SchedulerKind::kDetPar, 5);
+  EngineConfig ec;
+  ec.cache_size = 8;
+  ec.miss_cost = 2;
+  ec.max_events = 3;  // far fewer steps than the run needs
+  const CheckedRun run = run_parallel_checked(mt, *scheduler, ec);
+  ASSERT_FALSE(run.status.ok());
+  EXPECT_EQ(run.status.error.code, ErrorCode::kCellBudgetExceeded);
+  EXPECT_NE(run.status.error.message.find("max_events"), std::string::npos);
+}
+
+TEST(RunChecked, EventBudgetIsDeterministic) {
+  // The budget counts simulated steps, not wall-clock: two runs with the
+  // same tight budget fail at the identical simulated time.
+  const MultiTrace mt = tiny_multitrace();
+  EngineConfig ec;
+  ec.cache_size = 8;
+  ec.miss_cost = 2;
+  ec.max_events = 2;
+  auto a = make_scheduler(SchedulerKind::kDetPar, 5);
+  auto b = make_scheduler(SchedulerKind::kDetPar, 5);
+  const CheckedRun first = run_parallel_checked(mt, *a, ec);
+  const CheckedRun second = run_parallel_checked(mt, *b, ec);
+  ASSERT_FALSE(first.status.ok());
+  ASSERT_FALSE(second.status.ok());
+  EXPECT_EQ(first.status.error.time, second.status.error.time);
+  EXPECT_EQ(first.status.error.message, second.status.error.message);
+}
+
+TEST(RunChecked, GenerousEventBudgetDoesNotPerturbResults) {
+  const MultiTrace mt = tiny_multitrace();
+  EngineConfig ec;
+  ec.cache_size = 8;
+  ec.miss_cost = 2;
+  auto unlimited = make_scheduler(SchedulerKind::kDetPar, 5);
+  const CheckedRun want = run_parallel_checked(mt, *unlimited, ec);
+  ASSERT_TRUE(want.status.ok());
+
+  ec.max_events = std::uint64_t{1} << 40;
+  auto budgeted = make_scheduler(SchedulerKind::kDetPar, 5);
+  const CheckedRun got = run_parallel_checked(mt, *budgeted, ec);
+  ASSERT_TRUE(got.status.ok()) << got.status.error.to_string();
+  EXPECT_EQ(got.result.makespan, want.result.makespan);
+  EXPECT_EQ(got.result.num_boxes, want.result.num_boxes);
+}
+
 TEST(RunChecked, CleanRunMatchesLegacyRun) {
   WorkloadParams wp;
   wp.num_procs = 4;

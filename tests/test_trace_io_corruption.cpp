@@ -224,6 +224,66 @@ TEST_F(StreamingReaderCorruption, HugeDeclaredLengthIsRejectedAtOpen) {
   }
 }
 
+TEST_F(StreamingReaderCorruption, CheckpointRewindAcrossTruncation) {
+  // A cursor checkpointed before the file is torn must still surface a
+  // structured error after rewinding into the now-missing region — the
+  // checkpoint is cursor state, not a cached copy of the payload.
+  const std::string bytes = serialized();
+  write_bytes(bytes);
+  const MultiTraceSource sources = open_multitrace_source(path_, 2);
+  auto cursor = sources.source(0).cursor();
+  (void)cursor->peek();
+  cursor->advance();
+  const CursorCheckpoint cp = cursor->checkpoint();
+  // Tear the file just past the first request's payload, then rewind and
+  // stream: the refill that crosses the cut must throw, not fabricate
+  // requests or crash.
+  write_bytes(bytes.substr(0, 16 + 8 + 1 * 8));
+  cursor->rewind(cp);
+  try {
+    while (!cursor->done()) {
+      (void)cursor->peek();
+      cursor->advance();
+    }
+    FAIL() << "rewound cursor streamed past the torn payload";
+  } catch (const PpgException& e) {
+    EXPECT_TRUE(e.error().code == ErrorCode::kCorruptTrace ||
+                e.error().code == ErrorCode::kIoError)
+        << e.error().to_string();
+  }
+}
+
+TEST_F(StreamingReaderCorruption, RewindAfterMidStreamCorruptionStaysSane) {
+  // Bit-flip the payload under a live cursor: whatever the cursor already
+  // buffered may replay, but rewinding and re-reading must never escape
+  // the [0, declared-length) request count or crash. (File-backed payload
+  // words are raw PageIds, so a flipped byte is data corruption the
+  // format cannot detect — the invariant here is bounded, crash-free
+  // behaviour, with length/structure errors still structured.)
+  const std::string bytes = serialized();
+  write_bytes(bytes);
+  const MultiTraceSource sources = open_multitrace_source(path_, 2);
+  auto cursor = sources.source(0).cursor();
+  const CursorCheckpoint cp = cursor->checkpoint();
+  std::string corrupt = bytes;
+  corrupt[16 + 8 + 3] ^= '\x40';  // inside the first trace's payload
+  write_bytes(corrupt);
+  cursor->rewind(cp);
+  std::size_t streamed = 0;
+  try {
+    while (!cursor->done() && streamed < 16) {
+      (void)cursor->peek();
+      cursor->advance();
+      ++streamed;
+    }
+    EXPECT_LE(streamed, sample().trace(0).size());
+  } catch (const PpgException& e) {
+    EXPECT_TRUE(e.error().code == ErrorCode::kCorruptTrace ||
+                e.error().code == ErrorCode::kIoError)
+        << e.error().to_string();
+  }
+}
+
 TEST_F(StreamingReaderCorruption, TruncationAfterOpenSurfacesFromCursor) {
   // The validated file shrinks between open and read (torn rewrite,
   // vanished NFS page): the cursor must surface kCorruptTrace, not crash

@@ -139,6 +139,18 @@ void check_io_sink(const ScannedFile& file, std::vector<Finding>& out) {
   match_all(file, kCstdio, "io-sink", msg, out);
 }
 
+void check_raw_file_write(const ScannedFile& file, std::vector<Finding>& out) {
+  static const std::regex kOfstream(
+      R"(\bstd\s*::\s*(?:ofstream|fstream)\b)");
+  static const std::regex kFopen(R"(\b(?:std\s*::\s*)?fopen\s*\()");
+  const std::string msg =
+      "direct file write to a final path in library code; a crash mid-write "
+      "leaves a torn file — route through util/atomic_file "
+      "(write-temp + fsync + rename) or a designated streaming sink";
+  match_all(file, kOfstream, "raw-file-write", msg, out);
+  match_all(file, kFopen, "raw-file-write", msg, out);
+}
+
 void check_pragma_once(const ScannedFile& file, std::vector<Finding>& out) {
   static const std::regex kPragma(R"(^\s*#\s*pragma\s+once\s*$)");
   for (std::size_t i = 0; i < file.line_count(); ++i) {
@@ -287,6 +299,10 @@ const std::vector<RuleDesc>& all_rules() {
        "stdout/stderr output in src/: only benches/examples and PPG_CHECK "
        "print",
        {"util/assert.hpp"}},
+      {"raw-file-write",
+       "std::ofstream/fopen to a final path in src/: crash-torn files; use "
+       "util/atomic_file or a designated streaming sink",
+       {"util/atomic_file.cpp", "trace/trace_io.cpp"}},
       {"pragma-once", "headers must open with #pragma once", {}},
       {"using-namespace-header", "no `using namespace` in headers", {}},
   };
@@ -320,6 +336,7 @@ std::vector<Finding> run_rules(const ScannedFile& file, const FileInfo& info,
     if (!exempt("raw-throw")) check_raw_throw(file, raw);
     if (!exempt("abort-exit")) check_abort_exit(file, raw);
     if (!exempt("io-sink")) check_io_sink(file, raw);
+    if (!exempt("raw-file-write")) check_raw_file_write(file, raw);
   }
   if (info.is_header) {
     check_pragma_once(file, raw);

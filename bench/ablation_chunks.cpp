@@ -14,6 +14,10 @@
 //                  (PPGJRNL); stage A holds live sources, so it is
 //                  recomputed on resume — output stays byte-identical
 //   --resume       skip cells already in the journal
+//   --shard i/N    compute only the 1-of-N slice of the stage-B cells
+//                  (requires --journal; stage A is cheap and recomputed by
+//                  every shard; render later from the journal_merge output)
+//   --steal-lease  take over a provably-dead worker's journal lease
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -26,14 +30,11 @@
 int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
-  const std::size_t jobs = jobs_from_args(args);
   const bool stream = args.get_bool("stream", false);
-  const auto journal = journal_from_args(
+  const SweepCli cli = sweep_cli_from_args(
       args, std::string("ablation_chunks v1 stream=") + (stream ? "1" : "0"));
   bench::reject_unknown_options(args);
-  SweepOptions sweep;
-  sweep.jobs = jobs;
-  sweep.journal = journal.get();
+  const SweepOptions& sweep = cli.options;
 
   bench::banner(
       "E8", "Ablation: RAND-PAR primary/secondary balance and wave fillers",
@@ -61,7 +62,7 @@ int run_bench(int argc, char** argv) {
     OptBounds bounds;
   };
   const std::vector<InstCell> inst_cells =
-      sweep_cells(jobs, inst_params.size(), [&](std::size_t i) {
+      sweep_cells(sweep.jobs, inst_params.size(), [&](std::size_t i) {
         const auto [wkind, p] = inst_params[i];
         WorkloadParams wp;
         wp.num_procs = p;
@@ -136,6 +137,7 @@ int run_bench(int argc, char** argv) {
         res.stall_mean = r.f64();
         return res;
       });
+  if (bench::shard_epilogue(cli)) return 0;
 
   Table table({"workload", "p", "primary_x", "fillers", "makespan", "ratio",
                "stall_frac"});

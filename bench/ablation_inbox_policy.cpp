@@ -10,6 +10,10 @@
 //   --jobs N|max   run sweep cells on N threads (default 1)
 //   --journal PATH checkpoint each finished replay cell to PATH (PPGJRNL)
 //   --resume       skip cells already in the journal
+//   --shard i/N    compute only the 1-of-N slice of the replay cells
+//                  (requires --journal; render later from the journal_merge
+//                  output)
+//   --steal-lease  take over a provably-dead worker's journal lease
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -22,12 +26,9 @@
 int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
-  const std::size_t jobs = jobs_from_args(args);
-  const auto journal = journal_from_args(args, "ablation_inbox_policy v1");
+  const SweepCli cli = sweep_cli_from_args(args, "ablation_inbox_policy v1");
   bench::reject_unknown_options(args);
-  SweepOptions sweep;
-  sweep.jobs = jobs;
-  sweep.journal = journal.get();
+  const SweepOptions& sweep = cli.options;
 
   bench::banner(
       "E12", "Ablation: replacement policy inside compartmentalized boxes",
@@ -84,6 +85,7 @@ int run_bench(int argc, char** argv) {
       },
       [](CellWriter& w, const Time& t) { w.u64(t); },
       [](CellReader& r) { return Time{r.u64()}; });
+  if (bench::shard_epilogue(cli)) return 0;
 
   std::size_t next = 0;
   for (const Time multiplier : multipliers) {

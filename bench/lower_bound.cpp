@@ -29,6 +29,10 @@
 //                  PATH (PPGJRNL); stage A holds live sources, so it is
 //                  recomputed on resume — output stays byte-identical
 //   --resume       skip cells already in the journal
+//   --shard i/N    compute only the 1-of-N slice of the stage-B cells
+//                  (requires --journal; stage A is cheap and recomputed by
+//                  every shard; render later from the journal_merge output)
+//   --steal-lease  take over a provably-dead worker's journal lease
 #include <cmath>
 #include <iostream>
 #include <memory>
@@ -44,14 +48,11 @@
 int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
-  const std::size_t jobs = jobs_from_args(args);
   const bool stream = args.get_bool("stream", false);
-  const auto journal = journal_from_args(
+  const SweepCli cli = sweep_cli_from_args(
       args, std::string("lower_bound v1 stream=") + (stream ? "1" : "0"));
   bench::reject_unknown_options(args);
-  SweepOptions sweep;
-  sweep.jobs = jobs;
-  sweep.journal = journal.get();
+  const SweepOptions& sweep = cli.options;
 
   bench::banner(
       "E6", "Theorem 4 adversarial instance: black-box green paging vs OPT",
@@ -77,7 +78,7 @@ int run_bench(int argc, char** argv) {
     ConstructedOptResult opt;
   };
   const std::vector<EllCell> ell_cells =
-      sweep_cells(jobs, ells.size(), [&](std::size_t i) {
+      sweep_cells(sweep.jobs, ells.size(), [&](std::size_t i) {
         AdversarialParams params;
         params.ell = ells[i];
         params.a = 1;
@@ -132,6 +133,7 @@ int run_bench(int argc, char** argv) {
       },
       [](CellWriter& w, const Time& makespan) { w.u64(makespan); },
       [](CellReader& r) { return Time{r.u64()}; });
+  if (bench::shard_epilogue(cli)) return 0;
 
   Table table({"ell", "p", "k", "T_opt", "opt_eras", "scheduler", "makespan",
                "eras", "ratio_vs_optUB", "log(p)/loglog(p)"});

@@ -15,6 +15,10 @@
 //   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
 //   --resume       skip cells already in the journal; final output is
 //                  byte-identical to an uninterrupted run
+//   --shard i/N    compute only the 1-of-N slice of the cell grid (requires
+//                  --journal; merge the shard journals with journal_merge,
+//                  then render unsharded via --journal MERGED --resume)
+//   --steal-lease  take over a provably-dead worker's journal lease
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -27,16 +31,13 @@
 int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
-  const std::size_t jobs = jobs_from_args(args);
   const bool quick = args.get_bool("quick", false);
   const bool stream = args.get_bool("stream", false);
-  const auto journal = journal_from_args(
+  const SweepCli cli = sweep_cli_from_args(
       args, std::string("makespan_scaling v1 quick=") + (quick ? "1" : "0") +
                 " stream=" + (stream ? "1" : "0"));
   bench::reject_unknown_options(args);
-  SweepOptions sweep;
-  sweep.jobs = jobs;
-  sweep.journal = journal.get();
+  const SweepOptions& sweep = cli.options;
 
   bench::banner(
       "E3/E4", "Makespan competitive-ratio scaling",
@@ -122,6 +123,7 @@ int run_bench(int argc, char** argv) {
         return cell;
       },
       encode_cell, decode_cell);
+  if (bench::shard_epilogue(cli)) return 0;
 
   Table table({"workload", "p", "k", "T_LB", "T_UB", "scheduler", "makespan",
                "ratio", "xi"});

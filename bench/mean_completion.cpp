@@ -10,6 +10,9 @@
 //                  (byte-identical output, O(active window) peak memory)
 //   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
 //   --resume       skip cells already in the journal
+//   --shard i/N    compute only the 1-of-N slice of the cell grid (requires
+//                  --journal; render later from the journal_merge output)
+//   --steal-lease  take over a provably-dead worker's journal lease
 #include <algorithm>
 #include <iostream>
 #include <limits>
@@ -23,15 +26,12 @@
 int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
-  const std::size_t jobs = jobs_from_args(args);
   const bool stream = args.get_bool("stream", false);
-  const auto journal = journal_from_args(
+  const SweepCli cli = sweep_cli_from_args(
       args,
       std::string("mean_completion v1 stream=") + (stream ? "1" : "0"));
   bench::reject_unknown_options(args);
-  SweepOptions sweep;
-  sweep.jobs = jobs;
-  sweep.journal = journal.get();
+  const SweepOptions& sweep = cli.options;
 
   bench::banner(
       "E5", "Mean completion time on skewed-length workloads",
@@ -98,6 +98,7 @@ int run_bench(int argc, char** argv) {
         return cell;
       },
       encode_cell, decode_cell);
+  if (bench::shard_epilogue(cli)) return 0;
 
   Table table({"p", "k", "scheduler", "mean_ct", "mean_ratio", "makespan",
                "spread_max_over_min", "max_stretch"});

@@ -12,6 +12,9 @@
 //                  of materializing it (output is byte-identical)
 //   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
 //   --resume       skip cells already in the journal
+//   --shard i/N    compute only the 1-of-N slice of the cell grid (requires
+//                  --journal; render later from the journal_merge output)
+//   --steal-lease  take over a provably-dead worker's journal lease
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -23,15 +26,12 @@
 int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
-  const std::size_t jobs = jobs_from_args(args);
   const bool stream = args.get_bool("stream", false);
-  const auto journal = journal_from_args(
+  const SweepCli cli = sweep_cli_from_args(
       args,
       std::string("randomization_gap v1 stream=") + (stream ? "1" : "0"));
   bench::reject_unknown_options(args);
-  SweepOptions sweep;
-  sweep.jobs = jobs;
-  sweep.journal = journal.get();
+  const SweepOptions& sweep = cli.options;
 
   bench::banner(
       "E13", "Does randomization help? (Section 5 conjecture)",
@@ -102,6 +102,7 @@ int run_bench(int argc, char** argv) {
         return cell;
       },
       encode_cell, decode_cell);
+  if (bench::shard_epilogue(cli)) return 0;
 
   Table table({"workload", "p", "DET-PAR", "RAND mean", "RAND best",
                "RAND worst", "best/det"});

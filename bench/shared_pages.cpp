@@ -12,6 +12,9 @@
 //   --jobs N|max   run sweep cells on N threads (default 1)
 //   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
 //   --resume       skip cells already in the journal
+//   --shard i/N    compute only the 1-of-N slice of the cell grid (requires
+//                  --journal; render later from the journal_merge output)
+//   --steal-lease  take over a provably-dead worker's journal lease
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -24,12 +27,9 @@
 int run_bench(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
-  const std::size_t jobs = jobs_from_args(args);
-  const auto journal = journal_from_args(args, "shared_pages v1");
+  const SweepCli cli = sweep_cli_from_args(args, "shared_pages v1");
   bench::reject_unknown_options(args);
-  SweepOptions sweep;
-  sweep.jobs = jobs;
-  sweep.journal = journal.get();
+  const SweepOptions& sweep = cli.options;
 
   bench::banner(
       "E11", "Page sharing across processors (open problem, Section 5)",
@@ -97,6 +97,7 @@ int run_bench(int argc, char** argv) {
         c.equi = r.u64();
         return c;
       });
+  if (bench::shard_epilogue(cli)) return 0;
 
   Table table({"share_frac", "p", "k", "GLOBAL-LRU", "DET-PAR(priv)",
                "EQUI(priv)", "detpar_over_global"});

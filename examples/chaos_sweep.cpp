@@ -12,6 +12,7 @@
 //   $ ./chaos_sweep [--cells N] [--jobs N|max]
 //                   [--journal PATH [--resume]] [--kill-at K]
 //                   [--budget EVENTS] [--retries R]
+//                   [--shard i/N] [--steal-lease]
 //
 //   --cells N      number of sweep cells (default 48)
 //   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
@@ -26,7 +27,9 @@
 //   --retries R    re-attempt failing cells up to R times with the same
 //                  seed (deterministic failures fail identically; see
 //                  ExperimentConfig::cell_retries)
-#include <csignal>
+//   --shard i/N    compute only the 1-of-N slice of the cells (requires
+//                  --journal; render later from the journal_merge output)
+//   --steal-lease  take over a provably-dead worker's journal lease
 #include <iostream>
 #include <new>
 #include <stdexcept>
@@ -43,7 +46,6 @@
 int run_chaos(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
-  const std::size_t jobs = jobs_from_args(args);
   const std::size_t num_cells =
       static_cast<std::size_t>(args.get_int("cells", 48));
   const std::uint64_t budget =
@@ -51,32 +53,24 @@ int run_chaos(int argc, char** argv) {
   const std::uint32_t retries =
       static_cast<std::uint32_t>(args.get_int("retries", 0));
   const std::int64_t kill_at = args.get_int("kill-at", -1);
-  const auto journal = journal_from_args(
+  const SweepCli cli = sweep_cli_from_args(
       args, "chaos_sweep v1 cells=" + std::to_string(num_cells) +
                 " budget=" + std::to_string(budget) +
                 " retries=" + std::to_string(retries));
   if (const auto unused = args.unused_keys(); !unused.empty())
     throw std::invalid_argument("unknown option --" + unused.front());
-  if (kill_at >= 0 && journal == nullptr)
+  if (kill_at >= 0 && cli.journal == nullptr)
     throw_error(ErrorCode::kBadInput,
                 "--kill-at requires --journal (the drill is about what the "
                 "journal preserves)");
-  SweepOptions sweep;
-  sweep.jobs = jobs;
-  sweep.journal = journal.get();
+  SweepOptions sweep = cli.options;
+  if (kill_at >= 0) sweep.kill_after = kill_at;
 
   const std::vector<SchedulerKind> kinds{SchedulerKind::kDetPar};
 
   const std::vector<InstanceOutcome> outcomes = sweep_cells(
       sweep, num_cells,
       [&](std::size_t i) {
-        // Hard-crash simulation: once enough cells are journaled, die
-        // mid-sweep with a signal no handler can intercept. Checked at
-        // cell start so the journal holds exactly whole records.
-        if (kill_at >= 0 &&
-            journal->num_records() >= static_cast<std::size_t>(kill_at)) {
-          std::raise(SIGKILL);
-        }
         WorkloadParams wp;
         wp.num_procs = 4;
         wp.cache_size = 32;
@@ -97,6 +91,7 @@ int run_chaos(int argc, char** argv) {
         encode_instance_outcome(w, o);
       },
       [](CellReader& r) { return decode_instance_outcome(r); });
+  if (shard_epilogue(cli, std::cout)) return 0;
 
   Table table({"cell", "makespan", "ratio", "status"});
   std::size_t failed = 0;

@@ -7,10 +7,14 @@
 // shared cache be partitioned?" answered by each strategy.
 //
 //   $ ./multiprogram_study [p] [k] [--jobs N|max] [--journal PATH [--resume]]
+//                          [--shard i/N] [--steal-lease]
 //
 // --journal PATH checkpoints each finished scheduler run to PATH (PPGJRNL);
 // --resume skips runs already journaled. The positional p/k are part of the
 // journal binding, so resuming with a different shape is refused.
+// --shard i/N computes only the 1-of-N slice of the runs (requires
+// --journal; render later from the journal_merge output); --steal-lease
+// takes over a provably-dead worker's journal lease.
 #include <cstdlib>
 #include <iostream>
 #include <new>
@@ -31,7 +35,6 @@
 int run_study(int argc, char** argv) {
   using namespace ppg;
   const ArgParser args(argc, argv);
-  const std::size_t jobs = jobs_from_args(args);
   const auto& positional = args.positional();
   const ProcId p =
       !positional.empty() ? static_cast<ProcId>(std::atoi(positional[0].c_str()))
@@ -39,14 +42,12 @@ int run_study(int argc, char** argv) {
   const Height k = positional.size() > 1
                        ? static_cast<Height>(std::atoi(positional[1].c_str()))
                        : 8 * p;
-  const auto journal = journal_from_args(
+  const SweepCli cli = sweep_cli_from_args(
       args, "multiprogram_study v1 p=" + std::to_string(p) +
                 " k=" + std::to_string(k));
   if (const auto unused = args.unused_keys(); !unused.empty())
     throw std::invalid_argument("unknown option --" + unused.front());
-  SweepOptions sweep;
-  sweep.jobs = jobs;
-  sweep.journal = journal.get();
+  const SweepOptions& sweep = cli.options;
   const Time s = 16;
 
   WorkloadParams wp;
@@ -61,10 +62,11 @@ int run_study(int argc, char** argv) {
   oc.miss_cost = s;
   const OptBounds bounds = compute_opt_bounds(traces, oc);
 
-  std::cout << "p = " << p << ", k = " << k << ", s = " << s
-            << ", total requests = " << traces.total_requests()
-            << "\nOPT lower bound on makespan: " << bounds.lower_bound()
-            << "\n\n";
+  if (!cli.sharded())
+    std::cout << "p = " << p << ", k = " << k << ", s = " << s
+              << ", total requests = " << traces.total_requests()
+              << "\nOPT lower bound on makespan: " << bounds.lower_bound()
+              << "\n\n";
 
   // One sweep cell per scheduler (GLOBAL-LRU rides along as the last cell);
   // rows are emitted in scheduler order regardless of --jobs.
@@ -89,6 +91,7 @@ int run_study(int argc, char** argv) {
         encode_run_result(w, r);
       },
       [](CellReader& r) { return decode_run_result(r); });
+  if (shard_epilogue(cli, std::cout)) return 0;
 
   Table table({"scheduler", "makespan", "ratio", "mean_ct", "fault_rate",
                "peak_mem", "boxes"});

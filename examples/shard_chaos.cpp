@@ -1,0 +1,129 @@
+// Distributed-shard drill: a tiny two-stage sweep purpose-built for
+// scripts/shard_supervisor.sh and the shard-chaos tier-1 gate.
+//
+// Every cell is a real (minuscule) experiment run through run_instance(),
+// a pure function of its enumeration index, journaled under two stages so
+// the drill also exercises stage namespacing in tools/journal_merge. The
+// binary itself is deliberately boring: the chaos comes from outside —
+// the supervisor launches one worker per shard, SIGKILLs a subset
+// mid-flight (via the PPG_SWEEP_KILL_AFTER hook), restarts them with
+// bounded retries and backoff, merges the shard journals, and
+// byte-compares an unsharded render of the merge against the golden run.
+//
+//   $ ./shard_chaos [--cells N] [--jobs N|max] [--journal PATH [--resume]]
+//                   [--shard i/N] [--steal-lease]
+//
+//   --cells N      cells per stage (default 12)
+//   --jobs N|max   run sweep cells on N threads (default 1)
+//   --journal PATH checkpoint each finished cell to PATH (PPGJRNL); the
+//                  two sweeps journal as stages 0/1
+//   --resume       skip cells already in the journal
+//   --shard i/N    compute only the 1-of-N slice of each stage's cells
+//                  (requires --journal; render later from the
+//                  journal_merge output)
+//   --steal-lease  take over a provably-dead worker's journal lease
+#include <iostream>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "bench_support/experiment.hpp"
+#include "bench_support/parallel_sweep.hpp"
+#include "trace/workload.hpp"
+#include "util/arg_parse.hpp"
+#include "util/error.hpp"
+#include "util/interrupt.hpp"
+#include "util/table.hpp"
+
+int run_drill(int argc, char** argv) {
+  using namespace ppg;
+  const ArgParser args(argc, argv);
+  const std::size_t num_cells =
+      static_cast<std::size_t>(args.get_int("cells", 12));
+  const SweepCli cli = sweep_cli_from_args(
+      args, "shard_chaos v1 cells=" + std::to_string(num_cells));
+  if (const auto unused = args.unused_keys(); !unused.empty())
+    throw std::invalid_argument("unknown option --" + unused.front());
+  const SweepOptions& sweep = cli.options;
+
+  const std::vector<SchedulerKind> kinds{SchedulerKind::kDetPar};
+  // One tiny experiment per cell; deterministic in (stage base, index).
+  const auto run_cell = [&](std::size_t i, WorkloadKind wkind,
+                            std::uint64_t base) {
+    WorkloadParams wp;
+    wp.num_procs = 4;
+    wp.cache_size = 32;
+    wp.requests_per_proc = 300;
+    wp.seed = cell_seed(base, i);
+    const MultiTrace traces = make_workload(wkind, wp);
+    ExperimentConfig config;
+    config.cache_size = wp.cache_size;
+    config.miss_cost = 4;
+    config.seed = cell_seed(base + 1, i);
+    config.include_global_lru = false;
+    return run_instance(traces, kinds, config);
+  };
+  const auto encode = [](CellWriter& w, const InstanceOutcome& o) {
+    encode_instance_outcome(w, o);
+  };
+  const auto decode = [](CellReader& r) { return decode_instance_outcome(r); };
+
+  const std::vector<InstanceOutcome> mixed = sweep_cells(
+      sweep.with_stage(0), num_cells,
+      [&](std::size_t i) {
+        return run_cell(i, WorkloadKind::kHeterogeneousMix, 101);
+      },
+      encode, decode);
+  const std::vector<InstanceOutcome> polluted = sweep_cells(
+      sweep.with_stage(1), num_cells,
+      [&](std::size_t i) {
+        return run_cell(i, WorkloadKind::kPollutedCycles, 202);
+      },
+      encode, decode);
+  if (shard_epilogue(cli, std::cout)) return 0;
+
+  Table table({"stage", "cell", "makespan", "ratio", "status"});
+  const auto emit = [&](const char* name,
+                        const std::vector<InstanceOutcome>& outcomes) {
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const SchedulerOutcome& o = outcomes[i].outcomes.front();
+      table.row()
+          .cell(name)
+          .cell(static_cast<std::uint64_t>(i))
+          .cell(o.result.makespan)
+          .cell(o.makespan_ratio, 3)
+          .cell(o.status.ok() ? "ok" : error_code_name(o.status.error.code));
+    }
+  };
+  emit("mixed", mixed);
+  emit("polluted", polluted);
+  table.print(std::cout);
+  std::cout << "\ncells = " << mixed.size() + polluted.size() << "\n";
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  // Examples only see src/ on the include path; this mirrors
+  // bench::guarded_main (drain-and-stop on SIGINT/SIGTERM, exit 130 with
+  // the resume hint, structured resource-exhausted on bad_alloc).
+  ppg::install_interrupt_handler();
+  try {
+    return run_drill(argc, argv);
+  } catch (const ppg::PpgException& err) {
+    if (err.error().code == ppg::ErrorCode::kInterrupted) {
+      std::cerr << "interrupted: " << err.what() << "\n";
+      return 130;
+    }
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  } catch (const std::bad_alloc&) {
+    ppg::Error oom;
+    oom.code = ppg::ErrorCode::kResourceExhausted;
+    oom.message = "allocation failed (std::bad_alloc)";
+    std::cerr << "error: " << oom.to_string() << "\n";
+    return 1;
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+}

@@ -4,6 +4,12 @@
 # machine-readable BENCH_PERF.json, verifying on the way that the parallel
 # sweep output is byte-identical to the serial one.
 #
+# After writing the snapshot, compares per-benchmark requests/sec against
+# the committed BENCH_PERF.json and prints a WARN line for every >15%
+# drop. Warn-only for now: CI machines are noisy and quick-mode
+# repetitions are short, so a hard gate (ROADMAP item 2) needs curated
+# reference numbers first.
+#
 # Usage: scripts/bench_perf.sh [--quick] [--out FILE]
 #   --quick   CI mode: shorter benchmark repetitions and the reduced
 #             (--quick) E4 sweep; completes in well under a minute.
@@ -148,3 +154,41 @@ print(f"  sweep --jobs 1: {out['sweep']['jobs1_seconds']}s, "
       f"--jobs max: {out['sweep']['jobsmax_seconds']}s "
       f"({out['sweep']['speedup_jobsmax']}x)")
 PY
+
+# --- Warn-only throughput regression check -------------------------------
+# Compare the fresh snapshot against the committed reference (HEAD's
+# BENCH_PERF.json, which may differ from OUT when --out is used).
+if git cat-file -e HEAD:BENCH_PERF.json 2>/dev/null; then
+  COMMITTED_JSON="$(mktemp)"
+  git show HEAD:BENCH_PERF.json > "${COMMITTED_JSON}"
+  COMMITTED_JSON="${COMMITTED_JSON}" OUT="${OUT}" python3 - <<'PY'
+import json, os
+
+with open(os.environ["COMMITTED_JSON"]) as f:
+    committed = json.load(f)
+with open(os.environ["OUT"]) as f:
+    fresh = json.load(f)
+
+old = committed.get("requests_per_sec", {})
+new = fresh.get("requests_per_sec", {})
+drops = 0
+for name in sorted(old):
+    if name not in new or not old[name]:
+        continue
+    change = new[name] / old[name] - 1.0
+    if change < -0.15:
+        drops += 1
+        print(f"WARN: {name} throughput dropped {-change:.0%} "
+              f"({old[name]:,} -> {new[name]:,} req/s) vs committed "
+              "BENCH_PERF.json")
+if drops == 0:
+    print(f"throughput vs committed BENCH_PERF.json: no >15% drops "
+          f"across {len(set(old) & set(new))} benchmarks")
+else:
+    print(f"({drops} benchmark(s) slower than the committed snapshot; "
+          "warn-only until ROADMAP item 2 lands a hard gate)")
+PY
+  rm -f "${COMMITTED_JSON}"
+else
+  echo "no committed BENCH_PERF.json at HEAD; skipping regression check"
+fi

@@ -12,7 +12,10 @@
 #                prefix and still reproduce golden exactly.
 # Plus one budget gate: cells that exhaust --budget must report structured
 # [cell-budget-exceeded] rows and exit 0 (a failed cell is data, not a
-# crash).
+# crash), and two lease gates: a second writer against a journal whose
+# lease names a LIVE process must refuse with structured [journal-locked]
+# (and --steal-lease must not override it), while a lease left by a DEAD
+# process refuses by default and yields to --steal-lease.
 #
 # Usage: scripts/chaos.sh [path-to-chaos_sweep]
 set -euo pipefail
@@ -55,8 +58,11 @@ for JOBS in 1 max; do
   fi
 
   # Gate 3: resume completes the sweep; stdout must match golden exactly.
+  # The SIGKILLed run left a lease naming its own dead pid, so the resume
+  # must steal it (the dedicated lease gates below check that a PLAIN
+  # resume refuses first).
   "${BIN}" --cells "${CELLS}" --jobs "${JOBS}" \
-           --journal "${journal}" --resume \
+           --journal "${journal}" --resume --steal-lease \
            > "${WORK}/resumed-${tag}.txt" 2> "${WORK}/resumed-${tag}.err"
   cmp "${golden}" "${WORK}/resumed-${tag}.txt" || {
     echo "chaos.sh FAIL (${tag}): resumed output differs from golden" >&2
@@ -86,4 +92,63 @@ grep -q "cell-budget-exceeded" "${budget_out}" || {
   exit 1
 }
 
-echo "chaos OK (kill/resume/torn byte-identical at --jobs 1 and max; budget rows structured)"
+# Lease-refusal gate: while writer 1 holds the journal lease, a concurrent
+# writer 2 must exit with structured [journal-locked] — even with
+# --steal-lease, because the owner is demonstrably alive.
+lease_journal="${WORK}/lease.ppgjrnl"
+"${BIN}" --cells 4000 --journal "${lease_journal}" \
+         > "${WORK}/lease-w1.txt" 2>&1 &
+w1=$!
+for _ in $(seq 1 200); do
+  [[ -f "${lease_journal}.lock" ]] && break
+  sleep 0.05
+done
+[[ -f "${lease_journal}.lock" ]] || {
+  echo "chaos.sh FAIL: writer 1 never published its lease" >&2
+  kill -KILL "${w1}" 2>/dev/null || true
+  exit 1
+}
+for steal_flag in "" "--steal-lease"; do
+  set +e
+  # shellcheck disable=SC2086  # steal_flag is intentionally word-split
+  "${BIN}" --cells 4000 --journal "${lease_journal}" --resume ${steal_flag} \
+           > "${WORK}/lease-w2.txt" 2>&1
+  status=$?
+  set -e
+  if [[ "${status}" -eq 0 ]] || ! grep -q "journal-locked" "${WORK}/lease-w2.txt"; then
+    echo "chaos.sh FAIL: second writer (${steal_flag:-no steal}) did not refuse" \
+         "with [journal-locked] (exit ${status})" >&2
+    kill -KILL "${w1}" 2>/dev/null || true
+    exit 1
+  fi
+done
+kill -KILL "${w1}" 2>/dev/null || true
+wait "${w1}" 2>/dev/null || true
+
+# Lease-steal gate: the SIGKILLed writer's lease names a dead pid; a plain
+# restart refuses with the steal hint, and --steal-lease takes over and
+# completes the sweep.
+[[ -f "${lease_journal}.lock" ]] || {
+  echo "chaos.sh FAIL: killed writer left no lease behind" >&2
+  exit 1
+}
+set +e
+"${BIN}" --cells 4000 --journal "${lease_journal}" --resume \
+         > "${WORK}/lease-stale.txt" 2>&1
+status=$?
+set -e
+if [[ "${status}" -eq 0 ]] || ! grep -q "steal-lease" "${WORK}/lease-stale.txt"; then
+  echo "chaos.sh FAIL: stale lease was not refused with the --steal-lease hint" >&2
+  exit 1
+fi
+"${BIN}" --cells 4000 --journal "${lease_journal}" --resume --steal-lease \
+         > "${WORK}/lease-stolen.txt" 2>&1 || {
+  echo "chaos.sh FAIL: --steal-lease could not take over a dead owner's journal" >&2
+  exit 1
+}
+if [[ -f "${lease_journal}.lock" ]]; then
+  echo "chaos.sh FAIL: lease not released after a clean exit" >&2
+  exit 1
+fi
+
+echo "chaos OK (kill/resume/torn byte-identical at --jobs 1 and max; budget rows structured; lease refusal/steal enforced)"

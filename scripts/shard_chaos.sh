@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Distributed-shard chaos gate (tier-1): prove the full sharded pipeline —
+# shard workers, mid-flight SIGKILLs, supervisor restarts with lease
+# steals, validated merge, unsharded render — reproduces the unsharded
+# golden output byte for byte.
+#
+# Each drill:
+#   1. golden:  plain unsharded run — the reference stdout;
+#   2. shards:  scripts/shard_supervisor.sh launches 4 workers; shards 1
+#               and 3 SIGKILL themselves mid-flight (PPG_SWEEP_KILL_AFTER)
+#               on their first attempt and are restarted with
+#               --steal-lease and backoff;
+#   3. merge:   tools/journal_merge validates the 4 shard journals
+#               (bindings, checksums, disjointness, gap-free grid) into
+#               one unsharded journal;
+#   4. render:  the bench reruns unsharded with --journal MERGED --resume,
+#               decoding every cell; stdout must cmp equal to golden.
+#
+# Targets: the shard_chaos drill example at --jobs 1 and max, plus three
+# real sweep benches.
+#
+# Usage: scripts/shard_chaos.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MERGE=./build/tools/journal_merge/journal_merge
+for bin in "${MERGE}" ./build/examples-bin/shard_chaos; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "shard_chaos.sh: ${bin} not built (cmake --build build)" >&2
+    exit 1
+  fi
+done
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+drill() {
+  local tag="$1"
+  shift
+  local dir="${WORK}/${tag}"
+  mkdir -p "${dir}"
+
+  "$@" > "${dir}/golden.txt"
+
+  scripts/shard_supervisor.sh --shards 4 --dir "${dir}" --retries 3 \
+      --kill-shards "1 3" --kill-after 1 -- "$@" \
+      > "${dir}/supervisor.out" 2>&1 || {
+    echo "shard_chaos.sh FAIL (${tag}): supervisor did not complete the grid" >&2
+    cat "${dir}/supervisor.out" >&2
+    exit 1
+  }
+
+  # The chaos kills must actually have fired: shards 1 and 3's first
+  # attempts end in SIGKILL (exit 137) before the supervisor restarts them.
+  for i in 1 3; do
+    grep -q "^attempt 0 exit 137$" "${dir}/shard-${i}.events" || {
+      echo "shard_chaos.sh FAIL (${tag}): shard ${i} was not killed" \
+           "mid-flight (events: $(cat "${dir}/shard-${i}.events"))" >&2
+      exit 1
+    }
+  done
+
+  "${MERGE}" --out "${dir}/merged.ppgjrnl" "${dir}"/shard-*.ppgjrnl \
+      > "${dir}/merge.out"
+
+  "$@" --journal "${dir}/merged.ppgjrnl" --resume > "${dir}/merged.txt"
+  cmp "${dir}/golden.txt" "${dir}/merged.txt" || {
+    echo "shard_chaos.sh FAIL (${tag}): merged render differs from golden" >&2
+    exit 1
+  }
+  echo "shard-chaos OK (${tag})"
+}
+
+drill drill-jobs-1 ./build/examples-bin/shard_chaos --cells 10 --jobs 1
+drill drill-jobs-max ./build/examples-bin/shard_chaos --cells 10 --jobs max
+drill makespan_scaling ./build/bench/makespan_scaling --quick --jobs max
+drill ablation_inbox_policy ./build/bench/ablation_inbox_policy --jobs max
+drill shared_pages ./build/bench/shared_pages --jobs max
+
+echo "shard chaos OK (4 shards, 2 SIGKILLed + restarted, merge byte-identical: 2 drill configs + 3 benches)"

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Shard supervisor: run a sharded sweep to completion on one machine.
+#
+# Launches one worker per shard —
+#
+#   BIN ARGS... --shard i/N --journal DIR/shard-i.ppgjrnl --resume
+#
+# — and restarts any worker that dies (crash, OOM kill, chaos drill) with
+# bounded retries and exponential backoff. Restart attempts pass
+# --steal-lease: a crashed attempt leaves a lease naming its own dead pid,
+# which is exactly what the escape hatch is for; a lease held by a LIVE
+# process still refuses, so a misconfigured double supervisor fails loudly
+# instead of interleaving writers.
+#
+# Chaos hook: shards listed in --kill-shards run their FIRST attempt with
+# PPG_SWEEP_KILL_AFTER=K (the worker SIGKILLs itself at the start of its
+# first fresh cell once K records are journaled), simulating a mid-flight
+# hard crash the supervisor must recover from.
+#
+# The workers' only output is their journals; merge them with
+# tools/journal_merge and rerun the bench unsharded with
+# --journal MERGED --resume to render.
+#
+# Usage:
+#   scripts/shard_supervisor.sh --shards N --dir DIR [--retries R]
+#       [--kill-shards "i j ..."] [--kill-after K] -- BIN [ARGS...]
+set -euo pipefail
+
+SHARDS=""
+DIR=""
+RETRIES=3
+KILL_SHARDS=""
+KILL_AFTER=1
+
+usage() {
+  echo "usage: $0 --shards N --dir DIR [--retries R]" \
+       "[--kill-shards \"i j\"] [--kill-after K] -- BIN [ARGS...]" >&2
+  exit 2
+}
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --shards) SHARDS="$2"; shift 2 ;;
+    --dir) DIR="$2"; shift 2 ;;
+    --retries) RETRIES="$2"; shift 2 ;;
+    --kill-shards) KILL_SHARDS="$2"; shift 2 ;;
+    --kill-after) KILL_AFTER="$2"; shift 2 ;;
+    --) shift; break ;;
+    *) echo "shard_supervisor.sh: unknown option $1" >&2; usage ;;
+  esac
+done
+[[ -n "${SHARDS}" && -n "${DIR}" && $# -gt 0 ]] || usage
+CMD=("$@")
+
+mkdir -p "${DIR}"
+
+# Supervise one shard to completion. Runs in a background subshell; the
+# per-attempt exit codes land in DIR/shard-i.events so the caller (and the
+# shard-chaos gate) can assert that the chaos kills actually fired.
+supervise_shard() {
+  local i="$1"
+  local journal="${DIR}/shard-${i}.ppgjrnl"
+  local events="${DIR}/shard-${i}.events"
+  local log="${DIR}/shard-${i}.log"
+  local attempt=0
+  local backoff=0.1
+  : > "${events}"
+  while :; do
+    local extra=()
+    local kill_env=()
+    if [[ "${attempt}" -eq 0 ]] && [[ " ${KILL_SHARDS} " == *" ${i} "* ]]; then
+      kill_env=("PPG_SWEEP_KILL_AFTER=${KILL_AFTER}")
+    fi
+    # A crashed attempt's lease names a dead pid; stealing it is the
+    # designed recovery. Attempt 0 must NOT steal, so a live concurrent
+    # writer is still refused.
+    [[ "${attempt}" -gt 0 ]] && extra=(--steal-lease)
+    local status=0
+    env "${kill_env[@]}" "${CMD[@]}" \
+        --shard "${i}/${SHARDS}" --journal "${journal}" --resume \
+        "${extra[@]}" >> "${log}" 2>&1 || status=$?
+    echo "attempt ${attempt} exit ${status}" >> "${events}"
+    [[ "${status}" -eq 0 ]] && return 0
+    attempt=$((attempt + 1))
+    if [[ "${attempt}" -gt "${RETRIES}" ]]; then
+      echo "shard_supervisor.sh: shard ${i}/${SHARDS} failed" \
+           "${attempt} times (last exit ${status}); giving up." \
+           "Log: ${log}" >&2
+      return 1
+    fi
+    echo "shard ${i}/${SHARDS}: attempt $((attempt - 1)) exited ${status};" \
+         "retrying in ${backoff}s (--steal-lease)" >&2
+    sleep "${backoff}"
+    backoff="$(awk -v b="${backoff}" 'BEGIN { print b * 2 }')"
+  done
+}
+
+pids=()
+for ((i = 0; i < SHARDS; ++i)); do
+  supervise_shard "${i}" &
+  pids+=("$!")
+done
+
+failed=0
+for ((i = 0; i < SHARDS; ++i)); do
+  wait "${pids[${i}]}" || { failed=1; }
+done
+if [[ "${failed}" -ne 0 ]]; then
+  echo "shard_supervisor.sh: grid incomplete (see ${DIR}/shard-*.log)" >&2
+  exit 1
+fi
+echo "all ${SHARDS} shards complete: ${DIR}/shard-*.ppgjrnl"

@@ -6,8 +6,11 @@
 # trace corruption, replay) again under ASan/UBSan, then the parallel-sweep
 # determinism suite raced under ThreadSanitizer, then the crash-safety
 # drill (scripts/chaos.sh: SIGKILL mid-sweep, resume, torn-journal
-# recovery, all byte-compared), then the quick perf snapshot (which also
-# checks --jobs byte-identity).
+# recovery, lease refusal/steal, all byte-compared), then the
+# distributed-shard chaos gate (scripts/shard_chaos.sh: 4 shard workers, 2
+# SIGKILLed and supervisor-restarted, journals merged and re-rendered),
+# then the quick perf snapshot (which also checks --jobs byte-identity and
+# warns on >15% throughput drops vs the committed BENCH_PERF.json).
 #
 # PPG_WERROR is ON here by design: a warning regression fails tier-1 even
 # though plain developer builds stay permissive.
@@ -31,7 +34,7 @@ if [[ "${SAN}" != "none" ]]; then
   cmake --build "build-${SAN}" -j "$(nproc)"
   (cd "build-${SAN}" &&
    ctest --output-on-failure -j "$(nproc)" \
-         -R 'FaultInjection|Contract|Replay|TraceIoCorruption|RunChecked|Error|SweepJournal|AtomicFile|Interrupt|CellCodec')
+         -R 'FaultInjection|Contract|Replay|TraceIoCorruption|RunChecked|Error|SweepJournal|AtomicFile|Interrupt|CellCodec|JournalLease|JournalMerge')
 
   # Race the thread pool and sweep executor under TSan: the determinism
   # suite runs every sweep at --jobs 1/2/hardware, so a data race in the
@@ -41,13 +44,20 @@ if [[ "${SAN}" != "none" ]]; then
   cmake --build build-thread -j "$(nproc)"
   (cd build-thread &&
    ctest --output-on-failure -j "$(nproc)" \
-         -R 'ThreadPool|ParallelSweep|SweepJournal|Interrupt')
+         -R 'ThreadPool|ParallelSweep|SweepJournal|Interrupt|JournalLease')
 fi
 
 # Crash-safety gate: SIGKILL a journaled sweep mid-flight, resume it, tear
 # the journal mid-record and resume again — all byte-identical to an
-# uninterrupted run, at --jobs 1 and max.
+# uninterrupted run, at --jobs 1 and max. Also the lease gates: live
+# owners refuse second writers, dead owners yield only to --steal-lease.
 scripts/chaos.sh
+
+# Distributed-shard gate: 4-shard runs (drill example at --jobs 1 and max,
+# plus three real benches) with 2 shards SIGKILLed mid-flight, restarted
+# by the supervisor with lease steals and backoff, merged by
+# tools/journal_merge, and re-rendered — byte-identical to golden.
+scripts/shard_chaos.sh
 
 # Constant-memory gate: a generator-backed 10^8-request streamed run must
 # complete under a hard 256 MB address-space cap (the materialized instance

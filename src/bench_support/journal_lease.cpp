@@ -1,0 +1,150 @@
+#include "bench_support/journal_lease.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "util/atomic_file.hpp"
+#include "util/error.hpp"
+
+namespace ppg {
+namespace {
+
+std::string render_lease(long long pid, std::uint64_t heartbeat,
+                         const std::string& binding) {
+  std::ostringstream out;
+  out << "PPGLOCK v1\n"
+      << "pid " << pid << "\n"
+      << "heartbeat " << heartbeat << "\n"
+      << "binding " << binding << "\n";
+  return out.str();
+}
+
+/// Is the recorded owner still running? kill(pid, 0) probes without
+/// signalling: ESRCH means provably dead; EPERM means alive but owned by
+/// someone else — still alive, still not stealable.
+bool pid_alive(long long pid) {
+  if (pid <= 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno != ESRCH;
+}
+
+}  // namespace
+
+JournalLease::~JournalLease() { release(); }
+
+JournalLease::JournalLease(JournalLease&& other) noexcept
+    : held_(other.held_),
+      lock_path_(std::move(other.lock_path_)),
+      binding_(std::move(other.binding_)),
+      heartbeat_(other.heartbeat_) {
+  other.held_ = false;
+}
+
+JournalLease& JournalLease::operator=(JournalLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    held_ = other.held_;
+    lock_path_ = std::move(other.lock_path_);
+    binding_ = std::move(other.binding_);
+    heartbeat_ = other.heartbeat_;
+    other.held_ = false;
+  }
+  return *this;
+}
+
+std::optional<LeaseInfo> JournalLease::read(const std::string& lock_path) {
+  std::ifstream in(lock_path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string magic_line;
+  if (!std::getline(in, magic_line) || magic_line != "PPGLOCK v1")
+    return std::nullopt;
+  LeaseInfo info;
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("pid ", 0) != 0)
+    return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    info.pid = std::stoll(line.substr(4), &pos);
+    if (pos != line.size() - 4) return std::nullopt;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!std::getline(in, line) || line.rfind("heartbeat ", 0) != 0)
+    return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    info.heartbeat = std::stoull(line.substr(10), &pos);
+    if (pos != line.size() - 10) return std::nullopt;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (std::getline(in, line) && line.rfind("binding ", 0) == 0)
+    info.binding = line.substr(8);
+  return info;
+}
+
+JournalLease JournalLease::acquire(const std::string& journal_path,
+                                   const std::string& binding, bool steal) {
+  const std::string lock_path = journal_path + ".lock";
+  std::ifstream probe(lock_path, std::ios::binary);
+  if (probe) {
+    probe.close();
+    const std::optional<LeaseInfo> owner = read(lock_path);
+    if (owner.has_value() && pid_alive(owner->pid)) {
+      throw_error(
+          ErrorCode::kJournalLocked,
+          "journal is leased to running process " +
+              std::to_string(owner->pid) + " (heartbeat " +
+              std::to_string(owner->heartbeat) +
+              "); a second writer would interleave records" +
+              (steal ? " — refusing --steal-lease while the owner is alive"
+                     : ""),
+          kNoOffset, lock_path);
+    }
+    if (!steal) {
+      const std::string who =
+          owner.has_value()
+              ? "dead process " + std::to_string(owner->pid) +
+                    " (heartbeat " + std::to_string(owner->heartbeat) + ")"
+              : "an unrecognized writer (lease file does not parse)";
+      throw_error(ErrorCode::kJournalLocked,
+                  "journal is leased to " + who +
+                      "; pass --steal-lease to take over a provably-dead "
+                      "owner's journal",
+                  kNoOffset, lock_path);
+    }
+  }
+
+  JournalLease lease;
+  lease.held_ = true;
+  lease.lock_path_ = lock_path;
+  lease.binding_ = binding;
+  lease.heartbeat_ = 0;
+  atomic_write_file(lock_path,
+                    render_lease(static_cast<long long>(::getpid()),
+                                 lease.heartbeat_, binding));
+  return lease;
+}
+
+void JournalLease::beat() {
+  if (!held_) return;
+  ++heartbeat_;
+  atomic_write_file(lock_path_,
+                    render_lease(static_cast<long long>(::getpid()),
+                                 heartbeat_, binding_));
+}
+
+void JournalLease::release() {
+  if (!held_) return;
+  held_ = false;
+  std::remove(lock_path_.c_str());
+}
+
+}  // namespace ppg

@@ -1,0 +1,84 @@
+// Single-writer exclusion for PPGJRNL journals.
+//
+// A sweep journal is an append-only log with exactly one legitimate
+// writer at a time: two processes appending to the same file interleave
+// records at best and tear them at worst. The lease is a sidecar file
+// (`<journal>.lock`) naming the current writer:
+//
+//   PPGLOCK v1
+//   pid <pid>
+//   heartbeat <monotonic counter>
+//   binding <journal binding string>
+//
+// The file is published atomically (util/atomic_file: write-temp + fsync
+// + rename) on acquisition and on every heartbeat bump, so readers never
+// see a torn lease. A second writer refuses to start with a structured
+// kJournalLocked error. Crashed owners leave their lease behind; when the
+// recorded pid is provably dead (kill(pid, 0) -> ESRCH) the caller may
+// pass steal=true (the --steal-lease flag) to take over. A live owner can
+// never be stolen from.
+//
+// The acquire protocol is advisory check-then-publish, not an OS lock:
+// two writers racing through acquisition within the same instant can both
+// succeed. That window is acceptable for the supervised-sweep use case —
+// scripts/shard_supervisor.sh starts at most one worker per shard — and
+// keeps the lease file plain text, inspectable and craftable by tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ppg {
+
+/// Parsed contents of a lease file.
+struct LeaseInfo {
+  long long pid = -1;
+  std::uint64_t heartbeat = 0;
+  std::string binding;
+};
+
+/// Holder side of the lease protocol. Move-only; releasing (explicitly or
+/// via the destructor) unlinks the lease file.
+class JournalLease {
+ public:
+  JournalLease() = default;
+  ~JournalLease();
+  JournalLease(JournalLease&& other) noexcept;
+  JournalLease& operator=(JournalLease&& other) noexcept;
+  JournalLease(const JournalLease&) = delete;
+  JournalLease& operator=(const JournalLease&) = delete;
+
+  /// Acquires the lease guarding `journal_path` (lease file is
+  /// `journal_path + ".lock"`). Throws PpgException(kJournalLocked) when
+  /// another writer holds it: always for a live owner, and for a dead
+  /// owner unless `steal` is set. An unparseable lease file is treated
+  /// like a dead owner (refuse without steal) — it is evidence of a
+  /// crashed or foreign writer, not a green light.
+  static JournalLease acquire(const std::string& journal_path,
+                              const std::string& binding, bool steal);
+
+  /// Bumps the monotonic heartbeat counter and republishes the lease
+  /// file. Call after durable progress (SweepJournal::append does), so a
+  /// supervisor can distinguish a stuck worker from a slow one.
+  void beat();
+
+  /// Unlinks the lease file. Idempotent.
+  void release();
+
+  bool held() const { return held_; }
+  const std::string& lock_path() const { return lock_path_; }
+  std::uint64_t heartbeat() const { return heartbeat_; }
+
+  /// Reads and parses a lease file; nullopt when the file is missing or
+  /// does not parse as PPGLOCK v1.
+  static std::optional<LeaseInfo> read(const std::string& lock_path);
+
+ private:
+  bool held_ = false;
+  std::string lock_path_;
+  std::string binding_;
+  std::uint64_t heartbeat_ = 0;
+};
+
+}  // namespace ppg

@@ -1,0 +1,138 @@
+#include "bench_support/journal_merge.hpp"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "bench_support/parallel_sweep.hpp"
+#include "bench_support/sweep_journal.hpp"
+#include "util/error.hpp"
+
+namespace ppg {
+
+MergeStats merge_journals(const std::vector<std::string>& shard_paths,
+                          const std::string& out_path) {
+  if (shard_paths.empty()) {
+    throw_error(ErrorCode::kBadInput,
+                "nothing to merge: pass at least one shard journal");
+  }
+
+  // Load (strict: torn or duplicate-bearing shards are refused) and parse
+  // each shard's binding before any cross-shard checks.
+  struct Shard {
+    std::unique_ptr<SweepJournal> journal;
+    ShardSpec spec;
+  };
+  std::vector<Shard> shards;
+  std::string base;
+  for (const std::string& path : shard_paths) {
+    Shard shard;
+    shard.journal = SweepJournal::load(path);
+    auto [shard_base, spec] = strip_shard_binding(shard.journal->binding());
+    shard.spec = spec;
+    if (shards.empty()) {
+      base = shard_base;
+    } else if (shard_base != base) {
+      throw_error(ErrorCode::kBadInput,
+                  "shard binding mismatch: \"" + shard_base +
+                      "\" does not match the first shard's \"" + base +
+                      "\" — these journals belong to different sweeps",
+                  kNoOffset, path);
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  const std::uint32_t count = shards.front().spec.count;
+  if (count != shard_paths.size()) {
+    throw_error(ErrorCode::kBadInput,
+                "shard count mismatch: bindings say " + std::to_string(count) +
+                    " shards but " + std::to_string(shard_paths.size()) +
+                    " journals were given — merge needs exactly one journal "
+                    "per shard",
+                kNoOffset, shard_paths.front());
+  }
+  std::vector<std::string> path_of_index(count);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const ShardSpec& spec = shards[s].spec;
+    if (spec.count != count) {
+      throw_error(ErrorCode::kBadInput,
+                  "shard count mismatch: this journal was sliced " +
+                      spec.to_string() + " but the first shard was sliced " +
+                      "i/" + std::to_string(count),
+                  kNoOffset, shard_paths[s]);
+    }
+    if (!path_of_index[spec.index].empty()) {
+      throw_error(ErrorCode::kBadInput,
+                  "duplicate shard " + spec.to_string() +
+                      ": two journals claim the same slice",
+                  kNoOffset, shard_paths[s]);
+    }
+    path_of_index[spec.index] = shard_paths[s];
+  }
+  // count == #journals and no index repeats, so {0..N-1} is fully covered.
+
+  // Ownership: every record must sit in the shard its index maps to.
+  // This is also the cross-shard disjointness proof — two shards can only
+  // hold the same (stage, index) by one of them holding a foreign cell.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> merged;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const ShardSpec& spec = shards[s].spec;
+    for (const auto& [key, payload] : shards[s].journal->records()) {
+      if (!spec.owns(key.second)) {
+        throw_error(ErrorCode::kBadInput,
+                    "cell (stage " + std::to_string(key.first) + ", index " +
+                        std::to_string(key.second) + ") found in shard " +
+                        spec.to_string() + " but owned by shard " +
+                        std::to_string(key.second % count) + "/" +
+                        std::to_string(count) +
+                        " — journals overlap or were run under a different "
+                        "slicing",
+                    kNoOffset, shard_paths[s]);
+      }
+      merged.emplace(key, payload);
+    }
+  }
+
+  // Each stage's cell indices must be gap-free from 0: shard i owning no
+  // record for an interior index it should own means a lost cell, not a
+  // smaller grid.
+  std::uint32_t stage = 0;
+  std::uint64_t expect = 0;
+  bool in_stage = false;
+  for (const auto& [key, payload] : merged) {
+    if (!in_stage || key.first != stage) {
+      stage = key.first;
+      expect = 0;
+      in_stage = true;
+    }
+    if (key.second != expect) {
+      throw_error(ErrorCode::kBadInput,
+                  "missing cell (stage " + std::to_string(stage) +
+                      ", index " + std::to_string(expect) + "): shard " +
+                      std::to_string(expect % count) + "/" +
+                      std::to_string(count) +
+                      "'s journal is incomplete — resume that shard worker "
+                      "before merging",
+                  kNoOffset, path_of_index[expect % count]);
+    }
+    ++expect;
+  }
+
+  // All checks passed: publish the merged journal under the base binding.
+  // Records go out sorted by (stage, index), so merge output is a
+  // deterministic function of the shard contents.
+  const std::unique_ptr<SweepJournal> out =
+      SweepJournal::create(out_path, base);
+  for (const auto& [key, payload] : merged) {
+    out->append(key.first, key.second, payload);
+  }
+
+  MergeStats stats;
+  stats.num_shards = shards.size();
+  stats.num_records = merged.size();
+  stats.binding = base;
+  return stats;
+}
+
+}  // namespace ppg

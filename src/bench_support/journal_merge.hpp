@@ -1,0 +1,45 @@
+// Validated merge of N shard journals into one unsharded journal.
+//
+// A sharded sweep leaves K journals, each bound to "<base> shard=i/N".
+// Merging is the step where every distributed-operation invariant is
+// checked, not assumed:
+//
+//   * every input must be an intact PPGJRNL file — torn tails and
+//     duplicate records are refused (SweepJournal::load), since a torn
+//     shard means its worker died mid-append and must be resumed first;
+//   * all bindings must share one base and one shard count N, the shard
+//     indices must be exactly {0..N-1} with no repeats;
+//   * every record must be owned by the shard that holds it
+//     (index % N == shard index) — which also proves cross-shard
+//     disjointness — and each stage's cell indices must be gap-free from
+//     0 (a gap is a lost cell, not a smaller grid);
+//
+// all violations are structured kBadInput errors naming the offending
+// shard/cell. The output journal carries the *base* binding with records
+// sorted by (stage, index), so `--journal MERGED --resume` on the
+// unsharded bench decodes every cell and renders output byte-identical
+// to a golden single-process run. (Cells missing at the tail of a stage
+// cannot be detected here — the grid size lives in the bench — but the
+// renderer recomputes them transparently on resume.)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ppg {
+
+/// Summary of a successful merge.
+struct MergeStats {
+  std::size_t num_shards = 0;
+  std::size_t num_records = 0;
+  std::string binding;  ///< Base binding written to the output journal.
+};
+
+/// Validates `shard_paths` and writes the merged journal to `out_path`.
+/// Throws PpgException (kBadInput / kIoError) on any validation failure;
+/// on failure the output path is not created.
+MergeStats merge_journals(const std::vector<std::string>& shard_paths,
+                          const std::string& out_path);
+
+}  // namespace ppg

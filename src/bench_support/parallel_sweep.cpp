@@ -1,5 +1,8 @@
 #include "bench_support/parallel_sweep.hpp"
 
+#include <ostream>
+
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -24,8 +27,70 @@ std::size_t jobs_from_args(const ArgParser& args) {
                      : static_cast<std::size_t>(parsed);
 }
 
+std::string ShardSpec::to_string() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+namespace {
+
+/// Parses "i/N" into a ShardSpec; returns false on any syntax error.
+bool parse_shard_spec(const std::string& value, ShardSpec& spec) {
+  const std::size_t slash = value.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 == value.size())
+    return false;
+  try {
+    std::size_t pos = 0;
+    const unsigned long long i = std::stoull(value.substr(0, slash), &pos);
+    if (pos != slash) return false;
+    const std::string count_str = value.substr(slash + 1);
+    const unsigned long long n = std::stoull(count_str, &pos);
+    if (pos != count_str.size()) return false;
+    if (n == 0 || i >= n || n > 0xffffffffULL) return false;
+    spec.index = static_cast<std::uint32_t>(i);
+    spec.count = static_cast<std::uint32_t>(n);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+ShardSpec shard_from_args(const ArgParser& args) {
+  ShardSpec spec;
+  if (!args.has("shard")) return spec;
+  const std::string value = args.get_string("shard", "");
+  if (!parse_shard_spec(value, spec)) {
+    throw_error(ErrorCode::kBadInput,
+                "--shard expects i/N with 0 <= i < N (e.g. --shard 1/4), "
+                "got '" + value + "'");
+  }
+  return spec;
+}
+
+std::string apply_shard_binding(const std::string& base,
+                                const ShardSpec& shard) {
+  if (!shard.sharded()) return base;
+  return base + " shard=" + shard.to_string();
+}
+
+std::pair<std::string, ShardSpec> strip_shard_binding(
+    const std::string& binding) {
+  static const std::string kKey = " shard=";
+  const std::size_t at = binding.rfind(kKey);
+  if (at != std::string::npos) {
+    ShardSpec spec;
+    if (parse_shard_spec(binding.substr(at + kKey.size()), spec) &&
+        spec.sharded()) {
+      return {binding.substr(0, at), spec};
+    }
+  }
+  return {binding, ShardSpec{}};
+}
+
 std::unique_ptr<SweepJournal> journal_from_args(const ArgParser& args,
-                                                const std::string& binding) {
+                                                const std::string& binding,
+                                                const LeaseOptions& lease) {
   const std::string path = args.get_string("journal", "");
   const bool resume = args.get_bool("resume", false);
   if (path.empty()) {
@@ -34,8 +99,53 @@ std::unique_ptr<SweepJournal> journal_from_args(const ArgParser& args,
                   "--resume requires --journal PATH (nothing to resume from)");
     return nullptr;
   }
-  return resume ? SweepJournal::open_resume(path, binding)
-                : SweepJournal::create(path, binding);
+  return resume ? SweepJournal::open_resume(path, binding, lease)
+                : SweepJournal::create(path, binding, lease);
+}
+
+SweepCli sweep_cli_from_args(const ArgParser& args,
+                             const std::string& binding) {
+  SweepCli cli;
+  cli.options.jobs = jobs_from_args(args);
+  cli.options.shard = shard_from_args(args);
+  LeaseOptions lease;
+  lease.acquire = true;
+  lease.steal = args.get_bool("steal-lease", false);
+  cli.journal = journal_from_args(
+      args, apply_shard_binding(binding, cli.options.shard), lease);
+  if (cli.journal == nullptr) {
+    if (cli.options.shard.sharded()) {
+      throw_error(ErrorCode::kBadInput,
+                  "--shard requires --journal PATH: a shard worker's only "
+                  "output is its journal");
+    }
+    if (lease.steal) {
+      throw_error(ErrorCode::kBadInput,
+                  "--steal-lease requires --journal PATH (no lease to steal)");
+    }
+  }
+  cli.options.journal = cli.journal.get();
+  if (const std::optional<std::uint64_t> kill =
+          env_u64("PPG_SWEEP_KILL_AFTER")) {
+    if (cli.journal == nullptr) {
+      throw_error(ErrorCode::kBadInput,
+                  "PPG_SWEEP_KILL_AFTER requires --journal (the drill is "
+                  "about what the journal preserves)");
+    }
+    cli.options.kill_after = static_cast<std::int64_t>(*kill);
+  }
+  return cli;
+}
+
+bool shard_epilogue(const SweepCli& cli, std::ostream& out) {
+  if (!cli.sharded()) return false;
+  out << "\nshard " << cli.options.shard.to_string() << " complete: "
+      << cli.journal->num_records() << " cells journaled to "
+      << cli.journal->path() << "\n"
+      << "merge the shard journals (tools/journal_merge), then rerun "
+         "unsharded with --journal MERGED --resume to render\n";
+  out.flush();
+  return true;
 }
 
 std::uint64_t cell_seed(std::uint64_t base, std::size_t index) {
@@ -47,12 +157,17 @@ std::uint64_t cell_seed(std::uint64_t base, std::size_t index) {
 }
 
 void throw_sweep_interrupted(std::size_t completed, std::size_t total,
-                             const SweepJournal* journal) {
+                             const SweepOptions& opts) {
   std::string msg = "sweep interrupted: " + std::to_string(completed) + "/" +
                     std::to_string(total) + " cells finished";
-  if (journal != nullptr) {
-    msg += "; finished cells are journaled — rerun with --journal " +
-           journal->path() + " --resume to continue";
+  if (opts.journal != nullptr) {
+    // The hint must be restartable by copy-paste: a shard worker resumed
+    // without its --shard spec would be refused (binding mismatch), so
+    // echo the exact invocation suffix.
+    msg += "; finished cells are journaled — rerun with ";
+    if (opts.shard.sharded())
+      msg += "--shard " + opts.shard.to_string() + " ";
+    msg += "--journal " + opts.journal->path() + " --resume to continue";
   } else {
     msg += "; no --journal was attached, partial work is discarded";
   }

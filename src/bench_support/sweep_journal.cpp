@@ -94,28 +94,42 @@ std::string read_whole_file(const std::string& path, bool& exists) {
 
 }  // namespace
 
+SweepJournal::~SweepJournal() {
+  file_.close();
+  lease_.release();
+}
+
 std::unique_ptr<SweepJournal> SweepJournal::create(const std::string& path,
-                                                   const std::string& binding) {
+                                                   const std::string& binding,
+                                                   const LeaseOptions& lease) {
   std::unique_ptr<SweepJournal> journal(new SweepJournal());
   journal->path_ = path;
   journal->binding_ = binding;
+  // Lease before touching the journal: a refused second writer must leave
+  // the owner's file (and its records) untouched.
+  if (lease.acquire)
+    journal->lease_ = JournalLease::acquire(path, binding, lease.steal);
   journal->file_ = DurableAppendFile::open(path, /*truncate=*/true);
   journal->file_.append(header_bytes(binding));
   return journal;
 }
 
-std::unique_ptr<SweepJournal> SweepJournal::open_resume(
-    const std::string& path, const std::string& binding) {
-  bool exists = false;
-  const std::string bytes = read_whole_file(path, exists);
-  if (!exists) return create(path, binding);
-
+/// Parses header + records out of `bytes`. In strict mode (load) a torn
+/// header, torn tail, or checksum failure is a structured error; in
+/// recovery mode (open_resume) the longest valid prefix wins and the torn
+/// byte count is recorded for truncation. A duplicate (stage, index)
+/// among *intact* records is corruption in both modes: the single-writer
+/// protocol appends each cell at most once, so two durable copies mean
+/// two writers raced and neither copy can be trusted.
+std::unique_ptr<SweepJournal> SweepJournal::scan_existing(
+    const std::string& path, const std::string& bytes, bool strict) {
   // A non-empty file whose leading bytes disagree with the magic is some
   // other file — refuse rather than clobber it.
   const std::size_t magic_prefix = std::min(bytes.size(), sizeof kMagic);
   if (std::memcmp(bytes.data(), kMagic, magic_prefix) != 0) {
     throw_error(ErrorCode::kBadInput,
-                "not a PPGJRNL journal (magic mismatch); refusing to resume",
+                "not a PPGJRNL journal (magic mismatch); refusing to " +
+                    std::string(strict ? "read" : "resume"),
                 0, path);
   }
 
@@ -123,38 +137,33 @@ std::unique_ptr<SweepJournal> SweepJournal::open_resume(
   char magic[sizeof kMagic];
   std::uint32_t version = 0;
   std::uint32_t binding_len = 0;
-  std::string stored_binding;
   const bool header_ok =
       scan.take(magic, sizeof magic) && scan.take_u32(version) &&
       scan.take_u32(binding_len) && bytes.size() - scan.pos >= binding_len;
   if (!header_ok) {
-    // Torn during the very first append (the header write): nothing was
-    // journaled, start over.
-    return create(path, binding);
+    if (strict) {
+      throw_error(ErrorCode::kBadInput,
+                  "PPGJRNL header is torn; resume the writing sweep to "
+                  "repair the journal before reading it",
+                  scan.pos, path);
+    }
+    return nullptr;  // Torn during the very first append: start over.
   }
   if (version != kVersion) {
     throw_error(ErrorCode::kBadInput,
                 "unsupported PPGJRNL version " + std::to_string(version),
                 scan.pos, path);
   }
-  stored_binding.assign(bytes, scan.pos, binding_len);
-  scan.pos += binding_len;
-  if (stored_binding != binding) {
-    throw_error(ErrorCode::kBadInput,
-                "journal binding mismatch: file was written by \"" +
-                    stored_binding + "\", this sweep is \"" + binding +
-                    "\"; pass a fresh --journal path",
-                kNoOffset, path);
-  }
-
   std::unique_ptr<SweepJournal> journal(new SweepJournal());
   journal->path_ = path;
-  journal->binding_ = binding;
+  journal->binding_.assign(bytes, scan.pos, binding_len);
+  scan.pos += binding_len;
 
   // Keep the longest prefix of intact records; anything after the first
   // short or checksum-corrupt record is a torn tail from the crash.
   std::size_t valid_end = scan.pos;
   for (;;) {
+    const std::size_t record_start = scan.pos;
     std::uint32_t stage = 0;
     std::uint64_t index = 0;
     std::uint64_t payload_len = 0;
@@ -169,15 +178,76 @@ std::unique_ptr<SweepJournal> SweepJournal::open_resume(
     std::uint64_t checksum = 0;
     if (!scan.take_u64(checksum)) break;
     if (checksum != record_checksum(stage, index, payload)) break;
+    if (journal->records_.count({stage, index}) != 0) {
+      throw_error(ErrorCode::kBadInput,
+                  "duplicate journal record for (stage " +
+                      std::to_string(stage) + ", index " +
+                      std::to_string(index) +
+                      "): a second writer raced this journal and neither "
+                      "copy can be trusted; start over with a fresh "
+                      "--journal path",
+                  record_start, path);
+    }
     journal->records_[{stage, index}] = std::string(payload);
     valid_end = scan.pos;
   }
   journal->recovered_tail_bytes_ = bytes.size() - valid_end;
-
-  journal->file_ = DurableAppendFile::open(path, /*truncate=*/false);
-  if (journal->recovered_tail_bytes_ > 0)
-    journal->file_.truncate_to(valid_end);
+  if (strict && journal->recovered_tail_bytes_ > 0) {
+    throw_error(ErrorCode::kBadInput,
+                "journal has a torn tail (" +
+                    std::to_string(journal->recovered_tail_bytes_) +
+                    " bytes past the last intact record); resume the "
+                    "writing sweep to repair it before reading",
+                valid_end, path);
+  }
   return journal;
+}
+
+std::unique_ptr<SweepJournal> SweepJournal::open_resume(
+    const std::string& path, const std::string& binding,
+    const LeaseOptions& lease) {
+  // Lease first: the loser of a double-resume race must not scan (or
+  // later truncate) a file the winner is appending to.
+  JournalLease held;
+  if (lease.acquire) held = JournalLease::acquire(path, binding, lease.steal);
+
+  bool exists = false;
+  const std::string bytes = read_whole_file(path, exists);
+  std::unique_ptr<SweepJournal> journal =
+      exists ? scan_existing(path, bytes, /*strict=*/false) : nullptr;
+  if (journal == nullptr) {
+    // Missing file, or torn during the very first append (the header
+    // write): nothing was journaled, start over.
+    std::unique_ptr<SweepJournal> fresh(new SweepJournal());
+    fresh->path_ = path;
+    fresh->binding_ = binding;
+    fresh->lease_ = std::move(held);
+    fresh->file_ = DurableAppendFile::open(path, /*truncate=*/true);
+    fresh->file_.append(header_bytes(binding));
+    return fresh;
+  }
+  if (journal->binding_ != binding) {
+    throw_error(ErrorCode::kBadInput,
+                "journal binding mismatch: file was written by \"" +
+                    journal->binding_ + "\", this sweep is \"" + binding +
+                    "\"; pass a fresh --journal path",
+                kNoOffset, path);
+  }
+  journal->lease_ = std::move(held);
+  journal->file_ = DurableAppendFile::open(path, /*truncate=*/false);
+  if (journal->recovered_tail_bytes_ > 0) {
+    journal->file_.truncate_to(bytes.size() - journal->recovered_tail_bytes_);
+  }
+  return journal;
+}
+
+std::unique_ptr<SweepJournal> SweepJournal::load(const std::string& path) {
+  bool exists = false;
+  const std::string bytes = read_whole_file(path, exists);
+  if (!exists) {
+    throw_error(ErrorCode::kIoError, "cannot read journal", kNoOffset, path);
+  }
+  return scan_existing(path, bytes, /*strict=*/true);
 }
 
 const std::string* SweepJournal::find(std::uint32_t stage,
@@ -193,6 +263,10 @@ void SweepJournal::append(std::uint32_t stage, std::uint64_t index,
   const std::scoped_lock lock(mutex_);
   file_.append(encode_record(stage, index, payload));
   records_[{stage, index}] = std::string(payload);
+  // Progress signal for supervisors: the heartbeat counter advances with
+  // every durable record, so a stuck worker is distinguishable from a
+  // slow one by watching the lease file.
+  lease_.beat();
 }
 
 std::size_t SweepJournal::num_records() const {

@@ -39,9 +39,18 @@
 #include <string_view>
 #include <utility>
 
+#include "bench_support/journal_lease.hpp"
 #include "util/atomic_file.hpp"
 
 namespace ppg {
+
+/// Writer-exclusion policy for the journal factories. Default off so
+/// in-process tests and read-only tooling stay lease-free; the shared
+/// --journal flag path (sweep_cli_from_args) always acquires.
+struct LeaseOptions {
+  bool acquire = false;  ///< Take the <path>.lock lease before writing.
+  bool steal = false;    ///< --steal-lease: take over a dead owner's lease.
+};
 
 /// Thread-safe append/lookup store over one PPGJRNL file. Create via the
 /// factories; the object is pinned (non-movable) because worker threads
@@ -50,18 +59,29 @@ class SweepJournal {
  public:
   SweepJournal(const SweepJournal&) = delete;
   SweepJournal& operator=(const SweepJournal&) = delete;
+  ~SweepJournal();
 
   /// Starts a fresh journal at `path` (truncating any existing file) and
-  /// writes the header. Throws PpgException (kIoError).
+  /// writes the header. Throws PpgException (kIoError; kJournalLocked
+  /// when `lease.acquire` is set and another writer holds the lease).
   static std::unique_ptr<SweepJournal> create(const std::string& path,
-                                              const std::string& binding);
+                                              const std::string& binding,
+                                              const LeaseOptions& lease = {});
 
   /// Opens `path` for resumption: loads every intact record, truncates a
   /// torn tail, and positions for appending. A missing or torn-header
   /// file becomes a fresh journal; a file with a foreign magic is refused
-  /// (kBadInput), as is a binding mismatch.
+  /// (kBadInput), as is a binding mismatch or a duplicate (stage, index)
+  /// record (two writers raced — neither copy can be trusted).
   static std::unique_ptr<SweepJournal> open_resume(const std::string& path,
-                                                   const std::string& binding);
+                                                   const std::string& binding,
+                                                   const LeaseOptions& lease = {});
+
+  /// Strict read-only load for validation tooling (journal_merge): no
+  /// lease, no append handle, and *nothing* is repaired — a missing file,
+  /// torn header, torn tail, or duplicate record is a structured error
+  /// (a torn tail means the shard worker must be resumed to repair it).
+  static std::unique_ptr<SweepJournal> load(const std::string& path);
 
   /// Encoded payload for (stage, index), or nullptr if not journaled.
   /// The pointee is stable for the journal's lifetime.
@@ -77,11 +97,24 @@ class SweepJournal {
   const std::string& path() const { return path_; }
   const std::string& binding() const { return binding_; }
 
+  /// Full record map, keyed by (stage, index). Only meaningful on
+  /// load()-ed journals (single-threaded validation tooling); a journal
+  /// being appended to concurrently must go through find().
+  const std::map<std::pair<std::uint32_t, std::uint64_t>, std::string>&
+  records() const {
+    return records_;
+  }
+
  private:
   SweepJournal() = default;
 
+  static std::unique_ptr<SweepJournal> scan_existing(const std::string& path,
+                                                     const std::string& bytes,
+                                                     bool strict);
+
   mutable std::mutex mutex_;
   DurableAppendFile file_;
+  JournalLease lease_;  ///< Held only when LeaseOptions::acquire was set.
   std::string path_;
   std::string binding_;
   std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> records_;

@@ -1,0 +1,43 @@
+// Deterministic-by-default environment access.
+//
+// Results in this library must be pure functions of flags and seeds, so
+// ambient environment reads are banned in src/ by the raw-getenv lint
+// rule (tools/ppg_lint). This header is the designated exception: the few
+// sanctioned hooks — all default-off, all test/chaos plumbing, never
+// result-shaping — read the environment through these helpers so every
+// such hook is greppable in one place.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ppg {
+
+/// Reads a non-negative integer hook variable. Unset or empty means "hook
+/// off" (nullopt); anything else must parse completely as a base-10
+/// integer — a typo'd value throws kBadInput instead of silently
+/// disabling the hook.
+inline std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  const std::string value(raw);
+  std::size_t pos = 0;
+  unsigned long long parsed = 0;
+  try {
+    parsed = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || value.front() == '-') {
+    throw_error(ErrorCode::kBadInput,
+                std::string(name) + " expects a non-negative integer, got '" +
+                    value + "'");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace ppg

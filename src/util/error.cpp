@@ -16,6 +16,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kCellBudgetExceeded: return "cell-budget-exceeded";
     case ErrorCode::kResourceExhausted: return "resource-exhausted";
     case ErrorCode::kInterrupted: return "interrupted";
+    case ErrorCode::kJournalLocked: return "journal-locked";
   }
   return "unknown";
 }

@@ -32,6 +32,7 @@ enum class ErrorCode : std::uint8_t {
   kCellBudgetExceeded,  ///< Sweep cell passed its simulated-step budget.
   kResourceExhausted,   ///< Allocation failure (std::bad_alloc) surfaced.
   kInterrupted,         ///< SIGINT/SIGTERM: sweep drained and stopped.
+  kJournalLocked,       ///< Another live writer holds the journal lease.
 };
 
 const char* error_code_name(ErrorCode code);

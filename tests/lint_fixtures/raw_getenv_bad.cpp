@@ -1,0 +1,10 @@
+// Violates raw-getenv (library realm): a raw environment read makes the
+// result depend on ambient process state, bypassing flag parsing and
+// validation.
+#include <cstdlib>
+#include <string>
+
+std::string kill_after() {
+  const char* raw = std::getenv("PPG_SWEEP_KILL_AFTER");
+  return raw != nullptr ? raw : "";
+}

@@ -1,0 +1,13 @@
+// Clean: environment hooks go through util/env.hpp, which parses and
+// validates the value (and is itself the designated raw-getenv exception).
+#include <cstdint>
+#include <optional>
+
+namespace ppg {
+std::optional<std::uint64_t> env_u64(const char* name);
+}
+
+std::int64_t kill_after() {
+  const auto hook = ppg::env_u64("PPG_SWEEP_KILL_AFTER");
+  return hook ? static_cast<std::int64_t>(*hook) : -1;
+}

@@ -1,0 +1,9 @@
+// Same violation, silenced per line.
+#include <cstdlib>
+#include <string>
+
+std::string kill_after() {
+  // ppg-lint: allow(raw-getenv): fixture
+  const char* raw = std::getenv("PPG_SWEEP_KILL_AFTER");
+  return raw != nullptr ? raw : "";
+}

@@ -39,7 +39,9 @@ TEST(Error, EveryCodeHasAName) {
   for (const ErrorCode code :
        {ErrorCode::kOk, ErrorCode::kBadInput, ErrorCode::kCorruptTrace,
         ErrorCode::kIoError, ErrorCode::kContractViolation,
-        ErrorCode::kWatchdogTimeout, ErrorCode::kInternal}) {
+        ErrorCode::kWatchdogTimeout, ErrorCode::kInternal,
+        ErrorCode::kCellBudgetExceeded, ErrorCode::kResourceExhausted,
+        ErrorCode::kInterrupted, ErrorCode::kJournalLocked}) {
     EXPECT_STRNE(error_code_name(code), "unknown");
   }
 }

@@ -66,6 +66,7 @@ const RuleCase kCases[] = {
     {"abort-exit", "abort_exit", ".cpp", Realm::kLibrary},
     {"io-sink", "io_sink", ".cpp", Realm::kLibrary},
     {"raw-file-write", "raw_file_write", ".cpp", Realm::kLibrary},
+    {"raw-getenv", "raw_getenv", ".cpp", Realm::kLibrary},
     {"pragma-once", "pragma_once", ".hpp", Realm::kApp},
     {"using-namespace-header", "using_namespace", ".hpp", Realm::kApp},
 };

@@ -39,6 +39,7 @@ class SweepJournalTest : public ::testing::Test {
   void TearDown() override {
     clear_interrupt();
     std::remove(path_.c_str());
+    std::remove((path_ + ".lock").c_str());
   }
   std::string path_;
 };
@@ -246,6 +247,119 @@ TEST_F(SweepJournalTest, BareResumeFlagWithoutJournalIsRejected) {
   } catch (const PpgException& e) {
     EXPECT_EQ(e.error().code, ErrorCode::kBadInput);
   }
+}
+
+TEST_F(SweepJournalTest, DuplicateRecordIsRejectedAsCorruption) {
+  // Two records for one (stage, index) can only mean two writers raced
+  // the journal; neither copy can be trusted, so resume must refuse —
+  // not silently keep the last (or first) one.
+  std::size_t header_size;
+  {
+    SweepJournal::create(path_, "bench v1");
+    header_size = slurp(path_).size();
+  }
+  { SweepJournal::create(path_, "bench v1")->append(0, 0, "copy-a"); }
+  const std::string bytes = slurp(path_);
+  spill(path_, bytes + bytes.substr(header_size));  // the racer's copy
+  try {
+    SweepJournal::open_resume(path_, "bench v1");
+    FAIL() << "resumed a journal with duplicate (stage, index) records";
+  } catch (const PpgException& e) {
+    EXPECT_EQ(e.error().code, ErrorCode::kBadInput);
+    EXPECT_NE(e.error().message.find("duplicate"), std::string::npos);
+  }
+  EXPECT_THROW(SweepJournal::load(path_), PpgException);
+}
+
+TEST_F(SweepJournalTest, StrictLoadRefusesRepairs) {
+  // load() is the validation entry (journal_merge): a torn tail that
+  // open_resume would silently truncate is a structured error here,
+  // because a torn shard journal means its worker must be resumed first.
+  {
+    auto j = SweepJournal::create(path_, "bench v1");
+    j->append(0, 0, "first-record");
+    j->append(0, 1, "second-record");
+  }
+  const std::string whole = slurp(path_);
+  spill(path_, whole.substr(0, whole.size() - 3));
+  try {
+    SweepJournal::load(path_);
+    FAIL() << "strict load repaired a torn tail";
+  } catch (const PpgException& e) {
+    EXPECT_EQ(e.error().code, ErrorCode::kBadInput);
+  }
+  // A missing file is an error too (open_resume would create it fresh).
+  std::remove(path_.c_str());
+  EXPECT_THROW(SweepJournal::load(path_), PpgException);
+}
+
+// --- journal leases -------------------------------------------------------
+
+TEST_F(SweepJournalTest, JournalLeaseRefusesLiveSecondWriter) {
+  const LeaseOptions hold{/*acquire=*/true, /*steal=*/false};
+  auto first = SweepJournal::create(path_, "bench v1", hold);
+  for (const bool steal : {false, true}) {
+    try {
+      SweepJournal::open_resume(path_, "bench v1",
+                                LeaseOptions{/*acquire=*/true, steal});
+      FAIL() << "second writer acquired a held lease (steal=" << steal << ")";
+    } catch (const PpgException& e) {
+      // This process is alive, so even --steal-lease must refuse.
+      EXPECT_EQ(e.error().code, ErrorCode::kJournalLocked);
+    }
+  }
+  // Lease-free opens (read paths, in-process tests) are not blocked.
+  first.reset();
+  EXPECT_NE(SweepJournal::open_resume(path_, "bench v1"), nullptr);
+}
+
+TEST_F(SweepJournalTest, JournalLeaseReleasedOnDestruction) {
+  const LeaseOptions hold{/*acquire=*/true, /*steal=*/false};
+  const std::string lock_path = path_ + ".lock";
+  {
+    auto j = SweepJournal::create(path_, "bench v1", hold);
+    EXPECT_TRUE(JournalLease::read(lock_path).has_value());
+  }
+  EXPECT_FALSE(JournalLease::read(lock_path).has_value());
+  // The next writer acquires cleanly.
+  SweepJournal::open_resume(path_, "bench v1", hold);
+}
+
+TEST_F(SweepJournalTest, JournalLeaseDeadOwnerYieldsOnlyToSteal) {
+  { SweepJournal::create(path_, "bench v1")->append(0, 0, "x"); }
+  // A lease left by a crashed worker: a pid beyond pid_max is never alive.
+  spill(path_ + ".lock",
+        "PPGLOCK v1\npid 999999999\nheartbeat 7\nbinding bench v1\n");
+  try {
+    SweepJournal::open_resume(path_, "bench v1",
+                              LeaseOptions{/*acquire=*/true, /*steal=*/false});
+    FAIL() << "acquired a dead owner's lease without --steal-lease";
+  } catch (const PpgException& e) {
+    EXPECT_EQ(e.error().code, ErrorCode::kJournalLocked);
+    EXPECT_NE(e.error().message.find("steal-lease"), std::string::npos);
+  }
+  auto stolen = SweepJournal::open_resume(
+      path_, "bench v1", LeaseOptions{/*acquire=*/true, /*steal=*/true});
+  ASSERT_NE(stolen, nullptr);
+  EXPECT_NE(stolen->find(0, 0), nullptr);
+  const auto info = JournalLease::read(path_ + ".lock");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_NE(info->pid, 999999999LL);  // rewritten to the new owner
+  stolen.reset();
+  std::remove((path_ + ".lock").c_str());
+}
+
+TEST_F(SweepJournalTest, JournalLeaseHeartbeatAdvancesOnAppend) {
+  const LeaseOptions hold{/*acquire=*/true, /*steal=*/false};
+  auto j = SweepJournal::create(path_, "bench v1", hold);
+  const auto before = JournalLease::read(path_ + ".lock");
+  ASSERT_TRUE(before.has_value());
+  j->append(0, 0, "a");
+  j->append(0, 1, "b");
+  const auto after = JournalLease::read(path_ + ".lock");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GT(after->heartbeat, before->heartbeat)
+      << "a supervisor cannot tell a working owner from a hung one";
 }
 
 }  // namespace

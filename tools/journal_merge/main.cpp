@@ -1,0 +1,64 @@
+// journal_merge — validated merge of N shard journals into one unsharded
+// PPGJRNL journal. See src/bench_support/journal_merge.hpp for the
+// validation rules and DESIGN.md §10 for the distributed-sweep protocol.
+//
+// Usage:
+//   journal_merge --out MERGED.ppgjrnl SHARD0.ppgjrnl SHARD1.ppgjrnl ...
+//
+// The output carries the shards' common base binding with records sorted
+// by (stage, index); rerunning the bench unsharded with
+// `--journal MERGED.ppgjrnl --resume` decodes every cell and renders
+// output byte-identical to a single-process golden run.
+// Exit status: 0 merged, 1 validation/I-O failure, 2 usage error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support/journal_merge.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: journal_merge --out MERGED.ppgjrnl SHARD.ppgjrnl...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc || !out_path.empty()) return usage();
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      if (!out_path.empty()) return usage();
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "journal_merge: unknown option " << arg << "\n";
+      return usage();
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (out_path.empty() || shard_paths.empty()) return usage();
+
+  try {
+    const ppg::MergeStats stats =
+        ppg::merge_journals(shard_paths, out_path);
+    std::cout << "merged " << stats.num_shards << " shard"
+              << (stats.num_shards == 1 ? "" : "s") << ", "
+              << stats.num_records << " records -> " << out_path
+              << " (binding \"" << stats.binding << "\")\n";
+    return 0;
+  } catch (const ppg::PpgException& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << "\n";
+    return 1;
+  }
+}

@@ -151,6 +151,16 @@ void check_raw_file_write(const ScannedFile& file, std::vector<Finding>& out) {
   match_all(file, kFopen, "raw-file-write", msg, out);
 }
 
+void check_raw_getenv(const ScannedFile& file, std::vector<Finding>& out) {
+  static const std::regex kCalls(
+      R"(\b(?:std\s*::\s*)?(?:getenv|secure_getenv)\s*\()");
+  match_all(file, kCalls, "raw-getenv",
+            "raw environment read in library code; results must be a pure "
+            "function of flags and seeds — route sanctioned hooks through "
+            "util/env.hpp so they are parsed, validated, and greppable",
+            out);
+}
+
 void check_pragma_once(const ScannedFile& file, std::vector<Finding>& out) {
   static const std::regex kPragma(R"(^\s*#\s*pragma\s+once\s*$)");
   for (std::size_t i = 0; i < file.line_count(); ++i) {
@@ -303,6 +313,10 @@ const std::vector<RuleDesc>& all_rules() {
        "std::ofstream/fopen to a final path in src/: crash-torn files; use "
        "util/atomic_file or a designated streaming sink",
        {"util/atomic_file.cpp", "trace/trace_io.cpp"}},
+      {"raw-getenv",
+       "std::getenv in src/: environment reads bypass flag parsing and "
+       "validation; route through util/env.hpp",
+       {"util/env.hpp"}},
       {"pragma-once", "headers must open with #pragma once", {}},
       {"using-namespace-header", "no `using namespace` in headers", {}},
   };
@@ -337,6 +351,7 @@ std::vector<Finding> run_rules(const ScannedFile& file, const FileInfo& info,
     if (!exempt("abort-exit")) check_abort_exit(file, raw);
     if (!exempt("io-sink")) check_io_sink(file, raw);
     if (!exempt("raw-file-write")) check_raw_file_write(file, raw);
+    if (!exempt("raw-getenv")) check_raw_getenv(file, raw);
   }
   if (info.is_header) {
     check_pragma_once(file, raw);

@@ -8,6 +8,11 @@
 //
 //   --jobs N|max   run sweep cells on N threads (default 1; output is
 //                  byte-identical at every value)
+//   --engine-threads N|max
+//                  fast-forward each run's same-time boxes on N threads
+//                  (default 1; output is byte-identical at every value —
+//                  prefer --jobs for many small cells, --engine-threads
+//                  for few wide ones)
 //   --quick        reduced sweep (p <= 16) for CI smoke runs
 //   --stream       pull each instance lazily from generator sources instead
 //                  of materializing it (output is byte-identical; peak
@@ -107,6 +112,7 @@ int run_bench(int argc, char** argv) {
         config.miss_cost = s;
         config.seed = 3;
         config.trace_spec = workload_trace_spec(wkind, wp);
+        config.engine_threads = cli.engine_threads;
 
         CellResult cell;
         cell.k = wp.cache_size;

@@ -6,6 +6,9 @@
 // lower bound and the max/min completion spread per scheduler.
 //
 //   --jobs N|max   run sweep cells on N threads (default 1)
+//   --engine-threads N|max
+//                  threads for each run's intra-engine box fan-out
+//                  (default 1; byte-identical output at every value)
 //   --stream       pull each instance lazily from generator sources
 //                  (byte-identical output, O(active window) peak memory)
 //   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
@@ -87,6 +90,7 @@ int run_bench(int argc, char** argv) {
         config.miss_cost = s;
         config.trace_spec =
             workload_trace_spec(WorkloadKind::kSkewedLengths, wp);
+        config.engine_threads = cli.engine_threads;
         cell.outcome = run_instance(sources, all_scheduler_kinds(), config);
         for (const SchedulerOutcome& so : cell.outcome.outcomes) {
           const std::vector<double> stretch =

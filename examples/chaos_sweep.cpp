@@ -9,7 +9,7 @@
 // chaos.sh drives the drill: golden run, killed run, resumed run, then
 // byte-compares the outputs.
 //
-//   $ ./chaos_sweep [--cells N] [--jobs N|max]
+//   $ ./chaos_sweep [--cells N] [--jobs N|max] [--engine-threads N|max]
 //                   [--journal PATH [--resume]] [--kill-at K]
 //                   [--budget EVENTS] [--retries R]
 //                   [--shard i/N] [--steal-lease]
@@ -85,6 +85,7 @@ int run_chaos(int argc, char** argv) {
         config.include_global_lru = false;
         config.cell_event_budget = budget;
         config.cell_retries = retries;
+        config.engine_threads = cli.engine_threads;
         return run_instance(traces, kinds, config);
       },
       [](CellWriter& w, const InstanceOutcome& o) {

@@ -6,8 +6,9 @@
 // fault rate, with how much memory — the practical question "how should a
 // shared cache be partitioned?" answered by each strategy.
 //
-//   $ ./multiprogram_study [p] [k] [--jobs N|max] [--journal PATH [--resume]]
-//                          [--shard i/N] [--steal-lease]
+//   $ ./multiprogram_study [p] [k] [--jobs N|max] [--engine-threads N|max]
+//                          [--journal PATH [--resume]] [--shard i/N]
+//                          [--steal-lease]
 //
 // --journal PATH checkpoints each finished scheduler run to PATH (PPGJRNL);
 // --resume skips runs already journaled. The positional p/k are part of the
@@ -85,6 +86,7 @@ int run_study(int argc, char** argv) {
         EngineConfig ec;
         ec.cache_size = k;
         ec.miss_cost = s;
+        ec.engine_threads = cli.engine_threads;
         return run_parallel(traces, *scheduler, ec);
       },
       [](CellWriter& w, const ParallelRunResult& r) {

@@ -10,7 +10,8 @@
 // bounded retries and backoff, merges the shard journals, and
 // byte-compares an unsharded render of the merge against the golden run.
 //
-//   $ ./shard_chaos [--cells N] [--jobs N|max] [--journal PATH [--resume]]
+//   $ ./shard_chaos [--cells N] [--jobs N|max] [--engine-threads N|max]
+//                   [--journal PATH [--resume]]
 //                   [--shard i/N] [--steal-lease]
 //
 //   --cells N      cells per stage (default 12)
@@ -61,6 +62,7 @@ int run_drill(int argc, char** argv) {
     config.miss_cost = 4;
     config.seed = cell_seed(base + 1, i);
     config.include_global_lru = false;
+    config.engine_threads = cli.engine_threads;
     return run_instance(traces, kinds, config);
   };
   const auto encode = [](CellWriter& w, const InstanceOutcome& o) {

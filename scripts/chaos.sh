@@ -10,6 +10,10 @@
 #   4. torn:     the journal is truncated mid-record (simulating a crash
 #                inside write()); resume must recover the whole-record
 #                prefix and still reproduce golden exactly.
+# The golden run stays at the serial default while every journaled run adds
+# --engine-threads max, so the byte-compares double as proof that the
+# threaded engine (and a resume under a different thread count) changes
+# nothing.
 # Plus one budget gate: cells that exhaust --budget must report structured
 # [cell-budget-exceeded] rows and exit 0 (a failed cell is data, not a
 # crash), and two lease gates: a second writer against a journal whose
@@ -43,7 +47,7 @@ for JOBS in 1 max; do
   # Gate 2: SIGKILL mid-sweep. raise(SIGKILL) exits 137 via the shell; the
   # run must NOT complete (the kill fired) and must leave a journal.
   set +e
-  "${BIN}" --cells "${CELLS}" --jobs "${JOBS}" \
+  "${BIN}" --cells "${CELLS}" --jobs "${JOBS}" --engine-threads max \
            --journal "${journal}" --kill-at "${KILL_AT}" \
            > "${WORK}/killed-${tag}.txt" 2>&1
   status=$?
@@ -61,7 +65,7 @@ for JOBS in 1 max; do
   # The SIGKILLed run left a lease naming its own dead pid, so the resume
   # must steal it (the dedicated lease gates below check that a PLAIN
   # resume refuses first).
-  "${BIN}" --cells "${CELLS}" --jobs "${JOBS}" \
+  "${BIN}" --cells "${CELLS}" --jobs "${JOBS}" --engine-threads max \
            --journal "${journal}" --resume --steal-lease \
            > "${WORK}/resumed-${tag}.txt" 2> "${WORK}/resumed-${tag}.err"
   cmp "${golden}" "${WORK}/resumed-${tag}.txt" || {
@@ -75,7 +79,7 @@ for JOBS in 1 max; do
   size=$(wc -c < "${journal}")
   torn="${WORK}/torn-${tag}.ppgjrnl"
   head -c "$((size - 13))" "${journal}" > "${torn}"
-  "${BIN}" --cells "${CELLS}" --jobs "${JOBS}" \
+  "${BIN}" --cells "${CELLS}" --jobs "${JOBS}" --engine-threads max \
            --journal "${torn}" --resume \
            > "${WORK}/torn-${tag}.txt" 2> "${WORK}/torn-${tag}.err"
   cmp "${golden}" "${WORK}/torn-${tag}.txt" || {

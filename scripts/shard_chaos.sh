@@ -42,8 +42,11 @@ drill() {
 
   "$@" > "${dir}/golden.txt"
 
+  # Shard workers run with the threaded engine while golden and the merged
+  # render stay at the serial default: the final byte-compare therefore
+  # also proves shard journal contents are engine-thread-count independent.
   scripts/shard_supervisor.sh --shards 4 --dir "${dir}" --retries 3 \
-      --kill-shards "1 3" --kill-after 1 -- "$@" \
+      --kill-shards "1 3" --kill-after 1 -- "$@" --engine-threads max \
       > "${dir}/supervisor.out" 2>&1 || {
     echo "shard_chaos.sh FAIL (${tag}): supervisor did not complete the grid" >&2
     cat "${dir}/supervisor.out" >&2

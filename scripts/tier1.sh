@@ -9,8 +9,9 @@
 # recovery, lease refusal/steal, all byte-compared), then the
 # distributed-shard chaos gate (scripts/shard_chaos.sh: 4 shard workers, 2
 # SIGKILLed and supervisor-restarted, journals merged and re-rendered),
-# then the quick perf snapshot (which also checks --jobs byte-identity and
-# warns on >15% throughput drops vs the committed BENCH_PERF.json).
+# then the perf gate (a self-test proving the gate can fail, followed by
+# the quick snapshot, which checks --jobs byte-identity and hard-fails on
+# >15% throughput drops vs the committed BENCH_PERF.json).
 #
 # PPG_WERROR is ON here by design: a warning regression fails tier-1 even
 # though plain developer builds stay permissive.
@@ -36,15 +37,16 @@ if [[ "${SAN}" != "none" ]]; then
    ctest --output-on-failure -j "$(nproc)" \
          -R 'FaultInjection|Contract|Replay|TraceIoCorruption|RunChecked|Error|SweepJournal|AtomicFile|Interrupt|CellCodec|JournalLease|JournalMerge')
 
-  # Race the thread pool and sweep executor under TSan: the determinism
-  # suite runs every sweep at --jobs 1/2/hardware, so a data race in the
+  # Race the thread pool, sweep executor, and threaded engine under TSan:
+  # the determinism suites run every sweep at --jobs 1/2/hardware and every
+  # engine at engine_threads 0/2/4/hardware, so a data race in either
   # parallel path surfaces here even on a single-core host.
   cmake -B build-thread -S . -DPPG_SANITIZE=thread -DPPG_WERROR=ON \
         -DPPG_BUILD_BENCH=OFF -DPPG_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-thread -j "$(nproc)"
   (cd build-thread &&
    ctest --output-on-failure -j "$(nproc)" \
-         -R 'ThreadPool|ParallelSweep|SweepJournal|Interrupt|JournalLease')
+         -R 'ThreadPool|ParallelSweep|SweepJournal|Interrupt|JournalLease|EngineThreads')
 fi
 
 # Crash-safety gate: SIGKILL a journaled sweep mid-flight, resume it, tear
@@ -68,6 +70,12 @@ scripts/shard_chaos.sh
 )
 echo "streaming memory gate OK (10^8 requests under 256 MB)"
 
+# Perf gate: first prove the gate itself can fail (synthetic injected
+# slowdown), then take the quick snapshot, which hard-fails on >15%
+# throughput drops vs the committed BENCH_PERF.json (PPG_PERF_GATE=warn
+# downgrades on known-noisy hosts; quick-mode repetitions are short, so CI
+# wrappers may choose to set it).
+scripts/bench_perf.sh --selftest
 scripts/bench_perf.sh --quick --out /tmp/bench_perf_ci.json
 
 echo "tier-1 OK (sanitizer: ${SAN})"

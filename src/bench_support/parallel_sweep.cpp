@@ -27,6 +27,25 @@ std::size_t jobs_from_args(const ArgParser& args) {
                      : static_cast<std::size_t>(parsed);
 }
 
+std::size_t engine_threads_from_args(const ArgParser& args) {
+  const std::string value = args.get_string("engine-threads", "1");
+  if (value == "max") return ThreadPool::hardware_jobs();
+  std::size_t pos = 0;
+  long long parsed = -1;
+  try {
+    parsed = std::stoll(value, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != value.size() || parsed < 1) {
+    throw_error(
+        ErrorCode::kBadInput,
+        "--engine-threads expects a positive integer or 'max', got '" +
+            value + "'");
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 std::string ShardSpec::to_string() const {
   return std::to_string(index) + "/" + std::to_string(count);
 }
@@ -107,6 +126,7 @@ SweepCli sweep_cli_from_args(const ArgParser& args,
                              const std::string& binding) {
   SweepCli cli;
   cli.options.jobs = jobs_from_args(args);
+  cli.engine_threads = engine_threads_from_args(args);
   cli.options.shard = shard_from_args(args);
   LeaseOptions lease;
   lease.acquire = true;

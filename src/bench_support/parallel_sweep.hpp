@@ -47,6 +47,14 @@ namespace ppg {
 /// "max" / "0" for one thread per hardware core. Default 1.
 std::size_t jobs_from_args(const ArgParser& args);
 
+/// Resolves the shared `--engine-threads` flag (intra-run parallelism,
+/// ExperimentConfig/EngineConfig::engine_threads): a positive thread
+/// count, or "max" for one thread per hardware core. Default 1 (serial).
+/// Because the engine is byte-identical at every thread count, this flag
+/// never appears in journal bindings — a journal written serially resumes
+/// cleanly under any --engine-threads and vice versa.
+std::size_t engine_threads_from_args(const ArgParser& args);
+
 /// Deterministic 1-of-N slice of a sweep's cell grid: shard i of N owns
 /// every cell index congruent to i mod N, in every journaled stage. The
 /// round-robin slicing balances work even when cell cost grows with the
@@ -118,6 +126,10 @@ struct SweepOptions {
 struct SweepCli {
   SweepOptions options;
   std::unique_ptr<SweepJournal> journal;
+  /// Intra-run threads (--engine-threads); benches copy this into each
+  /// cell's ExperimentConfig. Not part of the journal binding (results do
+  /// not depend on it).
+  std::size_t engine_threads = 1;
 
   bool sharded() const { return options.shard.sharded(); }
 };

@@ -1,6 +1,7 @@
 #include "core/parallel_engine.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
 #include <sstream>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "core/replay.hpp"
 #include "green/box_runner.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ppg {
 
@@ -107,6 +109,22 @@ CheckedRun ParallelEngine::run_impl() {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   std::uint64_t seq = 0;
 
+  // Engine-owned pool for intra-run parallelism. The calling thread
+  // participates in every batch (ThreadPool::run_batch), so N configured
+  // threads means N-1 workers.
+  std::optional<ThreadPool> pool;
+  if (config_.engine_threads > 1) pool.emplace(config_.engine_threads - 1);
+
+  // Per-batch scratch (SoA, reused across steps): the events popped at the
+  // current simulated time, and the boxes awaiting simulation. A processor
+  // has exactly one outstanding event at any time, so the pending procs of
+  // one batch are distinct — the run_box calls touch disjoint runners and
+  // disjoint step slots, which is what makes the fan-out race-free.
+  std::vector<Event> batch;
+  std::vector<ProcId> pending_proc;
+  std::vector<BoxAssignment> pending_box;
+  std::vector<BoxStepResult> pending_step;
+
   // Scheduler calls may throw PpgException (ValidatingScheduler and other
   // decorators do); surface it as the run's status.
   try {
@@ -126,84 +144,133 @@ CheckedRun ParallelEngine::run_impl() {
     // unusable tail are implicit: we charge tails when the box is simulated.
     std::uint64_t processed_events = 0;
     while (!events.empty()) {
-      const Event ev = events.top();
-      events.pop();
-      if (config_.max_events != 0 && ++processed_events > config_.max_events) {
-        std::ostringstream msg;
-        msg << "engine exhausted its step budget (max_events = "
-            << config_.max_events << ") under scheduler "
-            << scheduler_->name();
-        out.status = RunStatus::failure(engine_error(
-            ErrorCode::kCellBudgetExceeded, msg.str(), ev.proc, ev.time));
-        return out;
-      }
-      if (ev.time > config_.max_time) {
-        std::ostringstream msg;
-        msg << "engine exceeded max_time (" << ev.time << " > "
-            << config_.max_time << ") under scheduler "
-            << scheduler_->name();
-        out.status = RunStatus::failure(engine_error(
-            ErrorCode::kWatchdogTimeout, msg.str(), ev.proc, ev.time));
-        return out;
+      // Drain the whole batch of events at the current simulated time. No
+      // event generated while processing a time-t batch can land at time t
+      // (a finish is at box.start + busy_time > t, an expiration at
+      // box.end > t), so the batch is fixed once we reach its time and
+      // popping it eagerly preserves the serial pop order exactly.
+      const Time now = events.top().time;
+      batch.clear();
+      while (!events.empty() && events.top().time == now) {
+        batch.push_back(events.top());
+        events.pop();
       }
 
-      if (ev.kind == EventKind::kFinish) {
-        state.deactivate(ev.proc);
-        result.completion[ev.proc] = ev.time;
-        scheduler_->notify_finished(ev.proc, ev.time, state);
-        continue;
-      }
-
-      // kNeedBox
-      BoxRunner& runner = runners[ev.proc];
-      PPG_DCHECK(!runner.finished());
-      const BoxAssignment box = scheduler_->next_box(ev.proc, ev.time, state);
-      // Last-line contract checks for undecorated schedulers; a malformed
-      // box is the scheduler's fault, not ours, so it is recoverable.
-      const char* defect = box.height < 1      ? "zero-height box"
-                           : box.start < ev.time ? "box starts in the past"
-                           : box.end <= box.start ? "empty box"
-                                                  : nullptr;
-      if (defect != nullptr) {
-        std::ostringstream msg;
-        msg << "scheduler " << scheduler_->name() << " returned " << defect
-            << " {h=" << box.height << ", [" << box.start << ", " << box.end
-            << ")}";
-        out.status = RunStatus::failure(engine_error(
-            ErrorCode::kContractViolation, msg.str(), ev.proc, ev.time));
-        return out;
-      }
-      result.total_stall += box.start - ev.time;
-      if (config_.on_box) config_.on_box(ev.proc, box);
-
-      const Time duration = box.end - box.start;
-      const BoxStepResult step =
-          runner.run_box(box.height, duration, box.fresh);
-      ++result.num_boxes;
-      result.hits += step.hits;
-      result.misses += step.misses;
-
-      if (step.finished) {
-        const Time finish_time = box.start + step.busy_time;
-        // Impact while the processor was actually running.
-        result.total_impact +=
-            static_cast<Impact>(box.height) * step.busy_time;
-        if (config_.track_memory_timeline) {
-          mem_timeline.emplace_back(box.start, box.height);
-          mem_timeline.emplace_back(finish_time,
-                                    -static_cast<std::int64_t>(box.height));
+      // Serial pass, in pop order: per-event guards and every scheduler
+      // interaction. Box simulations are deferred to the fan-out below; on
+      // a failure mid-batch the boxes collected so far are still simulated
+      // and folded, so the partial result is byte-identical to the serial
+      // engine stopping at the same event.
+      bool failed = false;
+      pending_proc.clear();
+      pending_box.clear();
+      for (const Event& ev : batch) {
+        if (config_.max_events != 0 &&
+            ++processed_events > config_.max_events) {
+          std::ostringstream msg;
+          msg << "engine exhausted its step budget (max_events = "
+              << config_.max_events << ") under scheduler "
+              << scheduler_->name();
+          out.status = RunStatus::failure(engine_error(
+              ErrorCode::kCellBudgetExceeded, msg.str(), ev.proc, ev.time));
+          failed = true;
+          break;
         }
-        events.push(Event{finish_time, EventKind::kFinish, ev.proc, seq++});
+        if (ev.time > config_.max_time) {
+          std::ostringstream msg;
+          msg << "engine exceeded max_time (" << ev.time << " > "
+              << config_.max_time << ") under scheduler "
+              << scheduler_->name();
+          out.status = RunStatus::failure(engine_error(
+              ErrorCode::kWatchdogTimeout, msg.str(), ev.proc, ev.time));
+          failed = true;
+          break;
+        }
+
+        if (ev.kind == EventKind::kFinish) {
+          state.deactivate(ev.proc);
+          result.completion[ev.proc] = ev.time;
+          scheduler_->notify_finished(ev.proc, ev.time, state);
+          continue;
+        }
+
+        // kNeedBox
+        PPG_DCHECK(!runners[ev.proc].finished());
+        const BoxAssignment box =
+            scheduler_->next_box(ev.proc, ev.time, state);
+        // Last-line contract checks for undecorated schedulers; a malformed
+        // box is the scheduler's fault, not ours, so it is recoverable.
+        const char* defect = box.height < 1      ? "zero-height box"
+                             : box.start < ev.time ? "box starts in the past"
+                             : box.end <= box.start ? "empty box"
+                                                    : nullptr;
+        if (defect != nullptr) {
+          std::ostringstream msg;
+          msg << "scheduler " << scheduler_->name() << " returned " << defect
+              << " {h=" << box.height << ", [" << box.start << ", " << box.end
+              << ")}";
+          out.status = RunStatus::failure(engine_error(
+              ErrorCode::kContractViolation, msg.str(), ev.proc, ev.time));
+          failed = true;
+          break;
+        }
+        result.total_stall += box.start - ev.time;
+        if (config_.on_box) config_.on_box(ev.proc, box);
+        pending_proc.push_back(ev.proc);
+        pending_box.push_back(box);
+      }
+
+      // Fan-out: fast-forward the batch's boxes. Each call only touches
+      // its own processor's runner and step slot; the barrier (run_batch
+      // returns only when every index has run) makes the fold below safe.
+      const std::size_t n = pending_proc.size();
+      pending_step.resize(n);
+      const auto simulate = [&](std::size_t i) {
+        const BoxAssignment& box = pending_box[i];
+        pending_step[i] = runners[pending_proc[i]].run_box(
+            box.height, box.end - box.start, box.fresh);
+      };
+      if (pool && n > 1) {
+        pool->run_batch(n, simulate);
       } else {
-        result.total_impact += static_cast<Impact>(box.height) * duration;
-        result.total_stall += step.stall_time;
-        if (config_.track_memory_timeline) {
-          mem_timeline.emplace_back(box.start, box.height);
-          mem_timeline.emplace_back(box.end,
-                                    -static_cast<std::int64_t>(box.height));
-        }
-        events.push(Event{box.end, EventKind::kNeedBox, ev.proc, seq++});
+        for (std::size_t i = 0; i < n; ++i) simulate(i);
       }
+
+      // Fold, again in pop order: metric accumulation, timeline entries,
+      // and follow-up event pushes see the same sequence (and assign the
+      // same seq numbers) as the one-event-at-a-time loop.
+      for (std::size_t i = 0; i < n; ++i) {
+        const ProcId proc = pending_proc[i];
+        const BoxAssignment& box = pending_box[i];
+        const BoxStepResult& step = pending_step[i];
+        ++result.num_boxes;
+        result.hits += step.hits;
+        result.misses += step.misses;
+
+        if (step.finished) {
+          const Time finish_time = box.start + step.busy_time;
+          // Impact while the processor was actually running.
+          result.total_impact +=
+              static_cast<Impact>(box.height) * step.busy_time;
+          if (config_.track_memory_timeline) {
+            mem_timeline.emplace_back(box.start, box.height);
+            mem_timeline.emplace_back(finish_time,
+                                      -static_cast<std::int64_t>(box.height));
+          }
+          events.push(Event{finish_time, EventKind::kFinish, proc, seq++});
+        } else {
+          result.total_impact +=
+              static_cast<Impact>(box.height) * (box.end - box.start);
+          result.total_stall += step.stall_time;
+          if (config_.track_memory_timeline) {
+            mem_timeline.emplace_back(box.start, box.height);
+            mem_timeline.emplace_back(box.end,
+                                      -static_cast<std::int64_t>(box.height));
+          }
+          events.push(Event{box.end, EventKind::kNeedBox, proc, seq++});
+        }
+      }
+      if (failed) return out;
     }
 
     result.makespan =

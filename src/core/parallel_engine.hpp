@@ -7,7 +7,12 @@
 // expirations, completions) are processed in strict global-time order so
 // schedulers always observe consistent active counts; within a box a
 // processor's progress depends only on its own trace, so each box is
-// fast-forwarded in one step.
+// fast-forwarded in one step. Because no event produced while draining the
+// batch at time t can land back at time t, the engine drains whole
+// same-time batches: scheduler calls run serially in event order, the
+// independent box fast-forwards run concurrently when
+// EngineConfig::engine_threads > 1 (see DESIGN.md §11), and results fold
+// back in event order — output is byte-identical at every thread count.
 //
 // Two entry points share the same loop:
 //  - run() treats any scheduler misbehaviour or watchdog trip as fatal
@@ -18,6 +23,7 @@
 //    the failure can be re-executed offline by examples/replay_dump.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -47,6 +53,17 @@ struct EngineConfig {
   /// Record the (time, +/-height) allocation timeline to measure peak
   /// concurrent height (costs memory proportional to #boxes).
   bool track_memory_timeline = true;
+  /// Intra-run parallelism: number of OS threads used to fast-forward the
+  /// boxes of one simulated step (0 and 1 both mean serial, the default —
+  /// existing callers are untouched). The engine drains each global-time
+  /// event batch by simulating the affected boxes concurrently on an
+  /// engine-owned util/thread_pool (the calling thread participates, so N
+  /// means N threads total) behind a deterministic barrier, then folds the
+  /// results back in event order. Scheduler calls stay on the calling
+  /// thread. Metrics, event ordering, and scheduler observations are
+  /// byte-identical at every thread count; sweeps layering cell-level
+  /// parallelism on top should keep this at 0 (nested pools oversubscribe).
+  std::size_t engine_threads = 0;
   /// Optional observer invoked for every box the scheduler issues (after
   /// validation, before simulation). Used by tests to verify scheduler
   /// properties such as DET-PAR's well-roundedness.

@@ -7,6 +7,13 @@
 
 namespace ppg {
 
+namespace {
+// Span-buffer size for streaming mode: large enough to amortize the
+// next_span virtual call and any generator bookkeeping, small enough to
+// stay resident in L1 (256 * 8 B = 2 KiB) per active processor.
+constexpr std::size_t kStreamSpan = 256;
+}  // namespace
+
 BoxRunner::BoxRunner(const Trace& trace, Time miss_cost)
     : trace_(trace),
       cache_(std::in_place, 1,
@@ -21,6 +28,7 @@ BoxRunner::BoxRunner(std::unique_ptr<TraceCursor> cursor, Time miss_cost)
   PPG_CHECK(cursor_ != nullptr);
   start_ = cursor_->checkpoint();
   stream_cache_.emplace(1);
+  span_.resize(kStreamSpan);
 }
 
 BoxRunner::BoxRunner(const TraceSource& source, Time miss_cost)
@@ -42,22 +50,13 @@ BoxStepResult BoxRunner::run_box(Height height, Time duration, bool fresh) {
   }
   Time remaining = duration;
   if (streaming()) {
-    while (remaining > 0 && !cursor_->done()) {
-      const PageId page = cursor_->peek();
-      Time cost;
-      if (stream_cache_->try_touch(page)) {
-        cost = 1;  // a hit always fits: remaining >= 1 here
-        ++step.hits;
-      } else {
-        cost = miss_cost_;
-        if (cost > remaining) break;  // stall; the request stays unconsumed
-        stream_cache_->insert_absent(page);
-        ++step.misses;
+    while (remaining > 0) {
+      if (span_pos_ >= span_len_) {
+        span_len_ = cursor_->next_span(span_.data(), span_.size());
+        span_pos_ = 0;
+        if (span_len_ == 0) break;  // source exhausted
       }
-      remaining -= cost;
-      step.busy_time += cost;
-      cursor_->advance();
-      ++step.requests_completed;
+      if (!advance_span(step, remaining)) break;  // stall to box end
     }
   } else {
     while (remaining > 0 && position_ < trace_.size()) {
@@ -85,12 +84,35 @@ BoxStepResult BoxRunner::run_box(Height height, Time duration, bool fresh) {
   return step;
 }
 
+bool BoxRunner::advance_span(BoxStepResult& step, Time& remaining) {
+  while (span_pos_ < span_len_ && remaining > 0) {
+    const PageId page = span_[span_pos_];
+    Time cost;
+    if (stream_cache_->try_touch(page)) {
+      cost = 1;  // a hit always fits: remaining >= 1 here
+      ++step.hits;
+    } else {
+      cost = miss_cost_;
+      if (cost > remaining) return false;  // stall; request stays buffered
+      stream_cache_->insert_absent(page);
+      ++step.misses;
+    }
+    remaining -= cost;
+    step.busy_time += cost;
+    ++span_pos_;
+    ++step.requests_completed;
+  }
+  return true;
+}
+
 void BoxRunner::reset() {
   total_hits_ = 0;
   total_misses_ = 0;
   if (streaming()) {
     cursor_->rewind(start_);
     stream_cache_->clear();
+    span_pos_ = 0;
+    span_len_ = 0;
   } else {
     position_ = 0;
     cache_->clear();

@@ -11,11 +11,13 @@
 //  - Dense (materialized traces): the trace is interned to dense ids at
 //    construction (one hash per request, once), after which the
 //    per-request path is a single DenseLruSet array probe — no hashing.
-//  - Streaming (lazy sources): requests are pulled from a TraceCursor and
-//    the box cache is a hash-indexed LruSet over raw PageIds — one hash
-//    per request, but O(height) memory regardless of trace length. A
-//    stalled box leaves the peeked request unconsumed, so the next box
-//    resumes at the same position without any rewind.
+//  - Streaming (lazy sources): requests are pulled from a TraceCursor in
+//    bulk spans (TraceCursor::next_span into a small resident buffer, one
+//    virtual call per span instead of two per request) and the box cache
+//    is a FlatLruSet over raw PageIds — one open-addressing probe per
+//    request, O(height) memory regardless of trace length. A stalled box
+//    leaves the request in the span buffer unconsumed, so the next box
+//    resumes at the same logical position without any rewind.
 //
 // A hit always fits (cost 1, remaining >= 1), so try_touch commits it
 // directly; a miss checks the remaining budget before insert_absent
@@ -25,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "green/box.hpp"
 #include "trace/page_interner.hpp"
@@ -63,10 +66,14 @@ class BoxRunner {
   BoxStepResult run_box(Height height, Time duration, bool fresh = true);
 
   bool finished() const {
-    return streaming() ? cursor_->done() : position_ >= trace_.size();
+    return streaming() ? span_pos_ >= span_len_ && cursor_->done()
+                       : position_ >= trace_.size();
   }
   std::size_t position() const {
-    return streaming() ? static_cast<std::size_t>(cursor_->position())
+    // Streaming: the cursor has over-consumed by the unprocessed tail of
+    // the span buffer; the logical position discounts it.
+    return streaming() ? static_cast<std::size_t>(cursor_->position()) -
+                             (span_len_ - span_pos_)
                        : position_;
   }
   std::uint64_t total_hits() const { return total_hits_; }
@@ -77,6 +84,12 @@ class BoxRunner {
  private:
   bool streaming() const { return cursor_ != nullptr; }
 
+  /// Streaming hot loop: serves requests from the resident span buffer
+  /// until the buffer drains, the box budget runs out, or a miss no longer
+  /// fits. Returns false on a stall (the request stays buffered for the
+  /// next box), true otherwise.
+  bool advance_span(BoxStepResult& step, Time& remaining);
+
   // Dense mode.
   InternedTrace trace_;
   std::size_t position_ = 0;
@@ -85,7 +98,10 @@ class BoxRunner {
   // Streaming mode.
   std::unique_ptr<TraceCursor> cursor_;
   CursorCheckpoint start_;  ///< For reset(): the cursor's initial state.
-  std::optional<LruSet> stream_cache_;
+  std::optional<FlatLruSet> stream_cache_;
+  std::vector<PageId> span_;    ///< Bulk-pull buffer (kStreamSpan pages).
+  std::size_t span_pos_ = 0;    ///< Next unprocessed entry in span_.
+  std::size_t span_len_ = 0;    ///< Valid prefix of span_.
 
   Time miss_cost_;
   std::uint64_t total_hits_ = 0;

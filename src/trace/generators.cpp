@@ -45,6 +45,18 @@ class GenCursor : public TraceCursor {
     current_ = cp.words[0];
     load_extra(cp.words.data() + 1, cp.words.size() - 1);
   }
+  std::size_t next_span(PageId* out, std::size_t max) final {
+    // Same produce() sequence as peek()/advance() pairs, but one virtual
+    // produce_span() call per span instead of one produce() per request.
+    if (max == 0 || position_ >= num_requests_) return 0;
+    out[0] = current_;
+    ++position_;
+    const std::size_t extra = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max - 1, num_requests_ - position_));
+    produce_span(out + 1, extra);
+    if (position_ < num_requests_) current_ = produce();
+    return 1 + extra;
+  }
 
  protected:
   /// Derived constructors call this once their state is ready (produce()
@@ -54,13 +66,25 @@ class GenCursor : public TraceCursor {
   }
   /// Emits the request at position(); called exactly once per request.
   virtual PageId produce() = 0;
+  /// Bulk produce(): emits `count` requests, advancing position_ past
+  /// each — request p is generated with position_ == p, exactly as the
+  /// scalar produce() path does, so RNG draw order (and thus checkpoints)
+  /// cannot diverge between the two. Hot generators override this with
+  /// non-virtual tight loops; the default is the scalar fallback.
+  virtual void produce_span(PageId* out, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = produce();
+      ++position_;
+    }
+  }
   virtual void save_extra(std::vector<std::uint64_t>& /*words*/) const {}
   virtual void load_extra(const std::uint64_t* /*words*/,
                           std::size_t /*count*/) {}
 
- private:
   std::uint64_t num_requests_;
   std::uint64_t position_ = 0;
+
+ private:
   PageId current_ = kInvalidPage;
 };
 
@@ -82,6 +106,14 @@ class CyclicCursor final : public GenCursor {
 
  protected:
   PageId produce() override { return position() % num_pages_; }
+  void produce_span(PageId* out, std::size_t count) override {
+    PageId page = position_ % num_pages_;
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = page;
+      if (++page == num_pages_) page = 0;
+    }
+    position_ += count;
+  }
 
  private:
   std::uint64_t num_pages_;
@@ -96,6 +128,10 @@ class SingleUseCursor final : public GenCursor {
 
  protected:
   PageId produce() override { return first_page_ + position(); }
+  void produce_span(PageId* out, std::size_t count) override {
+    for (std::size_t i = 0; i < count; ++i) out[i] = first_page_ + position_ + i;
+    position_ += count;
+  }
 
  private:
   std::uint64_t first_page_;
@@ -125,6 +161,18 @@ class PollutedCycleCursor final : public GenCursor {
     const PageId page = repeater_base_ + cycle_pos_;
     cycle_pos_ = (cycle_pos_ + 1) % num_repeaters_;
     return page;
+  }
+  void produce_span(PageId* out, std::size_t count) override {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t idx = position_ + 1;  // 1-indexed within stream
+      ++position_;
+      if (pollute_every_ != 0 && idx % pollute_every_ == 0) {
+        out[i] = polluter_++;
+        continue;
+      }
+      out[i] = repeater_base_ + cycle_pos_;
+      if (++cycle_pos_ == num_repeaters_) cycle_pos_ = 0;
+    }
   }
   void save_extra(std::vector<std::uint64_t>& words) const override {
     words.push_back(cycle_pos_);
@@ -157,6 +205,10 @@ class UniformCursor final : public GenCursor {
 
  protected:
   PageId produce() override { return rng_.next_below(num_pages_); }
+  void produce_span(PageId* out, std::size_t count) override {
+    for (std::size_t i = 0; i < count; ++i) out[i] = rng_.next_below(num_pages_);
+    position_ += count;
+  }
   void save_extra(std::vector<std::uint64_t>& words) const override {
     save_rng(rng_, words);
   }
@@ -201,6 +253,15 @@ class ZipfCursor final : public GenCursor {
     const double u = rng_.next_double();
     const auto it = std::lower_bound(cdf_->begin(), cdf_->end(), u);
     return static_cast<PageId>(it - cdf_->begin());
+  }
+  void produce_span(PageId* out, std::size_t count) override {
+    const double* begin = cdf_->data();
+    const double* end = begin + cdf_->size();
+    for (std::size_t i = 0; i < count; ++i) {
+      const double u = rng_.next_double();
+      out[i] = static_cast<PageId>(std::lower_bound(begin, end, u) - begin);
+    }
+    position_ += count;
   }
   void save_extra(std::vector<std::uint64_t>& words) const override {
     save_rng(rng_, words);
@@ -247,6 +308,31 @@ class PhasedCursor final : public GenCursor {
                                      : in_phase_ % ph.working_set_size;
     ++in_phase_;
     return base_ + offset;
+  }
+  void produce_span(PageId* out, std::size_t count) override {
+    // Phase lookup hoisted out of the per-request loop: requests are
+    // emitted one phase segment at a time.
+    std::size_t i = 0;
+    while (i < count) {
+      while (in_phase_ == (*phases_)[phase_].length) {
+        base_ += (*phases_)[phase_].working_set_size;
+        ++phase_;
+        in_phase_ = 0;
+      }
+      const WorkingSetPhase& ph = (*phases_)[phase_];
+      const std::size_t run = static_cast<std::size_t>(
+          std::min<std::uint64_t>(count - i, ph.length - in_phase_));
+      if (ph.random_order) {
+        for (std::size_t j = 0; j < run; ++j)
+          out[i + j] = base_ + rng_.next_below(ph.working_set_size);
+      } else {
+        for (std::size_t j = 0; j < run; ++j)
+          out[i + j] = base_ + (in_phase_ + j) % ph.working_set_size;
+      }
+      in_phase_ += run;
+      i += run;
+    }
+    position_ += count;
   }
   void save_extra(std::vector<std::uint64_t>& words) const override {
     words.push_back(phase_);

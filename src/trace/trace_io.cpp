@@ -109,6 +109,21 @@ class FileTraceCursor final : public TraceCursor {
     PPG_DCHECK(!done());
     ++position_;
   }
+  std::size_t next_span(PageId* out, std::size_t max) override {
+    std::size_t n = 0;
+    while (n < max && !done()) {
+      if (position_ - base_ >= buffer_.size()) refill();
+      const std::size_t have =
+          buffer_.size() - static_cast<std::size_t>(position_ - base_);
+      const std::size_t take = std::min(max - n, have);
+      std::memcpy(out + n,
+                  buffer_.data() + static_cast<std::size_t>(position_ - base_),
+                  take * sizeof(PageId));
+      position_ += take;
+      n += take;
+    }
+    return n;
+  }
   CursorCheckpoint checkpoint() const override {
     return CursorCheckpoint{position_, {}};
   }

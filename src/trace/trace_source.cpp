@@ -1,6 +1,7 @@
 #include "trace/trace_source.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
 #include <utility>
 
@@ -29,6 +30,16 @@ class VectorTraceCursor final : public TraceCursor {
   void rewind(const CursorCheckpoint& cp) override {
     PPG_CHECK(cp.position <= trace_->size());
     position_ = cp.position;
+  }
+  std::size_t next_span(PageId* out, std::size_t max) override {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max, trace_->size() - position_));
+    if (n != 0) {
+      std::memcpy(out, trace_->requests().data() + position_,
+                  n * sizeof(PageId));
+      position_ += n;
+    }
+    return n;
   }
 
  private:
@@ -87,6 +98,15 @@ class ConcatCursor final : public TraceCursor {
     position_ = cp.position;
     skip_finished();
   }
+  std::size_t next_span(PageId* out, std::size_t max) override {
+    std::size_t n = 0;
+    while (n < max && segment_ < parts_.size()) {
+      n += parts_[segment_]->next_span(out + n, max - n);
+      skip_finished();
+    }
+    position_ += n;
+    return n;
+  }
 
  private:
   void skip_finished() {
@@ -122,6 +142,121 @@ class ConcatSource final : public TraceSource {
   std::uint64_t total_ = 0;
 };
 
+// Chunked read-ahead with two swap buffers (see read_ahead_source). The
+// inner cursor always runs one chunk ahead of delivery: when the front
+// buffer drains, the prefetched back buffer swaps in and the next chunk is
+// pulled immediately, so the inner source's per-request work lands in
+// bursts of `chunk` bulk requests. `front_start_` is the inner checkpoint
+// for the first request of the front buffer — the anchor that makes
+// checkpoints O(1) and rewind exact.
+class ReadAheadCursor final : public TraceCursor {
+ public:
+  ReadAheadCursor(std::unique_ptr<TraceCursor> inner, std::size_t chunk)
+      : inner_(std::move(inner)), chunk_(chunk) {
+    PPG_CHECK(chunk_ >= 1);
+    front_start_ = inner_->checkpoint();
+    front_.resize(chunk_);
+    front_.resize(inner_->next_span(front_.data(), chunk_));
+    prefetch();
+  }
+
+  std::uint64_t position() const override {
+    return front_start_.position + front_pos_;
+  }
+  bool done() const override { return front_pos_ >= front_.size(); }
+  PageId peek() override {
+    PPG_DCHECK(!done());
+    return front_[front_pos_];
+  }
+  void advance() override {
+    PPG_DCHECK(!done());
+    ++front_pos_;
+    if (front_pos_ >= front_.size() && !back_.empty()) swap_in_back();
+  }
+  std::size_t next_span(PageId* out, std::size_t max) override {
+    std::size_t n = 0;
+    while (n < max && !done()) {
+      const std::size_t take =
+          std::min(max - n, front_.size() - front_pos_);
+      std::memcpy(out + n, front_.data() + front_pos_,
+                  take * sizeof(PageId));
+      front_pos_ += take;
+      n += take;
+      if (front_pos_ >= front_.size() && !back_.empty()) swap_in_back();
+    }
+    return n;
+  }
+  CursorCheckpoint checkpoint() const override {
+    // [front-anchor position, front-anchor words...]; the in-chunk offset
+    // is recoverable as position - anchor position.
+    CursorCheckpoint cp;
+    cp.position = position();
+    cp.words.push_back(front_start_.position);
+    cp.words.insert(cp.words.end(), front_start_.words.begin(),
+                    front_start_.words.end());
+    return cp;
+  }
+  void rewind(const CursorCheckpoint& cp) override {
+    PPG_CHECK(!cp.words.empty());
+    CursorCheckpoint anchor;
+    anchor.position = cp.words[0];
+    anchor.words.assign(cp.words.begin() + 1, cp.words.end());
+    PPG_CHECK(cp.position >= anchor.position);
+    inner_->rewind(anchor);
+    front_start_ = anchor;
+    front_.resize(chunk_);
+    front_.resize(inner_->next_span(front_.data(), chunk_));
+    front_pos_ = static_cast<std::size_t>(cp.position - anchor.position);
+    PPG_CHECK(front_pos_ <= front_.size());
+    prefetch();
+    if (front_pos_ >= front_.size() && !back_.empty()) swap_in_back();
+  }
+
+ private:
+  void prefetch() {
+    back_start_ = inner_->checkpoint();
+    back_.resize(chunk_);
+    back_.resize(inner_->next_span(back_.data(), chunk_));
+  }
+  void swap_in_back() {
+    front_start_ = back_start_;
+    front_.swap(back_);
+    front_pos_ = 0;
+    prefetch();
+  }
+
+  std::unique_ptr<TraceCursor> inner_;
+  std::size_t chunk_;
+  std::vector<PageId> front_;
+  std::size_t front_pos_ = 0;
+  CursorCheckpoint front_start_;
+  std::vector<PageId> back_;
+  CursorCheckpoint back_start_;
+};
+
+class ReadAheadSource final : public TraceSource {
+ public:
+  ReadAheadSource(std::shared_ptr<const TraceSource> inner, std::size_t chunk)
+      : inner_(std::move(inner)), chunk_(chunk) {
+    PPG_CHECK(inner_ != nullptr);
+    PPG_CHECK(chunk_ >= 1);
+  }
+
+  std::uint64_t num_requests() const override {
+    return inner_->num_requests();
+  }
+  std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<ReadAheadCursor>(inner_->cursor(), chunk_);
+  }
+  // Deliberately no materialized() forwarding: decorating a materialized
+  // source is legal but pointless, and consumers should keep taking the
+  // dense path on the undecorated original.
+
+ private:
+  std::shared_ptr<const TraceSource> inner_;
+  std::size_t chunk_;
+};
+
 // Mirrors gen::rebase_to_proc: compact local ids assigned in
 // first-appearance order. The remap table only ever grows, and ids are a
 // pure function of the first-appearance order of the underlying stream, so
@@ -135,9 +270,7 @@ class RebaseCursor final : public TraceCursor {
   bool done() const override { return inner_->done(); }
   PageId peek() override {
     if (!cached_) {
-      const auto [it, inserted] =
-          remap_.emplace(inner_->peek(), remap_.size());
-      current_ = make_page(proc_, it->second);
+      current_ = make_page(proc_, local_id(inner_->peek()));
       cached_ = true;
       frontier_ = std::max(frontier_, inner_->position() + 1);
     }
@@ -149,6 +282,27 @@ class RebaseCursor final : public TraceCursor {
     (void)peek();
     inner_->advance();
     cached_ = false;
+  }
+  std::size_t next_span(PageId* out, std::size_t max) override {
+    // Bulk path: pull a span from the inner cursor and remap in place —
+    // one virtual call per span instead of a peek/advance pair (plus a
+    // hash probe) per request. Id assignment order is identical to the
+    // scalar path, so checkpoints and results cannot diverge.
+    std::size_t n = 0;
+    if (max == 0) return 0;
+    if (cached_) {  // a peeked request is already remapped; emit it first
+      out[n++] = current_;
+      inner_->advance();
+      cached_ = false;
+    }
+    if (n < max) {
+      const std::size_t got = inner_->next_span(out + n, max - n);
+      for (std::size_t i = 0; i < got; ++i)
+        out[n + i] = make_page(proc_, local_id(out[n + i]));
+      n += got;
+      frontier_ = std::max(frontier_, inner_->position());
+    }
+    return n;
   }
   CursorCheckpoint checkpoint() const override { return inner_->checkpoint(); }
   void rewind(const CursorCheckpoint& cp) override {
@@ -170,13 +324,38 @@ class RebaseCursor final : public TraceCursor {
   }
 
  private:
+  /// Pages below this go through a flat array (one load per request);
+  /// larger ids fall back to the hash map. 2^16 entries caps the array at
+  /// 512 KiB per cursor, and it only grows to the largest small id seen.
+  static constexpr PageId kDenseLimit = PageId{1} << 16;
+  static constexpr std::uint64_t kUnmapped = ~std::uint64_t{0};
+
+  /// Compact local id for an inner page, assigned in first-appearance
+  /// order across BOTH tiers (next_id_ is the single counter, so the ids
+  /// are exactly those the one-map implementation would have assigned).
+  std::uint64_t local_id(PageId page) {
+    if (page < kDenseLimit) {
+      if (page >= dense_.size())
+        dense_.resize(std::max<std::size_t>(page + 1, dense_.size() * 2),
+                      kUnmapped);
+      std::uint64_t& slot = dense_[page];
+      if (slot == kUnmapped) slot = next_id_++;
+      return slot;
+    }
+    const auto [it, inserted] = sparse_.emplace(page, next_id_);
+    if (inserted) ++next_id_;
+    return it->second;
+  }
+
   std::unique_ptr<TraceCursor> inner_;
   ProcId proc_;
   CursorCheckpoint start_;
-  std::unordered_map<PageId, std::uint64_t> remap_;
+  std::vector<std::uint64_t> dense_;
+  std::unordered_map<PageId, std::uint64_t> sparse_;
+  std::uint64_t next_id_ = 0;
   PageId current_ = kInvalidPage;
   bool cached_ = false;
-  /// Positions [0, frontier_) have had their pages recorded in remap_.
+  /// Positions [0, frontier_) have had their pages recorded in the remap.
   std::uint64_t frontier_ = 0;
 };
 
@@ -244,6 +423,11 @@ MultiTrace MultiTraceSource::materialize() const {
 std::shared_ptr<const TraceSource> concat_source(
     std::vector<std::shared_ptr<const TraceSource>> parts) {
   return std::make_shared<ConcatSource>(std::move(parts));
+}
+
+std::shared_ptr<const TraceSource> read_ahead_source(
+    std::shared_ptr<const TraceSource> inner, std::size_t chunk) {
+  return std::make_shared<ReadAheadSource>(std::move(inner), chunk);
 }
 
 std::shared_ptr<const TraceSource> rebase_source(

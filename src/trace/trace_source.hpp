@@ -63,6 +63,22 @@ class TraceCursor {
   /// Restores a state previously captured by checkpoint() on a cursor of
   /// the same source. The replayed stream is byte-identical.
   virtual void rewind(const CursorCheckpoint& cp) = 0;
+
+  /// Bulk pull: consumes up to `max` requests into `out` and returns the
+  /// number copied (0 only when done()). Equivalent to that many
+  /// peek()/advance() pairs — same stream, same RNG draws, same checkpoint
+  /// state afterwards — but one virtual call per span instead of two per
+  /// request, which is what makes streamed simulation competitive with the
+  /// materialized fast path. Implementations with cheap bulk access
+  /// (vectors, files, generators) override the default loop.
+  virtual std::size_t next_span(PageId* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max && !done()) {
+      out[n++] = peek();
+      advance();
+    }
+    return n;
+  }
 };
 
 /// A (re-)iterable request sequence of known length.
@@ -158,6 +174,18 @@ class MultiTraceSource {
 /// builder to chain prefix phases and the single-use suffix lazily.
 std::shared_ptr<const TraceSource> concat_source(
     std::vector<std::shared_ptr<const TraceSource>> parts);
+
+/// Chunked read-ahead decorator: cursors pull `chunk`-sized spans from the
+/// inner cursor through next_span() into a pair of swap buffers, refilling
+/// the back buffer one chunk ahead of consumption. peek()/advance()/
+/// next_span() are then served from resident memory, so the inner source's
+/// per-request cost (generator arithmetic, file reads, virtual dispatch)
+/// is paid in chunk-sized bursts — and, inside the threaded engine, inside
+/// the processor's own parallel task, overlapping every other processor's
+/// simulation. The stream, checkpoints, and rewind behaviour are
+/// byte-identical to the undecorated source.
+std::shared_ptr<const TraceSource> read_ahead_source(
+    std::shared_ptr<const TraceSource> inner, std::size_t chunk = 4096);
 
 /// Streaming counterpart of gen::rebase_to_proc: remaps every page of
 /// `inner` into processor `proc`'s disjoint id space, assigning compact

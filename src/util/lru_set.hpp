@@ -43,9 +43,105 @@ class LruHashIndex {
   void set(PageId page, std::uint32_t slot) { map_[page] = slot; }
   void erase(PageId page) { map_.erase(page); }
   void clear() { map_.clear(); }
+  void on_reset(Height capacity) { map_.reserve(capacity * 2); }
 
  private:
   std::unordered_map<PageId, std::uint32_t> map_;
+};
+
+/// Open-addressing page->slot index for arbitrary (sparse) PageIds: one
+/// mixed hash, then a linear probe over a flat power-of-two table at load
+/// factor <= 1/2. No per-node allocation, no bucket pointers — the probe
+/// walks contiguous memory, which is what lets the streaming box runner
+/// (whose page universe is unknown, so it cannot intern into
+/// LruDenseIndex) approach the dense fast path. Deletion backward-shifts
+/// displaced entries instead of leaving tombstones, so probe lengths stay
+/// short however many evictions a long box run performs; clear() is O(1)
+/// via the same epoch stamping as LruDenseIndex.
+class LruFlatIndex {
+ public:
+  explicit LruFlatIndex(Height capacity) { rebuild(capacity); }
+
+  std::uint32_t find(PageId page) const {
+    std::size_t i = probe_start(page);
+    while (occupied(i)) {
+      if (pages_[i] == page) return slots_[i];
+      i = (i + 1) & mask_;
+    }
+    return kLruNilSlot;
+  }
+
+  void set(PageId page, std::uint32_t slot) {
+    std::size_t i = probe_start(page);
+    while (occupied(i)) {
+      if (pages_[i] == page) {
+        slots_[i] = slot;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    pages_[i] = page;
+    slots_[i] = slot;
+    epochs_[i] = epoch_;
+  }
+
+  void erase(PageId page) {
+    std::size_t i = probe_start(page);
+    for (;;) {
+      if (!occupied(i)) return;
+      if (pages_[i] == page) break;
+      i = (i + 1) & mask_;
+    }
+    // Backward-shift deletion: pull every entry whose probe path crossed
+    // the hole back over it, leaving the table tombstone-free.
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (!occupied(j)) break;
+      const std::size_t home = probe_start(pages_[j]);
+      if (((j - home) & mask_) >= ((j - i) & mask_)) {
+        pages_[i] = pages_[j];
+        slots_[i] = slots_[j];
+        i = j;
+      }
+    }
+    epochs_[i] = epoch_ - 1;  // any value != epoch_ marks the cell empty
+  }
+
+  void clear() { ++epoch_; }
+
+  void on_reset(Height capacity) {
+    if (static_cast<std::size_t>(capacity) * 2 > mask_ + 1) rebuild(capacity);
+  }
+
+ private:
+  bool occupied(std::size_t i) const { return epochs_[i] == epoch_; }
+
+  std::size_t probe_start(PageId page) const {
+    // splitmix64-style finalizer: PageIds are structured (proc<<48|local),
+    // so the raw low bits would collide badly under a power-of-two mask.
+    std::uint64_t x = page;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x) & mask_;
+  }
+
+  void rebuild(Height capacity) {
+    std::size_t size = 8;
+    while (size < static_cast<std::size_t>(capacity) * 2) size <<= 1;
+    pages_.assign(size, 0);
+    slots_.assign(size, 0);
+    epochs_.assign(size, 0);
+    mask_ = size - 1;
+    epoch_ = 1;  // entries start stale (epochs_ filled with 0)
+  }
+
+  std::vector<PageId> pages_;
+  std::vector<std::uint32_t> slots_;
+  std::vector<std::uint32_t> epochs_;
+  std::size_t mask_ = 0;
+  std::uint32_t epoch_ = 1;
 };
 
 /// Flat direct-map index over a dense id universe [0, universe). clear()
@@ -72,6 +168,7 @@ class LruDenseIndex {
     slots_[page] = kLruNilSlot;
   }
   void clear() { ++epoch_; }
+  void on_reset(Height /*capacity*/) {}  // universe-sized, nothing to grow
 
  private:
   std::vector<std::uint32_t> slots_;
@@ -189,6 +286,7 @@ class BasicLruSet {
     clear();
     capacity_ = capacity;
     slots_.reserve(capacity);
+    index_.on_reset(capacity);
   }
 
   /// Page that would be evicted next, or kInvalidPage when empty.
@@ -257,5 +355,10 @@ using LruSet = BasicLruSet<LruHashIndex>;
 /// LRU set over interned dense ids: DenseLruSet(capacity, universe)
 /// accepts pages in [0, universe) and does no hashing at all.
 using DenseLruSet = BasicLruSet<LruDenseIndex>;
+
+/// LRU set over arbitrary PageIds with the open-addressing flat index:
+/// the streaming box runner's middle ground between LruSet (pointer-heavy
+/// unordered_map) and DenseLruSet (requires interning the whole trace).
+using FlatLruSet = BasicLruSet<LruFlatIndex>;
 
 }  // namespace ppg

@@ -44,6 +44,36 @@ void ThreadPool::wait_all() {
   }
 }
 
+void ThreadPool::run_batch(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // One claiming task per worker; the caller claims too, so a batch never
+  // waits on a worker that the OS has not scheduled yet.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const auto claim = [next, n, &fn] {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  const std::size_t helpers = std::min(num_threads(), n - 1);
+  for (std::size_t w = 0; w < helpers; ++w) submit(claim);
+  // The caller's claims may throw straight through; the pool still owes us
+  // quiescence (and the first captured worker exception) via wait_all.
+  try {
+    claim();
+  } catch (...) {
+    wait_all();
+    throw;
+  }
+  wait_all();
+}
+
 std::size_t ThreadPool::hardware_jobs() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<std::size_t>(n);

@@ -47,6 +47,18 @@ class ThreadPool {
   /// captured task exception, if any.
   void wait_all();
 
+  /// Runs fn(i) for every i in [0, n), fanning out across the pool's
+  /// workers with the calling thread participating, and blocks until all
+  /// calls return. Unlike parallel_for_index this does NOT consult
+  /// util/interrupt: it is the engine's intra-run primitive, and a run in
+  /// flight must complete every index of its batch so that drain-and-stop
+  /// interruption (which operates at the sweep-cell level) always leaves
+  /// behind whole, byte-identical cells. Indices are claimed from a shared
+  /// counter, so assignment to threads is load-balanced but unordered —
+  /// callers write fn(i)'s output to slot i and fold sequentially.
+  /// Rethrows the first task exception after the batch quiesces.
+  void run_batch(std::size_t n, const std::function<void(std::size_t)>& fn);
+
   /// Job count meaning "use the hardware": hardware_concurrency, with a
   /// floor of 1 when the runtime reports 0.
   static std::size_t hardware_jobs();

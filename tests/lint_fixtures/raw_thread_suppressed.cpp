@@ -1,0 +1,10 @@
+// Same violation, silenced per line.
+#include <thread>
+
+void touch_all(int* data, int n) {
+  // ppg-lint: allow(raw-thread): fixture
+  std::thread worker([&] {
+    for (int i = 0; i < n; ++i) data[i] = i;
+  });
+  worker.join();
+}

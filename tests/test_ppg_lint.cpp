@@ -67,6 +67,7 @@ const RuleCase kCases[] = {
     {"io-sink", "io_sink", ".cpp", Realm::kLibrary},
     {"raw-file-write", "raw_file_write", ".cpp", Realm::kLibrary},
     {"raw-getenv", "raw_getenv", ".cpp", Realm::kLibrary},
+    {"raw-thread", "raw_thread", ".cpp", Realm::kLibrary},
     {"pragma-once", "pragma_once", ".hpp", Realm::kApp},
     {"using-namespace-header", "using_namespace", ".hpp", Realm::kApp},
 };

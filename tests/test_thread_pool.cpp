@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/interrupt.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ppg {
@@ -90,6 +91,62 @@ TEST(ThreadPool, ParallelForIndexPropagatesException) {
                                       throw std::runtime_error("cell boom");
                                   }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, RunBatchCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{17}, std::size_t{500}}) {
+    std::vector<std::atomic<int>> seen(n);
+    pool.run_batch(n, [&seen](std::size_t i) {
+      seen[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(seen[i].load(), 1) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, RunBatchIsReusableAcrossBatches) {
+  // The engine runs one batch per simulated step on the same pool; each
+  // batch must be a full barrier before the next begins.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run_batch(8, [&total](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPool, RunBatchIgnoresInterruptFlag) {
+  // Unlike parallel_for_index, run_batch is the engine's intra-run
+  // primitive: an interrupt must not carve a hole out of a simulated step
+  // (drain-and-stop operates at the sweep-cell level).
+  request_interrupt();
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> seen(64);
+  pool.run_batch(64, [&seen](std::size_t i) {
+    seen[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 64; ++i) ASSERT_EQ(seen[i].load(), 1);
+  clear_interrupt();
+}
+
+TEST(ThreadPool, RunBatchPropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_batch(100,
+                              [](std::size_t i) {
+                                if (i == 42)
+                                  throw std::runtime_error("batch boom");
+                              }),
+               std::runtime_error);
+  // The pool stays usable after the error has been consumed.
+  std::atomic<int> count{0};
+  pool.run_batch(4, [&count](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 4);
 }
 
 }  // namespace

@@ -327,6 +327,110 @@ TEST(TraceSource, FileSourceStreamsChunksAndRewinds) {
   std::remove(path.c_str());
 }
 
+// --- Bulk spans and read-ahead ---------------------------------------------
+
+std::vector<PageId> drain_spans(TraceCursor& cursor, std::size_t span) {
+  std::vector<PageId> out;
+  std::vector<PageId> buffer(span);
+  for (;;) {
+    const std::size_t n = cursor.next_span(buffer.data(), span);
+    if (n == 0) break;
+    out.insert(out.end(), buffer.begin(),
+               buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  return out;
+}
+
+TEST(TraceSource, NextSpanMatchesPeekAdvance) {
+  const std::vector<std::shared_ptr<const TraceSource>> sources = {
+      std::make_shared<VectorTraceSource>(
+          test::make_trace({5, 6, 5, 7, 7, 6, 5, 8, 9, 5, 6})),
+      gen::cyclic_source(5, 37),
+      gen::zipf_source(64, 333, 1.1, Rng(17)),
+      gen::sawtooth_source(4, 24, 50, 4, Rng(29)),
+      gen::polluted_cycle_source(6, 100, 7),
+      rebase_source(gen::zipf_source(15, 70, 1.1, Rng(21)), /*proc=*/3),
+      concat_source({gen::cyclic_source(3, 10), gen::single_use_source(7),
+                     gen::cyclic_source(4, 5)}),
+  };
+  for (const auto& source : sources) {
+    const Trace reference = materialize(*source);
+    // Odd span sizes cross every internal boundary (chunk, segment).
+    for (const std::size_t span : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{16}, std::size_t{1000}}) {
+      auto cursor = source->cursor();
+      EXPECT_EQ(drain_spans(*cursor, span), reference.requests())
+          << "span=" << span;
+      EXPECT_TRUE(cursor->done());
+      EXPECT_EQ(cursor->position(), reference.size());
+    }
+  }
+}
+
+TEST(TraceSource, NextSpanLeavesIdenticalCursorState) {
+  // A cursor advanced by next_span must be indistinguishable — position,
+  // checkpoint words (incl. RNG state), and remaining stream — from one
+  // advanced request by request.
+  const auto source = gen::zipf_source(64, 200, 1.1, Rng(23));
+  auto bulk = source->cursor();
+  auto stepper = source->cursor();
+  std::vector<PageId> buffer(13);
+  const std::size_t n = bulk->next_span(buffer.data(), buffer.size());
+  ASSERT_EQ(n, buffer.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(stepper->peek(), buffer[i]);
+    stepper->advance();
+  }
+  const CursorCheckpoint a = bulk->checkpoint();
+  const CursorCheckpoint b = stepper->checkpoint();
+  EXPECT_EQ(a.position, b.position);
+  EXPECT_EQ(a.words, b.words);
+  EXPECT_EQ(drain(*bulk), drain(*stepper));
+}
+
+TEST(TraceSource, NextSpanAfterPeekEmitsPeekedRequestFirst) {
+  // Decorators that cache the peeked request (rebase) must hand it out at
+  // the head of the next bulk span, not drop or double-emit it.
+  const auto source =
+      rebase_source(gen::zipf_source(15, 70, 1.1, Rng(21)), /*proc=*/3);
+  const Trace reference = materialize(*source);
+  auto cursor = source->cursor();
+  std::vector<PageId> got;
+  std::vector<PageId> buffer(9);
+  while (!cursor->done()) {
+    const PageId peeked = cursor->peek();
+    const std::size_t n = cursor->next_span(buffer.data(), buffer.size());
+    ASSERT_GE(n, 1u);
+    ASSERT_EQ(buffer[0], peeked);
+    got.insert(got.end(), buffer.begin(),
+               buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  EXPECT_EQ(got, reference.requests());
+}
+
+TEST(TraceSource, ReadAheadSourceHonoursCursorContract) {
+  // Chunk sizes around the stream length force every buffer shape: many
+  // swaps, one partial chunk, and a single oversized chunk.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{16}, std::size_t{4096}}) {
+    const auto inner = gen::zipf_source(32, 100, 1.2, Rng(9));
+    const auto decorated = read_ahead_source(inner, chunk);
+    ASSERT_EQ(decorated->num_requests(), inner->num_requests());
+    EXPECT_EQ(materialize(*decorated), materialize(*inner))
+        << "chunk=" << chunk;
+    check_cursor_contract(*decorated);
+  }
+}
+
+TEST(TraceSource, ReadAheadSourceBulkAndConcatCompose) {
+  const auto inner = concat_source(
+      {gen::cyclic_source(5, 37), gen::single_use_source(16)});
+  const auto decorated = read_ahead_source(inner, 8);
+  const Trace reference = materialize(*inner);
+  auto cursor = decorated->cursor();
+  EXPECT_EQ(drain_spans(*cursor, 11), reference.requests());
+}
+
 // --- Streaming one-pass consumers -----------------------------------------
 
 TEST(OnlineStackDistanceTest, MatchesNaiveWithCompaction) {

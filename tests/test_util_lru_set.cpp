@@ -226,6 +226,76 @@ TEST_P(DenseLruSetParity, MatchesHashIndexVariant) {
 INSTANTIATE_TEST_SUITE_P(Capacities, DenseLruSetParity,
                          ::testing::Values(1, 2, 5, 16, 33));
 
+// The open-addressing flat-index variant (the streaming box runner's
+// cache) must also be observationally identical to the hash variant —
+// including on sparse, structured ids (proc << 48 | local) and with resets
+// growing past the initial table size.
+class FlatLruSetParity : public ::testing::TestWithParam<Height> {};
+
+TEST_P(FlatLruSetParity, MatchesHashIndexVariant) {
+  const Height capacity = GetParam();
+  const std::size_t universe = capacity * 3 + 1;
+  FlatLruSet flat(capacity);
+  LruSet hash(capacity);
+  Rng rng(987 + capacity);
+  for (int i = 0; i < 5000; ++i) {
+    // Structured sparse ids: the high bits carry a processor tag, so the
+    // raw low bits collide under a power-of-two mask without mixing.
+    const PageId page = (PageId{3} << 48) | rng.next_below(universe);
+    PageId flat_evicted = kInvalidPage;
+    PageId hash_evicted = kInvalidPage;
+    const bool flat_hit = flat.access(page, flat_evicted);
+    const bool hash_hit = hash.access(page, hash_evicted);
+    ASSERT_EQ(flat_hit, hash_hit) << "iteration " << i;
+    ASSERT_EQ(flat_evicted, hash_evicted) << "iteration " << i;
+    ASSERT_EQ(flat.pages_mru_order(), hash.pages_mru_order());
+    if (i % 701 == 700) {
+      flat.clear();
+      hash.clear();
+    }
+    if (i % 1301 == 1300) {
+      // Growing resets force the flat table to rebuild mid-stream.
+      const Height next = 1 + (capacity + static_cast<Height>(i)) % (2 * capacity);
+      flat.reset(next);
+      hash.reset(next);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, FlatLruSetParity,
+                         ::testing::Values(1, 2, 5, 16, 33));
+
+TEST(FlatLruSet, EraseBackwardShiftKeepsProbesFindable) {
+  // Insert colliding keys, erase one from the middle of the cluster, and
+  // verify the displaced keys remain findable (no tombstone holes).
+  FlatLruSet set(8);
+  const std::vector<PageId> pages = {11, 22, 33, 44, 55, 66, 77, 88};
+  for (const PageId p : pages) set.access(p);
+  ASSERT_TRUE(set.full());
+  EXPECT_TRUE(set.erase(44));
+  EXPECT_FALSE(set.contains(44));
+  for (const PageId p : pages) {
+    if (p != 44) {
+      EXPECT_TRUE(set.contains(p)) << p;
+    }
+  }
+  // Eviction churn after the erase keeps the table consistent.
+  for (PageId p = 100; p < 200; ++p) set.access(p);
+  EXPECT_EQ(set.size(), 8u);
+}
+
+TEST(FlatLruSet, ResetGrowsCapacityPastInitialTable) {
+  FlatLruSet set(2);
+  set.reset(64);
+  for (PageId p = 0; p < 64; ++p) {
+    PageId evicted = kInvalidPage;
+    set.access(p, evicted);
+    ASSERT_EQ(evicted, kInvalidPage) << p;
+  }
+  EXPECT_TRUE(set.full());
+  for (PageId p = 0; p < 64; ++p) ASSERT_TRUE(set.contains(p));
+}
+
 TEST(DenseLruSet, ClearIsEpochBased) {
   DenseLruSet set(4, std::size_t{8});
   for (PageId p = 0; p < 4; ++p) set.access(p);

@@ -161,6 +161,18 @@ void check_raw_getenv(const ScannedFile& file, std::vector<Finding>& out) {
             out);
 }
 
+void check_raw_thread(const ScannedFile& file, std::vector<Finding>& out) {
+  static const std::regex kCalls(
+      R"(\bstd\s*::\s*(?:thread|jthread|async)\b)");
+  match_all(file, kCalls, "raw-thread",
+            "bare std::thread/std::async in library code; ad-hoc threads "
+            "dodge the determinism contract (slot-indexed output, interrupt "
+            "drain, first-error capture) — run on util/thread_pool "
+            "(parallel_for_index for sweep cells, ThreadPool::run_batch for "
+            "intra-run fan-out)",
+            out);
+}
+
 void check_pragma_once(const ScannedFile& file, std::vector<Finding>& out) {
   static const std::regex kPragma(R"(^\s*#\s*pragma\s+once\s*$)");
   for (std::size_t i = 0; i < file.line_count(); ++i) {
@@ -317,6 +329,10 @@ const std::vector<RuleDesc>& all_rules() {
        "std::getenv in src/: environment reads bypass flag parsing and "
        "validation; route through util/env.hpp",
        {"util/env.hpp"}},
+      {"raw-thread",
+       "std::thread/std::async in src/: ad-hoc threads dodge the "
+       "determinism contract; run on util/thread_pool",
+       {"util/thread_pool.hpp", "util/thread_pool.cpp"}},
       {"pragma-once", "headers must open with #pragma once", {}},
       {"using-namespace-header", "no `using namespace` in headers", {}},
   };
@@ -352,6 +368,7 @@ std::vector<Finding> run_rules(const ScannedFile& file, const FileInfo& info,
     if (!exempt("io-sink")) check_io_sink(file, raw);
     if (!exempt("raw-file-write")) check_raw_file_write(file, raw);
     if (!exempt("raw-getenv")) check_raw_getenv(file, raw);
+    if (!exempt("raw-thread")) check_raw_thread(file, raw);
   }
   if (info.is_header) {
     check_pragma_once(file, raw);

@@ -8,6 +8,10 @@
 // boxes from the augmentation budget.
 //
 //   --jobs N|max   run sweep cells on N threads (default 1)
+//   --engine-threads N|max
+//                  fast-forward each run's same-time boxes on N threads
+//                  (default 1; output and journals are byte-identical at
+//                  every value)
 //   --stream       pull each instance lazily from generator sources instead
 //                  of materializing it (output is byte-identical)
 //   --journal PATH checkpoint each finished variant cell (stage B) to PATH
@@ -119,6 +123,7 @@ int run_bench(int argc, char** argv) {
           EngineConfig ec;
           ec.cache_size = inst.k;
           ec.miss_cost = s;
+          ec.engine_threads = cli.engine_threads;
           const ParallelRunResult r =
               run_parallel(inst.sources, *scheduler, ec);
           makespan_sum += static_cast<double>(r.makespan);

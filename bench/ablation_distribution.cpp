@@ -8,6 +8,10 @@
 // that need them.
 //
 //   --jobs N|max   run sweep cells on N threads (default 1)
+//   --engine-threads N|max
+//                  fast-forward each run's same-time boxes on N threads
+//                  (default 1; output and journals are byte-identical at
+//                  every value)
 //   --stream       pull the RAND-PAR instances lazily from generator
 //                  sources instead of materializing them (output is
 //                  byte-identical; the green-paging traces are a few
@@ -162,6 +166,7 @@ int run_bench(int argc, char** argv) {
             EngineConfig ec;
             ec.cache_size = wp.cache_size;
             ec.miss_cost = s;
+            ec.engine_threads = cli.engine_threads;
             sum += static_cast<double>(
                 run_parallel(sources, *scheduler, ec).makespan);
           }

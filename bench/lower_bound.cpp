@@ -21,6 +21,10 @@
 // construction is otherwise verbatim.
 //
 //   --jobs N|max   run sweep cells on N threads (default 1)
+//   --engine-threads N|max
+//                  fast-forward each run's same-time boxes on N threads
+//                  (default 1; output and journals are byte-identical at
+//                  every value)
 //   --stream       run the schedulers from lazy per-processor sources
 //                  instead of the materialized instance (output is
 //                  byte-identical; the constructed OPT is clairvoyant and
@@ -129,6 +133,7 @@ int run_bench(int argc, char** argv) {
         ec.cache_size = cell.k;
         ec.miss_cost = cell.s;
         ec.track_memory_timeline = false;
+        ec.engine_threads = cli.engine_threads;
         return run_parallel(cell.sources, *scheduler, ec).makespan;
       },
       [](CellWriter& w, const Time& makespan) { w.u64(makespan); },

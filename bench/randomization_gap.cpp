@@ -8,6 +8,10 @@
 // curve would detach from DET-PAR's as p grows; it does not.
 //
 //   --jobs N|max   run sweep cells on N threads (default 1)
+//   --engine-threads N|max
+//                  fast-forward each run's same-time boxes on N threads
+//                  (default 1; output and journals are byte-identical at
+//                  every value)
 //   --stream       pull each instance lazily from generator sources instead
 //                  of materializing it (output is byte-identical)
 //   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
@@ -89,6 +93,7 @@ int run_bench(int argc, char** argv) {
         ExperimentConfig config;
         config.cache_size = wp.cache_size;
         config.miss_cost = s;
+        config.engine_threads = cli.engine_threads;
         OptBoundsConfig oc;
         oc.cache_size = wp.cache_size;
         oc.miss_cost = s;

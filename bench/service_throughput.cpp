@@ -1,0 +1,110 @@
+// Service-layer throughput (google-benchmark).
+//
+// Measures PagingService end to end — bounded admission, incremental
+// stepping, per-tenant metric finalization — under the arrival patterns
+// service_sim soaks: an all-at-t0 cohort (the batch-equivalent path), a
+// steady Poisson-like trickle, and adversarial bursts against a small
+// admission queue. Items are requests served, so the numbers are directly
+// comparable with BM_ParallelEngine*: the gap between BM_ServiceBatch and
+// BM_ParallelEngineStreamed is the service layer's bookkeeping overhead.
+// scripts/bench_perf.sh snapshots these into BENCH_PERF.json's `service`
+// section and gates regressions.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/scheduler_factory.hpp"
+#include "service/paging_service.hpp"
+#include "trace/generators.hpp"
+
+namespace {
+
+using namespace ppg;
+
+constexpr std::size_t kRequestsPerTenant = 64;
+
+std::shared_ptr<const TraceSource> tenant_source(std::uint64_t index) {
+  switch (index % 3) {
+    case 0: return gen::cyclic_source(17, kRequestsPerTenant);
+    case 1:
+      return gen::zipf_source(64, kRequestsPerTenant, 0.9, Rng(index));
+    default: return gen::single_use_source(kRequestsPerTenant);
+  }
+}
+
+ServiceConfig service_config() {
+  ServiceConfig sc;
+  sc.cache_size = 64;
+  sc.miss_cost = 8;
+  return sc;
+}
+
+/// All tenants at t = 0: the initial-cohort path, equivalent to one batch
+/// engine run plus per-tenant finalization.
+void BM_ServiceBatch(benchmark::State& state) {
+  const auto tenants = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const auto scheduler = make_scheduler(SchedulerKind::kDetPar, 5);
+    PagingService service(*scheduler, service_config());
+    for (std::uint64_t t = 0; t < tenants; ++t) {
+      benchmark::DoNotOptimize(service.submit(tenant_source(t), 0));
+      if (service.metrics().queued >= 2048) service.step();
+    }
+    service.run_until_idle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tenants) *
+                          static_cast<std::int64_t>(kRequestsPerTenant));
+}
+BENCHMARK(BM_ServiceBatch)->Arg(64)->Arg(512);
+
+/// Spread arrivals: tenants trickle in over simulated time, so every step
+/// interleaves admission, arrival events, and re-phasing.
+void BM_ServiceTrickle(benchmark::State& state) {
+  const auto tenants = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const auto scheduler = make_scheduler(SchedulerKind::kDetPar, 5);
+    PagingService service(*scheduler, service_config());
+    std::uint64_t submitted = 0;
+    while (submitted < tenants || !service.idle()) {
+      while (submitted < tenants &&
+             service.submit(tenant_source(submitted), Time(submitted * 3))) {
+        ++submitted;
+      }
+      service.step();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tenants) *
+                          static_cast<std::int64_t>(kRequestsPerTenant));
+}
+BENCHMARK(BM_ServiceTrickle)->Arg(512);
+
+/// Adversarial bursts into a small queue: maximal backpressure churn
+/// (rejects, retries, FIFO drains) — the admission layer's worst case.
+void BM_ServiceBurst(benchmark::State& state) {
+  const auto tenants = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const auto scheduler = make_scheduler(SchedulerKind::kDetPar, 5);
+    ServiceConfig sc = service_config();
+    sc.admission_queue_limit = 64;
+    PagingService service(*scheduler, sc);
+    std::uint64_t submitted = 0;
+    while (submitted < tenants || !service.idle()) {
+      const Time burst_at = Time(256 * (submitted / 256));
+      while (submitted < tenants &&
+             service.submit(tenant_source(submitted), burst_at)) {
+        ++submitted;
+      }
+      service.step();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tenants) *
+                          static_cast<std::int64_t>(kRequestsPerTenant));
+}
+BENCHMARK(BM_ServiceBurst)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

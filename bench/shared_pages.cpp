@@ -10,6 +10,10 @@
 // wins outright — quantifying why the open problem is open.
 //
 //   --jobs N|max   run sweep cells on N threads (default 1)
+//   --engine-threads N|max
+//                  fast-forward each run's same-time boxes on N threads
+//                  (default 1; output and journals are byte-identical at
+//                  every value)
 //   --journal PATH checkpoint each finished cell to PATH (PPGJRNL)
 //   --resume       skip cells already in the journal
 //   --shard i/N    compute only the 1-of-N slice of the cell grid (requires
@@ -77,6 +81,7 @@ int run_bench(int argc, char** argv) {
         EngineConfig ec;
         ec.cache_size = sp.cache_size;
         ec.miss_cost = s;
+        ec.engine_threads = cli.engine_threads;
         auto det_par = make_scheduler(SchedulerKind::kDetPar);
         cell.det_par = run_parallel(priv, *det_par, ec).makespan;
         auto equi = make_scheduler(SchedulerKind::kEqui);

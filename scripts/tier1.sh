@@ -9,6 +9,8 @@
 # recovery, lease refusal/steal, all byte-compared), then the
 # distributed-shard chaos gate (scripts/shard_chaos.sh: 4 shard workers, 2
 # SIGKILLed and supervisor-restarted, journals merged and re-rendered),
+# then the constant-memory gates (a 10^8-request streamed run and a
+# 10^5-tenant service soak, both under a 256 MB address-space cap),
 # then the perf gate (a self-test proving the gate can fail, followed by
 # the quick snapshot, which checks --jobs byte-identity and hard-fails on
 # >15% throughput drops vs the committed BENCH_PERF.json).
@@ -42,11 +44,18 @@ if [[ "${SAN}" != "none" ]]; then
   # engine at engine_threads 0/2/4/hardware, so a data race in either
   # parallel path surfaces here even on a single-core host.
   cmake -B build-thread -S . -DPPG_SANITIZE=thread -DPPG_WERROR=ON \
-        -DPPG_BUILD_BENCH=OFF -DPPG_BUILD_EXAMPLES=OFF >/dev/null
+        -DPPG_BUILD_BENCH=OFF -DPPG_BUILD_EXAMPLES=ON >/dev/null
   cmake --build build-thread -j "$(nproc)"
   (cd build-thread &&
    ctest --output-on-failure -j "$(nproc)" \
-         -R 'ThreadPool|ParallelSweep|SweepJournal|Interrupt|JournalLease|EngineThreads')
+         -R 'ThreadPool|ParallelSweep|SweepJournal|Interrupt|JournalLease|EngineThreads|EngineStepper|PagingService')
+
+  # TSan variant of the service soak: race the admission/stepper/fold path
+  # end to end with the engine pool maxed. Reduced tenant count and no
+  # ulimit — TSan shadow memory needs the address space.
+  ./build-thread/examples-bin/service_sim --tenants 10000 --depart-every 97 \
+      --engine-threads max > /dev/null
+  echo "TSan service soak OK (10^4 tenants, --engine-threads max)"
 fi
 
 # Crash-safety gate: SIGKILL a journaled sweep mid-flight, resume it, tear
@@ -69,6 +78,21 @@ scripts/shard_chaos.sh
   ./build/examples-bin/stream_smoke --n 100000000 --max-rss-mb 256
 )
 echo "streaming memory gate OK (10^8 requests under 256 MB)"
+
+# Service soak gate: 10^5 tenants through PagingService (Poisson arrivals,
+# periodic departures) under the same 256 MB cap — memory stays
+# O(active tenants), not O(submitted). Run serial and with the intra-run
+# engine pool maxed; the two must print byte-identical metrics.
+(
+  ulimit -v 262144
+  ./build/examples-bin/service_sim --tenants 100000 --depart-every 97 \
+      --max-rss-mb 256 > /tmp/service_soak_serial.txt
+  ./build/examples-bin/service_sim --tenants 100000 --depart-every 97 \
+      --max-rss-mb 256 --engine-threads max > /tmp/service_soak_threads.txt
+)
+diff <(tail -n +2 /tmp/service_soak_serial.txt) \
+     <(tail -n +2 /tmp/service_soak_threads.txt)
+echo "service soak gate OK (10^5 tenants under 256 MB, serial == threaded)"
 
 # Perf gate: first prove the gate itself can fail (synthetic injected
 # slowdown), then take the quick snapshot, which hard-fails on >15%

@@ -79,6 +79,11 @@ class ValidatingScheduler final : public BoxScheduler {
   BoxAssignment next_box(ProcId proc, Time now,
                          const EngineView& view) override;
   void notify_finished(ProcId proc, Time now, const EngineView& view) override;
+  /// Grows the per-processor frontier bookkeeping, then forwards — so the
+  /// validator keeps checking overlap/stall invariants for processors that
+  /// join mid-run (EngineStepper online arrivals).
+  void notify_arrived(ProcId proc, Time now, const EngineView& view) override;
+  void notify_departed(ProcId proc, Time now, const EngineView& view) override;
   const char* name() const override { return name_.c_str(); }
 
   const std::vector<ContractViolation>& violations() const {

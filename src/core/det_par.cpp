@@ -36,16 +36,28 @@ class DetPar final : public BoxScheduler {
     start_phase(0, view);
   }
 
+  void notify_arrived(ProcId proc, Time now, const EngineView& view) override {
+    (void)proc;
+    (void)now;
+    (void)view;
+    // An arrival invalidates the phase-start active list (the newcomer has
+    // no strip position); re-phase lazily at the next box request so
+    // same-batch arrivals fold into one new phase.
+    rephase_ = true;
+  }
+
   BoxAssignment next_box(ProcId proc, Time now,
                          const EngineView& view) override {
-    if (static_cast<double>(view.active_count()) <=
-        config_.phase_halving * static_cast<double>(phase_r0_)) {
+    if (rephase_ ||
+        static_cast<double>(view.active_count()) <=
+            config_.phase_halving * static_cast<double>(phase_r0_)) {
       start_phase(now, view);
     }
 
     const auto idx_it = index_.find(proc);
-    // A processor always appears in the phase-start list (phases start
-    // before any box is issued and processors never re-activate).
+    // A processor always appears in the phase-start list: phases start
+    // before any box is issued, processors never re-activate, and an
+    // online arrival forces a re-phase (rephase_) before its first box.
     PPG_CHECK_MSG(idx_it != index_.end(), "processor missing from phase list");
     const std::size_t idx = idx_it->second;
 
@@ -110,6 +122,7 @@ class DetPar final : public BoxScheduler {
   }
 
   void start_phase(Time t0, const EngineView& view) {
+    rephase_ = false;
     phase_start_ = t0;
     index_.clear();
     std::size_t num_active = 0;
@@ -138,6 +151,7 @@ class DetPar final : public BoxScheduler {
   SchedulerContext ctx_;
 
   Time phase_start_ = 0;
+  bool rephase_ = false;
   std::size_t phase_r0_ = 1;
   Height base_height_ = 1;
   std::vector<Strip> strips_;

@@ -140,6 +140,20 @@ void FaultInjectingScheduler::notify_finished(ProcId proc, Time now,
   inner_->notify_finished(proc, now, view);
 }
 
+void FaultInjectingScheduler::notify_arrived(ProcId proc, Time now,
+                                             const EngineView& view) {
+  if (proc >= frontier_.size()) {
+    frontier_.resize(static_cast<std::size_t>(proc) + 1, 0);
+    has_box_.resize(static_cast<std::size_t>(proc) + 1, false);
+  }
+  inner_->notify_arrived(proc, now, view);
+}
+
+void FaultInjectingScheduler::notify_departed(ProcId proc, Time now,
+                                              const EngineView& view) {
+  inner_->notify_departed(proc, now, view);
+}
+
 std::unique_ptr<FaultInjectingScheduler> make_fault_injecting(
     std::unique_ptr<BoxScheduler> inner, const FaultInjectionConfig& config) {
   return std::make_unique<FaultInjectingScheduler>(std::move(inner), config);

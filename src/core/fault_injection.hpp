@@ -66,6 +66,10 @@ class FaultInjectingScheduler final : public BoxScheduler {
   BoxAssignment next_box(ProcId proc, Time now,
                          const EngineView& view) override;
   void notify_finished(ProcId proc, Time now, const EngineView& view) override;
+  /// Grows per-processor frontier state and forwards, mirroring
+  /// ValidatingScheduler, so injection stays usable under online arrival.
+  void notify_arrived(ProcId proc, Time now, const EngineView& view) override;
+  void notify_departed(ProcId proc, Time now, const EngineView& view) override;
   const char* name() const override { return name_.c_str(); }
 
   std::uint64_t boxes_issued() const { return boxes_issued_; }

@@ -77,9 +77,19 @@ class GlobalLruBoxFacade final : public BoxScheduler {
   void start(const SchedulerContext& ctx, const EngineView& view) override {
     (void)view;
     ctx_ = ctx;
-    height_ = static_cast<Height>(std::max<std::uint64_t>(
-        1, pow2_floor(ctx.cache_size / std::max<ProcId>(1, ctx.num_procs))));
+    height_ = slice_height(ctx.num_procs);
     fresh_issued_.assign(ctx.num_procs, false);
+  }
+
+  void notify_arrived(ProcId proc, Time now, const EngineView& view) override {
+    (void)now;
+    // Grow the per-processor slice bookkeeping and re-slice the shared
+    // pool across the new active count: subsequent boxes (for everyone)
+    // use the updated height, mirroring how a real partitioned-LRU
+    // service would rebalance on tenant arrival.
+    if (proc >= fresh_issued_.size())
+      fresh_issued_.resize(static_cast<std::size_t>(proc) + 1, false);
+    height_ = slice_height(view.active_count());
   }
 
   BoxAssignment next_box(ProcId proc, Time now,
@@ -99,6 +109,11 @@ class GlobalLruBoxFacade final : public BoxScheduler {
   const char* name() const override { return "GLOBAL-LRU(box)"; }
 
  private:
+  Height slice_height(ProcId procs) const {
+    return static_cast<Height>(std::max<std::uint64_t>(
+        1, pow2_floor(ctx_.cache_size / std::max<ProcId>(1, procs))));
+  }
+
   SchedulerContext ctx_;
   Height height_ = 1;
   std::vector<bool> fresh_issued_;

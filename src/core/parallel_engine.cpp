@@ -23,12 +23,15 @@ double mean_of(const std::vector<Time>& completion) {
 
 namespace {
 
-enum class EventKind : std::uint8_t { kFinish = 0, kNeedBox = 1 };
+enum class EventKind : std::uint8_t {
+  kFinish = 0,   // sorts first so schedulers see up-to-date active counts
+  kArrive = 1,   // then arrivals activate before any same-time box request
+  kNeedBox = 2,  // box grants come last at equal times
+};
 
 struct Event {
   Time time;
-  EventKind kind;  // kFinish sorts before kNeedBox at equal times so
-                   // schedulers see up-to-date active counts.
+  EventKind kind;
   ProcId proc;
   std::uint64_t seq;  // final deterministic tie-break
 
@@ -42,13 +45,25 @@ struct Event {
 
 class EngineState final : public EngineView {
  public:
-  explicit EngineState(ProcId p) : active_(p, true), active_count_(p) {}
-
   ProcId num_procs() const override {
     return static_cast<ProcId>(active_.size());
   }
   ProcId active_count() const override { return active_count_; }
   bool is_active(ProcId proc) const override { return active_[proc]; }
+
+  /// New processor slot; initial-cohort slots are born active, online
+  /// arrivals stay inactive until their kArrive event fires.
+  ProcId add(bool active) {
+    active_.push_back(active);
+    if (active) ++active_count_;
+    return static_cast<ProcId>(active_.size() - 1);
+  }
+
+  void activate(ProcId proc) {
+    PPG_CHECK(!active_[proc]);
+    active_[proc] = true;
+    ++active_count_;
+  }
 
   void deactivate(ProcId proc) {
     PPG_CHECK(active_[proc]);
@@ -58,7 +73,7 @@ class EngineState final : public EngineView {
 
  private:
   std::vector<bool> active_;
-  ProcId active_count_;
+  ProcId active_count_ = 0;
 };
 
 Error engine_error(ErrorCode code, std::string message, ProcId proc,
@@ -72,6 +87,396 @@ Error engine_error(ErrorCode code, std::string message, ProcId proc,
 }
 
 }  // namespace
+
+struct EngineStepper::Impl {
+  BoxScheduler* scheduler;
+  EngineConfig config;
+
+  EngineState state;
+  CheckedRun out;
+
+  // Per-processor lifetime state. Runners are released (reset) the moment
+  // a processor finishes or departs, so live memory tracks the active set.
+  std::vector<std::unique_ptr<BoxRunner>> runners;
+  std::vector<std::shared_ptr<const TraceSource>> pending_sources;
+  std::vector<bool> departing;
+  std::vector<std::uint64_t> proc_hits;
+  std::vector<std::uint64_t> proc_misses;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+
+  // Engine-owned pool for intra-run parallelism. The calling thread
+  // participates in every batch (ThreadPool::run_batch), so N configured
+  // threads means N-1 workers.
+  std::optional<ThreadPool> pool;
+
+  // Per-batch scratch (SoA, reused across steps): the events popped at the
+  // current simulated time, and the boxes awaiting simulation. A processor
+  // has exactly one outstanding event at any time, so the pending procs of
+  // one batch are distinct — the run_box calls touch disjoint runners and
+  // disjoint step slots, which is what makes the fan-out race-free.
+  std::vector<Event> batch;
+  std::vector<ProcId> pending_proc;
+  std::vector<BoxAssignment> pending_box;
+  std::vector<BoxStepResult> pending_step;
+
+  std::vector<std::pair<Time, std::int64_t>> mem_timeline;
+  std::vector<StepCompletion> completions;
+
+  std::uint64_t processed_events = 0;
+  Time last_batch_time = 0;
+  bool started = false;
+  bool failed = false;
+  bool finished = false;
+
+  explicit Impl(BoxScheduler& sched, const EngineConfig& cfg)
+      : scheduler(&sched), config(cfg) {
+    PPG_CHECK(config.cache_size >= 1);
+    PPG_CHECK(config.miss_cost >= 1);
+    if (config.engine_threads > 1) pool.emplace(config.engine_threads - 1);
+  }
+
+  ProcId add_slot(std::shared_ptr<const TraceSource> source, bool active) {
+    PPG_CHECK(source != nullptr);
+    const ProcId proc = state.add(active);
+    out.result.completion.push_back(0);
+    runners.push_back(
+        std::make_unique<BoxRunner>(*source, config.miss_cost));
+    pending_sources.push_back(std::move(source));
+    departing.push_back(false);
+    proc_hits.push_back(0);
+    proc_misses.push_back(0);
+    return proc;
+  }
+
+  /// Drops the per-processor working state once `proc` leaves the active
+  /// set for good; metrics and completion times remain.
+  void release(ProcId proc) {
+    runners[proc].reset();
+    pending_sources[proc].reset();
+  }
+
+  void push_first_event(ProcId proc, Time at) {
+    // Empty traces complete instantly on arrival.
+    if (runners[proc]->finished())
+      events.push(Event{at, EventKind::kFinish, proc, seq++});
+    else
+      events.push(Event{at, EventKind::kNeedBox, proc, seq++});
+  }
+
+  void fail(Error error) {
+    out.status = RunStatus::failure(std::move(error));
+    failed = true;
+  }
+
+  void start() {
+    PPG_CHECK(!started);
+    started = true;
+    const ProcId p = state.num_procs();
+    // Scheduler calls may throw PpgException (ValidatingScheduler and
+    // other decorators do); surface it as the run's status.
+    try {
+      scheduler->start(
+          SchedulerContext{p, config.cache_size, config.miss_cost}, state);
+      for (ProcId i = 0; i < p; ++i) push_first_event(i, 0);
+    } catch (const PpgException& e) {
+      fail(e.error());
+    }
+    out.events_consumed = processed_events;
+  }
+
+  bool step() {
+    PPG_CHECK(started);
+    if (failed || events.empty()) return false;
+    completions.clear();
+    try {
+      step_batch();
+    } catch (const PpgException& e) {
+      fail(e.error());
+    }
+    out.events_consumed = processed_events;
+    return !failed && !events.empty();
+  }
+
+  void step_batch() {
+    // Drain the whole batch of events at the current simulated time. A
+    // finish lands at box.start + busy_time > t and an expiration at
+    // box.end > t, so no *simulation* event generated while processing a
+    // time-t batch can land at time t; arrivals may chain a same-time
+    // follow-up event, which simply forms the next batch at the same
+    // time. Popping the batch eagerly preserves the serial pop order
+    // exactly.
+    const Time now = events.top().time;
+    last_batch_time = now;
+    batch.clear();
+    while (!events.empty() && events.top().time == now) {
+      batch.push_back(events.top());
+      events.pop();
+    }
+
+    ParallelRunResult& result = out.result;
+
+    // Serial pass, in pop order: per-event guards and every scheduler
+    // interaction. Box simulations are deferred to the fan-out below; on
+    // a failure mid-batch the boxes collected so far are still simulated
+    // and folded, so the partial result is byte-identical to the serial
+    // engine stopping at the same event.
+    pending_proc.clear();
+    pending_box.clear();
+    for (const Event& ev : batch) {
+      ++processed_events;
+      if (config.max_events != 0 && processed_events > config.max_events) {
+        std::ostringstream msg;
+        msg << "engine exhausted its step budget (max_events = "
+            << config.max_events << ") under scheduler "
+            << scheduler->name();
+        fail(engine_error(ErrorCode::kCellBudgetExceeded, msg.str(), ev.proc,
+                          ev.time));
+        break;
+      }
+      if (ev.time > config.max_time) {
+        std::ostringstream msg;
+        msg << "engine exceeded max_time (" << ev.time << " > "
+            << config.max_time << ") under scheduler " << scheduler->name();
+        fail(engine_error(ErrorCode::kWatchdogTimeout, msg.str(), ev.proc,
+                          ev.time));
+        break;
+      }
+
+      if (ev.kind == EventKind::kFinish) {
+        state.deactivate(ev.proc);
+        result.completion[ev.proc] = ev.time;
+        scheduler->notify_finished(ev.proc, ev.time, state);
+        completions.push_back(StepCompletion{ev.proc, ev.time, false});
+        release(ev.proc);
+        continue;
+      }
+
+      if (ev.kind == EventKind::kArrive) {
+        if (departing[ev.proc]) {
+          // Departed while still queued for arrival: never activates, the
+          // scheduler never learns of it.
+          result.completion[ev.proc] = ev.time;
+          completions.push_back(StepCompletion{ev.proc, ev.time, true});
+          release(ev.proc);
+          continue;
+        }
+        state.activate(ev.proc);
+        scheduler->notify_arrived(ev.proc, ev.time, state);
+        // The first box request (or instant finish) lands in a same-time
+        // successor batch, after every event of this batch.
+        push_first_event(ev.proc, ev.time);
+        continue;
+      }
+
+      // kNeedBox
+      if (departing[ev.proc]) {
+        // Forced departure takes effect at the box boundary: the box in
+        // flight completed, the next one is never requested.
+        state.deactivate(ev.proc);
+        result.completion[ev.proc] = ev.time;
+        scheduler->notify_departed(ev.proc, ev.time, state);
+        completions.push_back(StepCompletion{ev.proc, ev.time, true});
+        release(ev.proc);
+        continue;
+      }
+      PPG_DCHECK(!runners[ev.proc]->finished());
+      const BoxAssignment box = scheduler->next_box(ev.proc, ev.time, state);
+      // Last-line contract checks for undecorated schedulers; a malformed
+      // box is the scheduler's fault, not ours, so it is recoverable.
+      const char* defect = box.height < 1       ? "zero-height box"
+                           : box.start < ev.time ? "box starts in the past"
+                           : box.end <= box.start ? "empty box"
+                                                  : nullptr;
+      if (defect != nullptr) {
+        std::ostringstream msg;
+        msg << "scheduler " << scheduler->name() << " returned " << defect
+            << " {h=" << box.height << ", [" << box.start << ", " << box.end
+            << ")}";
+        fail(engine_error(ErrorCode::kContractViolation, msg.str(), ev.proc,
+                          ev.time));
+        break;
+      }
+      result.total_stall += box.start - ev.time;
+      if (config.on_box) config.on_box(ev.proc, box);
+      pending_proc.push_back(ev.proc);
+      pending_box.push_back(box);
+    }
+
+    // Fan-out: fast-forward the batch's boxes. Each call only touches
+    // its own processor's runner and step slot; the barrier (run_batch
+    // returns only when every index has run) makes the fold below safe.
+    const std::size_t n = pending_proc.size();
+    pending_step.resize(n);
+    const auto simulate = [&](std::size_t i) {
+      const BoxAssignment& box = pending_box[i];
+      pending_step[i] = runners[pending_proc[i]]->run_box(
+          box.height, box.end - box.start, box.fresh);
+    };
+    if (pool && n > 1) {
+      pool->run_batch(n, simulate);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) simulate(i);
+    }
+
+    // Fold, again in pop order: metric accumulation, timeline entries,
+    // and follow-up event pushes see the same sequence (and assign the
+    // same seq numbers) as the one-event-at-a-time loop.
+    for (std::size_t i = 0; i < n; ++i) {
+      const ProcId proc = pending_proc[i];
+      const BoxAssignment& box = pending_box[i];
+      const BoxStepResult& step = pending_step[i];
+      ++result.num_boxes;
+      result.hits += step.hits;
+      result.misses += step.misses;
+      proc_hits[proc] += step.hits;
+      proc_misses[proc] += step.misses;
+
+      if (step.finished) {
+        const Time finish_time = box.start + step.busy_time;
+        // Impact while the processor was actually running.
+        result.total_impact +=
+            static_cast<Impact>(box.height) * step.busy_time;
+        if (config.track_memory_timeline) {
+          mem_timeline.emplace_back(box.start, box.height);
+          mem_timeline.emplace_back(finish_time,
+                                    -static_cast<std::int64_t>(box.height));
+        }
+        events.push(Event{finish_time, EventKind::kFinish, proc, seq++});
+      } else {
+        result.total_impact +=
+            static_cast<Impact>(box.height) * (box.end - box.start);
+        result.total_stall += step.stall_time;
+        if (config.track_memory_timeline) {
+          mem_timeline.emplace_back(box.start, box.height);
+          mem_timeline.emplace_back(box.end,
+                                    -static_cast<std::int64_t>(box.height));
+        }
+        events.push(Event{box.end, EventKind::kNeedBox, proc, seq++});
+      }
+    }
+  }
+
+  CheckedRun finish() {
+    PPG_CHECK(started);
+    PPG_CHECK(failed || events.empty());
+    PPG_CHECK(!finished);
+    finished = true;
+    out.events_consumed = processed_events;
+    if (failed) return std::move(out);
+
+    ParallelRunResult& result = out.result;
+    result.makespan =
+        result.completion.empty()
+            ? 0
+            : *std::max_element(result.completion.begin(),
+                                result.completion.end());
+    result.mean_completion = mean_of(result.completion);
+
+    if (config.track_memory_timeline && !mem_timeline.empty()) {
+      std::sort(mem_timeline.begin(), mem_timeline.end(),
+                [](const auto& a, const auto& b) {
+                  // Process deallocations before allocations at equal times.
+                  if (a.first != b.first) return a.first < b.first;
+                  return a.second < b.second;
+                });
+      std::int64_t current = 0;
+      std::int64_t peak = 0;
+      for (const auto& [t, delta] : mem_timeline) {
+        current += delta;
+        peak = std::max(peak, current);
+      }
+      PPG_CHECK_FMT(current == 0,
+                    "memory timeline unbalanced: residual height %lld after "
+                    "%llu boxes",
+                    static_cast<long long>(current),
+                    static_cast<unsigned long long>(result.num_boxes));
+      result.peak_concurrent_height = static_cast<Height>(peak);
+      result.effective_augmentation =
+          static_cast<double>(peak) / static_cast<double>(config.cache_size);
+    }
+    return std::move(out);
+  }
+};
+
+EngineStepper::EngineStepper(BoxScheduler& scheduler,
+                             const EngineConfig& config)
+    : impl_(std::make_unique<Impl>(scheduler, config)) {}
+
+EngineStepper::~EngineStepper() = default;
+
+ProcId EngineStepper::add_processor(std::shared_ptr<const TraceSource> source) {
+  PPG_CHECK_MSG(!impl_->started,
+                "initial-cohort processors must be added before start()");
+  return impl_->add_slot(std::move(source), /*active=*/true);
+}
+
+void EngineStepper::start() { impl_->start(); }
+
+ProcId EngineStepper::add_processor(std::shared_ptr<const TraceSource> source,
+                                    Time arrival) {
+  Impl& im = *impl_;
+  PPG_CHECK_MSG(im.started, "online arrivals require a started stepper");
+  PPG_CHECK_MSG(arrival >= im.last_batch_time,
+                "arrival time precedes already-processed simulated time");
+  const ProcId proc = im.add_slot(std::move(source), /*active=*/false);
+  im.events.push(Event{arrival, EventKind::kArrive, proc, im.seq++});
+  return proc;
+}
+
+void EngineStepper::depart(ProcId proc) {
+  Impl& im = *impl_;
+  PPG_CHECK(proc < im.state.num_procs());
+  im.departing[proc] = true;
+}
+
+bool EngineStepper::step() { return impl_->step(); }
+
+bool EngineStepper::started() const { return impl_->started; }
+
+bool EngineStepper::done() const {
+  return impl_->failed || (impl_->started && impl_->events.empty());
+}
+
+bool EngineStepper::has_pending() const { return !impl_->events.empty(); }
+
+Time EngineStepper::frontier() const {
+  PPG_CHECK(!impl_->events.empty());
+  return impl_->events.top().time;
+}
+
+Time EngineStepper::now() const { return impl_->last_batch_time; }
+
+const RunStatus& EngineStepper::status() const { return impl_->out.status; }
+
+std::uint64_t EngineStepper::events_consumed() const {
+  return impl_->processed_events;
+}
+
+ProcId EngineStepper::num_procs() const { return impl_->state.num_procs(); }
+
+ProcId EngineStepper::active_count() const {
+  return impl_->state.active_count();
+}
+
+const EngineView& EngineStepper::view() const { return impl_->state; }
+
+std::uint64_t EngineStepper::proc_hits(ProcId proc) const {
+  PPG_CHECK(proc < impl_->proc_hits.size());
+  return impl_->proc_hits[proc];
+}
+
+std::uint64_t EngineStepper::proc_misses(ProcId proc) const {
+  PPG_CHECK(proc < impl_->proc_misses.size());
+  return impl_->proc_misses[proc];
+}
+
+const std::vector<StepCompletion>& EngineStepper::last_completions() const {
+  return impl_->completions;
+}
+
+CheckedRun EngineStepper::finish() { return impl_->finish(); }
 
 ParallelEngine::ParallelEngine(const MultiTrace& traces,
                                BoxScheduler& scheduler,
@@ -95,214 +500,13 @@ ParallelEngine::ParallelEngine(MultiTraceSource sources,
 }
 
 CheckedRun ParallelEngine::run_impl() {
+  EngineStepper stepper(*scheduler_, config_);
   const ProcId p = sources_.num_procs();
-  EngineState state(p);
-  CheckedRun out;
-  ParallelRunResult& result = out.result;
-  result.completion.assign(p, 0);
-
-  std::vector<BoxRunner> runners;
-  runners.reserve(p);
-  for (ProcId i = 0; i < p; ++i)
-    runners.emplace_back(sources_.source(i), config_.miss_cost);
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-  std::uint64_t seq = 0;
-
-  // Engine-owned pool for intra-run parallelism. The calling thread
-  // participates in every batch (ThreadPool::run_batch), so N configured
-  // threads means N-1 workers.
-  std::optional<ThreadPool> pool;
-  if (config_.engine_threads > 1) pool.emplace(config_.engine_threads - 1);
-
-  // Per-batch scratch (SoA, reused across steps): the events popped at the
-  // current simulated time, and the boxes awaiting simulation. A processor
-  // has exactly one outstanding event at any time, so the pending procs of
-  // one batch are distinct — the run_box calls touch disjoint runners and
-  // disjoint step slots, which is what makes the fan-out race-free.
-  std::vector<Event> batch;
-  std::vector<ProcId> pending_proc;
-  std::vector<BoxAssignment> pending_box;
-  std::vector<BoxStepResult> pending_step;
-
-  // Scheduler calls may throw PpgException (ValidatingScheduler and other
-  // decorators do); surface it as the run's status.
-  try {
-    scheduler_->start(
-        SchedulerContext{p, config_.cache_size, config_.miss_cost}, state);
-
-    for (ProcId i = 0; i < p; ++i) {
-      // Empty traces complete instantly at t = 0.
-      if (sources_.source(i).num_requests() == 0)
-        events.push(Event{0, EventKind::kFinish, i, seq++});
-      else
-        events.push(Event{0, EventKind::kNeedBox, i, seq++});
-    }
-
-    std::vector<std::pair<Time, std::int64_t>> mem_timeline;
-    // Ticks of stall already charged per processor for the current box's
-    // unusable tail are implicit: we charge tails when the box is simulated.
-    std::uint64_t processed_events = 0;
-    while (!events.empty()) {
-      // Drain the whole batch of events at the current simulated time. No
-      // event generated while processing a time-t batch can land at time t
-      // (a finish is at box.start + busy_time > t, an expiration at
-      // box.end > t), so the batch is fixed once we reach its time and
-      // popping it eagerly preserves the serial pop order exactly.
-      const Time now = events.top().time;
-      batch.clear();
-      while (!events.empty() && events.top().time == now) {
-        batch.push_back(events.top());
-        events.pop();
-      }
-
-      // Serial pass, in pop order: per-event guards and every scheduler
-      // interaction. Box simulations are deferred to the fan-out below; on
-      // a failure mid-batch the boxes collected so far are still simulated
-      // and folded, so the partial result is byte-identical to the serial
-      // engine stopping at the same event.
-      bool failed = false;
-      pending_proc.clear();
-      pending_box.clear();
-      for (const Event& ev : batch) {
-        if (config_.max_events != 0 &&
-            ++processed_events > config_.max_events) {
-          std::ostringstream msg;
-          msg << "engine exhausted its step budget (max_events = "
-              << config_.max_events << ") under scheduler "
-              << scheduler_->name();
-          out.status = RunStatus::failure(engine_error(
-              ErrorCode::kCellBudgetExceeded, msg.str(), ev.proc, ev.time));
-          failed = true;
-          break;
-        }
-        if (ev.time > config_.max_time) {
-          std::ostringstream msg;
-          msg << "engine exceeded max_time (" << ev.time << " > "
-              << config_.max_time << ") under scheduler "
-              << scheduler_->name();
-          out.status = RunStatus::failure(engine_error(
-              ErrorCode::kWatchdogTimeout, msg.str(), ev.proc, ev.time));
-          failed = true;
-          break;
-        }
-
-        if (ev.kind == EventKind::kFinish) {
-          state.deactivate(ev.proc);
-          result.completion[ev.proc] = ev.time;
-          scheduler_->notify_finished(ev.proc, ev.time, state);
-          continue;
-        }
-
-        // kNeedBox
-        PPG_DCHECK(!runners[ev.proc].finished());
-        const BoxAssignment box =
-            scheduler_->next_box(ev.proc, ev.time, state);
-        // Last-line contract checks for undecorated schedulers; a malformed
-        // box is the scheduler's fault, not ours, so it is recoverable.
-        const char* defect = box.height < 1      ? "zero-height box"
-                             : box.start < ev.time ? "box starts in the past"
-                             : box.end <= box.start ? "empty box"
-                                                    : nullptr;
-        if (defect != nullptr) {
-          std::ostringstream msg;
-          msg << "scheduler " << scheduler_->name() << " returned " << defect
-              << " {h=" << box.height << ", [" << box.start << ", " << box.end
-              << ")}";
-          out.status = RunStatus::failure(engine_error(
-              ErrorCode::kContractViolation, msg.str(), ev.proc, ev.time));
-          failed = true;
-          break;
-        }
-        result.total_stall += box.start - ev.time;
-        if (config_.on_box) config_.on_box(ev.proc, box);
-        pending_proc.push_back(ev.proc);
-        pending_box.push_back(box);
-      }
-
-      // Fan-out: fast-forward the batch's boxes. Each call only touches
-      // its own processor's runner and step slot; the barrier (run_batch
-      // returns only when every index has run) makes the fold below safe.
-      const std::size_t n = pending_proc.size();
-      pending_step.resize(n);
-      const auto simulate = [&](std::size_t i) {
-        const BoxAssignment& box = pending_box[i];
-        pending_step[i] = runners[pending_proc[i]].run_box(
-            box.height, box.end - box.start, box.fresh);
-      };
-      if (pool && n > 1) {
-        pool->run_batch(n, simulate);
-      } else {
-        for (std::size_t i = 0; i < n; ++i) simulate(i);
-      }
-
-      // Fold, again in pop order: metric accumulation, timeline entries,
-      // and follow-up event pushes see the same sequence (and assign the
-      // same seq numbers) as the one-event-at-a-time loop.
-      for (std::size_t i = 0; i < n; ++i) {
-        const ProcId proc = pending_proc[i];
-        const BoxAssignment& box = pending_box[i];
-        const BoxStepResult& step = pending_step[i];
-        ++result.num_boxes;
-        result.hits += step.hits;
-        result.misses += step.misses;
-
-        if (step.finished) {
-          const Time finish_time = box.start + step.busy_time;
-          // Impact while the processor was actually running.
-          result.total_impact +=
-              static_cast<Impact>(box.height) * step.busy_time;
-          if (config_.track_memory_timeline) {
-            mem_timeline.emplace_back(box.start, box.height);
-            mem_timeline.emplace_back(finish_time,
-                                      -static_cast<std::int64_t>(box.height));
-          }
-          events.push(Event{finish_time, EventKind::kFinish, proc, seq++});
-        } else {
-          result.total_impact +=
-              static_cast<Impact>(box.height) * (box.end - box.start);
-          result.total_stall += step.stall_time;
-          if (config_.track_memory_timeline) {
-            mem_timeline.emplace_back(box.start, box.height);
-            mem_timeline.emplace_back(box.end,
-                                      -static_cast<std::int64_t>(box.height));
-          }
-          events.push(Event{box.end, EventKind::kNeedBox, proc, seq++});
-        }
-      }
-      if (failed) return out;
-    }
-
-    result.makespan =
-        *std::max_element(result.completion.begin(), result.completion.end());
-    result.mean_completion = mean_of(result.completion);
-
-    if (config_.track_memory_timeline && !mem_timeline.empty()) {
-      std::sort(mem_timeline.begin(), mem_timeline.end(),
-                [](const auto& a, const auto& b) {
-                  // Process deallocations before allocations at equal times.
-                  if (a.first != b.first) return a.first < b.first;
-                  return a.second < b.second;
-                });
-      std::int64_t current = 0;
-      std::int64_t peak = 0;
-      for (const auto& [t, delta] : mem_timeline) {
-        current += delta;
-        peak = std::max(peak, current);
-      }
-      PPG_CHECK_FMT(current == 0,
-                    "memory timeline unbalanced: residual height %lld after "
-                    "%llu boxes",
-                    static_cast<long long>(current),
-                    static_cast<unsigned long long>(result.num_boxes));
-      result.peak_concurrent_height = static_cast<Height>(peak);
-      result.effective_augmentation =
-          static_cast<double>(peak) / static_cast<double>(config_.cache_size);
-    }
-  } catch (const PpgException& e) {
-    out.status = RunStatus::failure(e.error());
+  for (ProcId i = 0; i < p; ++i) stepper.add_processor(sources_.source_ptr(i));
+  stepper.start();
+  while (stepper.step()) {
   }
-  return out;
+  return stepper.finish();
 }
 
 void ParallelEngine::maybe_write_dump(CheckedRun& out) {

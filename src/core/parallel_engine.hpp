@@ -26,7 +26,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "core/scheduler.hpp"
@@ -43,12 +45,20 @@ struct EngineConfig {
   /// Watchdog against misbehaving schedulers: run() aborts (PPG_CHECK) and
   /// run_checked() returns kWatchdogTimeout if simulated time passes this.
   Time max_time = Time{1} << 60;
-  /// Per-run budget on processed engine events (box requests, box
-  /// expirations, completions) — the sweep layer's per-cell deadline.
+  /// Per-run budget on processed engine *events* — the sweep layer's
+  /// per-cell deadline. One unit is charged per event the engine pops: a
+  /// box grant (exactly one per box issued, regardless of how many
+  /// thousands of page requests that box fast-forwards), a processor
+  /// completion, or an online arrival (EngineStepper). The budget does NOT
+  /// count page requests, and it does not count event *batches* either —
+  /// every event inside a same-time batch is charged individually
+  /// (pinned by EngineStepperTest.EventBudgetCountsEventsNotRequests).
   /// Counted in simulated steps, not wall-clock, so exhausting it is
   /// deterministic and reproducible from the seed. 0 means unlimited;
   /// run_checked() returns kCellBudgetExceeded when the budget is spent,
-  /// run() aborts (PPG_CHECK) like any other fatal engine condition.
+  /// run() aborts (PPG_CHECK) like any other fatal engine condition. The
+  /// units consumed are surfaced in CheckedRun::events_consumed so
+  /// admission layers (PagingService) can account against the budget.
   std::uint64_t max_events = 0;
   /// Record the (time, +/-height) allocation timeline to measure peak
   /// concurrent height (costs memory proportional to #boxes).
@@ -89,6 +99,107 @@ struct EngineConfig {
 struct CheckedRun {
   RunStatus status;
   ParallelRunResult result;
+  /// Units charged against EngineConfig::max_events: the number of engine
+  /// events processed (box grants + completions + online arrivals),
+  /// including the event whose charge exhausted the budget on a
+  /// kCellBudgetExceeded failure. Equals num_boxes + completions on a
+  /// clean batch run.
+  std::uint64_t events_consumed = 0;
+};
+
+/// One completion surfaced by EngineStepper::last_completions().
+struct StepCompletion {
+  ProcId proc = 0;
+  Time time = 0;
+  bool departed = false;  ///< Forced out via depart(), not drained.
+};
+
+/// The engine's event loop, inverted into a resumable state machine.
+///
+/// ParallelEngine::run()/run_checked() are thin loops over this class, so
+/// a batch run and a stepped run are the same code path and produce
+/// byte-identical output. On top of the batch contract the stepper adds
+/// what a long-lived service needs:
+///
+///  - start() seeds the initial cohort's events after the scheduler sees
+///    the instance geometry; processors added before start() form that
+///    cohort exactly as ParallelEngine's constructor arguments would.
+///  - step() drains exactly one global-time event batch (serial scheduler
+///    pass, fan-out box simulation, in-order fold — see DESIGN.md §11) and
+///    returns false once the run is complete or failed. Between steps the
+///    caller may inspect any accessor, add processors, or request
+///    departures; interleaving those calls with step() is deterministic.
+///  - add_processor(source, arrival) admits a processor mid-run: it
+///    becomes active when the engine reaches `arrival`, the scheduler is
+///    told through BoxScheduler::notify_arrived, and its first box request
+///    follows in a same-time successor batch.
+///  - depart(proc) cancels a processor at its next box boundary (the box
+///    in flight completes); the scheduler is told through notify_departed.
+///  - finish() computes the final metrics (makespan, mean completion,
+///    memory-timeline peak) and returns the CheckedRun.
+///
+/// Per-processor resources (the BoxRunner with its cursor and box cache)
+/// are released as soon as a processor finishes or departs, so a service
+/// that admits N tenants over time holds memory proportional to the
+/// *concurrently active* tenants, not N.
+class EngineStepper {
+ public:
+  /// `scheduler` must outlive the stepper; `config` is copied.
+  EngineStepper(BoxScheduler& scheduler, const EngineConfig& config);
+  ~EngineStepper();
+  EngineStepper(const EngineStepper&) = delete;
+  EngineStepper& operator=(const EngineStepper&) = delete;
+
+  /// Pre-start: adds a processor to the initial cohort (arrival t = 0).
+  /// Returns its ProcId (dense, in call order).
+  ProcId add_processor(std::shared_ptr<const TraceSource> source);
+
+  /// Calls BoxScheduler::start with the initial cohort and seeds its
+  /// events. Must be called exactly once, before the first step(). A
+  /// cohort may be empty (a service that starts idle); processors then
+  /// join via the arrival overload.
+  void start();
+
+  /// Post-start: admits a processor that becomes active at `arrival`,
+  /// which must be >= now() (the engine cannot rewrite processed time).
+  ProcId add_processor(std::shared_ptr<const TraceSource> source,
+                       Time arrival);
+
+  /// Requests that `proc` leave at its next box boundary. Idempotent; a
+  /// processor that finishes first simply finishes.
+  void depart(ProcId proc);
+
+  /// Processes one global-time event batch. Returns true while more
+  /// batches remain (i.e. the run is neither complete nor failed).
+  bool step();
+
+  bool started() const;
+  /// True once the run can make no more progress: failed, or no pending
+  /// events (all admitted processors finished or departed).
+  bool done() const;
+  bool has_pending() const;  ///< Any event still queued?
+  /// Time of the next pending batch. Requires has_pending().
+  Time frontier() const;
+  /// Time of the last processed batch (0 before the first step).
+  Time now() const;
+
+  const RunStatus& status() const;
+  std::uint64_t events_consumed() const;
+  ProcId num_procs() const;
+  ProcId active_count() const;
+  /// The engine's live view of the active set — what schedulers observe.
+  const EngineView& view() const;
+  std::uint64_t proc_hits(ProcId proc) const;
+  std::uint64_t proc_misses(ProcId proc) const;
+  /// Completions (natural or departed) surfaced by the most recent step().
+  const std::vector<StepCompletion>& last_completions() const;
+
+  /// Final metrics. Requires done(); call once after the stepping loop.
+  CheckedRun finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 class ParallelEngine {

@@ -35,8 +35,22 @@ class RandPar final : public BoxScheduler {
     start_chunk(0, view);
   }
 
+  void notify_arrived(ProcId proc, Time now, const EngineView& view) override {
+    (void)proc;
+    (void)now;
+    (void)view;
+    // The newcomer has no chunk rank; cut the current chunk short and
+    // re-chunk at the next box request so it joins the wave schedule
+    // (instead of idling in filler boxes until the chunk expires).
+    rechunk_ = true;
+  }
+
   BoxAssignment next_box(ProcId proc, Time now,
                          const EngineView& view) override {
+    if (rechunk_) {
+      rechunk_ = false;
+      start_chunk(now, view);
+    }
     while (now >= chunk_end_) start_chunk(chunk_end_, view);
 
     if (now < primary_end_) {
@@ -110,6 +124,7 @@ class RandPar final : public BoxScheduler {
   Rng rng_;
   SchedulerContext ctx_;
 
+  bool rechunk_ = false;
   Time chunk_start_ = 0;
   Time primary_end_ = 0;
   Time chunk_end_ = 0;

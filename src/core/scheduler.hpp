@@ -68,6 +68,26 @@ class BoxScheduler {
     (void)view;
   }
 
+  /// Active-set growth: `proc` joined the instance at time `now` (online
+  /// tenant arrival through EngineStepper / PagingService). Called after
+  /// the view already reports the processor active and before any
+  /// same-time next_box, so schedulers with per-processor or phase state
+  /// can grow/re-phase here. Batch runs fix the processor set up front and
+  /// never call this, so the default no-op preserves their behavior.
+  virtual void notify_arrived(ProcId proc, Time now, const EngineView& view) {
+    (void)proc;
+    (void)now;
+    (void)view;
+  }
+
+  /// Active-set shrink without completion: `proc` was forcibly departed at
+  /// time `now` (PagingService::depart). The view already reports it
+  /// inactive. Distinct from notify_finished so schedulers can tell a
+  /// cancelled tenant from a drained one; the default treats both alike.
+  virtual void notify_departed(ProcId proc, Time now, const EngineView& view) {
+    notify_finished(proc, now, view);
+  }
+
   virtual const char* name() const = 0;
 };
 

@@ -60,8 +60,9 @@ enum class PolicyKind {
   kLfu,
   kMru,     ///< Evict most-recently-used — optimal for cyclic scans.
   kSlru,    ///< Segmented LRU: probationary + protected segments.
-  kArc,     ///< Adaptive Replacement Cache (ghost-list adaptive).
-  kBelady,  ///< Offline optimum (farthest next use).
+  kArc,      ///< Adaptive Replacement Cache (ghost-list adaptive).
+  kMarking,  ///< Randomized marking (O(log k)-competitive; seeded).
+  kBelady,   ///< Offline optimum (farthest next use).
 };
 
 /// All online policies plus Belady, for sweep loops.
@@ -69,7 +70,8 @@ std::vector<PolicyKind> all_policy_kinds();
 
 const char* policy_kind_name(PolicyKind kind);
 
-/// Factory. `capacity` sizes internal structures; `seed` feeds kRandom.
+/// Factory. `capacity` sizes internal structures; `seed` feeds kRandom
+/// and kMarking.
 std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind, Height capacity,
                                             std::uint64_t seed = 1);
 
@@ -77,5 +79,7 @@ std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind, Height capacity,
 std::unique_ptr<EvictionPolicy> make_mru_policy(Height capacity);
 std::unique_ptr<EvictionPolicy> make_slru_policy(Height capacity);
 std::unique_ptr<EvictionPolicy> make_arc_policy(Height capacity);
+std::unique_ptr<EvictionPolicy> make_marking_policy(Height capacity,
+                                                    std::uint64_t seed);
 
 }  // namespace ppg

@@ -299,15 +299,17 @@ const char* policy_kind_name(PolicyKind kind) {
     case PolicyKind::kMru: return "MRU";
     case PolicyKind::kSlru: return "SLRU";
     case PolicyKind::kArc: return "ARC";
+    case PolicyKind::kMarking: return "MARKING";
     case PolicyKind::kBelady: return "BELADY";
   }
   return "unknown";
 }
 
 std::vector<PolicyKind> all_policy_kinds() {
-  return {PolicyKind::kLru,  PolicyKind::kFifo, PolicyKind::kClock,
-          PolicyKind::kRandom, PolicyKind::kLfu,  PolicyKind::kMru,
-          PolicyKind::kSlru, PolicyKind::kArc,  PolicyKind::kBelady};
+  return {PolicyKind::kLru,     PolicyKind::kFifo, PolicyKind::kClock,
+          PolicyKind::kRandom,  PolicyKind::kLfu,  PolicyKind::kMru,
+          PolicyKind::kSlru,    PolicyKind::kArc,  PolicyKind::kMarking,
+          PolicyKind::kBelady};
 }
 
 std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind, Height capacity,
@@ -321,6 +323,7 @@ std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind, Height capacity,
     case PolicyKind::kMru: return make_mru_policy(capacity);
     case PolicyKind::kSlru: return make_slru_policy(capacity);
     case PolicyKind::kArc: return make_arc_policy(capacity);
+    case PolicyKind::kMarking: return make_marking_policy(capacity, seed);
     case PolicyKind::kBelady: return std::make_unique<BeladyPolicy>();
   }
   PPG_CHECK_MSG(false, "unknown policy kind");

@@ -8,6 +8,7 @@
 // experiment (E9) and the in-box-policy ablation meaningful.
 #include <list>
 #include <unordered_map>
+#include <utility>
 
 #include "paging/eviction_policy.hpp"
 #include "util/assert.hpp"
@@ -223,7 +224,102 @@ class ArcPolicy final : public EvictionPolicy {
   std::unordered_map<PageId, Where> where_;
 };
 
+/// Randomized MARKING (Fiat et al.): every resident page carries a mark
+/// bit; a hit or insert marks the page, and eviction picks a victim
+/// uniformly at random among the *unmarked* pages. When none remain, a
+/// phase boundary unmarks everything at once. MARKING is O(log k)-
+/// competitive against an oblivious adversary — the classic separation
+/// from every deterministic policy's Omega(k) — which makes it the natural
+/// randomized baseline next to RANDOM (memoryless) in the policy ablation.
+///
+/// Representation: one vector partitioned as [unmarked | marked] with a
+/// position map. Marking swaps a page across the boundary, eviction
+/// swap-removes from the unmarked prefix, and the phase-boundary unmark of
+/// all pages is a single counter reset — every operation O(1).
+class MarkingPolicy final : public EvictionPolicy {
+ public:
+  MarkingPolicy(Height capacity, std::uint64_t seed) : rng_(seed) {
+    pages_.reserve(capacity);
+    index_.reserve(capacity);
+  }
+
+  void insert(PageId page) override {
+    // New pages enter marked: the suffix [unmarked_, size) is the marked
+    // region, and an append lands there.
+    index_[page] = pages_.size();
+    pages_.push_back(page);
+  }
+
+  void touch(PageId page) override {
+    auto it = index_.find(page);
+    PPG_DCHECK(it != index_.end());
+    mark(it->second);
+  }
+
+  bool contains(PageId page) const override {
+    return index_.contains(page);
+  }
+
+  bool touch_if_resident(PageId page) override {
+    auto it = index_.find(page);
+    if (it == index_.end()) return false;
+    mark(it->second);
+    return true;
+  }
+
+  PageId evict() override {
+    PPG_CHECK_MSG(!pages_.empty(), "evict from empty MARKING");
+    if (unmarked_ == 0) unmarked_ = pages_.size();  // Phase boundary.
+    const std::size_t i = rng_.next_below(unmarked_);
+    const PageId victim = pages_[i];
+    index_.erase(victim);
+    // Swap-remove while keeping the partition: fill the hole with the last
+    // unmarked page, then fill *that* hole with the last page overall.
+    --unmarked_;
+    move_into(i, unmarked_);
+    move_into(unmarked_, pages_.size() - 1);
+    pages_.pop_back();
+    return victim;
+  }
+
+  void clear() override {
+    pages_.clear();
+    index_.clear();
+    unmarked_ = 0;
+  }
+
+  const char* name() const override { return "MARKING"; }
+
+ private:
+  void mark(std::size_t pos) {
+    if (pos >= unmarked_) return;  // Already marked.
+    --unmarked_;
+    const std::size_t last = unmarked_;
+    std::swap(pages_[pos], pages_[last]);
+    index_[pages_[pos]] = pos;
+    index_[pages_[last]] = last;
+  }
+
+  /// pages_[hole] = pages_[from] (no-op when they coincide), updating the
+  /// position map. The slot at `from` is then dead.
+  void move_into(std::size_t hole, std::size_t from) {
+    if (hole == from) return;
+    pages_[hole] = pages_[from];
+    index_[pages_[hole]] = hole;
+  }
+
+  Rng rng_;
+  std::size_t unmarked_ = 0;     ///< pages_[0, unmarked_) are unmarked.
+  std::vector<PageId> pages_;    ///< Partitioned [unmarked | marked].
+  std::unordered_map<PageId, std::size_t> index_;
+};
+
 }  // namespace
+
+std::unique_ptr<EvictionPolicy> make_marking_policy(Height capacity,
+                                                    std::uint64_t seed) {
+  return std::make_unique<MarkingPolicy>(capacity, seed);
+}
 
 std::unique_ptr<EvictionPolicy> make_mru_policy(Height capacity) {
   return std::make_unique<MruPolicy>(capacity);

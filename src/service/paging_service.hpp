@@ -1,0 +1,199 @@
+// Paging as a service: a long-lived multi-tenant front end over the
+// incremental engine.
+//
+// PagingService turns the batch simulator inside out. Tenants (one request
+// sequence each) are submitted with an arrival time, wait in a bounded
+// admission queue, run as engine processors under any BoxScheduler — which
+// re-phases on every arrival/departure through the notify_arrived /
+// notify_departed hooks — and surface per-tenant SLO metrics the moment
+// they complete: completion-time and fault-count histograms plus the
+// max-fault fairness figure that Online Min-Max Paging motivates.
+//
+// Determinism: the service adds no randomness of its own. Metrics are a
+// pure function of (submission sequence, scheduler seed, config), at every
+// engine_threads value — the same contract the batch engine has. And a
+// service whose tenants all arrive at t = 0 admits them as the engine's
+// initial cohort, so its engine run is byte-identical to
+// ParallelEngine::run() over the same sources (pinned by
+// tests/test_paging_service.cpp).
+//
+// Memory: tenants stream through TraceCursor-backed runners that are
+// released on completion, so live memory is O(active tenants x box height)
+// plus O(1) bookkeeping per tenant ever submitted — 10^5 lightweight
+// tenants fit comfortably under a 256 MB cap (examples/service_sim soaks
+// exactly that in scripts/tier1.sh).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/parallel_engine.hpp"
+#include "core/scheduler.hpp"
+#include "trace/trace_source.hpp"
+#include "util/error.hpp"
+#include "util/histogram.hpp"
+#include "util/types.hpp"
+
+namespace ppg {
+
+/// Dense tenant handle, assigned in submission order.
+using TenantId = std::uint32_t;
+
+struct ServiceConfig {
+  Height cache_size = 0;  ///< k.
+  Time miss_cost = 2;     ///< s.
+  /// Engine watchdog / event budget, forwarded to EngineConfig (see
+  /// parallel_engine.hpp). CheckedRun-style budget consumption is visible
+  /// through ServiceMetrics::events_consumed.
+  Time max_time = Time{1} << 60;
+  std::uint64_t max_events = 0;
+  /// Intra-run engine parallelism (EngineConfig::engine_threads).
+  std::size_t engine_threads = 0;
+  /// Memory-timeline tracking costs O(#boxes) memory over the service's
+  /// whole lifetime, so it defaults off here (unlike the batch engine);
+  /// enable only for bounded equivalence tests.
+  bool track_memory_timeline = false;
+  /// Admission backpressure: submit() rejects (returns nullopt) while this
+  /// many tenants are already waiting for admission.
+  std::size_t admission_queue_limit = 4096;
+};
+
+/// Everything known about a tenant once it has left the system.
+struct TenantOutcome {
+  TenantId tenant = 0;
+  Time arrival = 0;    ///< Requested arrival (service clock).
+  Time admitted = 0;   ///< When the engine actually activated it.
+  Time completed = 0;  ///< Completion (or forced-departure) time.
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  bool departed = false;  ///< Left via depart(), not by draining its trace.
+};
+
+/// Live SLO surface; see PagingService::metrics().
+struct ServiceMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;  ///< Bounced off the full admission queue.
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t departed = 0;
+  std::uint64_t active = 0;  ///< Running in the engine right now.
+  std::uint64_t queued = 0;  ///< Waiting in the admission queue.
+  Time now = 0;              ///< Last processed simulated time.
+  std::uint64_t events_consumed = 0;  ///< Charged against max_events.
+  /// Max per-tenant fault count over finished tenants — the min-max
+  /// fairness objective of Online Min-Max Paging (arXiv 2212.03016).
+  std::uint64_t max_faults = 0;
+  double mean_completion_latency = 0.0;  ///< Mean of (completed - arrival).
+  Log2Histogram completion_latency;      ///< Per-tenant sojourn times.
+  Log2Histogram fault_counts;            ///< Per-tenant miss counts.
+};
+
+class PagingService {
+ public:
+  /// `scheduler` must outlive the service. Seed the scheduler itself for
+  /// randomized policies; the service draws no randomness.
+  PagingService(BoxScheduler& scheduler, const ServiceConfig& config);
+
+  /// Submits one tenant whose requests stream from `trace`, arriving at
+  /// simulated time `arrival`. Admission is FIFO in submission order; an
+  /// arrival time the engine has already passed is clamped forward (the
+  /// tenant queues). Returns the tenant handle, or nullopt when the
+  /// admission queue is full (backpressure — retry after step()s).
+  ///
+  /// Tenants submitted with arrival 0 before the first step() become the
+  /// engine's initial cohort: the run is then byte-identical to a batch
+  /// ParallelEngine::run() over the same sources.
+  std::optional<TenantId> submit(std::shared_ptr<const TraceSource> trace,
+                                 Time arrival);
+
+  /// As above, from a generator trace spec (trace/trace_spec.hpp). The
+  /// spec must describe exactly one processor (a tenant is one sequence);
+  /// throws PpgException(kBadInput) otherwise.
+  std::optional<TenantId> submit(const std::string& trace_spec, Time arrival);
+
+  /// Requests that `tenant` leave: immediately if still queued, at its
+  /// next box boundary if running. Idempotent; completion via the normal
+  /// callback with TenantOutcome::departed = true.
+  void depart(TenantId tenant);
+
+  /// Registers the completion callback (replacing any previous one). Fired
+  /// during step(), once per tenant, in deterministic engine order.
+  void on_completion(std::function<void(const TenantOutcome&)> callback);
+
+  /// Admits every due tenant, then advances the engine by one event batch.
+  /// Returns true while the service can still make progress (work pending
+  /// or queued); false once idle, or failed — check status().
+  bool step();
+
+  /// Steps until the queue is empty and every admitted tenant finished.
+  /// Tenants submitted from completion callbacks keep the loop going.
+  void run_until_idle();
+
+  /// Engine failure surface (scheduler contract violation, watchdog,
+  /// event budget). ok() while healthy; once failed, step() returns false.
+  const RunStatus& status() const { return stepper_.status(); }
+
+  Time now() const { return stepper_.now(); }
+  bool idle() const;
+
+  /// Snapshot of the live SLO surface (counters + histograms by value).
+  ServiceMetrics metrics() const;
+
+  /// The outcome of a finished tenant (PPG_CHECK: must be finished).
+  TenantOutcome outcome(TenantId tenant) const;
+
+  /// Read-only view of the underlying stepper (tests use view() as the
+  /// active-set ground truth).
+  const EngineStepper& stepper() const { return stepper_; }
+
+ private:
+  enum class TenantState : std::uint8_t { kQueued, kActive, kDone };
+
+  struct TenantRecord {
+    Time arrival = 0;
+    Time admitted = 0;
+    Time completed = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    ProcId proc = kInvalidProc;  ///< Engine slot once admitted.
+    TenantState state = TenantState::kQueued;
+    bool departed = false;
+    bool depart_requested = false;
+  };
+
+  struct QueuedTenant {
+    TenantId tenant = 0;
+    std::shared_ptr<const TraceSource> trace;
+    Time arrival = 0;
+  };
+
+  void admit_front(bool initial);
+  void harvest_completions();
+  void finalize(TenantId tenant, Time completed, std::uint64_t hits,
+                std::uint64_t misses, bool departed);
+
+  ServiceConfig config_;
+  EngineStepper stepper_;
+  bool started_ = false;
+
+  std::deque<QueuedTenant> queue_;
+  std::vector<TenantRecord> records_;
+  std::vector<TenantId> proc_tenant_;  ///< Engine proc -> tenant.
+  std::function<void(const TenantOutcome&)> callback_;
+
+  std::uint64_t rejected_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t departed_ = 0;
+  std::uint64_t max_faults_ = 0;
+  double latency_sum_ = 0.0;
+  Log2Histogram completion_latency_;
+  Log2Histogram fault_counts_;
+};
+
+}  // namespace ppg

@@ -1,0 +1,20 @@
+// Violates service-io on purpose: the service layer reading its own inputs
+// instead of accepting TraceSource objects / spec strings.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace ppg {
+
+int load_tenant_trace(const char* path, std::FILE* raw) {
+  std::ifstream in(path);
+  int page = 0;
+  std::cin >> page;
+  char buffer[64];
+  std::fscanf(raw, "%d", &page);
+  std::fread(buffer, 1, sizeof(buffer), raw);
+  std::fgets(buffer, sizeof(buffer), raw);
+  return page;
+}
+
+}  // namespace ppg

@@ -1,0 +1,17 @@
+// Clean twin of service_io_bad: tenant workloads enter the service as a
+// TraceSource the caller built, or a spec string the trace layer parses.
+// The service itself never touches files or stdin.
+#include <memory>
+#include <string>
+
+namespace ppg {
+
+struct TraceSource;
+
+void submit_tenant(std::shared_ptr<const TraceSource> source,
+                   const std::string& spec) {
+  (void)source;
+  (void)spec;
+}
+
+}  // namespace ppg

@@ -36,12 +36,14 @@ bool is_header_name(const std::string& name) {
   return name.size() >= 4 && name.compare(name.size() - 4, 4, ".hpp") == 0;
 }
 
-std::vector<Finding> lint_fixture(const std::string& name, Realm realm) {
+std::vector<Finding> lint_fixture(const std::string& name, Realm realm,
+                                  bool service = false) {
   const std::string text = read_fixture(name);
   ScannedFile scanned(name, text);
   FileInfo info;
   info.realm = realm;
   info.is_header = is_header_name(name);
+  info.service = service;
   return run_rules(scanned, info, nullptr);
 }
 
@@ -50,6 +52,7 @@ struct RuleCase {
   const char* stem;  ///< Fixture prefix: <stem>_bad, _good, _suppressed.
   const char* ext;   ///< ".cpp" or ".hpp".
   Realm realm;       ///< Realm the rule is scoped to.
+  bool service = false;  ///< Lint as a src/service/ file.
 
   friend void PrintTo(const RuleCase& rule_case, std::ostream* os) {
     *os << rule_case.rule;
@@ -68,6 +71,7 @@ const RuleCase kCases[] = {
     {"raw-file-write", "raw_file_write", ".cpp", Realm::kLibrary},
     {"raw-getenv", "raw_getenv", ".cpp", Realm::kLibrary},
     {"raw-thread", "raw_thread", ".cpp", Realm::kLibrary},
+    {"service-io", "service_io", ".cpp", Realm::kLibrary, true},
     {"pragma-once", "pragma_once", ".hpp", Realm::kApp},
     {"using-namespace-header", "using_namespace", ".hpp", Realm::kApp},
 };
@@ -77,7 +81,8 @@ class LintRule : public ::testing::TestWithParam<RuleCase> {};
 TEST_P(LintRule, FiresOnBadFixture) {
   const RuleCase& rule_case = GetParam();
   const std::vector<Finding> findings = lint_fixture(
-      std::string(rule_case.stem) + "_bad" + rule_case.ext, rule_case.realm);
+      std::string(rule_case.stem) + "_bad" + rule_case.ext, rule_case.realm,
+      rule_case.service);
   ASSERT_FALSE(findings.empty())
       << rule_case.rule << " did not fire on its bad fixture";
   for (const Finding& finding : findings) {
@@ -91,7 +96,8 @@ TEST_P(LintRule, FiresOnBadFixture) {
 TEST_P(LintRule, SilentOnGoodFixture) {
   const RuleCase& rule_case = GetParam();
   const std::vector<Finding> findings = lint_fixture(
-      std::string(rule_case.stem) + "_good" + rule_case.ext, rule_case.realm);
+      std::string(rule_case.stem) + "_good" + rule_case.ext, rule_case.realm,
+      rule_case.service);
   for (const Finding& finding : findings) {
     ADD_FAILURE() << rule_case.stem << "_good is expected clean but got ["
                   << finding.rule << "] at line " << finding.line << ": "
@@ -103,7 +109,7 @@ TEST_P(LintRule, SuppressionSilencesBadFixture) {
   const RuleCase& rule_case = GetParam();
   const std::vector<Finding> findings =
       lint_fixture(std::string(rule_case.stem) + "_suppressed" + rule_case.ext,
-                   rule_case.realm);
+                   rule_case.realm, rule_case.service);
   for (const Finding& finding : findings) {
     ADD_FAILURE() << rule_case.stem
                   << "_suppressed should be silenced but got ["
@@ -131,6 +137,17 @@ TEST(LintRegistry, EveryRuleHasAFixtureCase) {
   std::sort(registered.begin(), registered.end());
   std::sort(covered.begin(), covered.end());
   EXPECT_EQ(registered, covered);
+}
+
+// service-io is scoped by the FileInfo flag, not the realm: the same input
+// I/O is legal library code elsewhere (e.g. trace/trace_io reads traces).
+TEST(LintServiceIo, OnlyFiresWhenFileIsMarkedService) {
+  const std::vector<Finding> findings =
+      lint_fixture("service_io_bad.cpp", Realm::kLibrary, /*service=*/false);
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << "non-service file fired [" << finding.rule
+                  << "] at line " << finding.line << ": " << finding.message;
+  }
 }
 
 // --- Scanner unit coverage: the properties the rules rely on. -------------

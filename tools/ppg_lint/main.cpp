@@ -82,6 +82,7 @@ int lint_one(const fs::path& path, const Options& options,
   ppg::lint::FileInfo info;
   info.realm = realm_of(relative);
   info.is_header = is_header(path);
+  info.service = relative.generic_string().rfind("src/service/", 0) == 0;
 
   // Member declarations live in the same-stem header; bring them into scope
   // for unordered-iter when linting a .cpp.

@@ -173,6 +173,21 @@ void check_raw_thread(const ScannedFile& file, std::vector<Finding>& out) {
             out);
 }
 
+void check_service_io(const ScannedFile& file, std::vector<Finding>& out) {
+  static const std::regex kStreams(R"(\bstd\s*::\s*(?:ifstream|fstream)\b)");
+  static const std::regex kCin(R"(\bstd\s*::\s*cin\b)");
+  static const std::regex kCstdio(
+      R"(\b(?:std\s*::\s*)?(?:scanf|fscanf|sscanf|vscanf|fread|fgets|getchar|gets)\s*\()");
+  const std::string msg =
+      "input I/O in src/service/; tenant workloads enter the service as "
+      "TraceSource objects or spec strings (parsed by the trace layer) — the "
+      "admission surface must stay a pure function of its arguments, never "
+      "read files or stdin itself";
+  match_all(file, kStreams, "service-io", msg, out);
+  match_all(file, kCin, "service-io", msg, out);
+  match_all(file, kCstdio, "service-io", msg, out);
+}
+
 void check_pragma_once(const ScannedFile& file, std::vector<Finding>& out) {
   static const std::regex kPragma(R"(^\s*#\s*pragma\s+once\s*$)");
   for (std::size_t i = 0; i < file.line_count(); ++i) {
@@ -333,6 +348,10 @@ const std::vector<RuleDesc>& all_rules() {
        "std::thread/std::async in src/: ad-hoc threads dodge the "
        "determinism contract; run on util/thread_pool",
        {"util/thread_pool.hpp", "util/thread_pool.cpp"}},
+      {"service-io",
+       "ifstream/cin/scanf/fread in src/service/: tenant input enters as a "
+       "TraceSource or spec string, the service never reads files or stdin",
+       {}},
       {"pragma-once", "headers must open with #pragma once", {}},
       {"using-namespace-header", "no `using namespace` in headers", {}},
   };
@@ -370,6 +389,7 @@ std::vector<Finding> run_rules(const ScannedFile& file, const FileInfo& info,
     if (!exempt("raw-getenv")) check_raw_getenv(file, raw);
     if (!exempt("raw-thread")) check_raw_thread(file, raw);
   }
+  if (info.service && !exempt("service-io")) check_service_io(file, raw);
   if (info.is_header) {
     check_pragma_once(file, raw);
     check_using_namespace(file, raw);

@@ -13,6 +13,9 @@
 //                           owned by benches, examples, and PPG_CHECK)
 //   pragma-once             every header opens with #pragma once
 //   using-namespace-header  no `using namespace` in headers
+//   service-io              src/service/ never reads files or stdin; tenant
+//                           workloads enter as TraceSource objects or spec
+//                           strings parsed by the trace layer
 //
 // Suppressions (see parse rules in rules.cpp):
 //   // ppg-lint: allow(rule-a, rule-b)      this line or the next line
@@ -38,6 +41,9 @@ enum class Realm { kLibrary, kApp, kTest };
 struct FileInfo {
   Realm realm = Realm::kApp;
   bool is_header = false;
+  /// True for files under src/service/: the admission surface must stay a
+  /// pure function of its arguments, so input I/O is additionally banned.
+  bool service = false;
 };
 
 struct Finding {

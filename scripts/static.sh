@@ -1,17 +1,26 @@
 #!/usr/bin/env bash
-# Static-analysis gate (DESIGN.md §8). Four layers, strictest first:
+# Static-analysis gate (DESIGN.md §8). Six layers, strictest first:
 #
 #   1. ppg_lint        — project-invariant linter (always available: built
 #                        from tools/ppg_lint by this repo's own CMake).
-#   2. header check    — every src/ and bench/ header must compile stand-
+#   2. ppg_analyze     — include-graph layering vs tools/ppg_analyze/
+#                        layers.txt, thread-safety annotation coverage,
+#                        determinism taints (built from tools/ppg_analyze).
+#   3. header check    — every src/ and bench/ header must compile stand-
 #                        alone (self-contained headers, g++ -fsyntax-only).
-#   3. clang-tidy      — bugprone/performance/modernize profile from
+#   4. clang TSA       — clang++ -Wthread-safety over src/, checking the
+#                        PPG_GUARDED_BY claims against actual lock use.
+#   5. clang-tidy      — bugprone/performance/modernize profile from
 #                        .clang-tidy, over compile_commands.json.
-#   4. cppcheck        — secondary opinion, warning-and-above.
+#   6. cppcheck        — secondary opinion, warning-and-above.
 #
-# Layers 3–4 skip gracefully when the tool is absent (this container only
-# ships g++); the gate still fails on layers 1–2, so `static.sh` passing
+# Layers 4–6 skip gracefully when the tool is absent (this container only
+# ships g++); the gate still fails on layers 1–3, so `static.sh` passing
 # means the project invariants hold everywhere.
+#
+# Layers 1–2 also emit machine-readable reports (${BUILD_DIR}/
+# lint-report.json, ${BUILD_DIR}/analyze-report.json, written atomically by
+# the tools); tier1.sh asserts both reports contain "findings": [].
 #
 # Usage: scripts/static.sh [--format-check] [--skip-tidy] [--skip-cppcheck]
 #   --format-check   also run clang-format in dry-run mode (WARN-ONLY: never
@@ -41,11 +50,23 @@ if [[ ! -x "${BUILD_DIR}/tools/ppg_lint/ppg_lint" ]]; then
 fi
 echo "== ppg_lint =="
 if ! "${BUILD_DIR}/tools/ppg_lint/ppg_lint" --root . \
+     --json "${BUILD_DIR}/lint-report.json" \
      src bench examples tests tools; then
   FAILED=1
 fi
 
-# --- 2. self-contained headers -------------------------------------------
+# --- 2. ppg_analyze -------------------------------------------------------
+if [[ ! -x "${BUILD_DIR}/tools/ppg_analyze/ppg_analyze" ]]; then
+  cmake --build "${BUILD_DIR}" --target ppg_analyze -j "$(nproc)" >/dev/null
+fi
+echo "== ppg_analyze =="
+if ! "${BUILD_DIR}/tools/ppg_analyze/ppg_analyze" --root src \
+     --layers tools/ppg_analyze/layers.txt \
+     --json "${BUILD_DIR}/analyze-report.json"; then
+  FAILED=1
+fi
+
+# --- 3. self-contained headers -------------------------------------------
 # Each header is compiled as its own translation unit: a header that relies
 # on its includer's #includes fails here. tests/ headers need the GTest
 # include path and are covered by the normal build instead.
@@ -69,7 +90,34 @@ else
   echo "header check: ${HEADER_COUNT} headers OK"
 fi
 
-# --- 3. clang-tidy (graceful skip) ----------------------------------------
+# --- 4. clang thread-safety analysis (graceful skip) ----------------------
+# The PPG_GUARDED_BY / PPG_ACQUIRE / ... macros in util/thread_annotations.hpp
+# expand to Clang's thread-safety attributes under clang and to nothing under
+# other compilers, so the annotations are only *checked* here. ppg_analyze
+# (layer 2) still enforces annotation *coverage* on every compiler.
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== clang -Wthread-safety =="
+  TSA_FAILS=0
+  TSA_COUNT=0
+  while IFS= read -r tu; do
+    TSA_COUNT=$((TSA_COUNT + 1))
+    if ! clang++ -std=c++20 -fsyntax-only -Isrc \
+         -Wthread-safety -Werror=thread-safety "${tu}"; then
+      echo "thread-safety violation in: ${tu}"
+      TSA_FAILS=$((TSA_FAILS + 1))
+    fi
+  done < <(find src -name '*.cpp' | sort)
+  if [[ "${TSA_FAILS}" -gt 0 ]]; then
+    echo "clang thread-safety: ${TSA_FAILS}/${TSA_COUNT} TUs failed"
+    FAILED=1
+  else
+    echo "clang thread-safety: ${TSA_COUNT} TUs OK"
+  fi
+else
+  echo "== clang -Wthread-safety: clang++ not available, skipping =="
+fi
+
+# --- 5. clang-tidy (graceful skip) ----------------------------------------
 if [[ "${SKIP_TIDY}" -eq 0 ]] && command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy =="
   if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
@@ -87,7 +135,7 @@ else
   echo "== clang-tidy: not available, skipping =="
 fi
 
-# --- 4. cppcheck (graceful skip) ------------------------------------------
+# --- 6. cppcheck (graceful skip) ------------------------------------------
 if [[ "${SKIP_CPPCHECK}" -eq 0 ]] && command -v cppcheck >/dev/null 2>&1; then
   echo "== cppcheck =="
   cppcheck --enable=warning,performance,portability --inline-suppr \

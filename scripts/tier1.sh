@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: warnings-as-errors build + full test suite (which
-# includes the PpgLint.Repo gate), then the static-analysis gate
-# (scripts/static.sh: ppg_lint, header self-containedness, clang-tidy /
-# cppcheck when available), then the robustness tests (fault injection,
+# includes the PpgLint.Repo and PpgAnalyze.Repo gates), then the
+# static-analysis gate (scripts/static.sh: ppg_lint, ppg_analyze layering /
+# annotation / determinism rules, header self-containedness, clang
+# -Wthread-safety / clang-tidy / cppcheck when available) plus a hard check
+# that both emitted JSON reports are empty, then the robustness tests (fault
+# injection,
 # trace corruption, replay) again under ASan/UBSan, then the parallel-sweep
 # determinism suite raced under ThreadSanitizer, then the crash-safety
 # drill (scripts/chaos.sh: SIGKILL mid-sweep, resume, torn-journal
@@ -30,6 +33,16 @@ cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 scripts/static.sh --format-check
+
+# The linters exit non-zero on findings (static.sh already failed above if
+# so); this re-checks the machine-readable artifacts, so a report-writing
+# regression (truncated or stale JSON) cannot slip through silently. A clean
+# run always renders the literal `"findings": []`.
+for report in build/lint-report.json build/analyze-report.json; do
+  grep -q '"findings": \[\]' "${report}" ||
+    { echo "tier1: ${report} is missing or non-empty" >&2; exit 1; }
+done
+echo "lint/analyze JSON reports empty OK"
 
 if [[ "${SAN}" != "none" ]]; then
   cmake -B "build-${SAN}" -S . -DPPG_SANITIZE="${SAN}" -DPPG_WERROR=ON \

@@ -29,6 +29,8 @@
 #include <optional>
 #include <string>
 
+#include "util/thread_annotations.hpp"
+
 namespace ppg {
 
 /// Parsed contents of a lease file.
@@ -75,10 +77,15 @@ class JournalLease {
   static std::optional<LeaseInfo> read(const std::string& lock_path);
 
  private:
-  bool held_ = false;
-  std::string lock_path_;
-  std::string binding_;
-  std::uint64_t heartbeat_ = 0;
+  // JournalLease has no lock of its own: every mutating call (beat on the
+  // append path, release, move) happens under the owning SweepJournal's
+  // mutex_, or before the lease is shared (acquire, the factories).
+  bool held_ PPG_CALLER_SYNCHRONIZED(owning SweepJournal::mutex_) = false;
+  std::string lock_path_ PPG_CALLER_SYNCHRONIZED(owning SweepJournal::mutex_);
+  std::string binding_ PPG_CALLER_SYNCHRONIZED(owning SweepJournal::mutex_);
+  /// Monotonic progress counter republished on every beat().
+  std::uint64_t heartbeat_ PPG_CALLER_SYNCHRONIZED(
+      owning SweepJournal::mutex_) = 0;
 };
 
 }  // namespace ppg

@@ -39,6 +39,7 @@
 #include "bench_support/sweep_journal.hpp"
 #include "util/arg_parse.hpp"
 #include "util/interrupt.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ppg {
@@ -166,10 +167,10 @@ auto sweep_cells(const SweepOptions& opts, std::size_t num_cells, Fn&& fn,
                  Enc&& encode, Dec&& decode)
     -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
   using R = std::invoke_result_t<Fn&, std::size_t>;
-  std::vector<R> out(num_cells);
+  std::vector<R> out PPG_SHARDED_BY(cell index i)(num_cells);
   // Per-slot completion marks (plain bytes: each slot is touched by
   // exactly one worker, and wait_all() orders them before the scan).
-  std::vector<unsigned char> filled(num_cells, 0);
+  std::vector<unsigned char> filled PPG_SHARDED_BY(cell index i)(num_cells, 0);
   parallel_for_index(opts.jobs, num_cells, [&](std::size_t i) {
     if (!opts.shard.owns(i)) {
       // Another shard's cell: the slot keeps its default value and counts

@@ -34,13 +34,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 
 #include "bench_support/journal_lease.hpp"
 #include "util/atomic_file.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace ppg {
 
@@ -99,9 +99,11 @@ class SweepJournal {
 
   /// Full record map, keyed by (stage, index). Only meaningful on
   /// load()-ed journals (single-threaded validation tooling); a journal
-  /// being appended to concurrently must go through find().
+  /// being appended to concurrently must go through find() — which is why
+  /// this deliberately reads records_ without the lock and opts out of
+  /// clang's analysis.
   const std::map<std::pair<std::uint32_t, std::uint64_t>, std::string>&
-  records() const {
+  records() const PPG_NO_THREAD_SAFETY_ANALYSIS {
     return records_;
   }
 
@@ -112,12 +114,17 @@ class SweepJournal {
                                                      const std::string& bytes,
                                                      bool strict);
 
-  mutable std::mutex mutex_;
-  DurableAppendFile file_;
-  JournalLease lease_;  ///< Held only when LeaseOptions::acquire was set.
+  mutable Mutex mutex_;
+  DurableAppendFile file_ PPG_GUARDED_BY(mutex_);
+  /// Held only when LeaseOptions::acquire was set; beat on every append.
+  JournalLease lease_ PPG_GUARDED_BY(mutex_);
+  // ppg-lint: allow(guard-annotation): set once in a factory, then immutable
   std::string path_;
+  // ppg-lint: allow(guard-annotation): set once in a factory, then immutable
   std::string binding_;
-  std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> records_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> records_
+      PPG_GUARDED_BY(mutex_);
+  // ppg-lint: allow(guard-annotation): set once on resume, then immutable
   std::uint64_t recovered_tail_bytes_ = 0;  ///< Torn bytes dropped on resume.
 };
 

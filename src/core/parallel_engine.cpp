@@ -10,6 +10,7 @@
 #include "core/replay.hpp"
 #include "green/box_runner.hpp"
 #include "util/assert.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ppg {
@@ -97,7 +98,10 @@ struct EngineStepper::Impl {
 
   // Per-processor lifetime state. Runners are released (reset) the moment
   // a processor finishes or departs, so live memory tracks the active set.
-  std::vector<std::unique_ptr<BoxRunner>> runners;
+  // During a batch fan-out each worker touches only runners[pending_proc[i]]
+  // for its claimed i; everything else is serial-phase-only.
+  std::vector<std::unique_ptr<BoxRunner>> runners
+      PPG_SHARDED_BY(pending_proc[i] of the claimed batch index);
   std::vector<std::shared_ptr<const TraceSource>> pending_sources;
   std::vector<bool> departing;
   std::vector<std::uint64_t> proc_hits;
@@ -119,7 +123,9 @@ struct EngineStepper::Impl {
   std::vector<Event> batch;
   std::vector<ProcId> pending_proc;
   std::vector<BoxAssignment> pending_box;
-  std::vector<BoxStepResult> pending_step;
+  // Result slots: slot i is written by exactly the worker that claimed
+  // batch index i and read only after the run_batch barrier, in pop order.
+  std::vector<BoxStepResult> pending_step PPG_SHARDED_BY(batch index i);
 
   std::vector<std::pair<Time, std::int64_t>> mem_timeline;
   std::vector<StepCompletion> completions;

@@ -12,7 +12,6 @@
 // demonstrating a lower-bound theorem.
 #pragma once
 
-#include "core/metrics.hpp"
 #include "trace/adversarial.hpp"
 #include "util/types.hpp"
 

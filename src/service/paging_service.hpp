@@ -37,6 +37,7 @@
 #include "trace/trace_source.hpp"
 #include "util/error.hpp"
 #include "util/histogram.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 
 namespace ppg {
@@ -177,23 +178,33 @@ class PagingService {
   void finalize(TenantId tenant, Time completed, std::uint64_t hits,
                 std::uint64_t misses, bool departed);
 
+  // The service is driven by one external thread (submit/depart/step are
+  // never called concurrently); the only parallelism underneath is the
+  // engine's own run_batch fan-out, which stays inside stepper_.step() and
+  // never touches service state. Hence caller-synchronized annotations, not
+  // a mutex: adding one here would imply a concurrency the API does not
+  // offer.
   ServiceConfig config_;
   EngineStepper stepper_;
   bool started_ = false;
 
-  std::deque<QueuedTenant> queue_;
-  std::vector<TenantRecord> records_;
-  std::vector<TenantId> proc_tenant_;  ///< Engine proc -> tenant.
+  /// Bounded FIFO admission queue (backpressure surface).
+  std::deque<QueuedTenant> queue_ PPG_CALLER_SYNCHRONIZED(driver thread);
+  /// Tenant table: every tenant ever submitted, indexed by TenantId.
+  std::vector<TenantRecord> records_ PPG_CALLER_SYNCHRONIZED(driver thread);
+  /// Engine proc -> tenant.
+  std::vector<TenantId> proc_tenant_ PPG_CALLER_SYNCHRONIZED(driver thread);
   std::function<void(const TenantOutcome&)> callback_;
 
-  std::uint64_t rejected_ = 0;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t departed_ = 0;
-  std::uint64_t max_faults_ = 0;
-  double latency_sum_ = 0.0;
-  Log2Histogram completion_latency_;
-  Log2Histogram fault_counts_;
+  // Metrics counters, folded in deterministic engine order during step().
+  std::uint64_t rejected_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
+  std::uint64_t admitted_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
+  std::uint64_t completed_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
+  std::uint64_t departed_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
+  std::uint64_t max_faults_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
+  double latency_sum_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0.0;
+  Log2Histogram completion_latency_ PPG_CALLER_SYNCHRONIZED(driver thread);
+  Log2Histogram fault_counts_ PPG_CALLER_SYNCHRONIZED(driver thread);
 };
 
 }  // namespace ppg

@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -35,13 +35,16 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_all() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  // Explicit wait loop (not the predicate overload) so clang's thread-safety
+  // analysis sees the guarded reads happen under mutex_; the error is moved
+  // out of the critical section before rethrowing.
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0) all_done_.wait(mutex_);
+    error = std::exchange(first_error_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::run_batch(std::size_t n,
@@ -83,8 +86,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) work_ready_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -92,11 +95,11 @@ void ThreadPool::worker_loop() {
     try {
       task();
     } catch (...) {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

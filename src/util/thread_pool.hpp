@@ -20,9 +20,10 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace ppg {
 
@@ -66,13 +67,19 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;  // queued + currently executing
-  std::exception_ptr first_error_;
-  bool stopping_ = false;
+  // ppg::Mutex + condition_variable_any (instead of std::mutex +
+  // condition_variable) so clang's -Wthread-safety can check the
+  // PPG_GUARDED_BY claims below; see util/thread_annotations.hpp.
+  Mutex mutex_;
+  std::condition_variable_any work_ready_;
+  std::condition_variable_any all_done_;
+  std::deque<std::function<void()>> queue_ PPG_GUARDED_BY(mutex_);
+  std::size_t in_flight_ PPG_GUARDED_BY(mutex_) = 0;  // queued + executing
+  std::exception_ptr first_error_ PPG_GUARDED_BY(mutex_);
+  bool stopping_ PPG_GUARDED_BY(mutex_) = false;
+  // Populated in the constructor and joined in the destructor only; the
+  // workers never touch the vector itself, so no guard applies.
+  // ppg-lint: allow(guard-annotation): ctor/dtor-only access, no worker use
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,28 @@
+// Violates guard-annotation: a class holds a mutex but leaves mutable
+// members with no thread-safety annotation — nothing records which lock (or
+// which discipline) protects them.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+class Cache {
+ public:
+  void put(std::uint64_t key);
+  std::size_t size() const;
+  static Cache empty();
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::uint64_t> entries_;
+  std::uint64_t hits_ = 0;
+  // Immutable and method members never need a guard.
+  const std::string name_ = "cache";
+  static constexpr std::size_t kMaxEntries = 128;
+};
+
+}  // namespace fixture

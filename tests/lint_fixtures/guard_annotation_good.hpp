@@ -1,0 +1,34 @@
+// Clean twin of guard_annotation_bad.hpp: every mutable member of the
+// mutex-holding class carries an annotation naming its discipline, and a
+// class without a mutex owes nothing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class Cache {
+ public:
+  void put(std::uint64_t key);
+  std::size_t size() const;
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::uint64_t> entries_ PPG_GUARDED_BY(mutex_);
+  std::uint64_t hits_ PPG_GUARDED_BY(mutex_) = 0;
+  std::uint64_t scratch_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
+  const std::string name_ = "cache";
+};
+
+// No mutex anywhere: plain members need no annotations.
+struct Plain {
+  std::uint64_t key = 0;
+  std::vector<std::uint64_t> values;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Violates pool-shared-state: fans work out across the thread pool but
+// declares no shared-state annotation anywhere — the result slots'
+// discipline is undocumented.
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace fixture {
+
+std::vector<std::size_t> squares(std::size_t n) {
+  std::vector<std::size_t> out(n);
+  ppg::parallel_for_index(2, n, [&](std::size_t i) { out[i] = i * i; });
+  return out;
+}
+
+}  // namespace fixture

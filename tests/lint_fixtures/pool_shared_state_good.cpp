@@ -1,0 +1,17 @@
+// Clean twin of pool_shared_state_bad.cpp: the fan-out's result slots are
+// annotated with the sharding discipline that makes them race-free.
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fixture {
+
+std::vector<std::size_t> squares(std::size_t n) {
+  std::vector<std::size_t> out PPG_SHARDED_BY(index i)(n);
+  ppg::parallel_for_index(2, n, [&](std::size_t i) { out[i] = i * i; });
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Same violation as pool_shared_state_bad.cpp, silenced file-wide: the
+// rule keys on the first fan-out call, so a file whose every fan-out is
+// stateless can say so once.
+//
+// ppg-lint: allow-file(pool-shared-state): fire-and-forget side effects only
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace fixture {
+
+std::vector<std::size_t> squares(std::size_t n) {
+  std::vector<std::size_t> out(n);
+  ppg::parallel_for_index(2, n, [&](std::size_t i) { out[i] = i * i; });
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Violates static-mutable: namespace-scope, class-static, and
+// function-local static mutable state — process-global state that makes
+// results depend on call history instead of arguments.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+std::uint64_t g_call_count = 0;
+
+namespace {
+std::string g_last_label;
+}  // namespace
+
+struct Registry {
+  static std::uint64_t instances;
+};
+
+std::uint64_t next_id() {
+  static std::uint64_t counter = 0;
+  thread_local std::uint64_t local_bump = 1;
+  counter += local_bump;
+  return counter;
+}
+
+}  // namespace fixture

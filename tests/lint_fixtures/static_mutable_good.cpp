@@ -1,0 +1,27 @@
+// Clean twin of static_mutable_bad.cpp: constants, function declarations,
+// types, and locals are all fine — only mutable statics are globals.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+constexpr std::uint64_t kSeedMix = 0x9e3779b97f4a7c15ull;
+const std::string kLabel = "fixture";
+
+namespace {
+constexpr std::uint64_t kTableSize = 64;
+std::uint64_t mix(std::uint64_t x) { return x * kSeedMix; }
+}  // namespace
+
+struct Registry {
+  static std::uint64_t instances();  // Static method, not static state.
+  std::uint64_t id = 0;
+};
+
+std::uint64_t next_id(std::uint64_t previous) {
+  static const std::uint64_t kStride = kTableSize;  // Const static: fine.
+  std::uint64_t counter = previous;
+  return mix(counter + kStride);
+}
+
+}  // namespace fixture

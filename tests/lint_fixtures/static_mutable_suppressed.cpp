@@ -1,0 +1,17 @@
+// Same violations as static_mutable_bad.cpp, silenced with rationales —
+// the pattern util/interrupt.cpp's signal flag would use if it were not a
+// designated exception.
+#include <cstdint>
+
+namespace fixture {
+
+// ppg-lint: allow(static-mutable): crash-only telemetry, never read back
+std::uint64_t g_crash_count = 0;
+
+std::uint64_t next_id() {
+  // ppg-lint: allow(static-mutable): intentional process-wide id sequence
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+
+}  // namespace fixture

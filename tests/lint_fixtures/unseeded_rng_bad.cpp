@@ -1,0 +1,20 @@
+// Violates unseeded-rng: generators default-constructed with no seed
+// expression, so their stream depends on whatever the default does rather
+// than on an explicit, reproducible seed.
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace fixture {
+
+std::uint64_t draw() {
+  auto rng = ppg::Rng();
+  auto other = ppg::Rng{};
+  ppg::Rng* heap = new ppg::Rng;
+  const std::uint64_t value =
+      rng() ^ other() ^ (*heap)();
+  delete heap;
+  return value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Same violations as unseeded_rng_bad.cpp, silenced with rationales.
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace fixture {
+
+std::uint64_t draw() {
+  // ppg-lint: allow(unseeded-rng): default stream compared against itself
+  auto rng = ppg::Rng();
+  // ppg-lint: allow(unseeded-rng): placeholder reseeded before first draw
+  auto other = ppg::Rng{};
+  return rng() ^ other();
+}
+
+}  // namespace fixture

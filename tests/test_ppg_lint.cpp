@@ -174,6 +174,39 @@ TEST(LintScanner, RawStringsAndDigitSeparatorsSurvive) {
   EXPECT_NE(file.lines()[1].code.find("000;"), std::string::npos);
 }
 
+TEST(LintScanner, RawStringEncodingPrefixesAreRecognized) {
+  // u8R / uR / UR / LR open raw strings exactly like bare R; a prefix the
+  // scanner misses would leave the literal contents in the code channel.
+  ScannedFile file("f.cpp",
+                   "auto a = u8R\"(time(nullptr))\";\n"
+                   "auto b = uR\"(rand())\";\n"
+                   "auto c = UR\"(abort())\";\n"
+                   "auto d = LR\"(getenv())\";\n");
+  EXPECT_EQ(file.joined_code().find("time"), std::string::npos);
+  EXPECT_EQ(file.joined_code().find("rand"), std::string::npos);
+  EXPECT_EQ(file.joined_code().find("abort"), std::string::npos);
+  EXPECT_EQ(file.joined_code().find("getenv"), std::string::npos);
+}
+
+TEST(LintScanner, RawStringDelimiterIsNotLeakedIntoCode) {
+  // Regression: the closing delimiter of R"delim(...)delim" was once copied
+  // into the code channel, so a delimiter spelling a banned token (here
+  // "rand") produced a phantom finding.
+  ScannedFile file("f.cpp", "auto s = R\"rand(payload)rand\";\n");
+  EXPECT_EQ(file.joined_code().find("rand"), std::string::npos);
+  EXPECT_EQ(file.joined_code().find("payload"), std::string::npos);
+}
+
+TEST(LintScanner, IdentifierEndingInRIsNotARawString) {
+  // `fooR"x"` is an identifier followed by an ordinary string literal, not
+  // a raw string: the scanner must not treat mid-identifier R as a prefix.
+  ScannedFile file("f.cpp", "auto s = fooR\"time(\";\nint t;\n");
+  EXPECT_NE(file.joined_code().find("fooR"), std::string::npos);
+  EXPECT_EQ(file.joined_code().find("time"), std::string::npos);
+  // The ordinary literal closed on its own line: the next line is code.
+  EXPECT_NE(file.joined_code().find("int t;"), std::string::npos);
+}
+
 TEST(LintScanner, LineMappingIsStable) {
   ScannedFile file("f.cpp", "a\nbb\nccc\n");
   EXPECT_EQ(file.line_of_offset(0), 1u);   // 'a'
@@ -196,6 +229,85 @@ TEST(LintSuppression, DirectiveCoversOwnAndNextLineOnly) {
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "wall-clock");
   EXPECT_EQ(findings[0].line, 3u);
+}
+
+// --- Stale-suppression audit (ppg_lint --prune-suppressions). -------------
+
+std::set<std::string> lint_rule_ids() {
+  std::set<std::string> ids;
+  for (const RuleDesc& rule : all_rules()) ids.insert(rule.id);
+  return ids;
+}
+
+TEST(LintStaleSuppressions, LiveDirectiveIsKept) {
+  ScannedFile scanned("f.cpp",
+                      "// ppg-lint: allow(wall-clock): measured on purpose\n"
+                      "long t() { return std::time(nullptr); }\n");
+  FileInfo info;
+  info.realm = Realm::kApp;
+  const auto raw = run_rules_raw(scanned, info, nullptr);
+  EXPECT_TRUE(find_stale_suppressions(scanned, raw, lint_rule_ids()).empty());
+}
+
+TEST(LintStaleSuppressions, DirectiveWithNoFindingIsStale) {
+  ScannedFile scanned("f.cpp",
+                      "// ppg-lint: allow(wall-clock): stale rationale\n"
+                      "long t() { return 42; }\n");
+  FileInfo info;
+  info.realm = Realm::kApp;
+  const auto raw = run_rules_raw(scanned, info, nullptr);
+  const auto stale = find_stale_suppressions(scanned, raw, lint_rule_ids());
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "wall-clock");
+  EXPECT_EQ(stale[0].line, 1u);
+  EXPECT_FALSE(stale[0].file_wide);
+}
+
+TEST(LintStaleSuppressions, FindingOutsideCoverageWindowIsStale) {
+  // The finding on line 4 is NOT covered by the directive on line 1, so the
+  // directive is stale even though the rule fires somewhere in the file.
+  ScannedFile scanned("f.cpp",
+                      "// ppg-lint: allow(wall-clock): drifted away\n"
+                      "long a() { return 1; }\n"
+                      "\n"
+                      "long b() { return std::time(nullptr); }\n");
+  FileInfo info;
+  info.realm = Realm::kApp;
+  const auto raw = run_rules_raw(scanned, info, nullptr);
+  const auto stale = find_stale_suppressions(scanned, raw, lint_rule_ids());
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].line, 1u);
+}
+
+TEST(LintStaleSuppressions, UnknownRuleIdsBelongToTheOtherTool) {
+  // The suppression grammar is shared with ppg_analyze: a directive for a
+  // rule this tool does not know must never be reported as stale.
+  ScannedFile scanned("f.cpp",
+                      "// ppg-lint: allow(guard-annotation): analyzer-owned\n"
+                      "int x;\n");
+  FileInfo info;
+  info.realm = Realm::kApp;
+  const auto raw = run_rules_raw(scanned, info, nullptr);
+  EXPECT_TRUE(find_stale_suppressions(scanned, raw, lint_rule_ids()).empty());
+}
+
+TEST(LintStaleSuppressions, FileWideDirectiveAuditsTheWholeFile) {
+  ScannedFile live("f.cpp",
+                   "// ppg-lint: allow-file(wall-clock): bench timing\n"
+                   "long a() { return 1; }\n"
+                   "long b() { return std::time(nullptr); }\n");
+  ScannedFile stale_file("g.cpp",
+                         "// ppg-lint: allow-file(wall-clock): leftover\n"
+                         "long a() { return 1; }\n");
+  FileInfo info;
+  info.realm = Realm::kApp;
+  EXPECT_TRUE(find_stale_suppressions(
+                  live, run_rules_raw(live, info, nullptr), lint_rule_ids())
+                  .empty());
+  const auto stale = find_stale_suppressions(
+      stale_file, run_rules_raw(stale_file, info, nullptr), lint_rule_ids());
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_TRUE(stale[0].file_wide);
 }
 
 TEST(LintUnorderedIter, PairedHeaderDeclarationsAreVisible) {

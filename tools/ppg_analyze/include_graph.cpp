@@ -1,0 +1,237 @@
+#include "include_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ppg::analyze {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+LayerSpec LayerSpec::parse(const std::string& text) {
+  LayerSpec spec;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto fail = [&](const std::string& why) -> void {
+      throw std::runtime_error("layers spec line " + std::to_string(line_no) +
+                               ": " + why + ": " + line);
+    };
+    if (line.rfind("layer", 0) != 0 ||
+        (line.size() > 5 && line[5] != ' ' && line[5] != '\t'))
+      fail("expected `layer <name>: <deps...>`");
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) fail("missing ':' after layer name");
+    const std::string name = trim(line.substr(5, colon - 5));
+    if (name.empty() || name.find_first_of(" \t") != std::string::npos)
+      fail("bad layer name");
+    if (spec.declared(name)) fail("duplicate layer '" + name + "'");
+
+    std::set<std::string> deps;
+    std::istringstream dep_in(line.substr(colon + 1));
+    std::string dep;
+    while (dep_in >> dep) {
+      // Deps must be declared on an earlier line: this is what makes the
+      // spec a DAG by construction rather than by a separate check.
+      if (!spec.declared(dep))
+        fail("dependency '" + dep + "' is not declared above");
+      if (dep == name) fail("layer depends on itself");
+      deps.insert(dep);
+    }
+    spec.order_.push_back(name);
+    spec.deps_.push_back(std::move(deps));
+    spec.allowed_.insert(name);
+  }
+  if (spec.order_.empty())
+    throw std::runtime_error("layers spec declares no layers");
+  return spec;
+}
+
+bool LayerSpec::edge_allowed(const std::string& from,
+                             const std::string& to) const {
+  if (!declared(from) || !declared(to)) return false;
+  if (from == to) return true;
+  return deps(from).count(to) != 0;
+}
+
+const std::set<std::string>& LayerSpec::deps(const std::string& layer) const {
+  static const std::set<std::string> kEmpty;
+  for (std::size_t i = 0; i < order_.size(); ++i)
+    if (order_[i] == layer) return deps_[i];
+  return kEmpty;
+}
+
+std::string layer_of(const std::string& rel_path) {
+  const std::size_t slash = rel_path.find('/');
+  if (slash == std::string::npos) return "";
+  return rel_path.substr(0, slash);
+}
+
+std::vector<IncludeEdge> extract_includes(const std::string& raw_text) {
+  static const std::regex kInclude(
+      R"re(^[ \t]*#[ \t]*include[ \t]*"([^"]+)")re");
+  std::vector<IncludeEdge> edges;
+  std::istringstream in(raw_text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::smatch m;
+    if (std::regex_search(line, m, kInclude))
+      edges.push_back(IncludeEdge{line_no, m[1].str()});
+  }
+  return edges;
+}
+
+namespace {
+
+/// Rotates a cycle path so the lexicographically smallest node leads —
+/// the canonical form that dedupes the same cycle found from different
+/// entry points.
+std::vector<std::string> canonical_cycle(std::vector<std::string> cycle) {
+  const auto min_it = std::min_element(cycle.begin(), cycle.end());
+  std::rotate(cycle.begin(), min_it, cycle.end());
+  return cycle;
+}
+
+std::string join_cycle(const std::vector<std::string>& cycle) {
+  std::string out;
+  for (const std::string& node : cycle) {
+    if (!out.empty()) out += " -> ";
+    out += node;
+  }
+  // Close the loop visually: a -> b -> a.
+  if (!cycle.empty()) out += " -> " + cycle.front();
+  return out;
+}
+
+}  // namespace
+
+std::vector<FileFinding> check_layering(const std::vector<SourceText>& files,
+                                        const LayerSpec& spec) {
+  std::vector<FileFinding> findings;
+
+  // Deterministic order regardless of how the caller enumerated the tree.
+  std::vector<const SourceText*> sorted;
+  sorted.reserve(files.size());
+  for (const SourceText& f : files) sorted.push_back(&f);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SourceText* a, const SourceText* b) {
+              return a->path < b->path;
+            });
+
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < sorted.size(); ++i) index[sorted[i]->path] = i;
+
+  // Per-file include edges, kept for both passes.
+  std::vector<std::vector<IncludeEdge>> edges(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    edges[i] = extract_includes(sorted[i]->text);
+
+  // Pass 1: every edge against the declared DAG.
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const std::string& path = sorted[i]->path;
+    const std::string from = layer_of(path);
+    if (!spec.declared(from)) {
+      findings.push_back(FileFinding{
+          path,
+          lint::Finding{"layer-upward", 1,
+                        "file's layer '" + from +
+                            "' is not declared in layers.txt — declare it "
+                            "(with its allowed deps) or move the file"}});
+      continue;  // No baseline to judge this file's edges against.
+    }
+    for (const IncludeEdge& edge : edges[i]) {
+      const std::string to = layer_of(edge.target);
+      // A quoted include outside the analyzed tree and outside every
+      // declared layer (a tool-local header, say) is not a graph edge.
+      if (!spec.declared(to) && index.count(edge.target) == 0) continue;
+      if (spec.edge_allowed(from, to)) continue;
+      std::string allowed;
+      for (const std::string& dep : spec.deps(from)) {
+        if (!allowed.empty()) allowed += ", ";
+        allowed += dep;
+      }
+      if (allowed.empty()) allowed = "nothing below it";
+      findings.push_back(FileFinding{
+          path,
+          lint::Finding{"layer-upward", edge.line,
+                        "include \"" + edge.target + "\": layer '" + from +
+                            "' may not depend on layer '" + to +
+                            "' (declared deps: " + allowed + ")"}});
+    }
+  }
+
+  // Pass 2: cycles in the file-level include graph (restricted to files in
+  // the analyzed set — external headers cannot close a cycle through us).
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(sorted.size(), Color::kWhite);
+  std::vector<std::size_t> stack;  ///< Current DFS path, as indices.
+  std::set<std::string> seen_cycles;
+
+  // Iterative DFS with an explicit frame stack (node, next-edge cursor).
+  for (std::size_t root = 0; root < sorted.size(); ++root) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> frames;
+    frames.emplace_back(root, 0);
+    color[root] = Color::kGray;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      auto& [node, cursor] = frames.back();
+      if (cursor >= edges[node].size()) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const IncludeEdge& edge = edges[node][cursor++];
+      const auto target_it = index.find(edge.target);
+      if (target_it == index.end()) continue;
+      const std::size_t target = target_it->second;
+      if (color[target] == Color::kWhite) {
+        color[target] = Color::kGray;
+        stack.push_back(target);
+        frames.emplace_back(target, 0);
+      } else if (color[target] == Color::kGray) {
+        // Back edge: the cycle is the stack suffix starting at target.
+        std::vector<std::string> cycle;
+        const auto start =
+            std::find(stack.begin(), stack.end(), target);
+        for (auto it = start; it != stack.end(); ++it)
+          cycle.push_back(sorted[*it]->path);
+        const std::string key = join_cycle(canonical_cycle(cycle));
+        if (seen_cycles.insert(key).second)
+          findings.push_back(FileFinding{
+              sorted[node]->path,
+              lint::Finding{"layer-cycle", edge.line,
+                            "include cycle: " + key}});
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const FileFinding& a, const FileFinding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.finding.line != b.finding.line)
+                return a.finding.line < b.finding.line;
+              return a.finding.rule < b.finding.rule;
+            });
+  return findings;
+}
+
+}  // namespace ppg::analyze

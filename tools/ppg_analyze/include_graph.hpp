@@ -1,0 +1,103 @@
+// Include-graph layering for ppg_analyze.
+//
+// The architecture of src/ is a DAG of layers (first path component:
+// util, trace, paging, ...). The allowed edges are declared in
+// tools/ppg_analyze/layers.txt and checked here against the actual
+// `#include "..."` edges, so a dependency inversion is a red test — with
+// the offending edge printed — instead of a slow drift nobody notices
+// until the build graph is a ball of mud.
+//
+// Two rules come out of this pass:
+//
+//   layer-upward   an include edge reaches a layer the including file's
+//                  layer may not depend on (or a layer nobody declared)
+//   layer-cycle    the file-level include graph contains a cycle; the
+//                  full path is printed
+//
+// layers.txt grammar (parsed by LayerSpec::parse):
+//
+//   layer <name>: <dep> <dep> ...
+//
+// Dependencies must already be declared on an earlier line, so the spec
+// itself cannot express a cycle — acyclicity is by construction, not by a
+// checker that could disagree with the checked property.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"  // tools/ppg_lint: Finding
+
+namespace ppg::analyze {
+
+/// One file of the analyzed tree, by root-relative path ("util/rng.hpp" —
+/// the first component is the layer) and raw text. Raw, not scanned:
+/// include extraction must see the quoted paths that ScannedFile blanks.
+struct SourceText {
+  std::string path;
+  std::string text;
+};
+
+/// A finding bound to the file it was found in (graph rules span files, so
+/// unlike ppg_lint the file is part of the result, not the call).
+struct FileFinding {
+  std::string file;
+  lint::Finding finding;
+};
+
+/// The declared layer DAG.
+class LayerSpec {
+ public:
+  /// Parses layers.txt text. Throws std::runtime_error on malformed lines,
+  /// duplicate layers, or a dependency on a not-yet-declared layer (the
+  /// property that makes the spec acyclic by construction).
+  static LayerSpec parse(const std::string& text);
+
+  bool declared(const std::string& layer) const {
+    return allowed_.count(layer) != 0;
+  }
+
+  /// True when files in `from` may include files in `to` (same layer is
+  /// always allowed). False for undeclared layers.
+  bool edge_allowed(const std::string& from, const std::string& to) const;
+
+  /// Layers in declaration order (lowest first).
+  const std::vector<std::string>& order() const { return order_; }
+
+  /// The declared dependency set of `layer` (empty set when none or when
+  /// the layer is undeclared).
+  const std::set<std::string>& deps(const std::string& layer) const;
+
+ private:
+  std::vector<std::string> order_;
+  std::vector<std::set<std::string>> deps_;  ///< Parallel to order_.
+  std::set<std::string> allowed_;            ///< Declared layer names.
+};
+
+/// The layer of a root-relative path: its first path component, or "" for
+/// a file at the root itself (which belongs to no layer).
+std::string layer_of(const std::string& rel_path);
+
+/// A quoted `#include "target"` directive. System includes (<...>) are
+/// outside the layer graph and are not extracted.
+struct IncludeEdge {
+  std::size_t line = 0;  ///< 1-based.
+  std::string target;    ///< The quoted path, verbatim.
+};
+
+/// Extracts every quoted include from raw file text. Runs on the raw text
+/// (ScannedFile blanks quoted include paths); the directive anchor
+/// `^\s*#\s*include` keeps commented-out includes from matching... almost:
+/// a block comment spanning an include-looking line can fool it, which is
+/// fine for a linter that the repo runs over its own tree.
+std::vector<IncludeEdge> extract_includes(const std::string& raw_text);
+
+/// Checks every include edge of `files` against the declared DAG and the
+/// file-level graph for cycles. Returns RAW findings (suppression is the
+/// caller's pass, shared with the per-file rules); deterministic order.
+std::vector<FileFinding> check_layering(const std::vector<SourceText>& files,
+                                        const LayerSpec& spec);
+
+}  // namespace ppg::analyze

@@ -2,24 +2,33 @@
 // and DESIGN.md §8 for the rationale.
 //
 // Usage:
-//   ppg_lint [--root <dir>] [--list-rules] [--quiet] <file-or-dir>...
+//   ppg_lint [--root <dir>] [--list-rules] [--quiet] [--json <path>]
+//            [--prune-suppressions] <file-or-dir>...
 //
 // Paths are linted as C++ if they end in .hpp/.h/.cpp/.cc; directories are
 // walked recursively. Realm (library / app / test) is derived from the path
 // relative to --root (default: current directory): src/ is library, tests/
 // is test, everything else (bench/, examples/, tools/) is app code.
-// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+//
+// --json writes the machine-readable findings report (see report.hpp);
+// --prune-suppressions lists `ppg-lint: allow(...)` directives whose rule no
+// longer fires in their coverage window, instead of linting.
+// Exit status: 0 clean, 1 findings (or stale suppressions), 2 usage or I/O
+// error.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "report.hpp"
 #include "rules.hpp"
 #include "scan.hpp"
+#include "suppress.hpp"
 
 namespace fs = std::filesystem;
 
@@ -63,14 +72,24 @@ struct Options {
   fs::path root = fs::current_path();
   std::vector<fs::path> targets;
   bool quiet = false;
+  bool prune_suppressions = false;
+  std::string json_path;
 };
 
-int lint_one(const fs::path& path, const Options& options,
-             std::vector<ppg::lint::Finding>& findings_out) {
+/// Per-file inputs shared by the lint and prune modes.
+struct LintedFile {
+  std::string display;
+  ppg::lint::ScannedFile scanned;
+  ppg::lint::FileInfo info;
+  std::optional<ppg::lint::ScannedFile> paired;
+};
+
+std::optional<LintedFile> load_one(const fs::path& path,
+                                   const Options& options) {
   const auto text = read_file(path);
   if (!text) {
     std::cerr << "ppg_lint: cannot read " << path.string() << "\n";
-    return 2;
+    return std::nullopt;
   }
   const fs::path relative = path.lexically_relative(options.root);
   const std::string display =
@@ -78,32 +97,21 @@ int lint_one(const fs::path& path, const Options& options,
           ? path.generic_string()
           : relative.generic_string();
 
-  ppg::lint::ScannedFile scanned(display, *text);
-  ppg::lint::FileInfo info;
-  info.realm = realm_of(relative);
-  info.is_header = is_header(path);
-  info.service = relative.generic_string().rfind("src/service/", 0) == 0;
+  LintedFile file{display, ppg::lint::ScannedFile(display, *text),
+                  ppg::lint::FileInfo{}, std::nullopt};
+  file.info.realm = realm_of(relative);
+  file.info.is_header = is_header(path);
+  file.info.service = relative.generic_string().rfind("src/service/", 0) == 0;
 
   // Member declarations live in the same-stem header; bring them into scope
   // for unordered-iter when linting a .cpp.
-  std::optional<ppg::lint::ScannedFile> paired;
-  if (!info.is_header) {
+  if (!file.info.is_header) {
     const fs::path header = fs::path(path).replace_extension(".hpp");
     if (const auto header_text = read_file(header)) {
-      paired.emplace(header.generic_string(), *header_text);
+      file.paired.emplace(header.generic_string(), *header_text);
     }
   }
-
-  std::vector<ppg::lint::Finding> findings = ppg::lint::run_rules(
-      scanned, info, paired ? &*paired : nullptr);
-  for (ppg::lint::Finding& finding : findings) {
-    if (!options.quiet) {
-      std::cout << display << ":" << finding.line << ": [" << finding.rule
-                << "] " << finding.message << "\n";
-    }
-    findings_out.push_back(std::move(finding));
-  }
-  return 0;
+  return file;
 }
 
 void collect_targets(const fs::path& path, std::vector<fs::path>& files) {
@@ -142,6 +150,14 @@ int main(int argc, char** argv) {
     if (arg == "--list-rules") return list_rules();
     if (arg == "--quiet") {
       options.quiet = true;
+    } else if (arg == "--prune-suppressions") {
+      options.prune_suppressions = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "ppg_lint: --json needs a file path\n";
+        return 2;
+      }
+      options.json_path = argv[++i];
     } else if (arg == "--root") {
       if (i + 1 >= argc) {
         std::cerr << "ppg_lint: --root needs a directory\n";
@@ -151,7 +167,7 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "ppg_lint: unknown option " << arg << "\n"
                 << "usage: ppg_lint [--root <dir>] [--list-rules] [--quiet] "
-                   "<file-or-dir>...\n";
+                   "[--json <path>] [--prune-suppressions] <file-or-dir>...\n";
       return 2;
     } else {
       options.targets.push_back(fs::absolute(arg).lexically_normal());
@@ -171,16 +187,70 @@ int main(int argc, char** argv) {
     collect_targets(target, files);
   }
 
-  std::vector<ppg::lint::Finding> findings;
-  for (const fs::path& file : files) {
-    const int status = lint_one(file, options, findings);
-    if (status != 0) return status;
+  std::set<std::string> known_rules;
+  for (const ppg::lint::RuleDesc& rule : ppg::lint::all_rules())
+    known_rules.insert(rule.id);
+
+  std::vector<ppg::lint::ReportEntry> entries;
+  std::size_t stale_count = 0;
+  for (const fs::path& path : files) {
+    const auto file = load_one(path, options);
+    if (!file) return 2;
+    const ppg::lint::ScannedFile* paired =
+        file->paired ? &*file->paired : nullptr;
+
+    if (options.prune_suppressions) {
+      const std::vector<ppg::lint::Finding> raw =
+          ppg::lint::run_rules_raw(file->scanned, file->info, paired);
+      for (const ppg::lint::StaleSuppression& stale :
+           ppg::lint::find_stale_suppressions(file->scanned, raw,
+                                              known_rules)) {
+        ++stale_count;
+        if (!options.quiet) {
+          std::cout << file->display << ":" << stale.line
+                    << ": stale suppression: "
+                    << (stale.file_wide ? "allow-file(" : "allow(")
+                    << stale.rule << ") never fires here — delete it\n";
+        }
+      }
+      continue;
+    }
+
+    for (ppg::lint::Finding& finding :
+         ppg::lint::run_rules(file->scanned, file->info, paired)) {
+      if (!options.quiet) {
+        std::cout << file->display << ":" << finding.line << ": ["
+                  << finding.rule << "] " << finding.message << "\n";
+      }
+      entries.push_back(ppg::lint::ReportEntry{
+          file->display, finding.line, std::move(finding.rule), "error",
+          std::move(finding.message)});
+    }
+  }
+
+  if (options.prune_suppressions) {
+    if (!options.quiet) {
+      std::cerr << "ppg_lint: " << files.size() << " files, " << stale_count
+                << " stale suppression" << (stale_count == 1 ? "" : "s")
+                << "\n";
+    }
+    return stale_count == 0 ? 0 : 1;
+  }
+
+  if (!options.json_path.empty()) {
+    try {
+      ppg::lint::write_json_report(options.json_path, "ppg_lint",
+                                   files.size(), entries);
+    } catch (const std::exception& error) {
+      std::cerr << "ppg_lint: cannot write " << options.json_path << ": "
+                << error.what() << "\n";
+      return 2;
+    }
   }
 
   if (!options.quiet) {
-    std::cerr << "ppg_lint: " << files.size() << " files, "
-              << findings.size() << " finding"
-              << (findings.size() == 1 ? "" : "s") << "\n";
+    std::cerr << "ppg_lint: " << files.size() << " files, " << entries.size()
+              << " finding" << (entries.size() == 1 ? "" : "s") << "\n";
   }
-  return findings.empty() ? 0 : 1;
+  return entries.empty() ? 0 : 1;
 }

@@ -1,0 +1,80 @@
+#include "report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
+
+namespace ppg::lint {
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_json_report(const std::string& tool,
+                               std::size_t files_scanned,
+                               const std::vector<ReportEntry>& entries) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"tool\": \"" << json_escape(tool) << "\",\n";
+  out << "  \"files_scanned\": " << files_scanned << ",\n";
+  if (entries.empty()) {
+    out << "  \"findings\": []\n";
+  } else {
+    out << "  \"findings\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const ReportEntry& entry = entries[i];
+      out << "    {\"file\": \"" << json_escape(entry.file)
+          << "\", \"line\": " << entry.line << ", \"rule\": \""
+          << json_escape(entry.rule) << "\", \"severity\": \""
+          << json_escape(entry.severity) << "\", \"message\": \""
+          << json_escape(entry.message) << "\"}"
+          << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void write_json_report(const std::string& path, const std::string& tool,
+                       std::size_t files_scanned,
+                       const std::vector<ReportEntry>& entries) {
+  ppg::atomic_write_file(path, render_json_report(tool, files_scanned,
+                                                  entries));
+}
+
+}  // namespace ppg::lint

@@ -1,0 +1,47 @@
+// Machine-readable findings report, shared by ppg_lint and ppg_analyze.
+//
+// Both tools emit the same JSON shape so CI and dashboards consume findings
+// structurally instead of scraping stderr:
+//
+//   {
+//     "tool": "ppg_analyze",
+//     "files_scanned": 123,
+//     "findings": [
+//       {"file": "src/a.cpp", "line": 7, "rule": "static-mutable",
+//        "severity": "error", "message": "..."}
+//     ]
+//   }
+//
+// A clean run renders `"findings": []` exactly — tier1.sh greps for that
+// token to assert the gate artifact is empty.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ppg::lint {
+
+/// One finding destined for the JSON report.
+struct ReportEntry {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string severity;
+  std::string message;
+};
+
+/// Renders the canonical report. Entries appear in the order given; callers
+/// sort by (file, line, rule) before rendering so reruns are byte-identical.
+std::string render_json_report(const std::string& tool,
+                               std::size_t files_scanned,
+                               const std::vector<ReportEntry>& entries);
+
+/// Writes the rendered report via ppg::atomic_write_file (temp + fsync +
+/// rename), so a crashed run can never leave a torn artifact that CI would
+/// misread as a clean gate.
+void write_json_report(const std::string& path, const std::string& tool,
+                       std::size_t files_scanned,
+                       const std::vector<ReportEntry>& entries);
+
+}  // namespace ppg::lint

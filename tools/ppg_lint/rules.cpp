@@ -6,62 +6,10 @@
 #include <set>
 #include <unordered_set>
 
+#include "suppress.hpp"
+
 namespace ppg::lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Suppressions
-
-struct Suppressions {
-  // ppg-lint: allow(unordered-iter) — this file builds them, it may name them
-  std::set<std::string> file_wide;
-  /// line -> rules allowed on that line (a directive covers its own line and
-  /// the next, so a comment line annotates the statement below it).
-  std::vector<std::set<std::string>> by_line;
-
-  bool allows(const std::string& rule, std::size_t line) const {
-    if (file_wide.count(rule) != 0) return true;
-    return line >= 1 && line <= by_line.size() &&
-           by_line[line - 1].count(rule) != 0;
-  }
-};
-
-Suppressions parse_suppressions(const ScannedFile& file) {
-  static const std::regex kDirective(
-      R"(ppg-lint:\s*(allow|allow-file)\s*\(([^)]*)\))");
-  Suppressions sup;
-  sup.by_line.resize(file.line_count());
-  for (std::size_t i = 0; i < file.line_count(); ++i) {
-    const std::string& comment = file.lines()[i].comment;
-    auto begin = std::sregex_iterator(comment.begin(), comment.end(),
-                                      kDirective);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      const bool file_wide = (*it)[1].str() == "allow-file";
-      std::string ids = (*it)[2].str();
-      std::string id;
-      auto flush = [&]() {
-        if (id.empty()) return;
-        if (file_wide) {
-          sup.file_wide.insert(id);
-        } else {
-          sup.by_line[i].insert(id);
-          if (i + 1 < sup.by_line.size()) sup.by_line[i + 1].insert(id);
-        }
-        id.clear();
-      };
-      for (const char c : ids) {
-        if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
-            c == '_') {
-          id += c;
-        } else {
-          flush();
-        }
-      }
-      flush();
-    }
-  }
-  return sup;
-}
 
 // ---------------------------------------------------------------------------
 // Regex-driven rules
@@ -358,21 +306,27 @@ const std::vector<RuleDesc>& all_rules() {
   return kRules;
 }
 
-std::vector<Finding> run_rules(const ScannedFile& file, const FileInfo& info,
-                               const ScannedFile* paired_header) {
+bool rule_exempts_path(const RuleDesc& rule, const std::string& path) {
+  for (const char* suffix : rule.exempt_suffixes) {
+    const std::string tail = std::string("/") + suffix;
+    if (path == suffix ||
+        (path.size() > tail.size() &&
+         path.compare(path.size() - tail.size(), tail.size(), tail) == 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Finding> run_rules_raw(const ScannedFile& file,
+                                   const FileInfo& info,
+                                   const ScannedFile* paired_header) {
   std::vector<Finding> raw;
 
   auto exempt = [&](const char* rule_id) {
     for (const RuleDesc& rule : all_rules()) {
-      if (std::string(rule.id) != rule_id) continue;
-      for (const char* suffix : rule.exempt_suffixes) {
-        const std::string& path = file.path();
-        const std::string tail = std::string("/") + suffix;
-        if (path == suffix ||
-            (path.size() > tail.size() &&
-             path.compare(path.size() - tail.size(), tail.size(), tail) == 0)) {
-          return true;
-        }
+      if (std::string(rule.id) == rule_id) {
+        return rule_exempts_path(rule, file.path());
       }
     }
     return false;
@@ -394,8 +348,11 @@ std::vector<Finding> run_rules(const ScannedFile& file, const FileInfo& info,
     check_pragma_once(file, raw);
     check_using_namespace(file, raw);
   }
+  return raw;
+}
 
-  const Suppressions sup = parse_suppressions(file);
+std::vector<Finding> apply_suppressions(std::vector<Finding> raw,
+                                        const Suppressions& sup) {
   std::vector<Finding> kept;
   for (Finding& finding : raw) {
     if (!sup.allows(finding.rule, finding.line)) {
@@ -406,6 +363,40 @@ std::vector<Finding> run_rules(const ScannedFile& file, const FileInfo& info,
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;
   });
   return kept;
+}
+
+std::vector<Finding> run_rules(const ScannedFile& file, const FileInfo& info,
+                               const ScannedFile* paired_header) {
+  return apply_suppressions(run_rules_raw(file, info, paired_header),
+                            parse_suppressions(file));
+}
+
+std::vector<StaleSuppression> find_stale_suppressions(
+    const ScannedFile& file, const std::vector<Finding>& raw_findings,
+    const std::set<std::string>& known_rules) {
+  const Suppressions sup = parse_suppressions(file);
+  std::vector<StaleSuppression> stale;
+  for (const SuppressionDirective& directive : sup.directives) {
+    for (const std::string& rule : directive.rules) {
+      // Only audit rule ids this tool owns: ppg_lint and ppg_analyze share
+      // the directive grammar, so a file may legitimately carry allows for
+      // the other tool's rules.
+      if (known_rules.count(rule) == 0) continue;
+      bool live = false;
+      for (const Finding& finding : raw_findings) {
+        if (finding.rule == rule &&
+            Suppressions::directive_covers(directive, finding.line)) {
+          live = true;
+          break;
+        }
+      }
+      if (!live) {
+        stale.push_back(
+            StaleSuppression{directive.line, rule, directive.file_wide});
+      }
+    }
+  }
+  return stale;
 }
 
 }  // namespace ppg::lint

@@ -17,15 +17,16 @@
 //                           workloads enter as TraceSource objects or spec
 //                           strings parsed by the trace layer
 //
-// Suppressions (see parse rules in rules.cpp):
+// Suppressions (grammar shared with ppg_analyze; see suppress.hpp):
 //   // ppg-lint: allow(rule-a, rule-b)      this line or the next line
 //   // ppg-lint: allow-file(rule-a)         whole file
 // Anything after the closing paren is free-text rationale and is ignored,
 // so sites can explain themselves:
-//   // ppg-lint: allow(unordered-iter): drain is sorted two lines below
+//   // ppg-lint: allow(rule-a): drain is sorted two lines below
 #pragma once
 
 #include <cstddef>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -63,11 +64,42 @@ struct RuleDesc {
 
 const std::vector<RuleDesc>& all_rules();
 
+/// True when `path` ends with one of the rule's designated-exception
+/// suffixes (matched at a path-component boundary).
+bool rule_exempts_path(const RuleDesc& rule, const std::string& path);
+
 /// Runs every applicable rule over `file` and returns unsuppressed findings
 /// sorted by line. `paired_header`, when non-null, is the same-stem .hpp of
 /// a .cpp under lint: member declarations live there, so unordered-iter
 /// needs its declarations in scope.
 std::vector<Finding> run_rules(const ScannedFile& file, const FileInfo& info,
                                const ScannedFile* paired_header);
+
+/// Same as run_rules but before suppression filtering — the input that
+/// --prune-suppressions audits directives against.
+std::vector<Finding> run_rules_raw(const ScannedFile& file,
+                                   const FileInfo& info,
+                                   const ScannedFile* paired_header);
+
+struct Suppressions;  // suppress.hpp
+
+/// Filters raw findings through parsed suppressions and sorts by
+/// (line, rule) — the shared tail of both tools' rule runners.
+std::vector<Finding> apply_suppressions(std::vector<Finding> raw,
+                                        const Suppressions& sup);
+
+/// A suppression directive entry whose rule never fires in its coverage
+/// window — deleting it would change nothing, so it must go.
+struct StaleSuppression {
+  std::size_t line = 0;  ///< 1-based line of the directive comment.
+  std::string rule;
+  bool file_wide = false;
+};
+
+/// Audits the file's directives against pre-suppression findings. Rule ids
+/// not in `known_rules` are skipped (they belong to the other tool).
+std::vector<StaleSuppression> find_stale_suppressions(
+    const ScannedFile& file, const std::vector<Finding>& raw_findings,
+    const std::set<std::string>& known_rules);
 
 }  // namespace ppg::lint

@@ -14,6 +14,29 @@ enum class State {
   kRawString,
 };
 
+/// True when `text[i]` begins a raw-string introducer — an optional encoding
+/// prefix (u8, u, U, L) followed by `R"` — at the start of a token (so
+/// `FooR"x"` stays an identifier plus an ordinary string). On success
+/// `intro_len` is the length of prefix + R + opening quote.
+bool is_raw_intro(const std::string& text, std::size_t i,
+                  const std::string& code, std::size_t& intro_len) {
+  const bool starts_token =
+      code.empty() ||
+      !(std::isalnum(static_cast<unsigned char>(code.back())) != 0 ||
+        code.back() == '_');
+  if (!starts_token) return false;
+  static constexpr const char* kIntros[] = {"u8R\"", "uR\"", "UR\"", "LR\"",
+                                            "R\""};
+  for (const char* intro : kIntros) {
+    const std::size_t len = std::char_traits<char>::length(intro);
+    if (text.compare(i, len, intro) == 0) {
+      intro_len = len;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 ScannedFile::ScannedFile(std::string path, const std::string& text)
@@ -22,6 +45,7 @@ ScannedFile::ScannedFile(std::string path, const std::string& text)
   std::string code;
   std::string comment;
   std::string raw_delim;  // Closing delimiter of an active raw string: )...".
+  std::size_t raw_intro_len = 0;  // Length of the last matched raw intro.
 
   auto flush_line = [&]() {
     lines_.push_back(ScannedLine{code, comment});
@@ -55,28 +79,30 @@ ScannedFile::ScannedFile(std::string path, const std::string& text)
           state = State::kBlockComment;
           code += "  ";
           ++i;
-        } else if (c == 'R' && next == '"') {
-          // Only treat as a raw string when R starts a token (not `FooR"`).
-          const bool starts_token =
-              code.empty() ||
-              (!(std::isalnum(static_cast<unsigned char>(code.back())) != 0 ||
-                 code.back() == '_'));
-          if (starts_token) {
-            std::size_t j = i + 2;
-            std::string delim;
-            while (j < n && text[j] != '(' && text[j] != '\n') {
-              delim += text[j];
-              ++j;
-            }
-            if (j < n && text[j] == '(') {
-              state = State::kRawString;
-              raw_delim = ")" + delim + "\"";
-              code += "R\"";
-              code.append(j - i - 1, ' ');
-              i = j;
-              break;
-            }
+        } else if (is_raw_intro(text, i, code, raw_intro_len)) {
+          // Raw string literal, with optional encoding prefix: R"d(, u8R"d(,
+          // uR"d(, UR"d(, LR"d(. The whole literal is treated like an
+          // ordinary string: one quote survives at each end and everything
+          // else — prefix, delimiters, contents — is blanked to spaces, so
+          // neither the delimiter text nor the contents can trip a rule.
+          std::size_t j = i + raw_intro_len;
+          std::string delim;
+          while (j < n && text[j] != '(' && text[j] != ')' && text[j] != '"' &&
+                 text[j] != '\\' && text[j] != '\n' && delim.size() <= 16) {
+            delim += text[j];
+            ++j;
           }
+          if (j < n && text[j] == '(') {
+            state = State::kRawString;
+            raw_delim = ")" + delim + "\"";
+            code.append(raw_intro_len - 1, ' ');  // Encoding prefix and R.
+            code += '"';
+            code.append(j - (i + raw_intro_len) + 1, ' ');  // d-chars and (.
+            i = j;
+            break;
+          }
+          // Not a well-formed raw intro after all: fall back to scanning the
+          // current char ordinarily (the " that follows opens a string).
           code += c;
         } else if (c == '"') {
           state = State::kString;
@@ -135,7 +161,10 @@ ScannedFile::ScannedFile(std::string path, const std::string& text)
 
       case State::kRawString:
         if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          code += raw_delim;
+          // Blank the )d-chars and keep only the closing quote, mirroring
+          // the opening side: the delimiter text must not reach the rules.
+          code.append(raw_delim.size() - 1, ' ');
+          code += '"';
           i += raw_delim.size() - 1;
           state = State::kCode;
         } else {

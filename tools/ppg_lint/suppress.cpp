@@ -1,0 +1,49 @@
+#include "suppress.hpp"
+
+#include <cctype>
+#include <regex>
+
+namespace ppg::lint {
+
+Suppressions parse_suppressions(const ScannedFile& file) {
+  static const std::regex kDirective(
+      R"(ppg-lint:\s*(allow|allow-file)\s*\(([^)]*)\))");
+  Suppressions sup;
+  sup.by_line.resize(file.line_count());
+  for (std::size_t i = 0; i < file.line_count(); ++i) {
+    const std::string& comment = file.lines()[i].comment;
+    auto begin = std::sregex_iterator(comment.begin(), comment.end(),
+                                      kDirective);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      SuppressionDirective directive;
+      directive.line = i + 1;
+      directive.file_wide = (*it)[1].str() == "allow-file";
+      std::string ids = (*it)[2].str();
+      std::string id;
+      auto flush = [&]() {
+        if (id.empty()) return;
+        directive.rules.push_back(id);
+        if (directive.file_wide) {
+          sup.file_wide.insert(id);
+        } else {
+          sup.by_line[i].insert(id);
+          if (i + 1 < sup.by_line.size()) sup.by_line[i + 1].insert(id);
+        }
+        id.clear();
+      };
+      for (const char c : ids) {
+        if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+            c == '_') {
+          id += c;
+        } else {
+          flush();
+        }
+      }
+      flush();
+      if (!directive.rules.empty()) sup.directives.push_back(directive);
+    }
+  }
+  return sup;
+}
+
+}  // namespace ppg::lint

@@ -1,0 +1,54 @@
+// Suppression grammar shared by ppg_lint and ppg_analyze.
+//
+//   // ppg-lint: allow(rule-a, rule-b): rationale    this line or the next
+//   // ppg-lint: allow-file(rule-a): rationale       whole file
+//
+// Anything after the closing paren is free-text rationale and is ignored.
+// Both tools parse the same directives; each applies only the rule ids it
+// owns, so a file can carry lint and analyze suppressions side by side.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scan.hpp"
+
+namespace ppg::lint {
+
+/// One parsed `allow(...)` / `allow-file(...)` comment, with its site kept
+/// so --prune-suppressions can point back at the stale directive.
+struct SuppressionDirective {
+  std::size_t line = 0;  ///< 1-based line the comment sits on.
+  bool file_wide = false;
+  std::vector<std::string> rules;  ///< Rule ids listed in the parens.
+};
+
+struct Suppressions {
+  std::set<std::string> file_wide;
+  /// line -> rules allowed on that line (a directive covers its own line and
+  /// the next, so a comment line annotates the statement below it).
+  std::vector<std::set<std::string>> by_line;
+  /// Every directive in source order, for staleness auditing.
+  std::vector<SuppressionDirective> directives;
+
+  bool allows(const std::string& rule, std::size_t line) const {
+    if (file_wide.count(rule) != 0) return true;
+    return line >= 1 && line <= by_line.size() &&
+           by_line[line - 1].count(rule) != 0;
+  }
+
+  /// True when a finding of `rule` at `finding_line` falls inside the
+  /// coverage window of this specific directive.
+  static bool directive_covers(const SuppressionDirective& directive,
+                               std::size_t finding_line) {
+    return directive.file_wide || finding_line == directive.line ||
+           finding_line == directive.line + 1;
+  }
+};
+
+/// Parses every directive from the file's comment channel.
+Suppressions parse_suppressions(const ScannedFile& file);
+
+}  // namespace ppg::lint

@@ -30,6 +30,10 @@
 //   --shard i/N    compute only the 1-of-N slice of the cells (requires
 //                  --journal; render later from the journal_merge output)
 //   --steal-lease  take over a provably-dead worker's journal lease
+//   --faulty-every N  give every N-th cell a corrupt trace (via the
+//                  INJECT-TRACE spec decorator); its row reports a
+//                  structured [corrupt-trace] status — failure as data
+//                  that must survive kill/resume byte-for-byte
 #include <iostream>
 #include <new>
 #include <stdexcept>
@@ -37,6 +41,7 @@
 
 #include "bench_support/experiment.hpp"
 #include "bench_support/parallel_sweep.hpp"
+#include "trace/trace_spec.hpp"
 #include "trace/workload.hpp"
 #include "util/arg_parse.hpp"
 #include "util/error.hpp"
@@ -53,10 +58,13 @@ int run_chaos(int argc, char** argv) {
   const std::uint32_t retries =
       static_cast<std::uint32_t>(args.get_int("retries", 0));
   const std::int64_t kill_at = args.get_int("kill-at", -1);
+  const std::uint64_t faulty_every =
+      static_cast<std::uint64_t>(args.get_int("faulty-every", 0));
   const SweepCli cli = sweep_cli_from_args(
       args, "chaos_sweep v1 cells=" + std::to_string(num_cells) +
                 " budget=" + std::to_string(budget) +
-                " retries=" + std::to_string(retries));
+                " retries=" + std::to_string(retries) +
+                " faulty-every=" + std::to_string(faulty_every));
   if (const auto unused = args.unused_keys(); !unused.empty())
     throw std::invalid_argument("unknown option --" + unused.front());
   if (kill_at >= 0 && cli.journal == nullptr)
@@ -76,8 +84,6 @@ int run_chaos(int argc, char** argv) {
         wp.cache_size = 32;
         wp.requests_per_proc = 400;
         wp.seed = cell_seed(7, i);
-        const MultiTrace traces =
-            make_workload(WorkloadKind::kHeterogeneousMix, wp);
         ExperimentConfig config;
         config.cache_size = wp.cache_size;
         config.miss_cost = 4;
@@ -86,6 +92,18 @@ int run_chaos(int argc, char** argv) {
         config.cell_event_budget = budget;
         config.cell_retries = retries;
         config.engine_threads = cli.engine_threads;
+        if (faulty_every > 0 && i % faulty_every == faulty_every - 1) {
+          // Same workload, wrapped in the INJECT-TRACE decorator: the cell
+          // fails deterministically with [corrupt-trace] and the sweep
+          // journals the failure as data instead of crashing.
+          const MultiTraceSource sources = make_source_from_trace_spec(
+              "INJECT-TRACE(fail@123,workload(kind=hetero-mix,p=4,k=32,"
+              "n=400,seed=" +
+              std::to_string(wp.seed) + ",s=4))");
+          return run_instance(sources, kinds, config);
+        }
+        const MultiTrace traces =
+            make_workload(WorkloadKind::kHeterogeneousMix, wp);
         return run_instance(traces, kinds, config);
       },
       [](CellWriter& w, const InstanceOutcome& o) {

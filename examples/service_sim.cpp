@@ -11,6 +11,7 @@
 // Usage: service_sim [--tenants N] [--n REQUESTS_PER_TENANT] [--k CACHE]
 //                    [--s COST] [--arrivals poisson|burst|t0]
 //                    [--mean-gap TICKS] [--burst N] [--queue-limit N]
+//                    [--admission-policy fifo-reject|shed-oldest|shed-largest]
 //                    [--depart-every N] [--scheduler NAME]
 //                    [--engine-threads N|max] [--seed SEED]
 //                    [--max-rss-mb LIMIT]
@@ -18,10 +19,17 @@
 // --depart-every N force-departs every N-th tenant shortly after
 // submission, exercising the cancel paths under load.
 //
+// A refused submission (full queue under fifo-reject, or a newcomer the
+// shed-largest policy turns away) is retried through a bounded
+// exponential-backoff helper: each refusal steps the service 1, 2, 4, ...
+// up to 256 times to drain room before the next attempt, so every tenant
+// is eventually admitted and the exit gate stays exact.
+//
 // Exits 0 when every tenant leaves the system (and peak RSS is within
 // --max-rss-mb if given), 1 otherwise.
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -67,6 +75,27 @@ std::shared_ptr<const TraceSource> tenant_source(std::uint64_t index,
 
 enum class ArrivalModel { kPoisson, kBurst, kT0 };
 
+/// Submits with bounded exponential backoff against a refusing queue: each
+/// refusal counts as a retry and drains the service with a doubling number
+/// of steps (1 -> 256 cap) before the next attempt. Returns nullopt only
+/// if the service refuses while already idle — a permanent rejection no
+/// amount of draining can fix (e.g. shed-largest turning away the largest
+/// tenant on a full queue).
+std::optional<TenantId> submit_with_backoff(
+    PagingService& service, std::shared_ptr<const TraceSource> source,
+    Time arrival, std::uint64_t& retried) {
+  std::uint64_t steps = 1;
+  for (;;) {
+    if (const auto id = service.submit(source, arrival)) return id;
+    ++retried;
+    bool progressed = false;
+    for (std::uint64_t i = 0; i < steps && service.status().ok(); ++i)
+      progressed = service.step() || progressed;
+    if (!progressed) return std::nullopt;
+    steps = std::min<std::uint64_t>(steps * 2, 256);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,6 +131,14 @@ int main(int argc, char** argv) {
     sc.engine_threads = engine_threads_from_args(args);
     sc.admission_queue_limit =
         static_cast<std::size_t>(args.get_int("queue-limit", 4096));
+    const std::string policy_name =
+        args.get_string("admission-policy", "fifo-reject");
+    if (const auto policy = parse_admission_policy(policy_name))
+      sc.admission_policy = *policy;
+    else
+      throw_error(ErrorCode::kBadInput,
+                  "--admission-policy must be fifo-reject, shed-oldest, or "
+                  "shed-largest (got '" + policy_name + "')");
     PagingService service(*scheduler, sc);
 
     std::printf(
@@ -133,16 +170,19 @@ int main(int argc, char** argv) {
       }
     };
 
-    // Submit lazily against the bounded queue: a full queue (nullopt) backs
-    // off to step(), which drains it. Total live state stays O(queue +
+    // Submit lazily against the bounded queue: the backoff helper drains
+    // the service between attempts, so total live state stays O(queue +
     // active), independent of --tenants.
+    std::uint64_t retried = 0;
+    std::uint64_t refused = 0;
     while (submitted < tenants || !service.idle()) {
       while (submitted < tenants) {
-        const auto id =
-            service.submit(tenant_source(submitted, n, seed), next_arrival);
-        if (!id) break;  // Backpressure; step() below makes room.
+        const auto id = submit_with_backoff(
+            service, tenant_source(submitted, n, seed), next_arrival, retried);
         ++submitted;
-        if (depart_every > 0 && submitted % depart_every == 0) {
+        if (!id) {
+          ++refused;  // Permanently rejected even against an idle service.
+        } else if (depart_every > 0 && submitted % depart_every == 0) {
           // Depart a slightly older tenant — usually admitted by now, so
           // this exercises the mid-run cancel path (a brand-new tenant
           // would still be queued).
@@ -161,11 +201,14 @@ int main(int argc, char** argv) {
     const long rss = peak_rss_mb();
     std::printf(
         "submitted=%llu rejected=%llu completed=%llu departed=%llu "
-        "now=%llu events=%llu\n",
+        "quarantined=%llu shed=%llu retried=%llu now=%llu events=%llu\n",
         static_cast<unsigned long long>(m.submitted),
         static_cast<unsigned long long>(m.rejected),
         static_cast<unsigned long long>(m.completed),
         static_cast<unsigned long long>(m.departed),
+        static_cast<unsigned long long>(m.quarantined),
+        static_cast<unsigned long long>(m.shed),
+        static_cast<unsigned long long>(retried),
         static_cast<unsigned long long>(m.now),
         static_cast<unsigned long long>(m.events_consumed));
     std::printf("max_faults=%llu mean_latency=%.1f peak_rss_mb=%ld\n",
@@ -176,8 +219,8 @@ int main(int argc, char** argv) {
     std::printf("faults  log2-histogram: %s\n",
                 m.fault_counts.to_string().c_str());
 
-    const std::uint64_t finished = m.completed + m.departed;
-    if (finished != tenants) {
+    const std::uint64_t finished = m.completed + m.departed + m.quarantined;
+    if (finished + refused != tenants) {
       std::fprintf(stderr, "FAIL: %llu of %llu tenants finished\n",
                    static_cast<unsigned long long>(finished),
                    static_cast<unsigned long long>(tenants));

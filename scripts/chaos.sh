@@ -88,6 +88,35 @@ for JOBS in 1 max; do
   }
 done
 
+# Faulty-cell gate: a sweep seeded with corrupt traces (--faulty-every)
+# journals its [corrupt-trace] rows as data; a SIGKILL mid-sweep and a
+# resume must reproduce the golden faulty output byte for byte — failures
+# survive the crash exactly like successes.
+faulty_golden="${WORK}/faulty-golden.txt"
+faulty_journal="${WORK}/faulty.ppgjrnl"
+"${BIN}" --cells "${CELLS}" --faulty-every 5 > "${faulty_golden}"
+grep -q "corrupt-trace" "${faulty_golden}" || {
+  echo "chaos.sh FAIL: faulty sweep did not report corrupt-trace rows" >&2
+  exit 1
+}
+set +e
+"${BIN}" --cells "${CELLS}" --faulty-every 5 --engine-threads max \
+         --journal "${faulty_journal}" --kill-at "${KILL_AT}" \
+         > "${WORK}/faulty-killed.txt" 2>&1
+status=$?
+set -e
+if [[ "${status}" -ne 137 ]]; then
+  echo "chaos.sh FAIL: faulty kill run expected exit 137, got ${status}" >&2
+  exit 1
+fi
+"${BIN}" --cells "${CELLS}" --faulty-every 5 --engine-threads max \
+         --journal "${faulty_journal}" --resume --steal-lease \
+         > "${WORK}/faulty-resumed.txt" 2> "${WORK}/faulty-resumed.err"
+cmp "${faulty_golden}" "${WORK}/faulty-resumed.txt" || {
+  echo "chaos.sh FAIL: faulty-cell resume differs from golden" >&2
+  exit 1
+}
+
 # Budget gate: exhausted cells are structured outcomes, not crashes.
 budget_out="${WORK}/budget.txt"
 "${BIN}" --cells 4 --budget 10 > "${budget_out}"

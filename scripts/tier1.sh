@@ -14,6 +14,9 @@
 # SIGKILLed and supervisor-restarted, journals merged and re-rendered),
 # then the constant-memory gates (a 10^8-request streamed run and a
 # 10^5-tenant service soak, both under a 256 MB address-space cap),
+# then the tenant fault-isolation chaos gate (service_chaos: 10^5 tenants,
+# seeded injected-fault fraction, healthy outcomes byte-identical across
+# fault fraction and thread count; smaller ASan/TSan legs run above),
 # then the perf gate (a self-test proving the gate can fail, followed by
 # the quick snapshot, which checks --jobs byte-identity and hard-fails on
 # >15% throughput drops vs the committed BENCH_PERF.json).
@@ -46,11 +49,19 @@ echo "lint/analyze JSON reports empty OK"
 
 if [[ "${SAN}" != "none" ]]; then
   cmake -B "build-${SAN}" -S . -DPPG_SANITIZE="${SAN}" -DPPG_WERROR=ON \
-        -DPPG_BUILD_BENCH=OFF -DPPG_BUILD_EXAMPLES=OFF >/dev/null
+        -DPPG_BUILD_BENCH=OFF -DPPG_BUILD_EXAMPLES=ON >/dev/null
   cmake --build "build-${SAN}" -j "$(nproc)"
   (cd "build-${SAN}" &&
    ctest --output-on-failure -j "$(nproc)" \
-         -R 'FaultInjection|Contract|Replay|TraceIoCorruption|RunChecked|Error|SweepJournal|AtomicFile|Interrupt|CellCodec|JournalLease|JournalMerge')
+         -R 'FaultInjection|Contract|Replay|TraceIoCorruption|RunChecked|Error|SweepJournal|AtomicFile|Interrupt|CellCodec|JournalLease|JournalMerge|EngineStepper|PagingService')
+
+  # Fault-isolation gate under ASan: injected trace faults (fail,
+  # hostile-page, torn-span, stall) must quarantine only their own tenant
+  # while every healthy tenant's outcome stays byte-identical to the
+  # fault-free run, serial and threaded.
+  "./build-${SAN}/examples-bin/service_chaos" --tenants 5000 \
+      --faulty-permille 150 > /dev/null
+  echo "ASan fault-isolation gate OK (service_chaos, 5*10^3 tenants)"
 
   # Race the thread pool, sweep executor, and threaded engine under TSan:
   # the determinism suites run every sweep at --jobs 1/2/hardware and every
@@ -69,6 +80,12 @@ if [[ "${SAN}" != "none" ]]; then
   ./build-thread/examples-bin/service_sim --tenants 10000 --depart-every 97 \
       --engine-threads max > /dev/null
   echo "TSan service soak OK (10^4 tenants, --engine-threads max)"
+
+  # TSan variant of the fault-isolation gate: the contained-failure fold
+  # (pending_error slots resolved in pop order) raced at max threads.
+  ./build-thread/examples-bin/service_chaos --tenants 5000 \
+      --faulty-permille 150 > /dev/null
+  echo "TSan fault-isolation gate OK (service_chaos, 5*10^3 tenants)"
 fi
 
 # Crash-safety gate: SIGKILL a journaled sweep mid-flight, resume it, tear
@@ -106,6 +123,16 @@ echo "streaming memory gate OK (10^8 requests under 256 MB)"
 diff <(tail -n +2 /tmp/service_soak_serial.txt) \
      <(tail -n +2 /tmp/service_soak_threads.txt)
 echo "service soak gate OK (10^5 tenants under 256 MB, serial == threaded)"
+
+# Chaos soak gate: 10^5 tenants, a seeded tenth of them carrying injected
+# trace faults. The binary itself proves isolation — every healthy tenant's
+# outcome byte-identical across faulty-fraction {0, f} and engine-threads
+# {0, max}, every faulty tenant in its fault class's terminal state — and
+# exits non-zero on any divergence.
+./build/examples-bin/service_chaos --tenants 100000 --faulty-permille 100 \
+    > /tmp/service_chaos_gate.txt
+tail -n 1 /tmp/service_chaos_gate.txt
+echo "service chaos gate OK (10^5 tenants, faulty fraction isolated)"
 
 # Perf gate: first prove the gate itself can fail (synthetic injected
 # slowdown), then take the quick snapshot, which hard-fails on >15%

@@ -37,7 +37,27 @@ InstanceOutcome run_instance(const MultiTraceSource& sources,
   ob.cache_size = config.cache_size;
   ob.miss_cost = config.miss_cost;
   ob.exact_impact_max_requests = config.exact_impact_max_requests;
-  out.bounds = compute_opt_bounds(sources, ob);
+  try {
+    out.bounds = compute_opt_bounds(sources, ob);
+  } catch (const PpgException& e) {
+    // A trace so hostile the bounds pass cannot even read it (e.g. an
+    // injected corrupt-trace fault). The cell is still data, not a crash:
+    // every scheduler outcome carries the structured failure, mirroring
+    // what run_parallel_checked would have reported.
+    for (const SchedulerKind kind : kinds) {
+      SchedulerOutcome so;
+      so.name = scheduler_kind_name(kind);
+      so.status = RunStatus::failure(e.error());
+      out.outcomes.push_back(std::move(so));
+    }
+    if (config.include_global_lru) {
+      SchedulerOutcome so;
+      so.name = "GLOBAL-LRU";
+      so.status = RunStatus::failure(e.error());
+      out.outcomes.push_back(std::move(so));
+    }
+    return out;
+  }
   const double lb = static_cast<double>(
       std::max<Time>(1, out.bounds.lower_bound()));
 

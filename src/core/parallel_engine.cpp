@@ -106,6 +106,13 @@ struct EngineStepper::Impl {
   std::vector<bool> departing;
   std::vector<std::uint64_t> proc_hits;
   std::vector<std::uint64_t> proc_misses;
+  /// Boxes granted so far, charged against config.proc_event_budget.
+  std::vector<std::uint64_t> proc_boxes;
+  /// Activation time, the zero point of config.proc_deadline.
+  std::vector<Time> proc_activated;
+  /// Pending quarantine cause, set when a runner failure is contained;
+  /// consumed by the forced departure at the next box boundary.
+  std::vector<std::unique_ptr<Error>> proc_error;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   std::uint64_t seq = 0;
@@ -126,6 +133,12 @@ struct EngineStepper::Impl {
   // Result slots: slot i is written by exactly the worker that claimed
   // batch index i and read only after the run_batch barrier, in pop order.
   std::vector<BoxStepResult> pending_step PPG_SHARDED_BY(batch index i);
+  // Error slots for the same fan-out: a PpgException thrown by run_box is
+  // captured into the thrower's own slot (instead of racing through the
+  // pool's first-error channel, whose winner depends on completion order)
+  // and resolved in pop order during the fold — the failing *event* is
+  // therefore deterministic at every thread count.
+  std::vector<std::unique_ptr<Error>> pending_error PPG_SHARDED_BY(batch index i);
 
   std::vector<std::pair<Time, std::int64_t>> mem_timeline;
   std::vector<StepCompletion> completions;
@@ -153,6 +166,9 @@ struct EngineStepper::Impl {
     departing.push_back(false);
     proc_hits.push_back(0);
     proc_misses.push_back(0);
+    proc_boxes.push_back(0);
+    proc_activated.push_back(0);
+    proc_error.push_back(nullptr);
     return proc;
   }
 
@@ -174,6 +190,49 @@ struct EngineStepper::Impl {
   void fail(Error error) {
     out.status = RunStatus::failure(std::move(error));
     failed = true;
+  }
+
+  /// Evicts `proc` right now with a structured cause — the containment
+  /// counterpart of the finish/departure paths. The scheduler observes the
+  /// quarantine exactly as it would a departure, so every other
+  /// processor's box sequence is untouched.
+  void quarantine_now(ProcId proc, Time time, Error error) {
+    state.deactivate(proc);
+    out.result.completion[proc] = time;
+    scheduler->notify_departed(proc, time, state);
+    StepCompletion completion;
+    completion.proc = proc;
+    completion.time = time;
+    completion.quarantined = true;
+    completion.error = std::move(error);
+    completions.push_back(completion);
+    release(proc);
+  }
+
+  /// A plain (non-quarantine) completion record.
+  static StepCompletion make_completion(ProcId proc, Time time,
+                                        bool departed) {
+    StepCompletion completion;
+    completion.proc = proc;
+    completion.time = time;
+    completion.departed = departed;
+    return completion;
+  }
+
+  /// After a run-wide budget failure mid-batch: the kFinish events in the
+  /// unprocessed tail of the popped batch are work that already completed
+  /// at this simulated time — surface them as completions instead of
+  /// discarding them, so admission layers report partial outcomes. No
+  /// budget charge and no scheduler notification: the run is over.
+  void drain_completed_tail(std::size_t from) {
+    for (std::size_t j = from; j < batch.size(); ++j) {
+      const Event& ev = batch[j];
+      if (ev.kind != EventKind::kFinish) continue;
+      state.deactivate(ev.proc);
+      out.result.completion[ev.proc] = ev.time;
+      completions.push_back(make_completion(ev.proc, ev.time, false));
+      release(ev.proc);
+    }
   }
 
   void start() {
@@ -230,7 +289,9 @@ struct EngineStepper::Impl {
     // engine stopping at the same event.
     pending_proc.clear();
     pending_box.clear();
-    for (const Event& ev : batch) {
+    for (std::size_t batch_index = 0; batch_index < batch.size();
+         ++batch_index) {
+      const Event& ev = batch[batch_index];
       ++processed_events;
       if (config.max_events != 0 && processed_events > config.max_events) {
         std::ostringstream msg;
@@ -239,6 +300,7 @@ struct EngineStepper::Impl {
             << scheduler->name();
         fail(engine_error(ErrorCode::kCellBudgetExceeded, msg.str(), ev.proc,
                           ev.time));
+        drain_completed_tail(batch_index);
         break;
       }
       if (ev.time > config.max_time) {
@@ -254,7 +316,7 @@ struct EngineStepper::Impl {
         state.deactivate(ev.proc);
         result.completion[ev.proc] = ev.time;
         scheduler->notify_finished(ev.proc, ev.time, state);
-        completions.push_back(StepCompletion{ev.proc, ev.time, false});
+        completions.push_back(make_completion(ev.proc, ev.time, false));
         release(ev.proc);
         continue;
       }
@@ -264,11 +326,12 @@ struct EngineStepper::Impl {
           // Departed while still queued for arrival: never activates, the
           // scheduler never learns of it.
           result.completion[ev.proc] = ev.time;
-          completions.push_back(StepCompletion{ev.proc, ev.time, true});
+          completions.push_back(make_completion(ev.proc, ev.time, true));
           release(ev.proc);
           continue;
         }
         state.activate(ev.proc);
+        proc_activated[ev.proc] = ev.time;
         scheduler->notify_arrived(ev.proc, ev.time, state);
         // The first box request (or instant finish) lands in a same-time
         // successor batch, after every event of this batch.
@@ -279,14 +342,50 @@ struct EngineStepper::Impl {
       // kNeedBox
       if (departing[ev.proc]) {
         // Forced departure takes effect at the box boundary: the box in
-        // flight completed, the next one is never requested.
+        // flight completed, the next one is never requested. A contained
+        // runner failure arrives here too (the fold sets departing and
+        // stashes the cause) and outranks a racing caller depart().
         state.deactivate(ev.proc);
         result.completion[ev.proc] = ev.time;
         scheduler->notify_departed(ev.proc, ev.time, state);
-        completions.push_back(StepCompletion{ev.proc, ev.time, true});
+        StepCompletion completion = make_completion(ev.proc, ev.time, true);
+        if (proc_error[ev.proc] != nullptr) {
+          completion.departed = false;
+          completion.quarantined = true;
+          completion.error = std::move(*proc_error[ev.proc]);
+          proc_error[ev.proc].reset();
+        }
+        completions.push_back(completion);
         release(ev.proc);
         continue;
       }
+      // Per-processor watchdogs, checked before another box is granted.
+      // Both are simulated-unit limits, so a breach is deterministic and
+      // quarantines only this processor (see EngineConfig).
+      if (config.proc_event_budget != 0 &&
+          proc_boxes[ev.proc] >= config.proc_event_budget) {
+        std::ostringstream msg;
+        msg << "processor exhausted its per-tenant box budget ("
+            << config.proc_event_budget << ") under scheduler "
+            << scheduler->name();
+        quarantine_now(ev.proc, ev.time,
+                       engine_error(ErrorCode::kTenantBudgetExceeded,
+                                    msg.str(), ev.proc, ev.time));
+        continue;
+      }
+      if (config.proc_deadline != 0 &&
+          ev.time >= proc_activated[ev.proc] + config.proc_deadline) {
+        std::ostringstream msg;
+        msg << "processor passed its sojourn deadline (activated t="
+            << proc_activated[ev.proc] << ", deadline "
+            << config.proc_deadline << ") under scheduler "
+            << scheduler->name();
+        quarantine_now(ev.proc, ev.time,
+                       engine_error(ErrorCode::kTenantDeadlineExceeded,
+                                    msg.str(), ev.proc, ev.time));
+        continue;
+      }
+      ++proc_boxes[ev.proc];
       PPG_DCHECK(!runners[ev.proc]->finished());
       const BoxAssignment box = scheduler->next_box(ev.proc, ev.time, state);
       // Last-line contract checks for undecorated schedulers; a malformed
@@ -315,10 +414,19 @@ struct EngineStepper::Impl {
     // returns only when every index has run) makes the fold below safe.
     const std::size_t n = pending_proc.size();
     pending_step.resize(n);
+    pending_error.clear();
+    pending_error.resize(n);
     const auto simulate = [&](std::size_t i) {
       const BoxAssignment& box = pending_box[i];
-      pending_step[i] = runners[pending_proc[i]]->run_box(
-          box.height, box.end - box.start, box.fresh);
+      try {
+        pending_step[i] = runners[pending_proc[i]]->run_box(
+            box.height, box.end - box.start, box.fresh);
+      } catch (const PpgException& e) {
+        // Captured per slot (not through the pool's completion-ordered
+        // first-error channel) so the fold below resolves failures in pop
+        // order — deterministic at every thread count.
+        pending_error[i] = std::make_unique<Error>(e.error());
+      }
     };
     if (pool && n > 1) {
       pool->run_batch(n, simulate);
@@ -332,6 +440,36 @@ struct EngineStepper::Impl {
     for (std::size_t i = 0; i < n; ++i) {
       const ProcId proc = pending_proc[i];
       const BoxAssignment& box = pending_box[i];
+      if (pending_error[i] != nullptr) {
+        Error error = std::move(*pending_error[i]);
+        error.proc = proc;
+        if (error.time == kTimeInfinity) error.time = box.start;
+        if (!config.contain_proc_failures) {
+          // Batch contract: the first failure (in pop order) fails the
+          // whole run; the rest of the fold is skipped, exactly as the
+          // serial engine stopping at the same event.
+          fail(std::move(error));
+          break;
+        }
+        // Contained: the failed box is charged as fully stalled — its
+        // partial hit/miss counts are discarded (the throw point is
+        // deterministic, but the counters died with the exception) — and
+        // the processor is forced out at the box boundary via the normal
+        // departure machinery, cause stashed for that completion.
+        ++result.num_boxes;
+        result.total_impact +=
+            static_cast<Impact>(box.height) * (box.end - box.start);
+        result.total_stall += box.end - box.start;
+        if (config.track_memory_timeline) {
+          mem_timeline.emplace_back(box.start, box.height);
+          mem_timeline.emplace_back(box.end,
+                                    -static_cast<std::int64_t>(box.height));
+        }
+        proc_error[proc] = std::make_unique<Error>(std::move(error));
+        departing[proc] = true;
+        events.push(Event{box.end, EventKind::kNeedBox, proc, seq++});
+        continue;
+      }
       const BoxStepResult& step = pending_step[i];
       ++result.num_boxes;
       result.hits += step.hits;
@@ -543,6 +681,10 @@ void ParallelEngine::maybe_write_dump(CheckedRun& out) {
   try {
     save_replay_dump(config_.replay_dump_path, dump);
     out.status.replay_dump_path = config_.replay_dump_path;
+    // Not a containment decision: the run already failed with a structured
+    // Error, and a dump-write failure (filesystem, not simulation) must not
+    // mask that cause.
+    // ppg-lint: allow(service-catch-all): swallows I/O errors, not ppg::Error
   } catch (const std::exception&) {
     // A failed dump must not mask the underlying run failure; the status
     // simply carries no dump path.

@@ -60,6 +60,31 @@ struct EngineConfig {
   /// units consumed are surfaced in CheckedRun::events_consumed so
   /// admission layers (PagingService) can account against the budget.
   std::uint64_t max_events = 0;
+  /// Per-processor event budget: the number of boxes one processor may be
+  /// granted before it is quarantined with kTenantBudgetExceeded (forced
+  /// departure at the box boundary, see contain_proc_failures below for the
+  /// mechanics). Unlike max_events — which fails the whole run — a breach
+  /// here evicts only the runaway processor; everyone else proceeds
+  /// byte-identically. Counted in simulated units, so tripping it is
+  /// deterministic. 0 means unlimited.
+  std::uint64_t proc_event_budget = 0;
+  /// Per-processor sojourn deadline, in simulated time since activation: a
+  /// processor still requesting boxes `proc_deadline` ticks after it
+  /// activated is quarantined with kTenantDeadlineExceeded. 0 = unlimited.
+  Time proc_deadline = 0;
+  /// Contained-failure mode. When false (the default, the batch contract),
+  /// a PpgException thrown while fast-forwarding a box — a corrupt trace, a
+  /// hostile page id — fails the whole run, exactly as before. When true,
+  /// the failure quarantines only the offending processor: its box is
+  /// charged as fully stalled (no hit/miss counters), the structured
+  /// ppg::Error is preserved, and the processor is forced out at the box
+  /// boundary through the same notify_departed path a depart() uses, so the
+  /// scheduler — and therefore every other processor's box sequence — sees
+  /// a quarantine exactly as it would see a departure. The quarantined
+  /// completion is surfaced via StepCompletion::quarantined/error.
+  /// Per-processor budget/deadline breaches (above) always quarantine,
+  /// independent of this flag: configuring them is the opt-in.
+  bool contain_proc_failures = false;
   /// Record the (time, +/-height) allocation timeline to measure peak
   /// concurrent height (costs memory proportional to #boxes).
   bool track_memory_timeline = true;
@@ -112,6 +137,12 @@ struct StepCompletion {
   ProcId proc = 0;
   Time time = 0;
   bool departed = false;  ///< Forced out via depart(), not drained.
+  /// Quarantined: evicted by the containment layer (runner failure,
+  /// per-processor budget, or deadline) rather than by the caller. When
+  /// set, `error` carries the structured cause and `departed` is false —
+  /// a quarantine outranks a racing depart() on the same processor.
+  bool quarantined = false;
+  Error error;  ///< The structured cause; kOk unless quarantined.
 };
 
 /// The engine's event loop, inverted into a resumable state machine.

@@ -13,7 +13,10 @@ class StaticPartition final : public BoxScheduler {
  public:
   void start(const SchedulerContext& ctx, const EngineView&) override {
     ctx_ = ctx;
-    slice_ = std::max<Height>(1, ctx.cache_size / ctx.num_procs);
+    // An empty initial cohort (a service starting idle) still needs a
+    // slice for later arrivals: divide by at least 1.
+    slice_ = std::max<Height>(
+        1, ctx.cache_size / std::max<ProcId>(1, ctx.num_procs));
   }
 
   BoxAssignment next_box(ProcId, Time now, const EngineView&) override {

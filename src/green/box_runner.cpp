@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/error.hpp"
 
 namespace ppg {
 
@@ -55,6 +56,19 @@ BoxStepResult BoxRunner::run_box(Height height, Time duration, bool fresh) {
         span_len_ = cursor_->next_span(span_.data(), span_.size());
         span_pos_ = 0;
         if (span_len_ == 0) break;  // source exhausted
+        // Validate the refilled chunk in one pass (L1-resident, branch
+        // never taken on clean traces): the kInvalidPage sentinel is
+        // reserved by the LRU layer and must never enter a cache. File
+        // traces are screened by trace_io; this is the equivalent screen
+        // for lazy/streaming sources. Dense mode needs none — it only runs
+        // over caller-materialized vectors.
+        for (std::size_t i = 0; i < span_len_; ++i) {
+          if (span_[i] == kInvalidPage) {
+            throw_error(ErrorCode::kCorruptTrace,
+                        "hostile page id (reserved sentinel) in trace stream",
+                        cursor_->position() - span_len_ + i);
+          }
+        }
       }
       if (!advance_span(step, remaining)) break;  // stall to box end
     }

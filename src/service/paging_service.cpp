@@ -18,10 +18,45 @@ EngineConfig engine_config(const ServiceConfig& config) {
   ec.max_events = config.max_events;
   ec.engine_threads = config.engine_threads;
   ec.track_memory_timeline = config.track_memory_timeline;
+  ec.proc_event_budget = config.tenant_event_budget;
+  ec.proc_deadline = config.tenant_deadline;
+  ec.contain_proc_failures = config.contain_tenant_failures;
   return ec;
 }
 
 }  // namespace
+
+const char* admission_policy_name(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kFifoReject:
+      return "fifo-reject";
+    case AdmissionPolicy::kShedOldest:
+      return "shed-oldest";
+    case AdmissionPolicy::kShedLargest:
+      return "shed-largest";
+  }
+  return "?";
+}
+
+std::optional<AdmissionPolicy> parse_admission_policy(
+    const std::string& name) {
+  if (name == "fifo-reject") return AdmissionPolicy::kFifoReject;
+  if (name == "shed-oldest") return AdmissionPolicy::kShedOldest;
+  if (name == "shed-largest") return AdmissionPolicy::kShedLargest;
+  return std::nullopt;
+}
+
+const char* tenant_terminal_name(TenantTerminal terminal) {
+  switch (terminal) {
+    case TenantTerminal::kCompleted:
+      return "completed";
+    case TenantTerminal::kDeparted:
+      return "departed";
+    case TenantTerminal::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
 
 PagingService::PagingService(BoxScheduler& scheduler,
                              const ServiceConfig& config)
@@ -32,7 +67,7 @@ PagingService::PagingService(BoxScheduler& scheduler,
 std::optional<TenantId> PagingService::submit(
     std::shared_ptr<const TraceSource> trace, Time arrival) {
   PPG_CHECK(trace != nullptr);
-  if (queue_.size() >= config_.admission_queue_limit) {
+  if (queue_.size() >= config_.admission_queue_limit && !make_room(*trace)) {
     ++rejected_;
     return std::nullopt;
   }
@@ -79,6 +114,47 @@ void PagingService::on_completion(
   callback_ = std::move(callback);
 }
 
+bool PagingService::make_room(const TraceSource& incoming) {
+  switch (config_.admission_policy) {
+    case AdmissionPolicy::kFifoReject:
+      return false;
+    case AdmissionPolicy::kShedOldest:
+      shed_queued(0);
+      return true;
+    case AdmissionPolicy::kShedLargest: {
+      // Uses the *declared* length (num_requests); a lying source — e.g. a
+      // torn-span fault — sheds by what it promised, not what it delivers.
+      // Ties shed the most recent submission: >= in the scan selects the
+      // latest queued maximum, and a newcomer tying the queued maximum is
+      // itself the latest, so it is the one rejected below.
+      std::size_t victim = 0;
+      std::uint64_t longest = 0;
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const auto len =
+            static_cast<std::uint64_t>(queue_[i].trace->num_requests());
+        if (len >= longest) {
+          longest = len;
+          victim = i;
+        }
+      }
+      if (static_cast<std::uint64_t>(incoming.num_requests()) >= longest)
+        return false;
+      shed_queued(victim);
+      return true;
+    }
+  }
+  return false;
+}
+
+void PagingService::shed_queued(std::size_t index) {
+  PPG_CHECK(index < queue_.size());
+  const TenantId tenant = queue_[index].tenant;
+  const Time at = std::max(queue_[index].arrival, stepper_.now());
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  ++shed_;
+  finalize(tenant, at, 0, 0, TenantTerminal::kDeparted);
+}
+
 void PagingService::admit_front(bool initial) {
   QueuedTenant queued = std::move(queue_.front());
   queue_.pop_front();
@@ -86,7 +162,7 @@ void PagingService::admit_front(bool initial) {
   if (record.depart_requested) {
     // Cancelled before admission: the engine never sees it.
     finalize(queued.tenant, std::max(queued.arrival, stepper_.now()), 0, 0,
-             /*departed=*/true);
+             TenantTerminal::kDeparted);
     return;
   }
   // A requested arrival the engine has already passed clamps forward: the
@@ -105,17 +181,27 @@ void PagingService::admit_front(bool initial) {
 
 void PagingService::finalize(TenantId tenant, Time completed,
                              std::uint64_t hits, std::uint64_t misses,
-                             bool departed) {
+                             TenantTerminal terminal, Error error) {
   TenantRecord& record = records_[tenant];
   record.completed = completed;
   record.hits = hits;
   record.misses = misses;
   record.state = TenantState::kDone;
-  record.departed = departed;
-  if (departed)
-    ++departed_;
-  else
-    ++completed_;
+  record.terminal = terminal;
+  record.departed = terminal == TenantTerminal::kDeparted;
+  record.error = std::move(error);
+  switch (terminal) {
+    case TenantTerminal::kCompleted:
+      ++completed_;
+      break;
+    case TenantTerminal::kDeparted:
+      ++departed_;
+      break;
+    case TenantTerminal::kQuarantined:
+      ++quarantined_;
+      ++quarantine_codes_[record.error.code];
+      break;
+  }
 
   const Time latency = completed - record.arrival;
   latency_sum_ += static_cast<double>(latency);
@@ -129,8 +215,14 @@ void PagingService::finalize(TenantId tenant, Time completed,
 void PagingService::harvest_completions() {
   for (const StepCompletion& c : stepper_.last_completions()) {
     const TenantId tenant = proc_tenant_[c.proc];
+    // Quarantine outranks a racing depart(): the engine already encodes
+    // that precedence (quarantined completions have departed == false).
+    const TenantTerminal terminal = c.quarantined
+                                        ? TenantTerminal::kQuarantined
+                                    : c.departed ? TenantTerminal::kDeparted
+                                                 : TenantTerminal::kCompleted;
     finalize(tenant, c.time, stepper_.proc_hits(c.proc),
-             stepper_.proc_misses(c.proc), c.departed);
+             stepper_.proc_misses(c.proc), terminal, c.error);
   }
 }
 
@@ -177,16 +269,34 @@ ServiceMetrics PagingService::metrics() const {
   m.admitted = admitted_;
   m.completed = completed_;
   m.departed = departed_;
+  m.quarantined = quarantined_;
+  m.shed = shed_;
   m.active = stepper_.active_count();
   m.queued = queue_.size();
   m.now = stepper_.now();
   m.events_consumed = stepper_.events_consumed();
   m.max_faults = max_faults_;
-  const std::uint64_t finished = completed_ + departed_;
+  const std::uint64_t finished = completed_ + departed_ + quarantined_;
   m.mean_completion_latency =
       finished == 0 ? 0.0 : latency_sum_ / static_cast<double>(finished);
   m.completion_latency = completion_latency_;
   m.fault_counts = fault_counts_;
+  m.quarantine_codes.assign(quarantine_codes_.begin(),
+                            quarantine_codes_.end());
+  // Health is a pure function of the counters above: degraded while the
+  // queue is deep (imminent shedding/rejection) or while quarantines are
+  // more than background noise among finished tenants.
+  const double queue_threshold =
+      config_.degraded_queue_fraction *
+      static_cast<double>(config_.admission_queue_limit);
+  const bool queue_deep =
+      !queue_.empty() && static_cast<double>(queue_.size()) >= queue_threshold;
+  const bool quarantine_heavy =
+      finished > 0 &&
+      static_cast<double>(quarantined_) >
+          config_.degraded_quarantine_fraction * static_cast<double>(finished);
+  m.health = (queue_deep || quarantine_heavy) ? ServiceHealth::kDegraded
+                                              : ServiceHealth::kHealthy;
   return m;
 }
 
@@ -203,6 +313,8 @@ TenantOutcome PagingService::outcome(TenantId tenant) const {
   out.hits = record.hits;
   out.misses = record.misses;
   out.departed = record.departed;
+  out.terminal = record.terminal;
+  out.error = record.error;
   return out;
 }
 

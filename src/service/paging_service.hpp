@@ -17,6 +17,14 @@
 // ParallelEngine::run() over the same sources (pinned by
 // tests/test_paging_service.cpp).
 //
+// Fault isolation: with contain_tenant_failures (the default), a tenant
+// whose trace faults — or that breaches its per-tenant budget/deadline —
+// is quarantined at its next box boundary (TenantTerminal::kQuarantined,
+// structured cause in TenantOutcome::error) while every other tenant's
+// schedule and metrics stay byte-identical. Overload is handled by a
+// pluggable AdmissionPolicy, and metrics().health summarizes both
+// pressure signals. See DESIGN.md §13.
+//
 // Memory: tenants stream through TraceCursor-backed runners that are
 // released on completion, so live memory is O(active tenants x box height)
 // plus O(1) bookkeeping per tenant ever submitted — 10^5 lightweight
@@ -27,9 +35,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/parallel_engine.hpp"
@@ -44,6 +54,39 @@ namespace ppg {
 
 /// Dense tenant handle, assigned in submission order.
 using TenantId = std::uint32_t;
+
+/// What submit() does with a newcomer while the admission queue is full.
+enum class AdmissionPolicy : std::uint8_t {
+  /// Bounce the newcomer (submit() returns nullopt) — the default, and the
+  /// only policy that never evicts an already-accepted tenant.
+  kFifoReject,
+  /// Shed the longest-waiting queued tenant to make room for the newcomer.
+  kShedOldest,
+  /// Shed whichever of (queued tenants ∪ newcomer) declares the most
+  /// requests; ties shed the most recent submission, so a newcomer tying
+  /// the queued maximum is rejected. Shedding the newcomer = rejecting it.
+  kShedLargest,
+};
+
+/// Stable textual name ("fifo-reject", "shed-oldest", "shed-largest").
+const char* admission_policy_name(AdmissionPolicy policy);
+
+/// Inverse of admission_policy_name; nullopt for an unknown name.
+std::optional<AdmissionPolicy> parse_admission_policy(const std::string& name);
+
+/// Coarse load-shedding signal derived from queue depth and quarantine
+/// rate; see ServiceConfig::degraded_* and ServiceMetrics::health.
+enum class ServiceHealth : std::uint8_t { kHealthy, kDegraded };
+
+/// How a tenant left the system.
+enum class TenantTerminal : std::uint8_t {
+  kCompleted,    ///< Drained its whole request sequence.
+  kDeparted,     ///< Left via depart(), or was shed under overload.
+  kQuarantined,  ///< Isolated after a contained fault or a budget breach.
+};
+
+/// Stable textual name ("completed", "departed", "quarantined").
+const char* tenant_terminal_name(TenantTerminal terminal);
 
 struct ServiceConfig {
   Height cache_size = 0;  ///< k.
@@ -62,6 +105,26 @@ struct ServiceConfig {
   /// Admission backpressure: submit() rejects (returns nullopt) while this
   /// many tenants are already waiting for admission.
   std::size_t admission_queue_limit = 4096;
+  /// Overload response once the queue is full; see AdmissionPolicy.
+  AdmissionPolicy admission_policy = AdmissionPolicy::kFifoReject;
+  /// Per-tenant box budget and sojourn deadline (simulated time), forwarded
+  /// to EngineConfig::proc_event_budget / proc_deadline. 0 disables. A
+  /// breach quarantines only the runaway tenant (kTenantBudgetExceeded /
+  /// kTenantDeadlineExceeded); every other tenant is unaffected.
+  std::uint64_t tenant_event_budget = 0;
+  Time tenant_deadline = 0;
+  /// Contain per-tenant runner/cursor faults
+  /// (EngineConfig::contain_proc_failures): a faulty tenant is quarantined
+  /// at its next box boundary instead of failing the whole run. Defaults ON
+  /// here — a multi-tenant front end must not let one hostile trace take
+  /// down its neighbours — unlike the batch engine, which fails fast.
+  bool contain_tenant_failures = true;
+  /// metrics().health turns kDegraded when the admission queue is at least
+  /// this full (as a fraction of admission_queue_limit)...
+  double degraded_queue_fraction = 0.5;
+  /// ...or when more than this fraction of finished tenants ended
+  /// quarantined.
+  double degraded_quarantine_fraction = 0.05;
 };
 
 /// Everything known about a tenant once it has left the system.
@@ -72,7 +135,11 @@ struct TenantOutcome {
   Time completed = 0;  ///< Completion (or forced-departure) time.
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  bool departed = false;  ///< Left via depart(), not by draining its trace.
+  bool departed = false;  ///< Legacy: terminal == kDeparted.
+  TenantTerminal terminal = TenantTerminal::kCompleted;
+  /// Structured quarantine cause; code == kOk unless terminal is
+  /// kQuarantined (then kCorruptTrace / kTenantBudgetExceeded / ...).
+  Error error;
 };
 
 /// Live SLO surface; see PagingService::metrics().
@@ -82,6 +149,8 @@ struct ServiceMetrics {
   std::uint64_t admitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t departed = 0;
+  std::uint64_t quarantined = 0;  ///< Isolated by fault containment.
+  std::uint64_t shed = 0;    ///< Queued tenants evicted under overload.
   std::uint64_t active = 0;  ///< Running in the engine right now.
   std::uint64_t queued = 0;  ///< Waiting in the admission queue.
   Time now = 0;              ///< Last processed simulated time.
@@ -92,6 +161,10 @@ struct ServiceMetrics {
   double mean_completion_latency = 0.0;  ///< Mean of (completed - arrival).
   Log2Histogram completion_latency;      ///< Per-tenant sojourn times.
   Log2Histogram fault_counts;            ///< Per-tenant miss counts.
+  /// Degrades on queue depth / quarantine rate (ServiceConfig::degraded_*).
+  ServiceHealth health = ServiceHealth::kHealthy;
+  /// Quarantine tally by structured cause, sorted by error code.
+  std::vector<std::pair<ErrorCode, std::uint64_t>> quarantine_codes;
 };
 
 class PagingService {
@@ -118,8 +191,11 @@ class PagingService {
   std::optional<TenantId> submit(const std::string& trace_spec, Time arrival);
 
   /// Requests that `tenant` leave: immediately if still queued, at its
-  /// next box boundary if running. Idempotent; completion via the normal
-  /// callback with TenantOutcome::departed = true.
+  /// next box boundary if running. Idempotent, and a no-op once the tenant
+  /// is finished (including already quarantined). Completion via the
+  /// normal callback with terminal == kDeparted — unless a quarantine
+  /// lands at the same box boundary, which outranks the depart request
+  /// (the outcome records why the tenant really left).
   void depart(TenantId tenant);
 
   /// Registers the completion callback (replacing any previous one). Fired
@@ -165,6 +241,8 @@ class PagingService {
     TenantState state = TenantState::kQueued;
     bool departed = false;
     bool depart_requested = false;
+    TenantTerminal terminal = TenantTerminal::kCompleted;
+    Error error;  ///< Quarantine cause; kOk otherwise.
   };
 
   struct QueuedTenant {
@@ -176,7 +254,15 @@ class PagingService {
   void admit_front(bool initial);
   void harvest_completions();
   void finalize(TenantId tenant, Time completed, std::uint64_t hits,
-                std::uint64_t misses, bool departed);
+                std::uint64_t misses, TenantTerminal terminal,
+                Error error = Error());
+  /// Applies the admission policy to a full queue. Returns true once there
+  /// is room for `incoming` (possibly after shedding a queued tenant),
+  /// false to reject the newcomer.
+  bool make_room(const TraceSource& incoming);
+  /// Evicts queue_[index] as shed: finalized kDeparted at max(arrival,
+  /// now()). Fires the completion callback from inside submit().
+  void shed_queued(std::size_t index);
 
   // The service is driven by one external thread (submit/depart/step are
   // never called concurrently); the only parallelism underneath is the
@@ -201,6 +287,12 @@ class PagingService {
   std::uint64_t admitted_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
   std::uint64_t completed_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
   std::uint64_t departed_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
+  std::uint64_t quarantined_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
+  std::uint64_t shed_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
+  /// Quarantines by structured cause (ordered map: metrics() exposes it
+  /// sorted without re-sorting, and iteration order is deterministic).
+  std::map<ErrorCode, std::uint64_t> quarantine_codes_
+      PPG_CALLER_SYNCHRONIZED(driver thread);
   std::uint64_t max_faults_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0;
   double latency_sum_ PPG_CALLER_SYNCHRONIZED(driver thread) = 0.0;
   Log2Histogram completion_latency_ PPG_CALLER_SYNCHRONIZED(driver thread);

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "trace/fault_source.hpp"
 #include "util/assert.hpp"
 #include "util/error.hpp"
 
@@ -92,7 +93,43 @@ std::string adversarial_trace_spec(const AdversarialParams& params) {
   return out.str();
 }
 
+namespace {
+
+/// "HEAD(BODY)" -> BODY for a matching head, std::nullopt otherwise (the
+/// same nesting helper the scheduler factory uses for VALIDATE/INJECT).
+std::optional<std::string> unwrap(const std::string& spec,
+                                  const std::string& head) {
+  if (spec.size() < head.size() + 2 || spec.compare(0, head.size(), head) != 0)
+    return std::nullopt;
+  if (spec[head.size()] != '(' || spec.back() != ')') return std::nullopt;
+  return spec.substr(head.size() + 1, spec.size() - head.size() - 2);
+}
+
+}  // namespace
+
 MultiTraceSource make_source_from_trace_spec(const std::string& spec) {
+  // Decorator family first: INJECT-TRACE(<class>@<N>,<inner-spec>) wraps
+  // every processor source of the inner spec with one deterministic trace
+  // fault (trace/fault_source.hpp), mirroring the scheduler INJECT grammar.
+  if (const auto body = unwrap(spec, "INJECT-TRACE")) {
+    const auto comma = body->find(',');
+    if (comma == std::string::npos) {
+      bad_spec(spec,
+               "INJECT-TRACE needs \"INJECT-TRACE(<fault>@<N>,<spec>)\"");
+    }
+    const auto fault = parse_trace_fault(body->substr(0, comma));
+    if (!fault) {
+      bad_spec(spec, "unknown trace fault \"" + body->substr(0, comma) +
+                         "\" (want fail|hostile-page|torn-span|stall @N)");
+    }
+    const MultiTraceSource inner =
+        make_source_from_trace_spec(body->substr(comma + 1));
+    MultiTraceSource wrapped;
+    for (ProcId i = 0; i < inner.num_procs(); ++i)
+      wrapped.add(make_fault_injecting_source(inner.source_ptr(i), *fault));
+    return wrapped;
+  }
+
   std::string name;
   const auto kv = parse_kv(spec, name);
   if (name == "workload") {

@@ -26,7 +26,10 @@ std::string adversarial_trace_spec(const AdversarialParams& params);
 
 /// Rebuilds the sources a spec describes. Throws PpgException(kBadInput)
 /// on a malformed or unknown spec (specs arrive from replay dumps, which
-/// may be hand-edited or damaged).
+/// may be hand-edited or damaged). Besides the generator families, the
+/// decorator INJECT-TRACE(<fault>@<N>,<inner-spec>) wraps every processor
+/// source with one deterministic trace fault (see trace/fault_source.hpp),
+/// so replay and the service soaks can reproduce hostile inputs by spec.
 MultiTraceSource make_source_from_trace_spec(const std::string& spec);
 
 }  // namespace ppg

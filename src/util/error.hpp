@@ -33,6 +33,8 @@ enum class ErrorCode : std::uint8_t {
   kResourceExhausted,   ///< Allocation failure (std::bad_alloc) surfaced.
   kInterrupted,         ///< SIGINT/SIGTERM: sweep drained and stopped.
   kJournalLocked,       ///< Another live writer holds the journal lease.
+  kTenantBudgetExceeded,    ///< One processor passed its per-tenant budget.
+  kTenantDeadlineExceeded,  ///< One processor passed its sojourn deadline.
 };
 
 const char* error_code_name(ErrorCode code);

@@ -1,0 +1,18 @@
+// Violates service-catch-all on purpose: type-erasing handlers in a
+// containment layer, discarding the structured ppg::Error that quarantine
+// outcomes are built from.
+#include <exception>
+
+namespace ppg {
+
+int contain(int (*step)()) {
+  try {
+    return step();
+  } catch (const std::exception&) {
+    return -1;
+  } catch (...) {
+    return -2;
+  }
+}
+
+}  // namespace ppg

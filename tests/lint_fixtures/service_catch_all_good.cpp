@@ -1,0 +1,24 @@
+// Clean twin of service_catch_all_bad: the containment layer catches the
+// project exception type, so the structured Error payload (code, proc,
+// time, offset) survives into the quarantine outcome.
+namespace ppg {
+
+struct Error {
+  int code = 0;
+};
+
+struct PpgException {
+  const Error& error() const { return error_; }
+  Error error_;
+};
+
+Error contain(int (*step)()) {
+  try {
+    step();
+  } catch (const PpgException& e) {
+    return e.error();
+  }
+  return Error{};
+}
+
+}  // namespace ppg

@@ -1,0 +1,18 @@
+// Same violations as service_catch_all_bad, silenced by a file-wide
+// suppression.
+// ppg-lint: allow-file(service-catch-all): fixture proves the escape hatch
+#include <exception>
+
+namespace ppg {
+
+int contain(int (*step)()) {
+  try {
+    return step();
+  } catch (const std::exception&) {
+    return -1;
+  } catch (...) {
+    return -2;
+  }
+}
+
+}  // namespace ppg

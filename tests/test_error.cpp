@@ -41,7 +41,9 @@ TEST(Error, EveryCodeHasAName) {
         ErrorCode::kIoError, ErrorCode::kContractViolation,
         ErrorCode::kWatchdogTimeout, ErrorCode::kInternal,
         ErrorCode::kCellBudgetExceeded, ErrorCode::kResourceExhausted,
-        ErrorCode::kInterrupted, ErrorCode::kJournalLocked}) {
+        ErrorCode::kInterrupted, ErrorCode::kJournalLocked,
+        ErrorCode::kTenantBudgetExceeded,
+        ErrorCode::kTenantDeadlineExceeded}) {
     EXPECT_STRNE(error_code_name(code), "unknown");
   }
 }

@@ -37,13 +37,15 @@ bool is_header_name(const std::string& name) {
 }
 
 std::vector<Finding> lint_fixture(const std::string& name, Realm realm,
-                                  bool service = false) {
+                                  bool service = false,
+                                  bool containment = false) {
   const std::string text = read_fixture(name);
   ScannedFile scanned(name, text);
   FileInfo info;
   info.realm = realm;
   info.is_header = is_header_name(name);
   info.service = service;
+  info.containment = containment;
   return run_rules(scanned, info, nullptr);
 }
 
@@ -52,7 +54,8 @@ struct RuleCase {
   const char* stem;  ///< Fixture prefix: <stem>_bad, _good, _suppressed.
   const char* ext;   ///< ".cpp" or ".hpp".
   Realm realm;       ///< Realm the rule is scoped to.
-  bool service = false;  ///< Lint as a src/service/ file.
+  bool service = false;      ///< Lint as a src/service/ file.
+  bool containment = false;  ///< Lint as a containment-layer file.
 
   friend void PrintTo(const RuleCase& rule_case, std::ostream* os) {
     *os << rule_case.rule;
@@ -72,6 +75,8 @@ const RuleCase kCases[] = {
     {"raw-getenv", "raw_getenv", ".cpp", Realm::kLibrary},
     {"raw-thread", "raw_thread", ".cpp", Realm::kLibrary},
     {"service-io", "service_io", ".cpp", Realm::kLibrary, true},
+    {"service-catch-all", "service_catch_all", ".cpp", Realm::kLibrary, false,
+     true},
     {"pragma-once", "pragma_once", ".hpp", Realm::kApp},
     {"using-namespace-header", "using_namespace", ".hpp", Realm::kApp},
 };
@@ -82,7 +87,7 @@ TEST_P(LintRule, FiresOnBadFixture) {
   const RuleCase& rule_case = GetParam();
   const std::vector<Finding> findings = lint_fixture(
       std::string(rule_case.stem) + "_bad" + rule_case.ext, rule_case.realm,
-      rule_case.service);
+      rule_case.service, rule_case.containment);
   ASSERT_FALSE(findings.empty())
       << rule_case.rule << " did not fire on its bad fixture";
   for (const Finding& finding : findings) {
@@ -97,7 +102,7 @@ TEST_P(LintRule, SilentOnGoodFixture) {
   const RuleCase& rule_case = GetParam();
   const std::vector<Finding> findings = lint_fixture(
       std::string(rule_case.stem) + "_good" + rule_case.ext, rule_case.realm,
-      rule_case.service);
+      rule_case.service, rule_case.containment);
   for (const Finding& finding : findings) {
     ADD_FAILURE() << rule_case.stem << "_good is expected clean but got ["
                   << finding.rule << "] at line " << finding.line << ": "
@@ -109,7 +114,7 @@ TEST_P(LintRule, SuppressionSilencesBadFixture) {
   const RuleCase& rule_case = GetParam();
   const std::vector<Finding> findings =
       lint_fixture(std::string(rule_case.stem) + "_suppressed" + rule_case.ext,
-                   rule_case.realm, rule_case.service);
+                   rule_case.realm, rule_case.service, rule_case.containment);
   for (const Finding& finding : findings) {
     ADD_FAILURE() << rule_case.stem
                   << "_suppressed should be silenced but got ["
@@ -146,6 +151,19 @@ TEST(LintServiceIo, OnlyFiresWhenFileIsMarkedService) {
       lint_fixture("service_io_bad.cpp", Realm::kLibrary, /*service=*/false);
   for (const Finding& finding : findings) {
     ADD_FAILURE() << "non-service file fired [" << finding.rule
+                  << "] at line " << finding.line << ": " << finding.message;
+  }
+}
+
+// service-catch-all is scoped by the containment flag: type-erasing
+// catches are legal library code elsewhere (e.g. tools own their process
+// boundary and may catch everything before exiting).
+TEST(LintServiceCatchAll, OnlyFiresWhenFileIsMarkedContainment) {
+  const std::vector<Finding> findings =
+      lint_fixture("service_catch_all_bad.cpp", Realm::kLibrary,
+                   /*service=*/false, /*containment=*/false);
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << "non-containment file fired [" << finding.rule
                   << "] at line " << finding.line << ": " << finding.message;
   }
 }

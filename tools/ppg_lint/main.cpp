@@ -102,6 +102,9 @@ std::optional<LintedFile> load_one(const fs::path& path,
   file.info.realm = realm_of(relative);
   file.info.is_header = is_header(path);
   file.info.service = relative.generic_string().rfind("src/service/", 0) == 0;
+  file.info.containment =
+      file.info.service ||
+      relative.generic_string().rfind("src/core/", 0) == 0;
 
   // Member declarations live in the same-stem header; bring them into scope
   // for unordered-iter when linting a .cpp.

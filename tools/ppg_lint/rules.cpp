@@ -136,6 +136,20 @@ void check_service_io(const ScannedFile& file, std::vector<Finding>& out) {
   match_all(file, kCstdio, "service-io", msg, out);
 }
 
+void check_service_catch_all(const ScannedFile& file,
+                             std::vector<Finding>& out) {
+  static const std::regex kCatchAll(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
+  static const std::regex kCatchStdException(
+      R"(\bcatch\s*\(\s*(?:const\s+)?std\s*::\s*exception\b)");
+  const std::string msg =
+      "type-erasing catch in a containment layer; catch (const "
+      "PpgException&) instead — catch (...) / catch (std::exception&) drop "
+      "the structured ppg::Error (code, proc, time, offset) that quarantine "
+      "outcomes and the chaos gate are built from";
+  match_all(file, kCatchAll, "service-catch-all", msg, out);
+  match_all(file, kCatchStdException, "service-catch-all", msg, out);
+}
+
 void check_pragma_once(const ScannedFile& file, std::vector<Finding>& out) {
   static const std::regex kPragma(R"(^\s*#\s*pragma\s+once\s*$)");
   for (std::size_t i = 0; i < file.line_count(); ++i) {
@@ -300,6 +314,11 @@ const std::vector<RuleDesc>& all_rules() {
        "ifstream/cin/scanf/fread in src/service/: tenant input enters as a "
        "TraceSource or spec string, the service never reads files or stdin",
        {}},
+      {"service-catch-all",
+       "catch (...) / catch (std::exception&) in src/service/ or src/core/: "
+       "type-erasing handlers drop the structured ppg::Error payload that "
+       "quarantine outcomes carry; catch (const PpgException&)",
+       {}},
       {"pragma-once", "headers must open with #pragma once", {}},
       {"using-namespace-header", "no `using namespace` in headers", {}},
   };
@@ -344,6 +363,8 @@ std::vector<Finding> run_rules_raw(const ScannedFile& file,
     if (!exempt("raw-thread")) check_raw_thread(file, raw);
   }
   if (info.service && !exempt("service-io")) check_service_io(file, raw);
+  if (info.containment && !exempt("service-catch-all"))
+    check_service_catch_all(file, raw);
   if (info.is_header) {
     check_pragma_once(file, raw);
     check_using_namespace(file, raw);

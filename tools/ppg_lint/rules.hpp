@@ -16,6 +16,10 @@
 //   service-io              src/service/ never reads files or stdin; tenant
 //                           workloads enter as TraceSource objects or spec
 //                           strings parsed by the trace layer
+//   service-catch-all       containment layers (src/service/, src/core/)
+//                           never catch (...) or catch (std::exception&):
+//                           both drop the structured ppg::Error payload
+//                           that quarantine outcomes are built from
 //
 // Suppressions (grammar shared with ppg_analyze; see suppress.hpp):
 //   // ppg-lint: allow(rule-a, rule-b)      this line or the next line
@@ -45,6 +49,11 @@ struct FileInfo {
   /// True for files under src/service/: the admission surface must stay a
   /// pure function of its arguments, so input I/O is additionally banned.
   bool service = false;
+  /// True for the fault-containment layers (src/service/ and src/core/):
+  /// exception handlers there must catch PpgException — a catch (...) or
+  /// catch (std::exception&) discards the structured ppg::Error payload
+  /// that quarantine outcomes and chaos-gate assertions depend on.
+  bool containment = false;
 };
 
 struct Finding {
